@@ -1,0 +1,294 @@
+// Benchmarks regenerating each table and figure of the paper's
+// evaluation. Run all of them with:
+//
+//	go test -bench=. -benchmem
+//
+// The benchmarks use a reduced corpus scale so `go test -bench` stays
+// fast; cmd/benchtab regenerates the same experiments at any scale with
+// the paper's values printed side by side.
+package dtaint_test
+
+import (
+	"io"
+	"testing"
+
+	"dtaint"
+	"dtaint/internal/baseline"
+	"dtaint/internal/bench"
+	"dtaint/internal/cfg"
+	"dtaint/internal/corpus"
+	"dtaint/internal/dataflow"
+	"dtaint/internal/emul"
+	"dtaint/internal/image"
+)
+
+// benchScale shrinks the synthetic binaries' filler; detection results
+// are scale-invariant.
+const benchScale = 0.1
+
+// BenchmarkFig1Emulation boots the 6,529-image population in the
+// FIRMADYNE-style emulation model (Figure 1).
+func BenchmarkFig1Emulation(b *testing.B) {
+	images := corpus.Population()
+	e := emul.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats := e.Study(images)
+		if len(stats) != 8 {
+			b.Fatal("bad study")
+		}
+	}
+}
+
+// BenchmarkTable2Summary builds each study binary and recovers its CFG
+// (the Table II measurement).
+func BenchmarkTable2Summary(b *testing.B) {
+	for _, spec := range corpus.StudyImages() {
+		spec := spec
+		b.Run(spec.Product, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bin, _, err := corpus.BuildBinary(spec, benchScale)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := cfg.Build(bin); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable3Pipeline runs the full detection pipeline per study
+// image (the Table III measurement).
+func BenchmarkTable3Pipeline(b *testing.B) {
+	for _, spec := range corpus.StudyImages() {
+		spec := spec
+		bin, planted, err := corpus.BuildBinary(spec, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(spec.Product, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				prog, err := cfg.Build(bin)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := dataflow.Analyze(prog, dataflow.Options{Filter: corpus.ModuleFilter(spec)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Vulnerabilities()) != len(planted) {
+					b.Fatalf("found %d vulns, want %d", len(res.Vulnerabilities()), len(planted))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable4And5Detection verifies and times the re-discovery of
+// every known CVE (Table IV) and zero-day (Table V) analog.
+func BenchmarkTable4And5Detection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs, err := bench.RunStudy(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bench.Table4(io.Discard, runs); err != nil {
+			b.Fatal(err)
+		}
+		if err := bench.Table5(io.Discard, runs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable6Resources measures the pipeline's phases with memory
+// accounting enabled (-benchmem reports the Table VI memory column).
+func BenchmarkTable6Resources(b *testing.B) {
+	spec, _ := corpus.SpecByProduct("DGN2200")
+	bin, _, err := corpus.BuildBinary(spec, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog, err := cfg.Build(bin)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dataflow.Analyze(prog, dataflow.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable7DTaint times DTaint's bottom-up data-flow generation on
+// the four Table VII workloads.
+func BenchmarkTable7DTaint(b *testing.B) {
+	for _, product := range bench.Table7Workloads {
+		product := product
+		bin := table7Bin(b, product)
+		b.Run(product, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				prog, err := cfg.Build(bin)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := dataflow.Analyze(prog, dataflow.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable7Baseline times the top-down context-sensitive baseline
+// on the same workloads (bounded: the full exponential blowup is the
+// phenomenon being measured, not a useful benchmark duration).
+func BenchmarkTable7Baseline(b *testing.B) {
+	for _, product := range bench.Table7Workloads {
+		product := product
+		bin := table7Bin(b, product)
+		b.Run(product, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				prog, err := cfg.Build(bin)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := baseline.Analyze(prog, baseline.Options{MaxAnalyses: 3000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Analyses == 0 {
+					b.Fatal("baseline did nothing")
+				}
+			}
+		})
+	}
+}
+
+func table7Bin(b *testing.B, product string) *image.Binary {
+	b.Helper()
+	if product == "openssl" {
+		bin, err := corpus.OpenSSL(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return bin
+	}
+	spec, ok := corpus.SpecByProduct(product)
+	if !ok {
+		b.Fatalf("unknown product %s", product)
+	}
+	bin, _, err := corpus.BuildBinary(spec, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bin
+}
+
+// BenchmarkLoopHeuristic compares the paper's loop-once heuristic with
+// bounded loop unrolling (a DESIGN.md ablation).
+func BenchmarkLoopHeuristic(b *testing.B) {
+	spec, _ := corpus.SpecByProduct("DS-2CD6233F")
+	bin, _, err := corpus.BuildBinary(spec, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	filter := corpus.ModuleFilter(spec)
+	run := func(b *testing.B, loopOnce bool) {
+		for i := 0; i < b.N; i++ {
+			prog, err := cfg.Build(bin)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := dataflow.Options{Filter: filter}
+			opts.Symexec.LoopOnce = loopOnce
+			if !loopOnce {
+				opts.Symexec.MaxLoopIters = 3
+			}
+			if _, err := dataflow.Analyze(prog, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("loop-once", func(b *testing.B) { run(b, true) })
+	b.Run("unroll-3x", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkAblations measures the feature-ablated pipelines on the
+// Hikvision image (alias / structure similarity off).
+func BenchmarkAblations(b *testing.B) {
+	spec, _ := corpus.SpecByProduct("DS-2CD6233F")
+	bin, _, err := corpus.BuildBinary(spec, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	filter := corpus.ModuleFilter(spec)
+	cases := []struct {
+		name string
+		opts dataflow.Options
+	}{
+		{"full", dataflow.Options{}},
+		{"no-alias", dataflow.Options{DisableAlias: true}},
+		{"no-structsim", dataflow.Options{DisableStructSim: true}},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				prog, err := cfg.Build(bin)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c.opts.Filter = filter
+				if _, err := dataflow.Analyze(prog, c.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPublicAPI measures the whole public entry point: generate,
+// unpack, and analyze a firmware image.
+func BenchmarkPublicAPI(b *testing.B) {
+	fw, err := dtaint.GenerateStudyFirmware("DIR-645", benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := dtaint.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := a.AnalyzeFirmware(fw, "/htdocs/cgibin")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Vulnerabilities()) != 4 {
+			b.Fatal("wrong vulnerability count")
+		}
+	}
+}
+
+// BenchmarkScreening measures the detector over the randomized screening
+// corpus (precision/recall experiment).
+func BenchmarkScreening(b *testing.B) {
+	cases, err := corpus.ScreeningCorpus(40, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cases {
+			prog, err := cfg.Build(c.Binary)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := dataflow.Analyze(prog, dataflow.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

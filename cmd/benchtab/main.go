@@ -1,0 +1,115 @@
+// Command benchtab regenerates every table and figure of the paper's
+// evaluation from the synthetic corpus:
+//
+//	benchtab -all               # everything
+//	benchtab -fig1              # Figure 1: emulation success by year
+//	benchtab -table1            # Table I: sources and sinks
+//	benchtab -table2            # Table II: firmware summary
+//	benchtab -table3            # Table III: detection results
+//	benchtab -table4            # Table IV: previously-reported CVEs
+//	benchtab -table5            # Table V: zero-days
+//	benchtab -table6            # Table VI: CPU/memory usage
+//	benchtab -table7            # Table VII: DTaint vs top-down baseline
+//	benchtab -ablate            # feature ablations (alias, structsim)
+//
+// -scale (default 0.25) shrinks the filler code of the synthetic binaries;
+// detection results are scale-invariant, runtimes and size columns scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dtaint/internal/bench"
+)
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "regenerate every table and figure")
+		fig1   = flag.Bool("fig1", false, "Figure 1: emulation success by release year")
+		table1 = flag.Bool("table1", false, "Table I: sources and sinks")
+		table2 = flag.Bool("table2", false, "Table II: firmware summary")
+		table3 = flag.Bool("table3", false, "Table III: detection results")
+		table4 = flag.Bool("table4", false, "Table IV: previously-reported vulnerabilities")
+		table5 = flag.Bool("table5", false, "Table V: zero-day vulnerabilities")
+		table6 = flag.Bool("table6", false, "Table VI: resource usage")
+		table7 = flag.Bool("table7", false, "Table VII: time cost vs the top-down baseline")
+		ablate = flag.Bool("ablate", false, "feature ablations")
+		screen = flag.Bool("screen", false, "precision/recall over a randomized screening corpus")
+		scale  = flag.Float64("scale", 0.25, "corpus scale factor in (0, 1]")
+	)
+	flag.Parse()
+
+	if err := run(*all, *fig1, *table1, *table2, *table3, *table4, *table5,
+		*table6, *table7, *ablate, *screen, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(all, fig1, t1, t2, t3, t4, t5, t6, t7, ablate, screen bool, scale float64) error {
+	none := !(fig1 || t1 || t2 || t3 || t4 || t5 || t6 || t7 || ablate || screen)
+	if all || none {
+		fig1, t1, t2, t3, t4, t5, t6, t7 = true, true, true, true, true, true, true, true
+		ablate, screen = true, true
+	}
+	w := os.Stdout
+	if fig1 {
+		if err := bench.Figure1(w); err != nil {
+			return err
+		}
+	}
+	if t1 {
+		if err := bench.Table1(w); err != nil {
+			return err
+		}
+	}
+	if t2 {
+		if err := bench.Table2(w, scale); err != nil {
+			return err
+		}
+	}
+	if t3 || t4 || t5 {
+		runs, err := bench.RunStudy(scale)
+		if err != nil {
+			return err
+		}
+		if t3 {
+			if err := bench.Table3(w, runs); err != nil {
+				return err
+			}
+		}
+		if t4 {
+			if err := bench.Table4(w, runs); err != nil {
+				return err
+			}
+		}
+		if t5 {
+			if err := bench.Table5(w, runs); err != nil {
+				return err
+			}
+		}
+	}
+	if t6 {
+		if err := bench.Table6(w, scale); err != nil {
+			return err
+		}
+	}
+	if t7 {
+		if err := bench.Table7(w, scale); err != nil {
+			return err
+		}
+	}
+	if ablate {
+		if err := bench.Ablations(w, scale); err != nil {
+			return err
+		}
+	}
+	if screen {
+		if err := bench.Screening(w, 200); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,266 @@
+// Command dtaint analyzes a firmware image or program executable for
+// taint-style vulnerabilities:
+//
+//	dtaint -fw dir645.fwimg -bin /htdocs/cgibin
+//	dtaint -exe openssl.fwelf
+//	dtaint -fw camera.fwimg -bin /usr/bin/centaurus -module DS-2CD6233F
+//	dtaint -exe prog.fwelf -dis          # disassemble instead of analyzing
+//
+// Flags -no-alias and -no-structsim disable the corresponding analysis
+// features (ablations); -paths prints every vulnerable path rather than
+// the deduplicated vulnerability list; -all also prints sanitized paths.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dtaint"
+	"dtaint/internal/asm"
+	"dtaint/internal/cfg"
+	"dtaint/internal/firmware"
+	"dtaint/internal/image"
+	"dtaint/internal/symexec"
+	"dtaint/internal/taint"
+)
+
+func main() {
+	var (
+		fwPath  = flag.String("fw", "", "firmware image file (FWIMG container)")
+		exePath = flag.String("exe", "", "program executable file (FWELF)")
+		binPath = flag.String("bin", "", "path of the binary inside the firmware rootfs")
+		module  = flag.String("module", "", "restrict analysis to a study product's network module")
+		noAlias = flag.Bool("no-alias", false, "disable pointer-alias recognition (Algorithm 1)")
+		noSim   = flag.Bool("no-structsim", false, "disable data-structure similarity resolution")
+		paths   = flag.Bool("paths", false, "print every vulnerable path, not just deduplicated vulnerabilities")
+		showAll = flag.Bool("all", false, "also print sanitized paths")
+		dis     = flag.Bool("dis", false, "disassemble the executable instead of analyzing")
+		jsonOut = flag.Bool("json", false, "emit the report as JSON")
+		mdOut   = flag.String("report", "", "write a Markdown report to this file")
+		traceFn = flag.String("trace", "", "print the symbolic-analysis listing of one function (the paper's Figure 6) and exit")
+	)
+	flag.Parse()
+
+	if *traceFn != "" {
+		if err := runTrace(*fwPath, *exePath, *binPath, *traceFn); err != nil {
+			fmt.Fprintln(os.Stderr, "dtaint:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*fwPath, *exePath, *binPath, *module, *mdOut, *noAlias, *noSim, *paths, *showAll, *dis, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "dtaint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fwPath, exePath, binPath, module, mdOut string, noAlias, noSim, paths, showAll, dis, jsonOut bool) error {
+	raw, err := loadExecutable(fwPath, exePath, binPath)
+	if err != nil {
+		return err
+	}
+	if dis {
+		bin, err := image.Parse(raw)
+		if err != nil {
+			return err
+		}
+		text, err := asm.Disassemble(bin)
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+		return nil
+	}
+
+	var opts []dtaint.Option
+	if noAlias {
+		opts = append(opts, dtaint.WithoutAliasAnalysis())
+	}
+	if noSim {
+		opts = append(opts, dtaint.WithoutStructSimilarity())
+	}
+	if module != "" {
+		filter := dtaint.StudyModuleFilter(module)
+		if filter != nil {
+			opts = append(opts, dtaint.WithFunctionFilter(filter))
+		}
+	}
+	rep, err := dtaint.New(opts...).AnalyzeExecutable(raw)
+	if err != nil {
+		return err
+	}
+
+	if mdOut != "" {
+		f, err := os.Create(mdOut)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteMarkdown(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", mdOut)
+		return nil
+	}
+	if jsonOut {
+		return writeJSON(rep, showAll)
+	}
+
+	fmt.Printf("binary %s (%s): %d functions, %d blocks, %d call edges\n",
+		rep.Binary, rep.Arch, rep.Functions, rep.Blocks, rep.CallEdges)
+	fmt.Printf("analyzed %d functions, %d sink sites, %d indirect calls resolved\n",
+		rep.FunctionsAnalyzed, rep.SinkCount, rep.IndirectResolved)
+	fmt.Printf("symbolic analysis %v, data-flow generation %v\n\n", rep.SSATime, rep.DDGTime)
+
+	switch {
+	case showAll:
+		for _, f := range rep.Findings {
+			fmt.Println(f)
+		}
+		fmt.Printf("\n%d findings (%d vulnerable paths, %d vulnerabilities)\n",
+			len(rep.Findings), len(rep.VulnerablePaths()), len(rep.Vulnerabilities()))
+	case paths:
+		for _, f := range rep.VulnerablePaths() {
+			fmt.Println(f)
+		}
+		fmt.Printf("\n%d vulnerable paths\n", len(rep.VulnerablePaths()))
+	default:
+		for _, f := range rep.Vulnerabilities() {
+			fmt.Println(f)
+		}
+		fmt.Printf("\n%d vulnerabilities (%d paths)\n",
+			len(rep.Vulnerabilities()), len(rep.VulnerablePaths()))
+	}
+	return nil
+}
+
+// runTrace prints the per-function static symbolic analysis listing —
+// the same rendering as the paper's Figure 6, with evaluated symbolic
+// expressions per executed statement.
+func runTrace(fwPath, exePath, binPath, fnName string) error {
+	raw, err := loadExecutable(fwPath, exePath, binPath)
+	if err != nil {
+		return err
+	}
+	bin, err := image.Parse(raw)
+	if err != nil {
+		return err
+	}
+	prog, err := cfg.Build(bin)
+	if err != nil {
+		return err
+	}
+	fn := prog.ByName[fnName]
+	if fn == nil {
+		return fmt.Errorf("function %q not found", fnName)
+	}
+	tracker := taint.NewTracker()
+	tracker.BeginFunction(fnName)
+	opts := symexec.Options{
+		Prototypes: taint.Prototypes(),
+		Trace: func(addr uint32, line string) {
+			fmt.Printf("%06X: %s\n", addr, line)
+		},
+	}
+	fmt.Printf("; static symbolic analysis of %s (%s)\n", fnName, bin.Arch)
+	sum := symexec.Analyze(fn, bin, tracker, opts)
+	fmt.Printf("; %d states over %d blocks; %d definition pairs, %d constraints\n",
+		sum.StatesExplored, sum.BlocksAnalyzed, len(sum.DefPairs), len(sum.Constraints))
+	return nil
+}
+
+// jsonReport is the machine-readable output schema.
+type jsonReport struct {
+	Binary            string        `json:"binary"`
+	Arch              string        `json:"arch"`
+	Functions         int           `json:"functions"`
+	Blocks            int           `json:"blocks"`
+	CallEdges         int           `json:"callEdges"`
+	FunctionsAnalyzed int           `json:"functionsAnalyzed"`
+	SinkCount         int           `json:"sinkCount"`
+	IndirectResolved  int           `json:"indirectResolved"`
+	SSAMillis         int64         `json:"ssaMillis"`
+	DDGMillis         int64         `json:"ddgMillis"`
+	Findings          []jsonFinding `json:"findings"`
+}
+
+type jsonFinding struct {
+	Class     string   `json:"class"`
+	CWE       string   `json:"cwe"`
+	Sink      string   `json:"sink"`
+	SinkFunc  string   `json:"sinkFunc"`
+	SinkAddr  uint32   `json:"sinkAddr"`
+	Source    string   `json:"source"`
+	Path      []string `json:"path"`
+	Sanitized bool     `json:"sanitized"`
+}
+
+func writeJSON(rep *dtaint.Report, includeSanitized bool) error {
+	out := jsonReport{
+		Binary:            rep.Binary,
+		Arch:              rep.Arch,
+		Functions:         rep.Functions,
+		Blocks:            rep.Blocks,
+		CallEdges:         rep.CallEdges,
+		FunctionsAnalyzed: rep.FunctionsAnalyzed,
+		SinkCount:         rep.SinkCount,
+		IndirectResolved:  rep.IndirectResolved,
+		SSAMillis:         rep.SSATime.Milliseconds(),
+		DDGMillis:         rep.DDGTime.Milliseconds(),
+	}
+	for _, f := range rep.Findings {
+		if f.Sanitized && !includeSanitized {
+			continue
+		}
+		out.Findings = append(out.Findings, jsonFinding{
+			Class:     string(f.Class),
+			CWE:       f.CWE(),
+			Sink:      f.Sink,
+			SinkFunc:  f.SinkFunc,
+			SinkAddr:  f.SinkAddr,
+			Source:    f.Source,
+			Path:      f.Path,
+			Sanitized: f.Sanitized,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func loadExecutable(fwPath, exePath, binPath string) ([]byte, error) {
+	switch {
+	case exePath != "":
+		return os.ReadFile(exePath)
+	case fwPath != "":
+		data, err := os.ReadFile(fwPath)
+		if err != nil {
+			return nil, err
+		}
+		_, fs, err := firmware.Unpack(data)
+		if err != nil {
+			return nil, fmt.Errorf("unpack %s: %w", fwPath, err)
+		}
+		if binPath != "" {
+			f, err := fs.Lookup(binPath)
+			if err != nil {
+				return nil, err
+			}
+			return f.Data, nil
+		}
+		for _, f := range fs.Files {
+			if _, err := image.Parse(f.Data); err == nil {
+				fmt.Fprintf(os.Stderr, "dtaint: auto-selected %s\n", f.Path)
+				return f.Data, nil
+			}
+		}
+		return nil, fmt.Errorf("no analyzable executable in %s (use -bin)", fwPath)
+	default:
+		return nil, fmt.Errorf("one of -fw or -exe is required")
+	}
+}

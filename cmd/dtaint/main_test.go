@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dtaint"
+)
+
+func writeCorpus(t *testing.T) (fwFile, exeFile string) {
+	t.Helper()
+	dir := t.TempDir()
+	fw, err := dtaint.GenerateStudyFirmware("DIR-645", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwFile = filepath.Join(dir, "dir645.fwimg")
+	if err := os.WriteFile(fwFile, fw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	exe, err := dtaint.GenerateOpenSSL(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exeFile = filepath.Join(dir, "openssl.fwelf")
+	if err := os.WriteFile(exeFile, exe, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return fwFile, exeFile
+}
+
+func TestRunFirmware(t *testing.T) {
+	fw, _ := writeCorpus(t)
+	if err := run(fw, "", "/htdocs/cgibin", "", "", false, false, false, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	// Paths and all modes.
+	if err := run(fw, "", "/htdocs/cgibin", "", "", false, false, true, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(fw, "", "/htdocs/cgibin", "", "", false, false, false, true, false, false); err != nil {
+		t.Fatal(err)
+	}
+	// JSON mode.
+	if err := run(fw, "", "/htdocs/cgibin", "", "", false, false, false, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+	// Markdown report mode.
+	md := filepath.Join(t.TempDir(), "report.md")
+	if err := run(fw, "", "/htdocs/cgibin", "", md, false, false, false, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := os.ReadFile(md); err != nil || len(data) == 0 {
+		t.Fatalf("markdown report not written: %v", err)
+	}
+	// Ablations.
+	if err := run(fw, "", "/htdocs/cgibin", "", "", true, true, false, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	// Auto-pick.
+	if err := run(fw, "", "", "", "", false, false, false, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExecutableAndDisassemble(t *testing.T) {
+	_, exe := writeCorpus(t)
+	if err := run("", exe, "", "", "", false, false, false, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", exe, "", "", "", false, false, false, false, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", "", "", "", false, false, false, false, false, false); err == nil {
+		t.Fatal("missing inputs accepted")
+	}
+	fw, _ := writeCorpus(t)
+	if err := run(fw, "", "/ghost", "", "", false, false, false, false, false, false); err == nil {
+		t.Fatal("missing binary path accepted")
+	}
+	if err := run("/no/such/file", "", "", "", "", false, false, false, false, false, false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	dir := t.TempDir()
+	junk := filepath.Join(dir, "junk")
+	if err := os.WriteFile(junk, []byte("not firmware"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(junk, "", "", "", "", false, false, false, false, false, false); err == nil {
+		t.Fatal("junk firmware accepted")
+	}
+	if err := run("", junk, "", "", "", false, false, false, false, false, false); err == nil {
+		t.Fatal("junk executable accepted")
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dtaint"
+)
+
+func TestExtract(t *testing.T) {
+	dir := t.TempDir()
+	fw, err := dtaint.GenerateStudyFirmware("DIR-645", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(dir, "fw.fwimg")
+	if err := os.WriteFile(in, fw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "rootfs")
+	if err := run(in, out, false); err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(out, "htdocs", "cgibin")
+	if fi, err := os.Stat(bin); err != nil || fi.Size() == 0 {
+		t.Fatalf("extracted binary missing: %v", err)
+	}
+	// List-only mode.
+	if err := run(in, "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	if err := run("", "", false); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if err := run("/no/such/file", "", false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	dir := t.TempDir()
+	junk := filepath.Join(dir, "junk")
+	if err := os.WriteFile(junk, []byte("nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(junk, "", false); err == nil {
+		t.Fatal("junk accepted")
+	}
+}

@@ -1,0 +1,75 @@
+// Command fwgen writes the synthetic firmware corpus to disk:
+//
+//	fwgen -out ./corpus                 # all six study images + openssl
+//	fwgen -out ./corpus -product DIR-645
+//	fwgen -out ./corpus -scale 0.25     # smaller filler, same vulnerabilities
+//	fwgen -population                   # print the Figure 1 population summary
+//
+// Generation is deterministic: the same flags always produce the same
+// bytes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dtaint"
+	"dtaint/internal/corpus"
+	"dtaint/internal/emul"
+)
+
+func main() {
+	var (
+		out        = flag.String("out", "corpus", "output directory")
+		product    = flag.String("product", "", "generate only this study product")
+		scale      = flag.Float64("scale", 1.0, "corpus scale factor in (0, 1]")
+		population = flag.Bool("population", false, "print the 6,529-image population summary instead")
+	)
+	flag.Parse()
+
+	if err := run(*out, *product, *scale, *population); err != nil {
+		fmt.Fprintln(os.Stderr, "fwgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, product string, scale float64, population bool) error {
+	if population {
+		e := emul.New()
+		fmt.Print(emul.Summarize(e.Study(corpus.Population())))
+		return nil
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	images := dtaint.StudyImages()
+	for _, img := range images {
+		if product != "" && img.Product != product {
+			continue
+		}
+		data, err := dtaint.GenerateStudyFirmware(img.Product, scale)
+		if err != nil {
+			return err
+		}
+		name := filepath.Join(out, img.Product+".fwimg")
+		if err := os.WriteFile(name, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes, %s %s, binary %s)\n",
+			name, len(data), img.Vendor, img.Arch, img.BinaryPath)
+	}
+	if product == "" || product == "openssl" {
+		raw, err := dtaint.GenerateOpenSSL(scale)
+		if err != nil {
+			return err
+		}
+		name := filepath.Join(out, "openssl.fwelf")
+		if err := os.WriteFile(name, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", name, len(raw))
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateOne(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, "DIR-645", 0.05, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "DIR-645.fwimg")); err != nil {
+		t.Fatal(err)
+	}
+	// Only the requested product is generated.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+}
+
+func TestGenerateAll(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, "", 0.02, false); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Six study images + openssl.fwelf.
+	if len(entries) != 7 {
+		t.Fatalf("entries = %d, want 7", len(entries))
+	}
+}
+
+func TestPopulationSummary(t *testing.T) {
+	if err := run("", "", 1, true); err != nil {
+		t.Fatal(err)
+	}
+}

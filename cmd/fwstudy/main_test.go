@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dtaint"
+)
+
+func TestStudyBuiltinPopulation(t *testing.T) {
+	if err := run(""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStudyDirectory(t *testing.T) {
+	dir := t.TempDir()
+	fw, err := dtaint.GenerateStudyFirmware("DIR-645", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "a.fwimg"), fw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "junk.fwimg"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ignored.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStudyErrors(t *testing.T) {
+	if err := run("/no/such/dir"); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+	empty := t.TempDir()
+	if err := run(empty); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}

@@ -1,0 +1,440 @@
+// Package dtaint is a from-scratch reproduction of "DTaint: Detecting the
+// Taint-Style Vulnerability in Embedded Device Firmware" (Cheng et al.,
+// DSN 2018): a static binary analysis that finds taint-style
+// vulnerabilities (buffer overflows, command injections) in Linux-based
+// firmware without source code and without emulation.
+//
+// The analysis pipeline is the paper's: firmware container unpacking,
+// lifting to an architecture-neutral IR, per-function static symbolic
+// analysis producing definition pairs over "base + offset" memory
+// expressions, pointer-alias recognition (Algorithm 1), indirect-call
+// resolution through data-structure layout similarity, bottom-up
+// interprocedural data-flow generation (Algorithm 2, every function
+// analyzed once), and source→sink path checking against sanitization
+// constraints.
+//
+// Quick start:
+//
+//	a := dtaint.New()
+//	report, err := a.AnalyzeFirmware(imageBytes, "/htdocs/cgibin")
+//	if err != nil { ... }
+//	for _, v := range report.Vulnerabilities() {
+//	    fmt.Println(v)
+//	}
+//
+// Because real vendor firmware requires proprietary images, the module
+// also ships a deterministic synthetic-firmware generator mirroring the
+// paper's six study images (see GenerateStudyFirmware), so every
+// experiment in the paper's evaluation can be regenerated offline.
+package dtaint
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"dtaint/internal/cfg"
+	"dtaint/internal/corpus"
+	"dtaint/internal/dataflow"
+	"dtaint/internal/emul"
+	"dtaint/internal/firmware"
+	"dtaint/internal/image"
+	"dtaint/internal/symexec"
+	"dtaint/internal/taint"
+)
+
+// Class is a vulnerability class.
+type Class string
+
+// Vulnerability classes.
+const (
+	ClassBufferOverflow   Class = "buffer-overflow"
+	ClassCommandInjection Class = "command-injection"
+)
+
+// Finding is one (source, path, sink) tuple discovered by the analysis.
+type Finding struct {
+	// Class is the vulnerability class implied by the sink.
+	Class Class
+	// Sink is the sensitive function (Table I) or "loop" for loop copies.
+	Sink string
+	// SinkFunc is the firmware function containing the sink.
+	SinkFunc string
+	// SinkAddr is the sink callsite address.
+	SinkAddr uint32
+	// Source is the attacker-controlled input function.
+	Source string
+	// Path is the call-chain from the sink function up to where the taint
+	// enters, innermost first.
+	Path []string
+	// Sanitized reports whether a constraint on the tainted data was
+	// found; sanitized paths are not vulnerabilities.
+	Sanitized bool
+}
+
+// CWE returns the finding's Common Weakness Enumeration identifier:
+// CWE-121 (stack-based buffer overflow) or CWE-78 (OS command injection),
+// the two weakness classes the paper's constraint expressions check.
+func (f Finding) CWE() string {
+	if f.Class == ClassCommandInjection {
+		return "CWE-78"
+	}
+	return "CWE-121"
+}
+
+// String renders the finding as a one-line report.
+func (f Finding) String() string {
+	state := "VULNERABLE"
+	if f.Sanitized {
+		state = "sanitized"
+	}
+	return fmt.Sprintf("[%s] %s -> %s in %s@%#x (%s) via %s",
+		state, f.Source, f.Sink, f.SinkFunc, f.SinkAddr, f.Class,
+		strings.Join(f.Path, " <- "))
+}
+
+// Report is the result of analyzing one firmware binary.
+type Report struct {
+	// Binary is the analyzed executable's name.
+	Binary string
+	// Arch is the executable's architecture flavor ("ARM" or "MIPS").
+	Arch string
+	// Functions, Blocks, and CallEdges summarize the recovered program
+	// (the Table II columns).
+	Functions int
+	Blocks    int
+	CallEdges int
+	// FunctionsAnalyzed is the size of the analyzed subset.
+	FunctionsAnalyzed int
+	// SinkCount is the number of static sensitive-sink sites.
+	SinkCount int
+	// IndirectResolved counts indirect calls bound by layout similarity.
+	IndirectResolved int
+	// DefPairs is the total number of definition pairs in the generated
+	// data flow (a size measure of the DDG).
+	DefPairs int
+	// Truncated counts functions whose symbolic exploration hit the state
+	// budget (their summaries are partial; raise WithStateBudget if > 0).
+	Truncated int
+	// SSATime and DDGTime are the two analysis phases' durations
+	// (the Table VII columns).
+	SSATime time.Duration
+	DDGTime time.Duration
+	// Findings are all discovered source→sink paths, including sanitized
+	// ones.
+	Findings []Finding
+}
+
+// VulnerablePaths returns the unsanitized findings (the paper's
+// "vulnerable paths").
+func (r *Report) VulnerablePaths() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if !f.Sanitized {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Vulnerabilities deduplicates vulnerable paths by sink location: several
+// paths may reach the same weak sink.
+func (r *Report) Vulnerabilities() []Finding {
+	seen := make(map[string]bool)
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Sanitized {
+			continue
+		}
+		key := fmt.Sprintf("%s|%s|%x|%s", f.SinkFunc, f.Sink, f.SinkAddr, f.Class)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, f)
+	}
+	return out
+}
+
+// Option configures an Analyzer.
+type Option func(*Analyzer)
+
+// WithFunctionFilter restricts the analysis to functions for which keep
+// returns true (the paper restricts the large camera binaries to their
+// network modules).
+func WithFunctionFilter(keep func(name string) bool) Option {
+	return func(a *Analyzer) { a.opts.Filter = keep }
+}
+
+// WithoutAliasAnalysis disables pointer-alias recognition (Algorithm 1) —
+// an ablation switch.
+func WithoutAliasAnalysis() Option {
+	return func(a *Analyzer) { a.opts.DisableAlias = true }
+}
+
+// WithoutStructSimilarity disables indirect-call resolution through
+// data-structure layout similarity — an ablation switch.
+func WithoutStructSimilarity() Option {
+	return func(a *Analyzer) { a.opts.DisableStructSim = true }
+}
+
+// WithStateBudget caps the symbolic states explored per function.
+func WithStateBudget(perBlock, perFunction int) Option {
+	return func(a *Analyzer) {
+		a.opts.Symexec.MaxStatesPerBlock = perBlock
+		a.opts.Symexec.MaxStatesPerFunc = perFunction
+	}
+}
+
+// WithLoopUnrolling replaces the paper's loop-once heuristic with bounded
+// unrolling of iters iterations — an ablation switch.
+func WithLoopUnrolling(iters int) Option {
+	return func(a *Analyzer) {
+		a.opts.Symexec.LoopOnce = false
+		a.opts.Symexec.MaxLoopIters = iters
+	}
+}
+
+// WithParallelism sets the worker count for the per-function analysis
+// phase (0 = GOMAXPROCS).
+func WithParallelism(workers int) Option {
+	return func(a *Analyzer) { a.opts.Parallelism = workers }
+}
+
+// WithBufferSource registers a custom input-source function that fills
+// the buffer passed as argument bufArg with attacker-controlled data
+// (read/recv-style). Vendor firmware commonly has private input wrappers
+// beyond Table I.
+func WithBufferSource(name string, bufArg int) Option {
+	return func(a *Analyzer) {
+		a.opts.ExtraSources = append(a.opts.ExtraSources,
+			taint.SourceSpec{Name: name, BufArg: bufArg})
+	}
+}
+
+// WithReturningSource registers a custom input source that returns a
+// pointer to attacker-controlled data (getenv/nvram_get-style).
+func WithReturningSource(name string) Option {
+	return func(a *Analyzer) {
+		a.opts.ExtraSources = append(a.opts.ExtraSources,
+			taint.SourceSpec{Name: name, BufArg: -1, ViaReturn: true})
+	}
+}
+
+// WithSink registers a custom sensitive sink: dataArg is the argument
+// whose pointed-to content must not be attacker-controlled; lenArg is the
+// copy-bound argument whose constraint counts as sanitization (-1 when
+// the check applies to the data itself).
+func WithSink(name string, class Class, dataArg, lenArg int) Option {
+	return func(a *Analyzer) {
+		var c taint.Class
+		switch class {
+		case ClassCommandInjection:
+			c = taint.ClassCommandInjection
+		default:
+			c = taint.ClassBufferOverflow
+		}
+		a.opts.ExtraSinks = append(a.opts.ExtraSinks,
+			taint.SinkSpec{Name: name, Class: c, DataArg: dataArg, LenArg: lenArg})
+	}
+}
+
+// Analyzer runs the DTaint pipeline. The zero value is not usable; call
+// New.
+type Analyzer struct {
+	opts dataflow.Options
+}
+
+// New returns an Analyzer with the paper's default configuration.
+func New(opts ...Option) *Analyzer {
+	a := &Analyzer{}
+	a.opts.Symexec.LoopOnce = true
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+// Errors returned by the analyzer entry points.
+var (
+	// ErrNoBinary is returned when the requested executable is not in the
+	// firmware's root filesystem.
+	ErrNoBinary = errors.New("dtaint: binary not found in firmware root filesystem")
+)
+
+// AnalyzeFirmware unpacks a firmware image (scanning for the container at
+// any offset, as Binwalk does), extracts its root filesystem, loads the
+// executable at binaryPath, and analyzes it. If binaryPath is empty, the
+// first executable that parses as a program image is analyzed.
+func (a *Analyzer) AnalyzeFirmware(data []byte, binaryPath string) (*Report, error) {
+	_, fs, err := firmware.Unpack(data)
+	if err != nil {
+		return nil, fmt.Errorf("unpack firmware: %w", err)
+	}
+	var raw []byte
+	if binaryPath != "" {
+		f, err := fs.Lookup(binaryPath)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q", ErrNoBinary, binaryPath)
+		}
+		raw = f.Data
+	} else {
+		for _, f := range fs.Files {
+			if _, err := image.Parse(f.Data); err == nil {
+				raw = f.Data
+				break
+			}
+		}
+		if raw == nil {
+			return nil, ErrNoBinary
+		}
+	}
+	return a.AnalyzeExecutable(raw)
+}
+
+// AnalyzeExecutable analyzes a serialized program image (FWELF bytes).
+func (a *Analyzer) AnalyzeExecutable(data []byte) (*Report, error) {
+	bin, err := image.Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("parse executable: %w", err)
+	}
+	return a.analyze(bin)
+}
+
+func (a *Analyzer) analyze(bin *image.Binary) (*Report, error) {
+	prog, err := cfg.Build(bin)
+	if err != nil {
+		return nil, fmt.Errorf("recover CFG: %w", err)
+	}
+	res, err := dataflow.Analyze(prog, a.opts)
+	if err != nil {
+		return nil, fmt.Errorf("analyze: %w", err)
+	}
+	st := prog.Stats()
+	rep := &Report{
+		Binary:            bin.Name,
+		Arch:              bin.Arch.String(),
+		Functions:         st.Functions,
+		Blocks:            st.Blocks,
+		CallEdges:         st.CallGraphEdges,
+		FunctionsAnalyzed: res.FunctionsAnalyzed,
+		SinkCount:         res.SinkCount,
+		IndirectResolved:  len(res.Resolutions),
+		DefPairs:          res.DefPairCount,
+		Truncated:         res.Truncated,
+		SSATime:           res.SSATime,
+		DDGTime:           res.DDGTime,
+	}
+	for _, f := range res.Findings {
+		rep.Findings = append(rep.Findings, publicFinding(f))
+	}
+	return rep, nil
+}
+
+func publicFinding(f taint.Finding) Finding {
+	out := Finding{
+		Class:     Class(f.Class.String()),
+		Sink:      f.Sink,
+		SinkFunc:  f.SinkFunc,
+		SinkAddr:  f.SinkAddr,
+		Source:    f.Source,
+		Sanitized: f.Sanitized,
+	}
+	for _, s := range f.Path {
+		out.Path = append(out.Path, s.String())
+	}
+	return out
+}
+
+// Sources returns the attacker-controlled input functions of Table I.
+func Sources() []string { return append([]string(nil), taint.Sources...) }
+
+// Sinks returns the security-sensitive sink functions of Table I.
+func Sinks() []string { return append([]string(nil), taint.Sinks...) }
+
+// ---------------------------------------------------------------------------
+// Synthetic corpus access (the substitute for proprietary vendor firmware).
+
+// StudyImage identifies one of the paper's six study images.
+type StudyImage struct {
+	Vendor     string
+	Product    string
+	Version    string
+	Binary     string
+	BinaryPath string
+	Arch       string
+}
+
+// StudyImages lists the six firmware images of the paper's Table II.
+func StudyImages() []StudyImage {
+	var out []StudyImage
+	for _, s := range corpus.StudyImages() {
+		out = append(out, StudyImage{
+			Vendor:     s.Vendor,
+			Product:    s.Product,
+			Version:    s.Version,
+			Binary:     s.BinaryName,
+			BinaryPath: corpus.BinaryPathFor(s),
+			Arch:       s.Arch.String(),
+		})
+	}
+	return out
+}
+
+// GenerateStudyFirmware deterministically generates the named study image
+// as a packed firmware container. scale in (0, 1] shrinks the filler code
+// (1.0 reproduces the paper's binary sizes; the planted vulnerabilities
+// are present at every scale).
+func GenerateStudyFirmware(product string, scale float64) ([]byte, error) {
+	spec, ok := corpus.SpecByProduct(product)
+	if !ok {
+		return nil, fmt.Errorf("dtaint: unknown study product %q", product)
+	}
+	data, _, err := corpus.BuildFirmware(spec, scale)
+	return data, err
+}
+
+// StudyModuleFilter returns the function filter the paper uses for the
+// named product (non-nil only for the two large camera binaries, which
+// are restricted to their network modules).
+func StudyModuleFilter(product string) func(string) bool {
+	spec, ok := corpus.SpecByProduct(product)
+	if !ok {
+		return nil
+	}
+	return corpus.ModuleFilter(spec)
+}
+
+// GenerateOpenSSL generates the OpenSSL-like executable with the
+// Heartbleed weakness (Section II-B) as serialized program-image bytes.
+func GenerateOpenSSL(scale float64) ([]byte, error) {
+	bin, err := corpus.OpenSSL(scale)
+	if err != nil {
+		return nil, err
+	}
+	return bin.Marshal()
+}
+
+// EmulationYearStat is one histogram bar of the paper's Figure 1.
+type EmulationYearStat struct {
+	Year     int
+	Total    int
+	Emulable int
+}
+
+// EmulationStudy reproduces the Section II-A experiment: it boots the
+// 6,529-image synthetic population in a FIRMADYNE-like emulation model
+// and reports per-release-year success counts (Figure 1).
+func EmulationStudy() []EmulationYearStat {
+	e := emul.New()
+	var out []EmulationYearStat
+	for _, st := range e.Study(corpus.Population()) {
+		out = append(out, EmulationYearStat{Year: st.Year, Total: st.Total, Emulable: st.Success})
+	}
+	return out
+}
+
+// compile-time interface checks for internal plumbing this package relies
+// on staying stable.
+var _ symexec.Oracle = (*taint.Tracker)(nil)

@@ -1,0 +1,75 @@
+// Cameraaudit: analyze the two large IP-camera binaries the way
+// Section V-A does — restricted to their network-protocol modules — and
+// demonstrate why the Hikvision zero-days need the paper's two headline
+// analyses: pointer aliasing (Algorithm 1) and data-structure layout
+// similarity.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dtaint"
+)
+
+func main() {
+	// Uniview: RTSP module only (the paper manually extracts 430 of the
+	// 6,714 functions).
+	auditCamera("IPC_6201", "/usr/bin/mwareserver")
+	fmt.Println()
+
+	// Hikvision: RTSP/HTTP/ONVIF/ISAPI modules (3,233 of 14,035
+	// functions), then the ablation study.
+	auditCamera("DS-2CD6233F", "/usr/bin/centaurus")
+	fmt.Println()
+	ablate("DS-2CD6233F", "/usr/bin/centaurus")
+}
+
+func auditCamera(product, binPath string) {
+	fw, err := dtaint.GenerateStudyFirmware(product, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	analyzer := dtaint.New(dtaint.WithFunctionFilter(dtaint.StudyModuleFilter(product)))
+	rep, err := analyzer.AnalyzeFirmware(fw, binPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s (%s): %d functions total, %d in the network module\n",
+		product, rep.Arch, rep.Functions, rep.FunctionsAnalyzed)
+	fmt.Printf("  %d sink sites, %d indirect calls resolved by layout similarity\n",
+		rep.SinkCount, rep.IndirectResolved)
+	for _, v := range rep.Vulnerabilities() {
+		fmt.Println("  ", v)
+	}
+	fmt.Printf("  %d vulnerabilities over %d paths in %v\n",
+		len(rep.Vulnerabilities()), len(rep.VulnerablePaths()),
+		(rep.SSATime + rep.DDGTime).Round(1e6))
+}
+
+func ablate(product, binPath string) {
+	fw, err := dtaint.GenerateStudyFirmware(product, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	filter := dtaint.StudyModuleFilter(product)
+	configs := []struct {
+		name string
+		opts []dtaint.Option
+	}{
+		{"full pipeline", nil},
+		{"without pointer aliasing", []dtaint.Option{dtaint.WithoutAliasAnalysis()}},
+		{"without struct similarity", []dtaint.Option{dtaint.WithoutStructSimilarity()}},
+	}
+	fmt.Println("Hikvision ablations (the paper: three URL-parameter overflows \"are")
+	fmt.Println("associated with pointer alias and the similarity of data structure\"):")
+	for _, c := range configs {
+		opts := append([]dtaint.Option{dtaint.WithFunctionFilter(filter)}, c.opts...)
+		rep, err := dtaint.New(opts...).AnalyzeFirmware(fw, binPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-27s %d vulnerabilities, %d paths\n",
+			c.name+":", len(rep.Vulnerabilities()), len(rep.VulnerablePaths()))
+	}
+}

@@ -1,0 +1,63 @@
+// Heartbleed: reproduce the paper's Section II-B motivating example.
+//
+// The OpenSSL-like binary contains the inlined n2s macro (two byte loads
+// assembling a 16-bit length from network data) inside
+// tls1_process_heartbeat, with the record buffer filled by recv() two
+// functions away in ssl3_read_n. At the binary level the source macro is
+// invisible — the paper notes state-of-the-art static taint analyses miss
+// it — but the interprocedural data-flow pass connects
+// deref(deref(s+0x58)) across the call chain and flags the memcpy whose
+// length is attacker-controlled and unchecked.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"dtaint"
+)
+
+func main() {
+	raw, err := dtaint.GenerateOpenSSL(0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("openssl-like binary: %d bytes\n\n", len(raw))
+
+	report, err := dtaint.New().AnalyzeExecutable(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("analyzed %d functions in %v\n\n",
+		report.FunctionsAnalyzed, report.SSATime+report.DDGTime)
+
+	var hits []dtaint.Finding
+	for _, v := range report.Vulnerabilities() {
+		if v.SinkFunc == "tls1_process_heartbeat" {
+			hits = append(hits, v)
+		}
+	}
+	if len(hits) == 0 {
+		log.Fatal("Heartbleed not detected — reproduction broken")
+	}
+	fmt.Println("Heartbleed detected:")
+	for _, v := range hits {
+		fmt.Println(" ", v)
+	}
+	fmt.Println()
+	fmt.Println("data path (paper Figure 3):")
+	fmt.Println("  ssl3_read_bytes -> ssl3_read_n: recv() taints deref(deref(s+0x58))")
+	fmt.Println("  tls1_process_heartbeat: n2s (two LDRB + ORR/LSL) reads the tainted length")
+	fmt.Println("  memcpy(bp, pl, payload) with no `payload <= len(p1)` constraint")
+
+	// Counter-check: other memcpy sites in the filler are not reported.
+	benign := 0
+	for _, f := range report.Findings {
+		if f.Sink == "memcpy" && !strings.Contains(f.SinkFunc, "heartbeat") && !f.Sanitized {
+			benign++
+		}
+	}
+	fmt.Printf("\nfalse memcpy reports outside the heartbeat handler: %d\n", benign)
+}

@@ -1,0 +1,3 @@
+module dtaint
+
+go 1.22

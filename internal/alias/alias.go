@@ -1,0 +1,133 @@
+// Package alias implements Algorithm 1 of the paper: pointer-aliasing
+// recognition over a function's definition pairs (Section III-C).
+//
+// Two alias classes matter in binary code. Assignment aliases
+// (`int *p = x; q = p`) collapse automatically under symbolic analysis —
+// both names evaluate to the same expression. Stored-pointer aliases
+// (`int *p = x; *(q+4) = p`) do not: `*p` and `*(*(q+4))` are distinct
+// expressions. Algorithm 1 recognizes definitions of the shape
+//
+//	deref(base1 + offset1) = base2 + offset2
+//
+// and rewrites every definition pair that dereferences base2 into an
+// equivalent pair expressed through deref(base1 + offset1), exposing the
+// data flows the aliasing would otherwise hide.
+package alias
+
+import (
+	"dtaint/internal/expr"
+	"dtaint/internal/symexec"
+)
+
+// aliasEntry is one (d, base, offset) row of the ALIAS set: the memory
+// location d holds the pointer value base+offset.
+type aliasEntry struct {
+	d    *expr.Expr
+	base *expr.Expr
+	off  int64
+}
+
+// dopEntry is one (d, u, ptrs) row of the DOP set: definition d = u whose
+// destination dereferences the base pointers ptrs.
+type dopEntry struct {
+	d    *expr.Expr
+	u    *expr.Expr
+	ptrs []*expr.Expr
+	size int
+	addr uint32
+}
+
+// MaxNewPairs bounds the number of synthesized alias pairs per function,
+// guarding against pathological alias webs.
+const MaxNewPairs = 512
+
+// Rewrite returns the input definition pairs extended with the alias
+// variants of Algorithm 1. types carries the function's inferred types
+// (used for the "u is a pointer" test). The input slice is not modified.
+func Rewrite(dps []symexec.DefPair, types map[string]expr.Type) []symexec.DefPair {
+	var aliases []aliasEntry
+	var dop []dopEntry
+
+	// Lines 3-12: collect ALIAS and DOP.
+	for _, p := range dps {
+		if p.D == nil || p.U == nil || !p.D.IsDeref() {
+			continue
+		}
+		if isPointerValue(p.U, types) {
+			if base, off, ok := p.U.BasePlusOffset(); ok {
+				if _, isConst := base.ConstVal(); !isConst {
+					aliases = append(aliases, aliasEntry{d: p.D, base: base, off: off})
+				}
+			}
+		}
+		ptrs := p.D.BasePointers()
+		if len(ptrs) > 0 {
+			dop = append(dop, dopEntry{d: p.D, u: p.U, ptrs: ptrs, size: p.Size, addr: p.Addr})
+		}
+	}
+
+	out := append([]symexec.DefPair(nil), dps...)
+	seen := make(map[string]bool, len(out))
+	for _, p := range out {
+		seen[pairKey(p.D, p.U)] = true
+	}
+
+	// Lines 13-22: synthesize new definitions through each alias.
+	added := 0
+	for _, de := range dop {
+		for _, ptr := range de.ptrs {
+			for _, ae := range aliases {
+				if !ae.base.Equal(ptr) {
+					continue
+				}
+				// d.Replace(p, alias - o)
+				replacement := expr.Bin(expr.OpSub, ae.d, expr.Const(ae.off))
+				if replacement.Equal(ptr) {
+					continue // degenerate self-alias
+				}
+				newD := de.d.Subst(ptr, replacement)
+				if newD.Equal(de.d) {
+					continue
+				}
+				k := pairKey(newD, de.u)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				out = append(out, symexec.DefPair{D: newD, U: de.u, Addr: de.addr, Size: de.size})
+				added++
+				if added >= MaxNewPairs {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+func pairKey(d, u *expr.Expr) string { return d.Key() + "=" + u.Key() }
+
+// isPointerValue decides whether value u holds a pointer: from the type
+// map, or structurally (heap identities, the stack pointer, derefs of
+// pointer-typed locations, and base+offset forms over those).
+func isPointerValue(u *expr.Expr, types map[string]expr.Type) bool {
+	if types[u.Key()].IsPointer() {
+		return true
+	}
+	base, _, ok := u.BasePlusOffset()
+	if !ok {
+		return false
+	}
+	if name, isSym := base.SymName(); isSym {
+		if expr.IsHeapName(name) || name == expr.StackSym {
+			return true
+		}
+		if types[name].IsPointer() {
+			return true
+		}
+	}
+	if base.IsDeref() && types[base.Key()].IsPointer() {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,189 @@
+package alias
+
+import (
+	"testing"
+
+	"dtaint/internal/expr"
+	"dtaint/internal/symexec"
+)
+
+func dp(d, u *expr.Expr) symexec.DefPair { return symexec.DefPair{D: d, U: u} }
+
+func hasPair(dps []symexec.DefPair, dKey, uKey string) bool {
+	for _, p := range dps {
+		if p.D.Key() == dKey && p.U.Key() == uKey {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStoredPointerAlias(t *testing.T) {
+	// The paper's example: int *p = x; *(q+4) = p. After `deref(q+4) = p`
+	// the pair `deref(p) = v` must gain the variant `deref(deref(q+4)) = v`.
+	p := expr.Sym("p")
+	q := expr.Sym("q")
+	v := expr.Const(7)
+	types := map[string]expr.Type{p.Key(): expr.TypeIntPtr}
+
+	in := []symexec.DefPair{
+		dp(expr.Deref(expr.Add(q, 4)), p), // *(q+4) = p
+		dp(expr.Deref(p), v),              // *p = 7
+	}
+	out := Rewrite(in, types)
+	want := expr.Deref(expr.Deref(expr.Add(q, 4))).Key()
+	if !hasPair(out, want, v.Key()) {
+		t.Fatalf("alias variant %s = %s missing; got %d pairs", want, v, len(out))
+	}
+}
+
+func TestAliasWithOffsets(t *testing.T) {
+	// deref(q+4) = p + 8; then deref(p+12) = v gains
+	// deref((deref(q+4) - 8) + 12) = deref(deref(q+4)+4) = v.
+	p := expr.Sym("p")
+	q := expr.Sym("q")
+	v := expr.Sym("val")
+	types := map[string]expr.Type{p.Key(): expr.TypeIntPtr}
+
+	in := []symexec.DefPair{
+		dp(expr.Deref(expr.Add(q, 4)), expr.Add(p, 8)),
+		dp(expr.Deref(expr.Add(p, 12)), v),
+	}
+	out := Rewrite(in, types)
+	want := expr.Deref(expr.Add(expr.Deref(expr.Add(q, 4)), 4)).Key()
+	if !hasPair(out, want, v.Key()) {
+		keys := make([]string, 0, len(out))
+		for _, o := range out {
+			keys = append(keys, o.D.Key()+"="+o.U.Key())
+		}
+		t.Fatalf("offset alias missing %s; got %v", want, keys)
+	}
+}
+
+func TestMultiBasePointers(t *testing.T) {
+	// The paper's multi-base example: deref(deref(arg0+0x58)+0xEC) has
+	// base pointers arg0 and deref(arg0+0x58); an alias for the inner
+	// base must rewrite the outer variable.
+	arg0 := expr.Arg(0)
+	inner := expr.Deref(expr.Add(arg0, 0x58))
+	outer := expr.Deref(expr.Add(inner, 0xEC))
+	g := expr.Sym("g")
+	v := expr.Sym("v")
+	types := map[string]expr.Type{inner.Key(): expr.TypePtr}
+
+	in := []symexec.DefPair{
+		dp(expr.Deref(g), inner), // *g = deref(arg0+0x58): alias of the inner base
+		dp(outer, v),
+	}
+	out := Rewrite(in, types)
+	// mem[g] holds the inner pointer value, so the field is reachable as
+	// deref(deref(g) + 0xEC).
+	want := expr.Deref(expr.Add(expr.Deref(g), 0xEC)).Key()
+	if !hasPair(out, want, v.Key()) {
+		keys := make([]string, 0, len(out))
+		for _, o := range out {
+			keys = append(keys, o.D.Key())
+		}
+		t.Fatalf("multi-base alias missing %s; destinations: %v", want, keys)
+	}
+}
+
+func TestNonPointerValueIgnored(t *testing.T) {
+	q := expr.Sym("q")
+	n := expr.Sym("n") // not typed as a pointer
+	in := []symexec.DefPair{
+		dp(expr.Deref(expr.Add(q, 4)), n),
+		dp(expr.Deref(n), expr.Const(1)),
+	}
+	out := Rewrite(in, nil)
+	if len(out) != len(in) {
+		t.Fatalf("non-pointer store produced aliases: %d pairs", len(out))
+	}
+}
+
+func TestHeapPointerIsStructurallyPointer(t *testing.T) {
+	// Heap identity symbols count as pointers without a type entry.
+	h := expr.Sym(expr.HeapName("site1"))
+	q := expr.Sym("q")
+	v := expr.Const(3)
+	in := []symexec.DefPair{
+		dp(expr.Deref(q), h),
+		dp(expr.Deref(h), v),
+	}
+	out := Rewrite(in, nil)
+	want := expr.Deref(expr.Deref(q)).Key()
+	if !hasPair(out, want, v.Key()) {
+		t.Fatal("heap pointer alias not recognized")
+	}
+}
+
+func TestIdempotentOnRewrittenSet(t *testing.T) {
+	p := expr.Sym("p")
+	q := expr.Sym("q")
+	types := map[string]expr.Type{p.Key(): expr.TypeIntPtr}
+	in := []symexec.DefPair{
+		dp(expr.Deref(expr.Add(q, 4)), p),
+		dp(expr.Deref(p), expr.Const(7)),
+	}
+	once := Rewrite(in, types)
+	twice := Rewrite(once, types)
+	// A second pass may add derived pairs but must not duplicate existing
+	// ones.
+	seen := map[string]int{}
+	for _, o := range twice {
+		seen[o.D.Key()+"="+o.U.Key()]++
+	}
+	for k, n := range seen {
+		if n > 1 {
+			t.Fatalf("duplicate pair %s after second rewrite", k)
+		}
+	}
+}
+
+func TestInputNotMutated(t *testing.T) {
+	p := expr.Sym("p")
+	q := expr.Sym("q")
+	types := map[string]expr.Type{p.Key(): expr.TypeIntPtr}
+	in := []symexec.DefPair{
+		dp(expr.Deref(expr.Add(q, 4)), p),
+		dp(expr.Deref(p), expr.Const(7)),
+	}
+	out := Rewrite(in, types)
+	if len(in) != 2 {
+		t.Fatal("input length changed")
+	}
+	if len(out) <= 2 {
+		t.Fatal("no alias pair added")
+	}
+}
+
+func TestBlowupBounded(t *testing.T) {
+	// Many aliases of the same pointer must not explode quadratically
+	// past the cap.
+	p := expr.Sym("p")
+	types := map[string]expr.Type{p.Key(): expr.TypeIntPtr}
+	var in []symexec.DefPair
+	for i := 0; i < 100; i++ {
+		q := expr.Sym("q" + string(rune('a'+i%26)) + string(rune('a'+i/26)))
+		in = append(in, dp(expr.Deref(q), p))
+	}
+	for i := 0; i < 100; i++ {
+		in = append(in, dp(expr.Deref(expr.Add(p, int64(i*4))), expr.Const(int64(i))))
+	}
+	out := Rewrite(in, types)
+	if len(out) > len(in)+MaxNewPairs {
+		t.Fatalf("alias blowup: %d pairs", len(out))
+	}
+}
+
+func TestConstantBaseIgnored(t *testing.T) {
+	// Absolute-address pointers (constant bases) are not alias bases.
+	q := expr.Sym("q")
+	in := []symexec.DefPair{
+		dp(expr.Deref(q), expr.Const(0x670B0)),
+	}
+	out := Rewrite(in, map[string]expr.Type{expr.Const(0x670B0).Key(): expr.TypeIntPtr})
+	if len(out) != 1 {
+		t.Fatalf("constant alias created: %d pairs", len(out))
+	}
+}

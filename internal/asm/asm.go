@@ -1,0 +1,589 @@
+// Package asm implements a two-pass assembler from a small textual
+// assembly language to FWELF binaries (internal/image).
+//
+// The corpus generator and the tests author firmware programs in this
+// language; the assembler is the substitute for a vendor's cross-compiler
+// toolchain. Syntax:
+//
+//	.arch arm                 ; or mips
+//	.import recv              ; external C library function
+//	.data cmd "reboot &"      ; NUL-terminated rodata string
+//	.func handle_request
+//	  SUB SP, SP, #0x118
+//	  LDR R1, [R0, #0x4C]
+//	  MOV R2, =cmd            ; address of a rodata symbol
+//	  CMP R1, #64
+//	  BGE over
+//	  BL memcpy
+//	over:
+//	  BX LR
+//	.endfunc
+//
+// Labels are local to the enclosing function; branch operands resolve to a
+// local label first, then to a function name, then to an import.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dtaint/internal/image"
+	"dtaint/internal/isa"
+)
+
+// Default section layout.
+const (
+	DefaultTextBase   uint32 = 0x0001_0000
+	DefaultRodataBase uint32 = 0x0800_0000
+)
+
+// Error reports an assembly failure with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg)
+}
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+type srcInst struct {
+	line   int
+	fn     string // enclosing function
+	addr   uint32
+	inst   isa.Inst
+	refOp  string // unresolved branch/call operand ("" when resolved)
+	refImm string // unresolved =sym operand
+	refFn  string // unresolved &func operand (function-address immediate)
+}
+
+// Assemble translates a program to a binary named name.
+func Assemble(name, src string) (*image.Binary, error) {
+	a := &assembler{
+		name:     name,
+		arch:     isa.ArchARM,
+		textBase: DefaultTextBase,
+		labels:   make(map[string]uint32),
+		imports:  make(map[string]uint32),
+		dataSyms: make(map[string]uint32),
+	}
+	if err := a.pass1(src); err != nil {
+		return nil, err
+	}
+	return a.pass2()
+}
+
+type assembler struct {
+	name     string
+	arch     isa.Arch
+	textBase uint32
+
+	pc       uint32
+	curFunc  string
+	funStart uint32
+
+	insts    []srcInst
+	funcs    []image.Symbol
+	imports  map[string]uint32
+	impOrder []string
+	labels   map[string]uint32 // "fn\x00label" -> addr; "fn" -> addr
+	rodata   []byte
+	dataSyms map[string]uint32
+	data     []image.DataSym
+	entry    string
+}
+
+func (a *assembler) pass1(src string) error {
+	a.pc = a.textBase
+	lines := strings.Split(src, "\n")
+	for i, raw := range lines {
+		lineNo := i + 1
+		line := raw
+		if idx := strings.IndexByte(line, ';'); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "."):
+			if err := a.directive(lineNo, line); err != nil {
+				return err
+			}
+		case strings.HasSuffix(line, ":"):
+			label := strings.TrimSuffix(line, ":")
+			if !isIdent(label) {
+				return errf(lineNo, "invalid label %q", label)
+			}
+			if a.curFunc == "" {
+				return errf(lineNo, "label %q outside .func", label)
+			}
+			key := a.curFunc + "\x00" + label
+			if _, dup := a.labels[key]; dup {
+				return errf(lineNo, "duplicate label %q in %s", label, a.curFunc)
+			}
+			a.labels[key] = a.pc
+		default:
+			if a.curFunc == "" {
+				return errf(lineNo, "instruction outside .func")
+			}
+			in, refOp, refImm, refFn, err := parseInst(lineNo, line)
+			if err != nil {
+				return err
+			}
+			a.insts = append(a.insts, srcInst{
+				line: lineNo, fn: a.curFunc, addr: a.pc,
+				inst: in, refOp: refOp, refImm: refImm, refFn: refFn,
+			})
+			a.pc += isa.InstSize
+		}
+	}
+	if a.curFunc != "" {
+		return errf(len(lines), "missing .endfunc for %q", a.curFunc)
+	}
+	return nil
+}
+
+func (a *assembler) directive(line int, s string) error {
+	fields := splitFields(s)
+	switch fields[0] {
+	case ".arch":
+		if len(fields) != 2 {
+			return errf(line, ".arch wants one operand")
+		}
+		if len(a.insts) > 0 || len(a.funcs) > 0 {
+			return errf(line, ".arch must precede all code (one architecture per binary)")
+		}
+		switch strings.ToLower(fields[1]) {
+		case "arm":
+			a.arch = isa.ArchARM
+		case "mips":
+			a.arch = isa.ArchMIPS
+		default:
+			return errf(line, "unknown arch %q", fields[1])
+		}
+	case ".import":
+		if len(fields) != 2 || !isIdent(fields[1]) {
+			return errf(line, ".import wants a name")
+		}
+		if _, dup := a.imports[fields[1]]; !dup {
+			addr := image.ImportBase + uint32(len(a.impOrder))*isa.InstSize
+			a.imports[fields[1]] = addr
+			a.impOrder = append(a.impOrder, fields[1])
+		}
+	case ".entry":
+		if len(fields) != 2 {
+			return errf(line, ".entry wants a function name")
+		}
+		a.entry = fields[1]
+	case ".data":
+		// .data name "string"
+		rest := strings.TrimSpace(strings.TrimPrefix(s, ".data"))
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return errf(line, ".data wants a name and a quoted string")
+		}
+		dname := rest[:sp]
+		if !isIdent(dname) {
+			return errf(line, "invalid data symbol %q", dname)
+		}
+		lit := strings.TrimSpace(rest[sp:])
+		val, err := strconv.Unquote(lit)
+		if err != nil {
+			return errf(line, "invalid string literal %s", lit)
+		}
+		if _, dup := a.dataSyms[dname]; dup {
+			return errf(line, "duplicate data symbol %q", dname)
+		}
+		addr := DefaultRodataBase + uint32(len(a.rodata))
+		a.dataSyms[dname] = addr
+		a.data = append(a.data, image.DataSym{Name: dname, Addr: addr, Size: uint32(len(val) + 1)})
+		a.rodata = append(a.rodata, val...)
+		a.rodata = append(a.rodata, 0)
+	case ".func":
+		if len(fields) != 2 || !isIdent(fields[1]) {
+			return errf(line, ".func wants a name")
+		}
+		if a.curFunc != "" {
+			return errf(line, "nested .func (missing .endfunc for %q?)", a.curFunc)
+		}
+		if _, dup := a.labels[fields[1]]; dup {
+			return errf(line, "duplicate function %q", fields[1])
+		}
+		a.curFunc = fields[1]
+		a.funStart = a.pc
+		a.labels[fields[1]] = a.pc
+	case ".endfunc":
+		if a.curFunc == "" {
+			return errf(line, ".endfunc without .func")
+		}
+		a.funcs = append(a.funcs, image.Symbol{
+			Name: a.curFunc,
+			Addr: a.funStart,
+			Size: a.pc - a.funStart,
+		})
+		a.curFunc = ""
+	default:
+		return errf(line, "unknown directive %q", fields[0])
+	}
+	return nil
+}
+
+func (a *assembler) pass2() (*image.Binary, error) {
+	text := make([]byte, 0, len(a.insts)*isa.InstSize)
+	for _, si := range a.insts {
+		in := si.inst
+		if si.refOp != "" {
+			addr, err := a.resolve(si.fn, si.refOp)
+			if err != nil {
+				return nil, errf(si.line, "%v", err)
+			}
+			in.Target = addr
+		}
+		if si.refImm != "" {
+			addr, ok := a.dataSyms[si.refImm]
+			if !ok {
+				return nil, errf(si.line, "unknown data symbol %q", si.refImm)
+			}
+			in.Imm = int32(addr)
+			in.HasImm = true
+		}
+		if si.refFn != "" {
+			addr, ok := a.labels[si.refFn]
+			if !ok {
+				return nil, errf(si.line, "unknown function %q in &-operand", si.refFn)
+			}
+			in.Imm = int32(addr)
+			in.HasImm = true
+		}
+		enc, err := isa.Encode(a.arch, in)
+		if err != nil {
+			return nil, errf(si.line, "encode %s: %v", in, err)
+		}
+		text = append(text, enc[:]...)
+	}
+	b := &image.Binary{
+		Name:       a.name,
+		Arch:       a.arch,
+		TextBase:   a.textBase,
+		Text:       text,
+		RodataBase: DefaultRodataBase,
+		Rodata:     a.rodata,
+		Funcs:      a.funcs,
+		Data:       a.data,
+	}
+	for _, name := range a.impOrder {
+		b.Imports = append(b.Imports, image.Import{Name: name, Addr: a.imports[name]})
+	}
+	if a.entry != "" {
+		if addr, ok := a.labels[a.entry]; ok {
+			b.Entry = addr
+		} else {
+			return nil, fmt.Errorf("asm: entry function %q not defined", a.entry)
+		}
+	} else if len(a.funcs) > 0 {
+		b.Entry = a.funcs[0].Addr
+	}
+	b.SortTables()
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func (a *assembler) resolve(fn, ref string) (uint32, error) {
+	if addr, ok := a.labels[fn+"\x00"+ref]; ok {
+		return addr, nil
+	}
+	if addr, ok := a.labels[ref]; ok {
+		return addr, nil
+	}
+	if addr, ok := a.imports[ref]; ok {
+		return addr, nil
+	}
+	return 0, fmt.Errorf("undefined reference %q (not a label, function, or import)", ref)
+}
+
+// parseInst parses one instruction line. refOp is a pending branch/call
+// target name; refImm is a pending =sym operand; refFn is a pending
+// &func operand (the function's address as an immediate).
+func parseInst(line int, s string) (in isa.Inst, refOp, refImm, refFn string, err error) {
+	mn, rest := splitMnemonic(s)
+	ops, err := splitOperands(line, rest)
+	if err != nil {
+		return in, "", "", "", err
+	}
+	upper := strings.ToUpper(mn)
+
+	// Conditional branches: BEQ, BNE, BLT, BGE, BGT, BLE.
+	if cond, ok := branchCond(upper); ok {
+		if len(ops) != 1 {
+			return in, "", "", "", errf(line, "%s wants one target", upper)
+		}
+		return isa.Inst{Op: isa.OpB, Cond: cond}, ops[0], "", "", nil
+	}
+
+	switch upper {
+	case "NOP":
+		return isa.Inst{Op: isa.OpNOP}, "", "", "", nil
+	case "BX":
+		if len(ops) != 1 || strings.ToUpper(ops[0]) != "LR" {
+			return in, "", "", "", errf(line, "only `BX LR` is supported")
+		}
+		return isa.Inst{Op: isa.OpBX}, "", "", "", nil
+	case "B":
+		if len(ops) != 1 {
+			return in, "", "", "", errf(line, "B wants one target")
+		}
+		return isa.Inst{Op: isa.OpB}, ops[0], "", "", nil
+	case "BL":
+		if len(ops) != 1 {
+			return in, "", "", "", errf(line, "BL wants one target")
+		}
+		return isa.Inst{Op: isa.OpBL}, ops[0], "", "", nil
+	case "BLX":
+		if len(ops) != 1 {
+			return in, "", "", "", errf(line, "BLX wants one register")
+		}
+		r, ok := parseReg(ops[0])
+		if !ok {
+			return in, "", "", "", errf(line, "BLX wants a register, got %q", ops[0])
+		}
+		return isa.Inst{Op: isa.OpBLX, Rm: r}, "", "", "", nil
+	case "MOV":
+		if len(ops) != 2 {
+			return in, "", "", "", errf(line, "MOV wants two operands")
+		}
+		rd, ok := parseReg(ops[0])
+		if !ok {
+			return in, "", "", "", errf(line, "bad destination %q", ops[0])
+		}
+		in = isa.Inst{Op: isa.OpMOV, Rd: rd}
+		return finishSrcOperand(line, in, ops[1])
+	case "CMP":
+		if len(ops) != 2 {
+			return in, "", "", "", errf(line, "CMP wants two operands")
+		}
+		rd, ok := parseReg(ops[0])
+		if !ok {
+			return in, "", "", "", errf(line, "bad register %q", ops[0])
+		}
+		in = isa.Inst{Op: isa.OpCMP, Rd: rd}
+		return finishSrcOperand(line, in, ops[1])
+	case "LDR", "LDRB", "STR", "STRB":
+		op := map[string]isa.Opcode{
+			"LDR": isa.OpLDR, "LDRB": isa.OpLDRB,
+			"STR": isa.OpSTR, "STRB": isa.OpSTRB,
+		}[upper]
+		if len(ops) != 2 {
+			return in, "", "", "", errf(line, "%s wants a register and a memory operand", upper)
+		}
+		rd, ok := parseReg(ops[0])
+		if !ok {
+			return in, "", "", "", errf(line, "bad register %q", ops[0])
+		}
+		rn, off, err := parseMem(line, ops[1])
+		if err != nil {
+			return in, "", "", "", err
+		}
+		return isa.Inst{Op: op, Rd: rd, Rn: rn, Imm: off, HasImm: true}, "", "", "", nil
+	case "ADD", "SUB", "MUL", "AND", "ORR", "EOR", "LSL", "LSR":
+		op := map[string]isa.Opcode{
+			"ADD": isa.OpADD, "SUB": isa.OpSUB, "MUL": isa.OpMUL,
+			"AND": isa.OpAND, "ORR": isa.OpORR, "EOR": isa.OpEOR,
+			"LSL": isa.OpLSL, "LSR": isa.OpLSR,
+		}[upper]
+		if len(ops) != 3 {
+			return in, "", "", "", errf(line, "%s wants three operands", upper)
+		}
+		rd, ok := parseReg(ops[0])
+		if !ok {
+			return in, "", "", "", errf(line, "bad destination %q", ops[0])
+		}
+		rn, ok := parseReg(ops[1])
+		if !ok {
+			return in, "", "", "", errf(line, "bad source %q", ops[1])
+		}
+		in = isa.Inst{Op: op, Rd: rd, Rn: rn}
+		return finishSrcOperand(line, in, ops[2])
+	}
+	return in, "", "", "", errf(line, "unknown mnemonic %q", mn)
+}
+
+// finishSrcOperand fills the final operand, which may be a register, an
+// immediate, a =sym rodata reference, or a &func address reference.
+func finishSrcOperand(line int, in isa.Inst, op string) (isa.Inst, string, string, string, error) {
+	if r, ok := parseReg(op); ok {
+		in.Rm = r
+		return in, "", "", "", nil
+	}
+	if strings.HasPrefix(op, "#") {
+		v, err := parseImm(op[1:])
+		if err != nil {
+			return in, "", "", "", errf(line, "bad immediate %q", op)
+		}
+		in.Imm = v
+		in.HasImm = true
+		return in, "", "", "", nil
+	}
+	if strings.HasPrefix(op, "=") {
+		name := op[1:]
+		if !isIdent(name) {
+			return in, "", "", "", errf(line, "bad data reference %q", op)
+		}
+		return in, "", name, "", nil
+	}
+	if strings.HasPrefix(op, "&") {
+		name := op[1:]
+		if !isIdent(name) {
+			return in, "", "", "", errf(line, "bad function reference %q", op)
+		}
+		return in, "", "", name, nil
+	}
+	return in, "", "", "", errf(line, "bad operand %q", op)
+}
+
+func branchCond(mn string) (isa.Cond, bool) {
+	switch mn {
+	case "BEQ":
+		return isa.CondEQ, true
+	case "BNE":
+		return isa.CondNE, true
+	case "BLT":
+		return isa.CondLT, true
+	case "BGE":
+		return isa.CondGE, true
+	case "BGT":
+		return isa.CondGT, true
+	case "BLE":
+		return isa.CondLE, true
+	}
+	return 0, false
+}
+
+func parseReg(s string) (isa.Reg, bool) {
+	switch strings.ToUpper(s) {
+	case "SP":
+		return isa.SP, true
+	case "LR":
+		return isa.LR, true
+	case "PC":
+		return isa.PC, true
+	}
+	u := strings.ToUpper(s)
+	if len(u) >= 2 && u[0] == 'R' {
+		n, err := strconv.Atoi(u[1:])
+		if err == nil && n >= 0 && n < int(isa.NumRegs) {
+			return isa.Reg(n), true
+		}
+	}
+	return 0, false
+}
+
+func parseImm(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < -(1<<31) || v > (1<<32)-1 {
+		return 0, fmt.Errorf("immediate %d out of 32-bit range", v)
+	}
+	return int32(v), nil
+}
+
+// parseMem parses "[Rn]" or "[Rn, #off]".
+func parseMem(line int, s string) (isa.Reg, int32, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, errf(line, "bad memory operand %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	parts := strings.Split(inner, ",")
+	rn, ok := parseReg(strings.TrimSpace(parts[0]))
+	if !ok {
+		return 0, 0, errf(line, "bad base register in %q", s)
+	}
+	if len(parts) == 1 {
+		return rn, 0, nil
+	}
+	if len(parts) != 2 {
+		return 0, 0, errf(line, "bad memory operand %q", s)
+	}
+	offS := strings.TrimSpace(parts[1])
+	if !strings.HasPrefix(offS, "#") {
+		return 0, 0, errf(line, "memory offset must be an immediate in %q", s)
+	}
+	off, err := parseImm(offS[1:])
+	if err != nil {
+		return 0, 0, errf(line, "bad offset in %q", s)
+	}
+	return rn, off, nil
+}
+
+// splitMnemonic separates the mnemonic from the operand text.
+func splitMnemonic(s string) (string, string) {
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimSpace(s[i:])
+}
+
+// splitOperands splits on commas that are not inside brackets.
+func splitOperands(line int, s string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+			if depth < 0 {
+				return nil, errf(line, "unbalanced brackets in %q", s)
+			}
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, errf(line, "unbalanced brackets in %q", s)
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out, nil
+}
+
+func splitFields(s string) []string {
+	return strings.Fields(s)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,315 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"dtaint/internal/image"
+	"dtaint/internal/isa"
+)
+
+const fooWoo = `
+.arch arm
+.import recv
+.import memcpy
+
+.func foo
+  SUB SP, SP, #0x118
+  MOV R5, R0
+  MOV R4, R1
+  BL woo
+  MOV R2, R0
+  LDR R1, [R5, #0x4C]
+  ADD R0, SP, #0x18
+  BL memcpy
+  BX LR
+.endfunc
+
+.func woo
+  LDR R5, [R1, #0x24]
+  STR R5, [R0, #0x4C]
+  MOV R2, #0x200
+  MOV R1, R5
+  BL recv
+  BX LR
+.endfunc
+`
+
+func TestAssembleFooWoo(t *testing.T) {
+	b, err := Assemble("test", fooWoo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Arch != isa.ArchARM {
+		t.Fatalf("arch = %v", b.Arch)
+	}
+	if len(b.Funcs) != 2 {
+		t.Fatalf("funcs = %+v", b.Funcs)
+	}
+	foo, ok := b.FuncByName("foo")
+	if !ok || foo.Size != 9*isa.InstSize {
+		t.Fatalf("foo = %+v, ok=%v", foo, ok)
+	}
+	woo, ok := b.FuncByName("woo")
+	if !ok || woo.Addr != foo.Addr+foo.Size {
+		t.Fatalf("woo = %+v", woo)
+	}
+	if len(b.Imports) != 2 {
+		t.Fatalf("imports = %+v", b.Imports)
+	}
+
+	// Decode and check the BL woo target resolved to woo's address.
+	code, err := b.FuncCode(foo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts, err := isa.DecodeAll(b.Arch, code, foo.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insts[3].Op != isa.OpBL || insts[3].Target != woo.Addr {
+		t.Fatalf("BL woo decoded as %+v, want target %#x", insts[3], woo.Addr)
+	}
+	// BL memcpy resolves to the import stub.
+	imp, _ := b.ImportByName("memcpy")
+	if insts[7].Op != isa.OpBL || insts[7].Target != imp.Addr {
+		t.Fatalf("BL memcpy decoded as %+v, want %#x", insts[7], imp.Addr)
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	src := `
+.arch mips
+.func f
+  CMP R4, #64
+  BGE done
+  MOV R2, #1
+  B out
+done:
+  MOV R2, #0
+out:
+  BX LR
+.endfunc
+`
+	b, err := Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := b.FuncByName("f")
+	code, _ := b.FuncCode(f)
+	insts, err := isa.DecodeAll(b.Arch, code, f.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insts[1].Cond != isa.CondGE || insts[1].Target != f.Addr+4*isa.InstSize {
+		t.Fatalf("BGE done = %+v", insts[1])
+	}
+	if insts[3].Target != f.Addr+5*isa.InstSize {
+		t.Fatalf("B out = %+v", insts[3])
+	}
+}
+
+func TestLocalLabelsPerFunction(t *testing.T) {
+	// The same label name in two functions must resolve locally.
+	src := `
+.arch arm
+.func a
+  B done
+done:
+  BX LR
+.endfunc
+.func b
+  MOV R0, #1
+  B done
+done:
+  BX LR
+.endfunc
+`
+	bin, err := Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, _ := bin.FuncByName("b")
+	code, _ := bin.FuncCode(bf)
+	insts, _ := isa.DecodeAll(bin.Arch, code, bf.Addr)
+	if insts[1].Target != bf.Addr+2*isa.InstSize {
+		t.Fatalf("b's done resolved to %#x, want %#x", insts[1].Target, bf.Addr+2*isa.InstSize)
+	}
+}
+
+func TestDataSymbols(t *testing.T) {
+	src := `
+.arch arm
+.import system
+.data cmd "reboot"
+.func f
+  MOV R0, =cmd
+  BL system
+  BX LR
+.endfunc
+`
+	b, err := Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := b.DataByName("cmd")
+	if !ok {
+		t.Fatal("cmd data symbol missing")
+	}
+	if s, ok := b.StringAt(d.Addr); !ok || s != "reboot" {
+		t.Fatalf("StringAt = %q, %v", s, ok)
+	}
+	f, _ := b.FuncByName("f")
+	code, _ := b.FuncCode(f)
+	insts, _ := isa.DecodeAll(b.Arch, code, f.Addr)
+	if !insts[0].HasImm || uint32(insts[0].Imm) != d.Addr {
+		t.Fatalf("MOV =cmd decoded as %+v, want imm %#x", insts[0], d.Addr)
+	}
+}
+
+func TestEntryDirective(t *testing.T) {
+	src := `
+.arch arm
+.func a
+  BX LR
+.endfunc
+.entry b
+.func b
+  BX LR
+.endfunc
+`
+	b, err := Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, _ := b.FuncByName("b")
+	if b.Entry != bf.Addr {
+		t.Fatalf("entry = %#x, want %#x", b.Entry, bf.Addr)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	tests := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown mnemonic", ".func f\n FOO R0\n.endfunc", "unknown mnemonic"},
+		{"outside func", "MOV R0, #1", "outside .func"},
+		{"bad reg", ".func f\n MOV R99, #1\n.endfunc", "bad destination"},
+		{"undefined ref", ".func f\n BL nowhere\n.endfunc", "undefined reference"},
+		{"missing endfunc", ".func f\n NOP", "missing .endfunc"},
+		{"nested func", ".func f\n.func g", "nested .func"},
+		{"dup label", ".func f\nx:\nx:\n NOP\n.endfunc", "duplicate label"},
+		{"dup func", ".func f\n.endfunc\n.func f\n.endfunc", "duplicate function"},
+		{"bad directive", ".wat", "unknown directive"},
+		{"bad arch", ".arch sparc", "unknown arch"},
+		{"bad mem", ".func f\n LDR R0, [R1, R2]\n.endfunc", "offset must be an immediate"},
+		{"unbalanced", ".func f\n LDR R0, [R1\n.endfunc", "unbalanced"},
+		{"bad entry", ".entry nope\n.func f\n.endfunc", "not defined"},
+		{"bad data", `.data x noquotes`, "invalid string literal"},
+		{"dup data", ".data x \"a\"\n.data x \"b\"", "duplicate data symbol"},
+		{"bad imm", ".func f\n MOV R0, #zz\n.endfunc", "bad immediate"},
+		{"label outside", "lbl:", "outside .func"},
+		{"unknown data ref", ".func f\n MOV R0, =ghost\n.endfunc", "unknown data symbol"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Assemble("t", tt.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestErrorReportsLine(t *testing.T) {
+	_, err := Assemble("t", ".func f\n NOP\n WAT\n.endfunc")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var ae *Error
+	if ok := errorsAs(err, &ae); !ok || ae.Line != 3 {
+		t.Fatalf("error = %v, want line 3", err)
+	}
+}
+
+func errorsAs(err error, target **Error) bool {
+	for err != nil {
+		if e, ok := err.(*Error); ok {
+			*target = e
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func TestMarshalRoundTripThroughImage(t *testing.T) {
+	b, err := Assemble("fooWoo", fooWoo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := image.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Funcs) != len(b.Funcs) || len(got.Imports) != len(b.Imports) {
+		t.Fatal("symbol tables lost in round trip")
+	}
+	if string(got.Text) != string(b.Text) {
+		t.Fatal("text lost in round trip")
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	b, err := Assemble("fooWoo", fooWoo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := Disassemble(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{".func foo", ".func woo", "BL", "-> memcpy (import)", "SUB SP, SP, #280"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := `
+; leading comment
+.arch arm
+
+.func f ; trailing comment
+  NOP   ; another
+  BX LR
+.endfunc
+`
+	b, err := Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := b.FuncByName("f")
+	if f.Size != 2*isa.InstSize {
+		t.Fatalf("size = %d", f.Size)
+	}
+}
+
+func TestArchAfterCodeRejected(t *testing.T) {
+	_, err := Assemble("t", ".func f\n  NOP\n.endfunc\n.arch mips\n")
+	if err == nil || !strings.Contains(err.Error(), "must precede") {
+		t.Fatalf("late .arch accepted: %v", err)
+	}
+}

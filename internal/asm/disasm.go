@@ -1,0 +1,52 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"dtaint/internal/image"
+	"dtaint/internal/isa"
+)
+
+// Disassemble renders a binary back to readable assembly. Branch targets
+// are annotated with the function or import they resolve to. The output is
+// for humans (cmd/dtaint -dis) and for tests; it is not guaranteed to
+// re-assemble byte-identically because label names are synthesized.
+func Disassemble(b *image.Binary) (string, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; binary %s (%s)\n", b.Name, b.Arch)
+	fmt.Fprintf(&sb, ".arch %s\n", strings.ToLower(b.Arch.String()))
+	for _, im := range b.Imports {
+		fmt.Fprintf(&sb, ".import %s ; stub %#x\n", im.Name, im.Addr)
+	}
+	for _, d := range b.Data {
+		if s, ok := b.StringAt(d.Addr); ok {
+			fmt.Fprintf(&sb, ".data %s %q\n", d.Name, s)
+		}
+	}
+	for _, fn := range b.Funcs {
+		code, err := b.FuncCode(fn)
+		if err != nil {
+			return "", err
+		}
+		insts, err := isa.DecodeAll(b.Arch, code, fn.Addr)
+		if err != nil {
+			return "", fmt.Errorf("disassemble %s: %w", fn.Name, err)
+		}
+		fmt.Fprintf(&sb, ".func %s ; %#x\n", fn.Name, fn.Addr)
+		for i, in := range insts {
+			addr := fn.Addr + uint32(i)*isa.InstSize
+			fmt.Fprintf(&sb, "  %06X: %s", addr, in.String())
+			if in.Op == isa.OpB || in.Op == isa.OpBL {
+				if tgt, ok := b.FuncAt(in.Target); ok {
+					fmt.Fprintf(&sb, " ; -> %s", tgt.Name)
+				} else if imp, ok := b.ImportAt(in.Target); ok {
+					fmt.Fprintf(&sb, " ; -> %s (import)", imp.Name)
+				}
+			}
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(".endfunc\n")
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,34 @@
+package asm
+
+import (
+	"testing"
+
+	"dtaint/internal/cfg"
+)
+
+// FuzzAssemble hardens the assembler: arbitrary source text must never
+// panic, and anything it accepts must produce a binary the CFG builder
+// can structure.
+func FuzzAssemble(f *testing.F) {
+	f.Add(".arch arm\n.func f\n  MOV R0, #1\n  BX LR\n.endfunc\n")
+	f.Add(".arch mips\n.import recv\n.func g\n  BL recv\n  BX LR\n.endfunc\n")
+	f.Add(".func f\nl:\n  B l\n.endfunc\n")
+	f.Add(".data s \"x\"\n.func f\n  MOV R0, =s\n  BX LR\n.endfunc\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		bin, err := Assemble("fuzz", src)
+		if err != nil {
+			return
+		}
+		if err := bin.Validate(); err != nil {
+			t.Fatalf("assembled binary invalid: %v", err)
+		}
+		if len(bin.Funcs) == 0 {
+			return
+		}
+		if _, err := cfg.Build(bin); err != nil {
+			// Structural errors (e.g. a branch out of the function after
+			// fuzz mutations) are acceptable; panics are not.
+			return
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const testScale = 0.05
+
+func TestFigure1Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Figure1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"2009", "2016", "Total   6529       670"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure 1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"strcpy", "recvfrom", "websGetVar", "loop"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("table 1 missing %q", want)
+		}
+	}
+}
+
+func TestTable2Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table2(&buf, testScale); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"DIR-645", "DS-2CD6233F", "MIPS", "ARM"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("table 2 missing %q", want)
+		}
+	}
+}
+
+func TestStudyTables(t *testing.T) {
+	runs, err := RunStudy(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 6 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	var buf bytes.Buffer
+	if err := Table3(&buf, runs); err != nil {
+		t.Fatal(err)
+	}
+	// Detection columns must match the paper exactly (x/x pairs).
+	for _, want := range []string{"7/7", "19/19", "30/30", "4/4", "6/6"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("table 3 missing %q:\n%s", want, buf.String())
+		}
+	}
+	buf.Reset()
+	if err := Table4(&buf, runs); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "false") {
+		t.Fatalf("table 4 has undetected CVEs:\n%s", buf.String())
+	}
+	for _, cve := range []string{"CVE-2013-7389", "CVE-2015-2051", "CVE-2016-5681", "CVE-2017-6334", "CVE-2017-6077", "EDB-ID:43055"} {
+		if !strings.Contains(buf.String(), cve) {
+			t.Fatalf("table 4 missing %s", cve)
+		}
+	}
+	buf.Reset()
+	if err := Table5(&buf, runs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Total zero-days: 13 (paper: 13)") {
+		t.Fatalf("table 5 totals wrong:\n%s", buf.String())
+	}
+}
+
+func TestTable6Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table6(&buf, testScale); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Static symbolic analysis") {
+		t.Fatalf("table 6 malformed:\n%s", buf.String())
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("baseline run in -short mode")
+	}
+	rows, err := RunTable7(0.05, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// The headline result's shape: the bottom-up DDG beats the
+		// top-down baseline on every workload even at toy scale with the
+		// baseline's re-analysis capped; cmd/benchtab shows the orders of
+		// magnitude at real scale.
+		if r.BaseDDG < 3*r.DTaintDDG {
+			t.Errorf("%s: baseline DDG %v not >> DTaint DDG %v (analyses %d)",
+				r.Binary, r.BaseDDG, r.DTaintDDG, r.BaselineAnalyses)
+		}
+		if r.BaselineAnalyses <= 0 {
+			t.Errorf("%s: baseline did nothing", r.Binary)
+		}
+	}
+}
+
+func TestAblationsOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Ablations(&buf, testScale); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "vulns 6/6") {
+		t.Fatalf("full pipeline should find 6/6:\n%s", out)
+	}
+	if !strings.Contains(out, "vulns 5/6") {
+		t.Fatalf("ablations should lose one vuln each:\n%s", out)
+	}
+}
+
+func TestScreeningOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Screening(&buf, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "precision 1.000, recall 1.000") {
+		t.Fatalf("screening not perfect:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !linux
+
+package bench
+
+import "time"
+
+// processCPUTime is unavailable off Linux; Table VI reports 0% there.
+func processCPUTime() time.Duration { return 0 }

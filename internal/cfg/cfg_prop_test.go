@@ -1,0 +1,109 @@
+package cfg_test
+
+import (
+	"dtaint/internal/cfg"
+	"testing"
+
+	"dtaint/internal/corpus"
+	"dtaint/internal/isa"
+)
+
+// TestBlocksPartitionFunctions checks the structural CFG invariants over
+// the whole synthetic corpus: blocks tile each function exactly, every
+// successor edge targets a block leader inside the same function, and
+// call records point at call instructions.
+func TestBlocksPartitionFunctions(t *testing.T) {
+	for _, spec := range corpus.StudyImages()[:3] {
+		bin, _, err := corpus.BuildBinary(spec, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := cfg.Build(bin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fn := range prog.Funcs {
+			covered := uint32(0)
+			next := fn.Addr
+			for _, b := range fn.Blocks {
+				if b.Start != next {
+					t.Fatalf("%s: block at %#x, expected %#x (gap or overlap)",
+						fn.Name, b.Start, next)
+				}
+				next = b.End()
+				covered += b.End() - b.Start
+				for _, s := range b.Succs {
+					if _, ok := fn.BlockAt(s.Start); !ok {
+						t.Fatalf("%s: successor %#x is not a block leader", fn.Name, s.Start)
+					}
+					if s.Start < fn.Addr || s.Start >= fn.Addr+fn.Size {
+						t.Fatalf("%s: successor %#x escapes the function", fn.Name, s.Start)
+					}
+				}
+			}
+			if covered != fn.Size {
+				t.Fatalf("%s: blocks cover %d of %d bytes", fn.Name, covered, fn.Size)
+			}
+			for _, cs := range fn.Calls {
+				blk, ok := fn.BlockAt(cs.Block.Start)
+				if !ok || blk != cs.Block {
+					t.Fatalf("%s: callsite block mismatch at %#x", fn.Name, cs.Addr)
+				}
+				found := false
+				for _, li := range cs.Block.Insts {
+					if li.Addr == cs.Addr && (li.Raw.Op == isa.OpBL || li.Raw.Op == isa.OpBLX) {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("%s: callsite %#x is not a call instruction", fn.Name, cs.Addr)
+				}
+			}
+		}
+	}
+}
+
+// TestCallGraphConsistency checks Callees/Callers are inverse relations.
+func TestCallGraphConsistency(t *testing.T) {
+	spec := corpus.StudyImages()[1]
+	bin, _, err := corpus.BuildBinary(spec, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := cfg.Build(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for caller, callees := range prog.Callees {
+		for _, callee := range callees {
+			found := false
+			for _, c := range prog.Callers[callee] {
+				if c == caller {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge %s->%s missing from Callers", caller, callee)
+			}
+		}
+	}
+	// SCC covers every function exactly once.
+	names := make([]string, 0, len(prog.Funcs))
+	for _, fn := range prog.Funcs {
+		names = append(names, fn.Name)
+	}
+	seen := map[string]int{}
+	for _, comp := range prog.SCC(names) {
+		for _, n := range comp {
+			seen[n]++
+		}
+	}
+	if len(seen) != len(names) {
+		t.Fatalf("SCC covered %d of %d functions", len(seen), len(names))
+	}
+	for n, c := range seen {
+		if c != 1 {
+			t.Fatalf("function %s in %d components", n, c)
+		}
+	}
+}

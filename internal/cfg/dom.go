@@ -1,0 +1,123 @@
+// dom.go computes dominators with the iterative Cooper-Harvey-Kennedy
+// algorithm and refines loop detection: an edge n -> h is a loop back
+// edge precisely when h dominates n (the standard natural-loop
+// definition). The DFS approximation in findLoops is correct for
+// reducible CFGs — which a structured compiler emits — but dominators
+// make the classification exact and expose a generally useful analysis.
+package cfg
+
+// Dominators returns, for each block index, the index of its immediate
+// dominator. The entry block is its own idom. Unreachable blocks map
+// to -1.
+func (f *Function) Dominators() []int {
+	n := len(f.Blocks)
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	if f.Entry == nil || n == 0 {
+		return idom
+	}
+
+	// Reverse postorder over reachable blocks.
+	order := make([]int, 0, n) // postorder
+	number := make([]int, n)   // block index -> postorder number
+	visited := make([]bool, n)
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		visited[b.Index] = true
+		for _, s := range b.Succs {
+			if !visited[s.Index] {
+				dfs(s)
+			}
+		}
+		number[b.Index] = len(order)
+		order = append(order, b.Index)
+	}
+	dfs(f.Entry)
+
+	preds := make([][]int, n)
+	for _, b := range f.Blocks {
+		if !visited[b.Index] {
+			continue
+		}
+		for _, s := range b.Succs {
+			preds[s.Index] = append(preds[s.Index], b.Index)
+		}
+	}
+
+	entry := f.Entry.Index
+	idom[entry] = entry
+	intersect := func(a, b int) int {
+		for a != b {
+			for number[a] < number[b] {
+				a = idom[a]
+			}
+			for number[b] < number[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		// Reverse postorder: iterate order backwards, skipping the entry.
+		for i := len(order) - 1; i >= 0; i-- {
+			b := order[i]
+			if b == entry {
+				continue
+			}
+			newIdom := -1
+			for _, p := range preds[b] {
+				if idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether block index a dominates block index b, given
+// the idom array from Dominators.
+func Dominates(idom []int, a, b int) bool {
+	if a < 0 || b < 0 || b >= len(idom) || idom[b] == -1 {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		next := idom[b]
+		if next == b || next == -1 {
+			return false
+		}
+		b = next
+	}
+}
+
+// NaturalLoops recomputes the function's loop classification using the
+// dominator-based back-edge definition (n -> h with h dominating n) and
+// returns the back edges found. Build uses the cheaper DFS approximation;
+// callers needing exactness on irreducible control flow use this.
+func (f *Function) NaturalLoops() [][2]int {
+	idom := f.Dominators()
+	var edges [][2]int
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			if Dominates(idom, s.Index, b.Index) {
+				edges = append(edges, [2]int{b.Index, s.Index})
+			}
+		}
+	}
+	return edges
+}

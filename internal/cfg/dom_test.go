@@ -1,0 +1,137 @@
+package cfg_test
+
+import (
+	"testing"
+
+	"dtaint/internal/asm"
+	"dtaint/internal/cfg"
+	"dtaint/internal/corpus"
+)
+
+func buildFn(t *testing.T, src, name string) *cfg.Function {
+	t.Helper()
+	bin, err := asm.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := cfg.Build(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.ByName[name]
+	if fn == nil {
+		t.Fatalf("function %s missing", name)
+	}
+	return fn
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	fn := buildFn(t, `
+.arch arm
+.func f
+  CMP R0, #1
+  BGE big
+  MOV R1, #1
+  B join
+big:
+  MOV R1, #2
+join:
+  BX LR
+.endfunc
+`, "f")
+	idom := fn.Dominators()
+	entry := fn.Entry.Index
+	// Entry dominates everything; neither arm dominates the join.
+	for _, b := range fn.Blocks {
+		if !cfg.Dominates(idom, entry, b.Index) {
+			t.Fatalf("entry does not dominate block %d", b.Index)
+		}
+	}
+	join := fn.Blocks[len(fn.Blocks)-1]
+	if idom[join.Index] != entry {
+		t.Fatalf("join's idom = %d, want entry %d", idom[join.Index], entry)
+	}
+}
+
+func TestNaturalLoopsMatchDFSOnStructuredCode(t *testing.T) {
+	fn := buildFn(t, `
+.arch arm
+.func f
+  MOV R2, #0
+loop:
+  ADD R2, R2, #1
+  CMP R2, #16
+  BLT loop
+  BX LR
+.endfunc
+`, "f")
+	dfs := fn.BackEdges
+	dom := fn.NaturalLoops()
+	if len(dfs) != 1 || len(dom) != 1 {
+		t.Fatalf("edges: dfs=%v dom=%v", dfs, dom)
+	}
+	if dfs[0] != dom[0] {
+		t.Fatalf("back edge mismatch: dfs=%v dom=%v", dfs[0], dom[0])
+	}
+}
+
+func TestNaturalLoopsNested(t *testing.T) {
+	fn := buildFn(t, `
+.arch arm
+.func f
+  MOV R2, #0
+outer:
+  MOV R3, #0
+inner:
+  ADD R3, R3, #1
+  CMP R3, #4
+  BLT inner
+  ADD R2, R2, #1
+  CMP R2, #4
+  BLT outer
+  BX LR
+.endfunc
+`, "f")
+	dom := fn.NaturalLoops()
+	if len(dom) != 2 {
+		t.Fatalf("nested loops: %v", dom)
+	}
+}
+
+// The DFS approximation and the dominator definition agree across the
+// whole structured corpus (compiler-emitted control flow is reducible).
+func TestLoopDetectionAgreementOnCorpus(t *testing.T) {
+	spec := corpus.StudyImages()[5] // the loop-heavy camera image
+	bin, _, err := corpus.BuildBinary(spec, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := cfg.Build(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range prog.Funcs {
+		dfs := map[[2]int]bool{}
+		for _, e := range fn.BackEdges {
+			dfs[e] = true
+		}
+		for _, e := range fn.NaturalLoops() {
+			if !dfs[e] {
+				t.Fatalf("%s: dominator back edge %v missed by DFS", fn.Name, e)
+			}
+			delete(dfs, e)
+		}
+		if len(dfs) != 0 {
+			t.Fatalf("%s: DFS back edges %v not confirmed by dominators", fn.Name, dfs)
+		}
+	}
+}
+
+func TestDominatesEdgeCases(t *testing.T) {
+	if cfg.Dominates(nil, 0, 0) {
+		t.Fatal("empty idom")
+	}
+	if cfg.Dominates([]int{-1}, 0, 0) {
+		t.Fatal("unreachable block dominated")
+	}
+}

@@ -1,0 +1,161 @@
+// builder.go emits the filler code that gives each synthetic firmware
+// binary the scale reported in Table II (functions, basic blocks, call
+// graph edges) and Table III (static sink-callsite counts). Filler
+// functions are deterministic, benign (their sink calls operate on local
+// buffers only), and call earlier filler functions so the call graph stays
+// acyclic and realistically deep.
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// shape describes the filler targets for one binary.
+type shape struct {
+	// Funcs is the number of filler functions to emit.
+	Funcs int
+	// BlocksPerFunc is the average basic-block count per filler function
+	// (fractional averages are tracked with error diffusion so totals hit
+	// the Table II targets).
+	BlocksPerFunc float64
+	// CallsPerFunc is the average callsite count per filler function.
+	CallsPerFunc float64
+	// SinkRate is how many of a function's import callsites go to Table I
+	// sinks (permille, 0..1000).
+	SinkRatePermille int
+	// Prefix names the filler family (e.g. "sub", "rtsp").
+	Prefix string
+}
+
+// fillerImports are the benign library functions filler code calls, plus
+// the sink functions that contribute to the static sink count.
+var fillerSinkPool = []string{"strcpy", "strncpy", "sprintf", "memcpy", "strcat", "sscanf"}
+
+var fillerLibPool = []string{"strlen", "strcmp", "memset", "atoi", "malloc"}
+
+// lcg is a tiny deterministic linear congruential generator; corpus
+// generation must be reproducible byte-for-byte across runs.
+type lcg struct{ s uint64 }
+
+func newLCG(seed uint64) *lcg { return &lcg{s: seed*6364136223846793005 + 1442695040888963407} }
+
+func (l *lcg) next() uint64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return l.s >> 11
+}
+
+func (l *lcg) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(l.next() % uint64(n))
+}
+
+// emitFiller writes sh.Funcs filler functions. Functions are named
+// <prefix>_<i>; function i may call functions with smaller i (keeping the
+// call graph acyclic). Returns the emitted function names.
+func emitFiller(e emitter, sh shape, rng *lcg) []string {
+	names := make([]string, 0, sh.Funcs)
+	var carryBlocks, carryCalls float64
+	for i := 0; i < sh.Funcs; i++ {
+		name := fmt.Sprintf("%s_%04d", sh.Prefix, i)
+		names = append(names, name)
+
+		carryBlocks += sh.BlocksPerFunc
+		diamonds := int(carryBlocks-1) / 2
+		if diamonds < 0 {
+			diamonds = 0
+		}
+		// Vary ±1 so the corpus is not perfectly uniform; the carry
+		// self-corrects on later functions.
+		if diamonds > 1 && rng.intn(2) == 0 {
+			diamonds += rng.intn(3) - 1
+		}
+		carryBlocks -= float64(1 + 2*diamonds)
+
+		carryCalls += sh.CallsPerFunc
+		calls := int(carryCalls)
+		if calls > 1 && rng.intn(2) == 0 {
+			calls += rng.intn(3) - 1
+		}
+		if calls < 0 {
+			calls = 0
+		}
+		carryCalls -= float64(calls)
+
+		emitFillerFunc(e, name, i, names, sh, rng, diamonds, calls)
+	}
+	return names
+}
+
+// emitFillerFunc writes one filler function. The body is a chain of
+// conditional diamonds (each contributes two basic blocks beyond the
+// entry) interleaved with call sites.
+func emitFillerFunc(e emitter, name string, idx int, names []string, sh shape, rng *lcg, diamonds, calls int) {
+	e.writef(".func %s\n", name)
+	e.writef("  SUB SP, SP, #0x40\n")
+	e.writef("  MOV %%t0%%, %%a0%%\n")
+
+	callsEmitted := 0
+	for d := 0; d < diamonds; d++ {
+		e.writef("  CMP %%t0%%, #%d\n", (d+1)*8)
+		e.writef("  BGE %s_l%d\n", name, d)
+		e.writef("  ADD %%t0%%, %%t0%%, #1\n")
+		if callsEmitted < calls {
+			emitFillerCall(e, idx, names, sh, rng)
+			callsEmitted++
+		}
+		e.writef("%s_l%d:\n", name, d)
+	}
+	for callsEmitted < calls {
+		emitFillerCall(e, idx, names, sh, rng)
+		callsEmitted++
+	}
+	e.writef("  MOV %%rt%%, %%t0%%\n")
+	e.writef("  BX LR\n")
+	e.writef(".endfunc\n")
+}
+
+// emitFillerCall emits one callsite: a local call to an earlier filler
+// function, a benign library call, or a benign (local-buffer) sink call.
+func emitFillerCall(e emitter, idx int, names []string, sh shape, rng *lcg) {
+	if idx > 0 && rng.intn(1000) < 550 {
+		// Local call to an earlier filler function (acyclic).
+		callee := names[rng.intn(idx)]
+		e.writef("  MOV %%a0%%, %%t0%%\n")
+		e.writef("  BL %s\n", callee)
+		return
+	}
+	if rng.intn(1000) < sh.SinkRatePermille {
+		sink := fillerSinkPool[rng.intn(len(fillerSinkPool))]
+		// Benign: copy one local buffer into another with a small bound.
+		e.writef("  ADD %%a0%%, SP, #8\n")
+		e.writef("  ADD %%a1%%, SP, #24\n")
+		e.writef("  MOV %%a2%%, #8\n")
+		e.writef("  BL %s\n", sink)
+		return
+	}
+	lib := fillerLibPool[rng.intn(len(fillerLibPool))]
+	e.writef("  ADD %%a0%%, SP, #8\n")
+	e.writef("  MOV %%a1%%, #16\n")
+	e.writef("  BL %s\n", lib)
+}
+
+// emitImports writes the .import directives every corpus binary needs.
+func emitImports(b *strings.Builder) {
+	imports := []string{
+		// Table I sources.
+		"read", "recv", "recvfrom", "recvmsg", "getenv", "fgets",
+		"websGetVar", "find_var",
+		// Table I sinks.
+		"strcpy", "strncpy", "sprintf", "memcpy", "strcat", "sscanf",
+		"system", "popen",
+		// Supporting libc.
+		"strlen", "strcmp", "strncmp", "strchr", "memset", "atoi",
+		"malloc", "free",
+	}
+	for _, im := range imports {
+		fmt.Fprintf(b, ".import %s\n", im)
+	}
+}

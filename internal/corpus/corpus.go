@@ -1,0 +1,429 @@
+// Package corpus generates the synthetic firmware corpus of this
+// reproduction: the six study images of Tables II-V (with every CVE and
+// zero-day analog planted), the OpenSSL-like binary with the Heartbleed
+// weakness used in Table VII, and the 6,529-image population behind
+// Figure 1's emulation study.
+//
+// Everything is deterministic: the same spec and scale produce the same
+// bytes, so experiment outputs are reproducible.
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"dtaint/internal/asm"
+	"dtaint/internal/firmware"
+	"dtaint/internal/image"
+	"dtaint/internal/isa"
+	"dtaint/internal/taint"
+)
+
+// Spec describes one study image (a row of Table II).
+type Spec struct {
+	Index      int
+	Vendor     string
+	Product    string
+	Version    string
+	BinaryName string
+	Arch       isa.Arch
+	Year       int
+
+	// Table II scale targets.
+	Funcs     int
+	Blocks    int
+	CallEdges int
+
+	// AnalyzeFuncs is Table III's "Analysis functions": the size of the
+	// module subset DTaint analyzes (the paper restricts the two large
+	// camera binaries to their network modules). Zero means all.
+	AnalyzeFuncs int
+	// SinkTarget is Table III's "Sinks count" over the analyzed subset.
+	SinkTarget int
+
+	// ModulePrefix names the analyzed filler family; CorePrefix names the
+	// out-of-module filler (only used when AnalyzeFuncs < Funcs).
+	ModulePrefix string
+	CorePrefix   string
+
+	// plant writes the image's planted vulnerabilities.
+	plant func(e emitter) []Planted
+	// sanitized is how many properly-checked handlers to add.
+	sanitized int
+}
+
+// StudyImages returns the six firmware images of Table II with their
+// Table IV/V vulnerability sets.
+func StudyImages() []Spec {
+	return []Spec{
+		{
+			Index: 1, Vendor: "D-Link", Product: "DIR-645", Version: "1.03",
+			BinaryName: "cgibin", Arch: isa.ArchMIPS, Year: 2013,
+			Funcs: 237, Blocks: 3414, CallEdges: 1087,
+			SinkTarget: 176, ModulePrefix: "cgi", sanitized: 8,
+			plant: func(e emitter) []Planted {
+				return []Planted{
+					emitReadStrncpy(e, "cgi_pw", "CVE-2013-7389", 2, true, ""),
+					emitGetenvSprintf(e, "cgi_ck", "CVE-2013-7389", 1, true, ""),
+					emitGetenvStrcpy(e, "cgi_ss", "CVE-2016-5681", 2, true, ""),
+					emitCmdInjection(e, "cgi_pg", "ZD-DIR645-1", "getenv", "system", 2, false, "repaired"),
+				}
+			},
+		},
+		{
+			Index: 2, Vendor: "D-Link", Product: "DIR-890L", Version: "1.03",
+			BinaryName: "cgibin", Arch: isa.ArchARM, Year: 2015,
+			Funcs: 358, Blocks: 3913, CallEdges: 1418,
+			SinkTarget: 276, ModulePrefix: "cgi", sanitized: 10,
+			plant: func(e emitter) []Planted {
+				return []Planted{
+					emitCmdInjection(e, "cgi_soap", "CVE-2015-2051", "getenv", "system", 3, true, ""),
+					emitGetenvStrcpy(e, "cgi_sid", "CVE-2016-5681", 2, true, ""),
+				}
+			},
+		},
+		{
+			Index: 3, Vendor: "Netgear", Product: "DGN1000", Version: "1.1.00.46",
+			BinaryName: "setup.cgi", Arch: isa.ArchMIPS, Year: 2017,
+			Funcs: 732, Blocks: 4943, CallEdges: 2457,
+			SinkTarget: 958, ModulePrefix: "setup", sanitized: 16,
+			plant: func(e emitter) []Planted {
+				return []Planted{
+					emitCmdInjection(e, "setup_host", "CVE-2017-6334", "websGetVar", "system", 4, true, ""),
+					emitCmdInjection(e, "setup_ping", "CVE-2017-6077", "websGetVar", "system", 3, true, ""),
+					emitCmdInjection(e, "setup_tr", "ZD-DGN1000-1", "websGetVar", "system", 3, false, "reviewing"),
+					emitCmdInjection(e, "setup_dns", "ZD-DGN1000-2", "getenv", "system", 3, false, "-"),
+					emitCmdInjection(e, "setup_ntp", "ZD-DGN1000-3", "getenv", "popen", 2, false, "-"),
+					emitReadSprintf(e, "setup_hn", "ZD-DGN1000-4", 4, false, "-"),
+				}
+			},
+		},
+		{
+			Index: 4, Vendor: "Netgear", Product: "DGN2200", Version: "1.0.0.50",
+			BinaryName: "httpd", Arch: isa.ArchMIPS, Year: 2017,
+			Funcs: 796, Blocks: 11183, CallEdges: 4497,
+			SinkTarget: 1264, ModulePrefix: "httpd", sanitized: 18,
+			plant: func(e emitter) []Planted {
+				return []Planted{
+					emitCmdInjection(e, "httpd_cmd", "EDB-ID:43055", "find_var", "popen", 7, true, ""),
+					emitFgetsStrcpy(e, "httpd_cfg", "ZD-DGN2200-1", 7, false, "-"),
+				}
+			},
+		},
+		{
+			Index: 5, Vendor: "Uniview", Product: "IPC_6201", Version: "latest",
+			BinaryName: "mwareserver", Arch: isa.ArchARM, Year: 2017,
+			Funcs: 6714, Blocks: 99958, CallEdges: 32495,
+			AnalyzeFuncs: 430, SinkTarget: 447,
+			ModulePrefix: "rtsp", CorePrefix: "mw", sanitized: 12,
+			plant: func(e emitter) []Planted {
+				return []Planted{
+					emitSscanfSession(e, "rtsp_sess", "ZD-UNV-1", 10, false, "reviewing"),
+				}
+			},
+		},
+		{
+			Index: 6, Vendor: "Hikvision", Product: "DS-2CD6233F", Version: "latest",
+			BinaryName: "centaurus", Arch: isa.ArchARM, Year: 2017,
+			Funcs: 14035, Blocks: 219945, CallEdges: 68974,
+			AnalyzeFuncs: 3233, SinkTarget: 2052,
+			ModulePrefix: "net", CorePrefix: "cent", sanitized: 40,
+			plant: func(e emitter) []Planted {
+				return []Planted{
+					emitReadMemcpy(e, "net_hdr", "ZD-HIK-1", 5, false, "repaired"),
+					emitLoopCopy(e, "net_b1", "ZD-HIK-2", 5, false, "repaired"),
+					emitLoopCopy(e, "net_b2", "ZD-HIK-3", 5, false, "repaired"),
+					emitAliasOverflow(e, "net_url", "ZD-HIK-4", 5, false, "repaired"),
+					emitStructSimOverflow(e, "net_disp", "ZD-HIK-5", 5, false, "repaired"),
+					emitStructFieldSprintf(e, "net_par", "ZD-HIK-6", 5, false, "repaired"),
+				}
+			},
+		},
+	}
+}
+
+// SpecByProduct returns the study spec for a product name.
+func SpecByProduct(product string) (Spec, bool) {
+	for _, s := range StudyImages() {
+		if s.Product == product {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// BuildSource generates the assembly program for a spec. scale in (0, 1]
+// shrinks the filler (planted code is always complete, so detection
+// results are scale-invariant); 1.0 reproduces the Table II size targets.
+func BuildSource(spec Spec, scale float64) (string, []Planted) {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	var b strings.Builder
+	b.Grow(1 << 20)
+	fmt.Fprintf(&b, "; synthetic firmware binary %s (%s %s %s)\n",
+		spec.BinaryName, spec.Vendor, spec.Product, spec.Version)
+	fmt.Fprintf(&b, ".arch %s\n", strings.ToLower(spec.Arch.String()))
+	emitImports(&b)
+
+	em := emitter{b: &b, cv: regmap(spec.Arch)}
+	planted := spec.plant(em)
+	emitSanitizedHandlers(em, spec.ModulePrefix+"_v", scaleInt(spec.sanitized, scale, 2))
+
+	plantedFuncs := 0
+	for _, p := range planted {
+		plantedFuncs += p.Paths + 1 // callers + helper (approximation)
+	}
+	plantedFuncs += scaleInt(spec.sanitized, scale, 2)
+
+	analyze := spec.AnalyzeFuncs
+	if analyze == 0 {
+		analyze = spec.Funcs
+	}
+	moduleFuncs := scaleInt(analyze, scale, 4) - plantedFuncs
+	if moduleFuncs < 4 {
+		moduleFuncs = 4
+	}
+	coreFuncs := scaleInt(spec.Funcs-analyze, scale, 0)
+
+	// Per-filler-function averages are computed against the full-scale
+	// targets (they are scale-invariant); the filler compensates for the
+	// planted and sanitized functions being smaller than average.
+	plantedFull := 0
+	for _, p := range planted {
+		plantedFull += p.Paths + 1
+	}
+	plantedFull += spec.sanitized
+	fillerFull := spec.Funcs - plantedFull
+	if fillerFull < 1 {
+		fillerFull = 1
+	}
+	plantedBlocksEst := float64(plantedFull)*1.3 + float64(spec.sanitized)*2
+	plantedCallsEst := float64(plantedFull) * 2.2
+	blocksPer := (float64(spec.Blocks) - plantedBlocksEst) / float64(fillerFull)
+	callsPer := (float64(spec.CallEdges) - plantedCallsEst) / float64(fillerFull)
+	// Import callsites are ~45% of filler callsites; solve the sink rate
+	// from the Table III target over the analyzed subset.
+	sinkRate := 0
+	moduleFillerFull := spec.Funcs
+	if spec.AnalyzeFuncs > 0 {
+		moduleFillerFull = spec.AnalyzeFuncs
+	}
+	moduleFillerFull -= plantedFull
+	// The planted helpers and sanitized handlers contribute roughly one
+	// sink callsite each; the filler covers the rest of the target.
+	fillerSinkTarget := float64(spec.SinkTarget) - float64(len(planted)+spec.sanitized)*1.4
+	if importCalls := float64(moduleFillerFull) * callsPer * 0.45; importCalls > 0 && fillerSinkTarget > 0 {
+		sinkRate = int(fillerSinkTarget / importCalls * 1000)
+	}
+	if sinkRate > 1000 {
+		sinkRate = 1000
+	}
+
+	rng := newLCG(uint64(spec.Index) * 977)
+	emitFiller(em, shape{
+		Funcs:            moduleFuncs,
+		BlocksPerFunc:    blocksPer,
+		CallsPerFunc:     callsPer,
+		SinkRatePermille: sinkRate,
+		Prefix:           spec.ModulePrefix,
+	}, rng)
+	if coreFuncs > 0 {
+		emitFiller(em, shape{
+			Funcs:            coreFuncs,
+			BlocksPerFunc:    blocksPer,
+			CallsPerFunc:     callsPer,
+			SinkRatePermille: 150,
+			Prefix:           spec.CorePrefix,
+		}, rng)
+	}
+	return b.String(), planted
+}
+
+func scaleInt(n int, scale float64, min int) int {
+	v := int(float64(n) * scale)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// BuildBinary assembles the spec's binary.
+func BuildBinary(spec Spec, scale float64) (*image.Binary, []Planted, error) {
+	src, planted := BuildSource(spec, scale)
+	bin, err := asm.Assemble(spec.BinaryName, src)
+	if err != nil {
+		return nil, nil, fmt.Errorf("corpus %s: %w", spec.Product, err)
+	}
+	return bin, planted, nil
+}
+
+// ModuleFilter returns the function filter for the spec's analyzed subset
+// (Table III's "Analysis functions"): the module filler family, the
+// planted code, and the sanitized handlers; the core filler is excluded.
+func ModuleFilter(spec Spec) func(string) bool {
+	if spec.AnalyzeFuncs == 0 || spec.CorePrefix == "" {
+		return nil
+	}
+	core := spec.CorePrefix + "_"
+	return func(name string) bool {
+		return !strings.HasPrefix(name, core)
+	}
+}
+
+// BuildFirmware packs the spec's binary into a FWIMG container with a
+// realistic root filesystem.
+func BuildFirmware(spec Spec, scale float64) ([]byte, []Planted, error) {
+	bin, planted, err := BuildBinary(spec, scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	raw, err := bin.Marshal()
+	if err != nil {
+		return nil, nil, err
+	}
+	fs := &firmware.FS{}
+	files := []firmware.File{
+		{Path: "/bin/busybox", Mode: 0o755, Data: []byte("busybox-stub")},
+		{Path: "/etc/passwd", Mode: 0o644, Data: []byte("root::0:0::/:/bin/sh\n")},
+		{Path: "/etc/version", Mode: 0o644, Data: []byte(spec.Version)},
+		{Path: BinaryPathFor(spec), Mode: 0o755, Data: raw},
+	}
+	for _, f := range files {
+		if err := fs.Add(f); err != nil {
+			return nil, nil, err
+		}
+	}
+	payload, err := firmware.MarshalFS(fs)
+	if err != nil {
+		return nil, nil, err
+	}
+	img := &firmware.Image{
+		Header: firmware.Header{
+			Vendor: spec.Vendor, Product: spec.Product, Version: spec.Version,
+			Year: spec.Year, Arch: spec.Arch,
+			Boot: firmware.BootRequirements{
+				Peripherals: []string{"nvram", "flash", spec.Vendor + "-asic"},
+			},
+		},
+		Parts: []firmware.Part{
+			{Type: firmware.PartKernel, Data: []byte("kernel-stub")},
+			{Type: firmware.PartRootFS, Data: payload},
+		},
+	}
+	data, err := firmware.Pack(img)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, planted, nil
+}
+
+// BinaryPathFor is where the study binary lives inside the rootfs.
+func BinaryPathFor(spec Spec) string {
+	switch spec.BinaryName {
+	case "cgibin":
+		return "/htdocs/cgibin"
+	case "setup.cgi":
+		return "/www/setup.cgi"
+	case "httpd":
+		return "/usr/sbin/httpd"
+	default:
+		return "/usr/bin/" + spec.BinaryName
+	}
+}
+
+// ExpectedVulns sums the planted vulnerability count (Table III's
+// "Vulnerability" column).
+func ExpectedVulns(planted []Planted) int { return len(planted) }
+
+// ExpectedPaths sums the planted path counts (Table III's "Vulnerable
+// paths" column).
+func ExpectedPaths(planted []Planted) int {
+	n := 0
+	for _, p := range planted {
+		n += p.Paths
+	}
+	return n
+}
+
+// ExpectedZeroDays counts the planted zero-days (Table V rows).
+func ExpectedZeroDays(planted []Planted) int {
+	n := 0
+	for _, p := range planted {
+		if !p.Known {
+			n++
+		}
+	}
+	return n
+}
+
+// OpenSSL builds the OpenSSL-like binary with the Heartbleed weakness
+// (Section II-B, Figure 2/3) used as the fourth Table VII workload: the
+// 16-bit payload length is read from network data (the inlined n2s macro)
+// and passed to memcpy with no bound check, across three functions.
+func OpenSSL(scale float64) (*image.Binary, error) {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	var b strings.Builder
+	b.WriteString(".arch arm\n")
+	emitImports(&b)
+	// ssl3_read_n: fills the record buffer s->s3->rbuf (here s+0x58)
+	// from the network.
+	b.WriteString(`.func ssl3_read_n
+  LDR R8, [R0, #0x58]
+  MOV R1, R8
+  MOV R0, #0
+  MOV R2, #0x200
+  BL recv
+  MOV R0, R2
+  BX LR
+.endfunc
+`)
+	// tls1_process_heartbeat: n2s reads a 16-bit length from the tainted
+	// record (two byte loads + ORR/LSL, as in Figure 3), then memcpy's
+	// payload bytes with that length.
+	b.WriteString(`.func tls1_process_heartbeat
+  SUB SP, SP, #0x50
+  LDR R3, [R0, #0x58]
+  LDRB R5, [R3, #0]
+  LDRB R2, [R3, #1]
+  LSL R2, R2, #8
+  ORR R6, R5, R2
+  ADD R1, R3, #3
+  ADD R0, SP, #4
+  MOV R2, R6
+  BL memcpy
+  BX LR
+.endfunc
+`)
+	// ssl3_read_bytes: drives read_n then the heartbeat processing with
+	// the same SSL object.
+	b.WriteString(`.func ssl3_read_bytes
+  MOV R11, R0
+  MOV R0, R11
+  BL ssl3_read_n
+  MOV R0, R11
+  BL tls1_process_heartbeat
+  BX LR
+.endfunc
+`)
+	rng := newLCG(42)
+	emitFiller(emitter{b: &b, cv: regmap(isa.ArchARM)}, shape{
+		Funcs:            scaleInt(420, scale, 8),
+		BlocksPerFunc:    12,
+		CallsPerFunc:     4,
+		SinkRatePermille: 220,
+		Prefix:           "ssl",
+	}, rng)
+	return asm.Assemble("openssl", b.String())
+}
+
+// HeartbleedGroundTruth describes the planted OpenSSL weakness.
+func HeartbleedGroundTruth() Planted {
+	return Planted{
+		ID: "CVE-2014-0160", Class: taint.ClassBufferOverflow,
+		Source: "recv", Sink: "memcpy", SinkFunc: "tls1_process_heartbeat",
+		Paths: 1, Known: true,
+	}
+}

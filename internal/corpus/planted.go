@@ -1,0 +1,559 @@
+// planted.go emits the vulnerability analogs of Tables IV and V. Every
+// planted weakness reproduces the source→sink pair the paper reports
+// (e.g. CVE-2015-2051 is getenv→system with no semicolon check) and is
+// wired through helper functions so detection exercises the
+// interprocedural machinery; the Hikvision zero-days additionally require
+// pointer aliasing and data-structure similarity, as the paper notes.
+//
+// Templates are written with register placeholders so the same weakness
+// compiles correctly under both calling conventions:
+//
+//	%a0%..%a3%  argument registers (ARM R0-R3, MIPS R4-R7)
+//	%rt%        return register   (ARM R0,     MIPS R2)
+//	%t0%..%t3%  scratch registers safe under either convention
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"dtaint/internal/isa"
+	"dtaint/internal/taint"
+)
+
+// Planted is the ground truth for one planted vulnerability.
+type Planted struct {
+	ID     string // CVE/EDB identifier or zero-day tag
+	Class  taint.Class
+	Source string
+	Sink   string
+	// SinkFunc is the function containing the sink callsite.
+	SinkFunc string
+	// Paths is the number of vulnerable paths expected to reach the sink.
+	Paths int
+	// Known marks previously-reported vulnerabilities (Table IV);
+	// the rest are the zero-day analogs (Table V).
+	Known bool
+	// Status is Table V's bug status for zero-days.
+	Status string
+	// Needs lists analysis features required: "alias", "structsim".
+	Needs []string
+}
+
+// regmap translates the register placeholders for an architecture flavor.
+func regmap(arch isa.Arch) *strings.Replacer {
+	if arch == isa.ArchMIPS {
+		return strings.NewReplacer(
+			"%a0%", "R4", "%a1%", "R5", "%a2%", "R6", "%a3%", "R7",
+			"%rt%", "R2",
+			"%t0%", "R8", "%t1%", "R9", "%t2%", "R10", "%t3%", "R11",
+		)
+	}
+	return strings.NewReplacer(
+		"%a0%", "R0", "%a1%", "R1", "%a2%", "R2", "%a3%", "R3",
+		"%rt%", "R0",
+		"%t0%", "R4", "%t1%", "R5", "%t2%", "R6", "%t3%", "R7",
+	)
+}
+
+// emitter bundles the output builder with the convention replacer.
+type emitter struct {
+	b  *strings.Builder
+	cv *strings.Replacer
+}
+
+func (e emitter) writef(format string, args ...any) {
+	e.b.WriteString(e.cv.Replace(fmt.Sprintf(format, args...)))
+}
+
+// emitReadStrncpy plants CVE-2013-7389's first half: an HTTP POST value
+// read from the network is strncpy'd into a stack buffer with
+// strlen-derived (attacker-controlled) length. callers controls the
+// number of vulnerable paths.
+func emitReadStrncpy(e emitter, tag string, id string, callers int, known bool, status string) Planted {
+	helper := tag + "_copy_field"
+	e.writef(`.func %s
+  SUB SP, SP, #0xA0
+  MOV %%t0%%, %%a0%%
+  BL strlen
+  MOV %%t1%%, %%rt%%
+  ADD %%a0%%, SP, #8
+  MOV %%a1%%, %%t0%%
+  MOV %%a2%%, %%t1%%
+  BL strncpy
+  BX LR
+.endfunc
+`, helper)
+	for i := 0; i < callers; i++ {
+		e.writef(`.func %s_post_%d
+  SUB SP, SP, #0x440
+  MOV %%a0%%, #0
+  ADD %%a1%%, SP, #16
+  MOV %%a2%%, #0x400
+  BL read
+  ADD %%a0%%, SP, #16
+  BL %s
+  BX LR
+.endfunc
+`, tag, i, helper)
+	}
+	return Planted{
+		ID: id, Class: taint.ClassBufferOverflow, Source: "read", Sink: "strncpy",
+		SinkFunc: helper, Paths: callers, Known: known, Status: status,
+	}
+}
+
+// emitGetenvSprintf plants CVE-2013-7389's second half: an overly-long
+// cookie value from getenv is sprintf'd into a stack buffer unchecked.
+func emitGetenvSprintf(e emitter, tag string, id string, callers int, known bool, status string) Planted {
+	fmtSym := tag + "_fmt"
+	e.writef(".data %s \"Cookie: %%%%s\"\n", fmtSym)
+	helper := tag + "_fmt_cookie"
+	e.writef(`.func %s
+  SUB SP, SP, #0x80
+  MOV %%a2%%, %%a0%%
+  MOV %%a1%%, =%s
+  ADD %%a0%%, SP, #8
+  BL sprintf
+  BX LR
+.endfunc
+`, helper, fmtSym)
+	env := tag + "_env"
+	e.writef(".data %s \"HTTP_COOKIE\"\n", env)
+	for i := 0; i < callers; i++ {
+		e.writef(`.func %s_cookie_%d
+  MOV %%a0%%, =%s
+  BL getenv
+  MOV %%a0%%, %%rt%%
+  BL %s
+  BX LR
+.endfunc
+`, tag, i, env, helper)
+	}
+	return Planted{
+		ID: id, Class: taint.ClassBufferOverflow, Source: "getenv", Sink: "sprintf",
+		SinkFunc: helper, Paths: callers, Known: known, Status: status,
+	}
+}
+
+// emitGetenvStrcpy plants CVE-2016-5681: a long session cookie from
+// getenv is strcpy'd into a fixed 152-byte stack buffer unchecked.
+func emitGetenvStrcpy(e emitter, tag string, id string, callers int, known bool, status string) Planted {
+	helper := tag + "_save_session"
+	e.writef(`.func %s
+  SUB SP, SP, #0x98
+  MOV %%a1%%, %%a0%%
+  ADD %%a0%%, SP, #0
+  BL strcpy
+  BX LR
+.endfunc
+`, helper)
+	env := tag + "_skey"
+	e.writef(".data %s \"uid\"\n", env)
+	for i := 0; i < callers; i++ {
+		e.writef(`.func %s_session_%d
+  MOV %%a0%%, =%s
+  BL getenv
+  MOV %%a0%%, %%rt%%
+  BL %s
+  BX LR
+.endfunc
+`, tag, i, env, helper)
+	}
+	return Planted{
+		ID: id, Class: taint.ClassBufferOverflow, Source: "getenv", Sink: "strcpy",
+		SinkFunc: helper, Paths: callers, Known: known, Status: status,
+	}
+}
+
+// emitCmdInjection plants a command-injection: a value from source
+// (getenv/websGetVar/find_var) reaches system/popen with no semicolon
+// check (CVE-2015-2051, CVE-2017-6334, CVE-2017-6077, EDB-ID:43055 and
+// the zero-day injections).
+func emitCmdInjection(e emitter, tag, id, source, sink string, callers int, known bool, status string) Planted {
+	helper := tag + "_exec"
+	e.writef(`.func %s
+  BL %s
+  BX LR
+.endfunc
+`, helper, sink)
+	key := tag + "_key"
+	e.writef(".data %s \"param\"\n", key)
+	for i := 0; i < callers; i++ {
+		e.writef(".func %s_handler_%d\n", tag, i)
+		switch source {
+		case "websGetVar":
+			e.writef("  MOV %%a1%%, =%s\n  MOV %%a2%%, #0\n  BL websGetVar\n", key)
+		default:
+			e.writef("  MOV %%a0%%, =%s\n  BL %s\n", key, source)
+		}
+		e.writef("  MOV %%a0%%, %%rt%%\n  BL %s\n  BX LR\n.endfunc\n", helper)
+	}
+	return Planted{
+		ID: id, Class: taint.ClassCommandInjection, Source: source, Sink: sink,
+		SinkFunc: helper, Paths: callers, Known: known, Status: status,
+	}
+}
+
+// emitFgetsStrcpy plants a buffer overflow from a file-style source.
+func emitFgetsStrcpy(e emitter, tag, id string, callers int, known bool, status string) Planted {
+	helper := tag + "_store_line"
+	e.writef(`.func %s
+  SUB SP, SP, #0x50
+  MOV %%a1%%, %%a0%%
+  ADD %%a0%%, SP, #4
+  BL strcpy
+  BX LR
+.endfunc
+`, helper)
+	for i := 0; i < callers; i++ {
+		e.writef(`.func %s_line_%d
+  SUB SP, SP, #0x110
+  ADD %%a0%%, SP, #8
+  MOV %%a1%%, #0x100
+  MOV %%a2%%, #3
+  BL fgets
+  ADD %%a0%%, SP, #8
+  BL %s
+  BX LR
+.endfunc
+`, tag, i, helper)
+	}
+	return Planted{
+		ID: id, Class: taint.ClassBufferOverflow, Source: "fgets", Sink: "strcpy",
+		SinkFunc: helper, Paths: callers, Known: known, Status: status,
+	}
+}
+
+// emitReadSprintf plants a stack overflow where network data is formatted
+// into a small stack buffer.
+func emitReadSprintf(e emitter, tag, id string, callers int, known bool, status string) Planted {
+	fmtSym := tag + "_rfmt"
+	e.writef(".data %s \"host=%%%%s\"\n", fmtSym)
+	helper := tag + "_format_host"
+	e.writef(`.func %s
+  SUB SP, SP, #0x60
+  MOV %%a2%%, %%a0%%
+  MOV %%a1%%, =%s
+  ADD %%a0%%, SP, #8
+  BL sprintf
+  BX LR
+.endfunc
+`, helper, fmtSym)
+	for i := 0; i < callers; i++ {
+		e.writef(`.func %s_req_%d
+  SUB SP, SP, #0x210
+  MOV %%a0%%, #0
+  ADD %%a1%%, SP, #8
+  MOV %%a2%%, #0x200
+  BL read
+  ADD %%a0%%, SP, #8
+  BL %s
+  BX LR
+.endfunc
+`, tag, i, helper)
+	}
+	return Planted{
+		ID: id, Class: taint.ClassBufferOverflow, Source: "read", Sink: "sprintf",
+		SinkFunc: helper, Paths: callers, Known: known, Status: status,
+	}
+}
+
+// emitReadMemcpy plants the Hikvision-style overflow: network data is
+// memcpy'd into a 48-byte stack buffer without a length check.
+func emitReadMemcpy(e emitter, tag, id string, callers int, known bool, status string) Planted {
+	helper := tag + "_fill_hdr"
+	e.writef(`.func %s
+  SUB SP, SP, #0x30
+  MOV %%t0%%, %%a0%%
+  BL strlen
+  MOV %%a2%%, %%rt%%
+  MOV %%a1%%, %%t0%%
+  ADD %%a0%%, SP, #0
+  BL memcpy
+  BX LR
+.endfunc
+`, helper)
+	for i := 0; i < callers; i++ {
+		e.writef(`.func %s_hdr_%d
+  SUB SP, SP, #0x210
+  MOV %%a0%%, #0
+  ADD %%a1%%, SP, #8
+  MOV %%a2%%, #0x200
+  BL read
+  ADD %%a0%%, SP, #8
+  BL %s
+  BX LR
+.endfunc
+`, tag, i, helper)
+	}
+	return Planted{
+		ID: id, Class: taint.ClassBufferOverflow, Source: "read", Sink: "memcpy",
+		SinkFunc: helper, Paths: callers, Known: known, Status: status,
+	}
+}
+
+// emitLoopCopy plants the Hikvision loop-copy overflow: up to 2048 bytes
+// of network data are copied byte-by-byte into a small stack buffer (the
+// structural "loop" sink of Table I).
+func emitLoopCopy(e emitter, tag, id string, callers int, known bool, status string) Planted {
+	helper := tag + "_copy_loop"
+	e.writef(`.func %s
+  SUB SP, SP, #0x30
+  MOV %%t0%%, %%a0%%
+  ADD %%t1%%, SP, #4
+  MOV %%t2%%, #0
+%s_lp:
+  LDRB %%t3%%, [%%t0%%, #0]
+  STRB %%t3%%, [%%t1%%, #0]
+  ADD %%t0%%, %%t0%%, #1
+  ADD %%t1%%, %%t1%%, #1
+  ADD %%t2%%, %%t2%%, #1
+  CMP %%t2%%, #0x800
+  BLT %s_lp
+  BX LR
+.endfunc
+`, helper, helper, helper)
+	for i := 0; i < callers; i++ {
+		e.writef(`.func %s_body_%d
+  SUB SP, SP, #0x810
+  MOV %%a0%%, #0
+  ADD %%a1%%, SP, #8
+  MOV %%a2%%, #0x800
+  BL read
+  ADD %%a0%%, SP, #8
+  BL %s
+  BX LR
+.endfunc
+`, tag, i, helper)
+	}
+	return Planted{
+		ID: id, Class: taint.ClassBufferOverflow, Source: "read", Sink: "loop",
+		SinkFunc: helper, Paths: callers, Known: known, Status: status,
+	}
+}
+
+// emitAliasOverflow plants the alias-dependent Hikvision overflow: a
+// parser stores the address of its receive buffer into a request
+// structure; a later stage loads the pointer back from the structure and
+// strcpy's the (tainted) URL parameter. Only Algorithm 1 exposes the flow.
+func emitAliasOverflow(e emitter, tag, id string, callers int, known bool, status string) Planted {
+	fill := tag + "_parse_url"
+	use := tag + "_copy_param"
+	e.writef(`.func %s
+  SUB SP, SP, #0x100
+  ADD %%t0%%, SP, #0
+  STR %%t0%%, [%%a0%%, #4]
+  MOV %%a1%%, %%t0%%
+  MOV %%a0%%, #0
+  MOV %%a2%%, #0x100
+  BL recv
+  BX LR
+.endfunc
+`, fill)
+	e.writef(`.func %s
+  SUB SP, SP, #0x40
+  LDR %%a1%%, [%%a0%%, #4]
+  ADD %%a0%%, SP, #4
+  BL strcpy
+  BX LR
+.endfunc
+`, use)
+	for i := 0; i < callers; i++ {
+		e.writef(`.func %s_stage_%d
+  SUB SP, SP, #0x20
+  ADD %%t2%%, SP, #0
+  MOV %%a0%%, %%t2%%
+  BL %s
+  MOV %%a0%%, %%t2%%
+  BL %s
+  BX LR
+.endfunc
+`, tag, i, fill, use)
+	}
+	return Planted{
+		ID: id, Class: taint.ClassBufferOverflow, Source: "recv", Sink: "strcpy",
+		SinkFunc: use, Paths: callers, Known: known, Status: status,
+		Needs: []string{"alias"},
+	}
+}
+
+// emitStructSimOverflow plants the similarity-dependent Hikvision
+// overflow: the URL handler is invoked through a function pointer stored
+// in a method table; the binding is only recoverable through
+// data-structure layout similarity.
+func emitStructSimOverflow(e emitter, tag, id string, callers int, known bool, status string) Planted {
+	handler := tag + "_on_request"
+	register := tag + "_register"
+	dispatch := tag + "_dispatch"
+	e.writef(`.func %s
+  SUB SP, SP, #0x40
+  LDR %%a1%%, [%%a0%%, #0]
+  ADD %%a0%%, SP, #4
+  BL strcpy
+  BX LR
+.endfunc
+`, handler)
+	e.writef(`.func %s
+  MOV %%t0%%, &%s
+  STR %%t0%%, [%%a0%%, #12]
+  MOV %%t1%%, #0
+  STR %%t1%%, [%%a0%%, #0]
+  STR %%t1%%, [%%a0%%, #4]
+  BX LR
+.endfunc
+`, register, handler)
+	e.writef(`.func %s
+  MOV %%t2%%, %%a0%%
+  STR %%a1%%, [%%t2%%, #0]
+  LDR %%t3%%, [%%t2%%, #4]
+  MOV %%a0%%, %%t2%%
+  LDR R12, [%%t2%%, #12]
+  BLX R12
+  BX LR
+.endfunc
+`, dispatch)
+	for i := 0; i < callers; i++ {
+		e.writef(`.func %s_serve_%d
+  SUB SP, SP, #0x220
+  ADD %%t2%%, SP, #0
+  MOV %%a0%%, %%t2%%
+  BL %s
+  ADD %%t1%%, SP, #0x20
+  MOV %%a1%%, %%t1%%
+  MOV %%a0%%, #0
+  MOV %%a2%%, #0x200
+  BL recv
+  MOV %%a0%%, %%t2%%
+  MOV %%a1%%, %%t1%%
+  BL %s
+  BX LR
+.endfunc
+`, tag, i, register, dispatch)
+	}
+	return Planted{
+		ID: id, Class: taint.ClassBufferOverflow, Source: "recv", Sink: "strcpy",
+		SinkFunc: handler, Paths: callers, Known: known, Status: status,
+		Needs: []string{"structsim"},
+	}
+}
+
+// emitStructFieldSprintf plants the remaining Hikvision URL-parameter
+// overflow: the parameter pointer travels through a request structure
+// field into sprintf.
+func emitStructFieldSprintf(e emitter, tag, id string, callers int, known bool, status string) Planted {
+	fmtSym := tag + "_pfmt"
+	e.writef(".data %s \"param=%%%%s\"\n", fmtSym)
+	helper := tag + "_log_param"
+	e.writef(`.func %s
+  SUB SP, SP, #0x50
+  LDR %%a2%%, [%%a0%%, #8]
+  MOV %%a1%%, =%s
+  ADD %%a0%%, SP, #4
+  BL sprintf
+  BX LR
+.endfunc
+`, helper, fmtSym)
+	for i := 0; i < callers; i++ {
+		e.writef(`.func %s_param_%d
+  SUB SP, SP, #0x230
+  ADD %%t1%%, SP, #0x20
+  MOV %%a1%%, %%t1%%
+  MOV %%a0%%, #0
+  MOV %%a2%%, #0x200
+  BL recv
+  ADD %%t2%%, SP, #0
+  STR %%t1%%, [%%t2%%, #8]
+  MOV %%a0%%, %%t2%%
+  BL %s
+  BX LR
+.endfunc
+`, tag, i, helper)
+	}
+	return Planted{
+		ID: id, Class: taint.ClassBufferOverflow, Source: "recv", Sink: "sprintf",
+		SinkFunc: helper, Paths: callers, Known: known, Status: status,
+	}
+}
+
+// emitSscanfSession plants the Uniview zero-day: the RTSP Session field
+// is sscanf'd into a 180-byte stack buffer while the format admits 254
+// characters.
+func emitSscanfSession(e emitter, tag, id string, callers int, known bool, status string) Planted {
+	fmtSym := tag + "_sfmt"
+	e.writef(".data %s \"Session: %%%%254s\"\n", fmtSym)
+	helper := tag + "_parse_session"
+	e.writef(`.func %s
+  SUB SP, SP, #0xB4
+  MOV %%a1%%, =%s
+  ADD %%a2%%, SP, #0
+  BL sscanf
+  BX LR
+.endfunc
+`, helper, fmtSym)
+	for i := 0; i < callers; i++ {
+		e.writef(`.func %s_method_%d
+  SUB SP, SP, #0x210
+  ADD %%t1%%, SP, #8
+  MOV %%a1%%, %%t1%%
+  MOV %%a0%%, #0
+  MOV %%a2%%, #0x200
+  BL recv
+  MOV %%a0%%, %%t1%%
+  BL %s
+  BX LR
+.endfunc
+`, tag, i, helper)
+	}
+	return Planted{
+		ID: id, Class: taint.ClassBufferOverflow, Source: "recv", Sink: "sscanf",
+		SinkFunc: helper, Paths: callers, Known: known, Status: status,
+	}
+}
+
+// emitSanitizedHandlers writes handlers whose tainted flows are properly
+// checked: they contribute sink callsites and sanitized paths but no
+// vulnerabilities — the firmware code that does validate its inputs.
+func emitSanitizedHandlers(e emitter, tag string, n int) {
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("%s_sk%d", tag, i)
+		e.writef(".data %s \"opt\"\n", key)
+		switch i % 2 {
+		case 0:
+			// Length-checked strcpy.
+			e.writef(`.func %s_safe_%d
+  SUB SP, SP, #0x50
+  MOV %%a0%%, =%s
+  BL getenv
+  MOV %%t0%%, %%rt%%
+  MOV %%a0%%, %%t0%%
+  BL strlen
+  CMP %%rt%%, #0x20
+  BGE %s_safe_%d_out
+  MOV %%a1%%, %%t0%%
+  ADD %%a0%%, SP, #4
+  BL strcpy
+%s_safe_%d_out:
+  BX LR
+.endfunc
+`, tag, i, key, tag, i, tag, i)
+		default:
+			// Semicolon-checked system.
+			e.writef(`.func %s_safe_%d
+  MOV %%a0%%, =%s
+  BL getenv
+  MOV %%t0%%, %%rt%%
+  MOV %%a0%%, %%t0%%
+  MOV %%a1%%, #0x3B
+  BL strchr
+  CMP %%rt%%, #0
+  BNE %s_safe_%d_out
+  MOV %%a0%%, %%t0%%
+  BL system
+%s_safe_%d_out:
+  BX LR
+.endfunc
+`, tag, i, key, tag, i, tag, i)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// population.go generates the 6,529-image metadata corpus behind the
+// paper's Section II-A study (Figure 1): firmware collected from 12
+// manufacturers, released 2009-2016, of which more than 65% cannot be
+// unpacked and only 670 boot in a FIRMADYNE-style emulator.
+package corpus
+
+import (
+	"fmt"
+
+	"dtaint/internal/firmware"
+	"dtaint/internal/isa"
+)
+
+// PopulationSize is the total number of collected firmware images.
+const PopulationSize = 6529
+
+// EmulableTotal is the number of images that boot successfully
+// ("less than 670" in the text; 6,529 - 5,859 failed = 670).
+const EmulableTotal = 670
+
+// populationYears lists release years with their image counts (rising
+// with the IoT market) and the per-year emulation successes. The counts
+// sum to PopulationSize and EmulableTotal respectively.
+var populationYears = []struct {
+	Year    int
+	Total   int
+	Success int
+}{
+	{2009, 312, 55},
+	{2010, 428, 62},
+	{2011, 561, 70},
+	{2012, 702, 78},
+	{2013, 845, 85},
+	{2014, 1021, 92},
+	{2015, 1232, 105},
+	{2016, 1428, 123},
+}
+
+// vendors are the 12 manufacturers of the collection study.
+var vendors = []string{
+	"D-Link", "Netgear", "TP-Link", "Linksys", "Tenda", "Zyxel",
+	"Hikvision", "Uniview", "Dahua", "Axis", "Belkin", "Trendnet",
+}
+
+// unpackFailPermille models the >65% of images Binwalk-style extraction
+// cannot unpack (encrypted, incomplete, or unrecognized).
+const unpackFailPermille = 655
+
+// Population deterministically generates the full metadata corpus. The
+// images carry real (tiny) rootfs payloads so the emulation model runs the
+// genuine unpack step; per-image boot requirements encode the three
+// failure modes.
+func Population() []*firmware.Image {
+	bootFS := &firmware.FS{}
+	if err := bootFS.Add(firmware.File{Path: "/sbin/init", Mode: 0o755, Data: []byte("init-stub")}); err != nil {
+		panic("corpus: build boot fs: " + err.Error())
+	}
+	emptyFS, err := firmware.MarshalFS(bootFS)
+	if err != nil {
+		// Cannot happen: marshaling a tiny filesystem is infallible.
+		panic("corpus: marshal boot fs: " + err.Error())
+	}
+	rng := newLCG(20180625) // DSN 2018 camera-ready week; any fixed seed works
+
+	images := make([]*firmware.Image, 0, PopulationSize)
+	for _, y := range populationYears {
+		unpackFails := y.Total * unpackFailPermille / 1000
+		for i := 0; i < y.Total; i++ {
+			vendor := vendors[rng.intn(len(vendors))]
+			arch := isa.ArchARM
+			if rng.intn(2) == 0 {
+				arch = isa.ArchMIPS
+			}
+			img := &firmware.Image{
+				Header: firmware.Header{
+					Vendor:  vendor,
+					Product: fmt.Sprintf("%s-%d-%04d", vendor, y.Year, i),
+					Version: fmt.Sprintf("1.%d.%d", rng.intn(10), rng.intn(100)),
+					Year:    y.Year,
+					Arch:    arch,
+				},
+			}
+			part := firmware.Part{Type: firmware.PartRootFS, Data: emptyFS}
+			switch {
+			case i < y.Success:
+				// Boots: generic peripherals and standard NVRAM keys only.
+				img.Header.Boot = firmware.BootRequirements{
+					Peripherals: []string{"nvram", "uart"},
+					NVRAMKeys:   []string{"lan_ipaddr"},
+				}
+			case i < y.Success+unpackFails:
+				// Extraction fails: vendor-encrypted rootfs.
+				part.Flags = firmware.FlagEncrypted
+			case rng.intn(4) == 0:
+				// Network configuration fails: proprietary NVRAM keys.
+				img.Header.Boot = firmware.BootRequirements{
+					Peripherals: []string{"nvram"},
+					NVRAMKeys:   []string{fmt.Sprintf("%s_factory_key", vendor)},
+				}
+			default:
+				// Custom hardware the emulator does not provide.
+				img.Header.Boot = firmware.BootRequirements{
+					Peripherals: []string{"nvram", fmt.Sprintf("asic-%s-%d", vendor, rng.intn(8))},
+				}
+			}
+			img.Parts = []firmware.Part{part}
+			images = append(images, img)
+		}
+	}
+	return images
+}

@@ -1,0 +1,181 @@
+// screening.go generates a randomized screening corpus: many small
+// firmware binaries, each either carrying exactly one planted taint-style
+// vulnerability or a properly sanitized variant of the same code shape.
+// Running the detector over the corpus measures its precision and recall
+// against known ground truth — the quantitative robustness check behind
+// the paper's qualitative "more vulnerabilities, no false alarms" claims.
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"dtaint/internal/asm"
+	"dtaint/internal/image"
+	"dtaint/internal/isa"
+	"dtaint/internal/taint"
+)
+
+// ScreeningCase is one generated binary with its ground truth.
+type ScreeningCase struct {
+	Name    string
+	Binary  *image.Binary
+	HasVuln bool
+	Class   taint.Class
+	Shape   string // template name, for failure diagnostics
+}
+
+// screeningTemplate writes one code shape in vulnerable or sanitized form.
+type screeningTemplate struct {
+	name  string
+	class taint.Class
+	emit  func(e emitter, vulnerable bool)
+}
+
+var screeningTemplates = []screeningTemplate{
+	{
+		name:  "getenv-system",
+		class: taint.ClassCommandInjection,
+		emit: func(e emitter, vulnerable bool) {
+			e.writef(".data sk \"CMD\"\n.func handler\n  MOV %%a0%%, =sk\n  BL getenv\n  MOV %%t0%%, %%rt%%\n")
+			if !vulnerable {
+				e.writef("  MOV %%a0%%, %%t0%%\n  MOV %%a1%%, #0x3B\n  BL strchr\n  CMP %%rt%%, #0\n  BNE handler_rej\n")
+			}
+			e.writef("  MOV %%a0%%, %%t0%%\n  BL system\nhandler_rej:\n  BX LR\n.endfunc\n")
+		},
+	},
+	{
+		name:  "getenv-strcpy",
+		class: taint.ClassBufferOverflow,
+		emit: func(e emitter, vulnerable bool) {
+			e.writef(".data sk \"UID\"\n.func handler\n  SUB SP, SP, #0x40\n  MOV %%a0%%, =sk\n  BL getenv\n  MOV %%t0%%, %%rt%%\n")
+			if !vulnerable {
+				e.writef("  MOV %%a0%%, %%t0%%\n  BL strlen\n  CMP %%rt%%, #0x20\n  BGE handler_rej\n")
+			}
+			e.writef("  MOV %%a1%%, %%t0%%\n  ADD %%a0%%, SP, #0\n  BL strcpy\nhandler_rej:\n  BX LR\n.endfunc\n")
+		},
+	},
+	{
+		name:  "read-memcpy",
+		class: taint.ClassBufferOverflow,
+		emit: func(e emitter, vulnerable bool) {
+			e.writef(".func handler\n  SUB SP, SP, #0x60\n  ADD %%t0%%, SP, #0x20\n  MOV %%a1%%, %%t0%%\n  MOV %%a0%%, #0\n  MOV %%a2%%, #0x40\n  BL read\n")
+			if vulnerable {
+				// Attacker-derived length.
+				e.writef("  MOV %%a0%%, %%t0%%\n  BL strlen\n  MOV %%a2%%, %%rt%%\n")
+			} else {
+				// Constant length within the destination buffer.
+				e.writef("  MOV %%a2%%, #0x10\n")
+			}
+			e.writef("  MOV %%a1%%, %%t0%%\n  ADD %%a0%%, SP, #0\n  BL memcpy\n  BX LR\n.endfunc\n")
+		},
+	},
+	{
+		name:  "loop-copy",
+		class: taint.ClassBufferOverflow,
+		emit: func(e emitter, vulnerable bool) {
+			bound := "#0x800"
+			if !vulnerable {
+				bound = "#0x10"
+			}
+			e.writef(`.func handler
+  SUB SP, SP, #0x830
+  ADD %%t0%%, SP, #0x30
+  MOV %%a1%%, %%t0%%
+  MOV %%a0%%, #0
+  MOV %%a2%%, #0x800
+  BL read
+  ADD %%t1%%, SP, #4
+  MOV %%t2%%, #0
+handler_lp:
+  LDRB %%t3%%, [%%t0%%, #0]
+  STRB %%t3%%, [%%t1%%, #0]
+  ADD %%t0%%, %%t0%%, #1
+  ADD %%t1%%, %%t1%%, #1
+  ADD %%t2%%, %%t2%%, #1
+  CMP %%t2%%, `)
+			e.writef("%s\n  BLT handler_lp\n  BX LR\n.endfunc\n", bound)
+		},
+	},
+	{
+		name:  "recv-sscanf",
+		class: taint.ClassBufferOverflow,
+		emit: func(e emitter, vulnerable bool) {
+			fmtStr := "Session: %254s"
+			if !vulnerable {
+				fmtStr = "Session: %16s"
+			}
+			// The width is passed as an argument, so no printf-escaping is
+			// applied to it.
+			e.writef(".data sf \"%s\"\n", fmtStr)
+			e.writef(`.func handler
+  SUB SP, SP, #0x2C4
+  ADD %%t0%%, SP, #0x50
+  MOV %%a1%%, %%t0%%
+  MOV %%a0%%, #0
+  MOV %%a2%%, #0x200
+  BL recv
+  MOV %%a0%%, %%t0%%
+  MOV %%a1%%, =sf
+  ADD %%a2%%, SP, #0x210
+  BL sscanf
+  BX LR
+.endfunc
+`)
+		},
+	},
+	{
+		name:  "masked-memcpy",
+		class: taint.ClassBufferOverflow,
+		emit: func(e emitter, vulnerable bool) {
+			e.writef(".func handler\n  SUB SP, SP, #0x50\n  ADD %%t0%%, SP, #0x10\n  MOV %%a1%%, %%t0%%\n  MOV %%a0%%, #0\n  MOV %%a2%%, #0x40\n  BL recv\n  LDRB %%t1%%, [%%t0%%, #0]\n")
+			if !vulnerable {
+				e.writef("  AND %%t1%%, %%t1%%, #0x0F\n")
+			} else {
+				e.writef("  LDRB %%t2%%, [%%t0%%, #1]\n  LSL %%t2%%, %%t2%%, #8\n  ORR %%t1%%, %%t1%%, %%t2%%\n")
+			}
+			e.writef("  MOV %%a1%%, %%t0%%\n  ADD %%a0%%, SP, #0\n  MOV %%a2%%, %%t1%%\n  BL memcpy\n  BX LR\n.endfunc\n")
+		},
+	},
+}
+
+// ScreeningCorpus deterministically generates n screening binaries from
+// the seed: random template, random vulnerable/sanitized form, random
+// architecture flavor, with some benign filler around the handler.
+func ScreeningCorpus(n int, seed uint64) ([]ScreeningCase, error) {
+	rng := newLCG(seed)
+	out := make([]ScreeningCase, 0, n)
+	for i := 0; i < n; i++ {
+		tpl := screeningTemplates[rng.intn(len(screeningTemplates))]
+		vulnerable := rng.intn(2) == 0
+		arch := isa.ArchARM
+		if rng.intn(2) == 0 {
+			arch = isa.ArchMIPS
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, ".arch %s\n", strings.ToLower(arch.String()))
+		emitImports(&b)
+		em := emitter{b: &b, cv: regmap(arch)}
+		tpl.emit(em, vulnerable)
+		emitFiller(em, shape{
+			Funcs:            2 + rng.intn(4),
+			BlocksPerFunc:    5,
+			CallsPerFunc:     2,
+			SinkRatePermille: 250,
+			Prefix:           "fill",
+		}, rng)
+		name := fmt.Sprintf("scr_%04d_%s", i, tpl.name)
+		bin, err := asm.Assemble(name, b.String())
+		if err != nil {
+			return nil, fmt.Errorf("screening case %s: %w", name, err)
+		}
+		out = append(out, ScreeningCase{
+			Name:    name,
+			Binary:  bin,
+			HasVuln: vulnerable,
+			Class:   tpl.class,
+			Shape:   tpl.name,
+		})
+	}
+	return out, nil
+}

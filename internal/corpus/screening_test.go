@@ -1,0 +1,102 @@
+package corpus
+
+import (
+	"testing"
+
+	"dtaint/internal/cfg"
+	"dtaint/internal/dataflow"
+)
+
+// TestScreeningPrecisionRecall runs the detector over a randomized corpus
+// of vulnerable and sanitized binaries: every vulnerable case must be
+// found in the handler (recall 1.0) and no sanitized case may be flagged
+// (precision 1.0).
+func TestScreeningPrecisionRecall(t *testing.T) {
+	cases, err := ScreeningCorpus(120, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vulnerableCases, sanitizedCases := 0, 0
+	for _, c := range cases {
+		prog, err := cfg.Build(c.Binary)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		res, err := dataflow.Analyze(prog, dataflow.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		found := false
+		for _, v := range res.Vulnerabilities() {
+			if v.SinkFunc == "handler" && v.Class == c.Class {
+				found = true
+			}
+		}
+		switch {
+		case c.HasVuln:
+			vulnerableCases++
+			if !found {
+				for _, f := range res.Findings {
+					t.Logf("finding: %s", f.String())
+				}
+				t.Fatalf("%s (%s): vulnerable case missed (recall < 1)", c.Name, c.Shape)
+			}
+		default:
+			sanitizedCases++
+			if found {
+				for _, f := range res.Findings {
+					t.Logf("finding: %s", f.String())
+				}
+				t.Fatalf("%s (%s): sanitized case flagged (precision < 1)", c.Name, c.Shape)
+			}
+		}
+	}
+	// The random split must exercise both sides substantially.
+	if vulnerableCases < 30 || sanitizedCases < 30 {
+		t.Fatalf("lopsided corpus: %d vulnerable, %d sanitized", vulnerableCases, sanitizedCases)
+	}
+}
+
+func TestScreeningDeterministic(t *testing.T) {
+	a, err := ScreeningCorpus(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ScreeningCorpus(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].HasVuln != b[i].HasVuln ||
+			string(a[i].Binary.Text) != string(b[i].Binary.Text) {
+			t.Fatalf("case %d differs across runs", i)
+		}
+	}
+	c, err := ScreeningCorpus(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if string(a[i].Binary.Text) != string(c[i].Binary.Text) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestScreeningCoversAllTemplates(t *testing.T) {
+	cases, err := ScreeningCorpus(120, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := map[string]int{}
+	for _, c := range cases {
+		shapes[c.Shape]++
+	}
+	if len(shapes) != len(screeningTemplates) {
+		t.Fatalf("only %d of %d templates drawn: %v", len(shapes), len(screeningTemplates), shapes)
+	}
+}

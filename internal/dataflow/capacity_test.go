@@ -1,0 +1,287 @@
+package dataflow
+
+import (
+	"testing"
+)
+
+// A length check whose bound exceeds the destination buffer does not
+// sanitize: `if (strlen(s) < 0x200) strcpy(buf64, s)` is still an
+// overflow.
+func TestInsufficientBoundStillVulnerable(t *testing.T) {
+	src := `
+.arch arm
+.import getenv
+.import strcpy
+.import strlen
+.data k "Q"
+
+.func handler
+  SUB SP, SP, #0x40
+  MOV R0, =k
+  BL getenv
+  MOV R5, R0
+  MOV R0, R5
+  BL strlen
+  CMP R0, #0x200
+  BGE out
+  MOV R1, R5
+  ADD R0, SP, #0
+  BL strcpy
+out:
+  BX LR
+.endfunc
+`
+	res := run(t, src, Options{})
+	if findVuln(res, "strcpy", "getenv") == nil {
+		for _, f := range res.Findings {
+			t.Logf("finding: %s", f.String())
+		}
+		t.Fatal("0x200 bound into a 64-byte buffer treated as sanitizing")
+	}
+}
+
+// The same check with a bound that fits the buffer sanitizes.
+func TestSufficientBoundSanitizes(t *testing.T) {
+	src := `
+.arch arm
+.import getenv
+.import strcpy
+.import strlen
+.data k "Q"
+
+.func handler
+  SUB SP, SP, #0x40
+  MOV R0, =k
+  BL getenv
+  MOV R5, R0
+  MOV R0, R5
+  BL strlen
+  CMP R0, #0x20
+  BGE out
+  MOV R1, R5
+  ADD R0, SP, #0
+  BL strcpy
+out:
+  BX LR
+.endfunc
+`
+	res := run(t, src, Options{})
+	if f := findVuln(res, "strcpy", "getenv"); f != nil {
+		t.Fatalf("fitting bound reported: %s", f.String())
+	}
+}
+
+// The Uniview zero-day shape: a scanf conversion width exists but exceeds
+// the destination buffer (%254s into 180 bytes) — still a vulnerability.
+func TestScanfWidthExceedingBuffer(t *testing.T) {
+	src := `
+.arch arm
+.import recv
+.import sscanf
+.data f "Session: %254s"
+
+.func parse
+  SUB SP, SP, #0x2C4
+  ADD R5, SP, #0x50
+  MOV R1, R5
+  MOV R0, #0
+  MOV R2, #0x200
+  BL recv
+  MOV R0, R5
+  MOV R1, =f
+  ADD R2, SP, #0x210
+  BL sscanf
+  BX LR
+.endfunc
+`
+	// The destination sits 0xB4 (180) bytes below the frame top.
+	res := run(t, src, Options{})
+	if findVuln(res, "sscanf", "recv") == nil {
+		for _, f := range res.Findings {
+			t.Logf("finding: %s", f.String())
+		}
+		t.Fatal("a 254-char width into a 180-byte buffer not reported")
+	}
+}
+
+// A width that fits the destination sanitizes the sscanf.
+func TestScanfWidthWithinBuffer(t *testing.T) {
+	src := `
+.arch arm
+.import recv
+.import sscanf
+.data f "Session: %16s"
+
+.func parse
+  SUB SP, SP, #0x2C4
+  ADD R5, SP, #0x50
+  MOV R1, R5
+  MOV R0, #0
+  MOV R2, #0x200
+  BL recv
+  MOV R0, R5
+  MOV R1, =f
+  ADD R2, SP, #0x210
+  BL sscanf
+  BX LR
+.endfunc
+`
+	res := run(t, src, Options{})
+	if f := findVuln(res, "sscanf", "recv"); f != nil {
+		t.Fatalf("%%16s into a large buffer reported: %s", f.String())
+	}
+}
+
+// A constant memcpy length that fits the destination buffer is recorded
+// as a sanitized path, not a vulnerability.
+func TestConstantMemcpyWithinBuffer(t *testing.T) {
+	src := `
+.arch arm
+.import recv
+.import memcpy
+
+.func f
+  SUB SP, SP, #0x50
+  ADD R5, SP, #0x10
+  MOV R1, R5
+  MOV R0, #0
+  MOV R2, #0x20
+  BL recv
+  MOV R1, R5
+  ADD R0, SP, #0
+  MOV R2, #0x20
+  BL memcpy
+  BX LR
+.endfunc
+`
+	res := run(t, src, Options{})
+	if f := findVuln(res, "memcpy", "recv"); f != nil {
+		t.Fatalf("bounded constant memcpy reported: %s", f.String())
+	}
+	// The path is still visible as sanitized.
+	var sawSanitized bool
+	for _, f := range res.Findings {
+		if f.Sink == "memcpy" && f.Sanitized {
+			sawSanitized = true
+		}
+	}
+	if !sawSanitized {
+		t.Fatal("bounded memcpy path lost instead of marked sanitized")
+	}
+}
+
+// A masked copy length is structurally bounded: memcpy(buf, src, n & 0x1F)
+// into a 64-byte buffer cannot overflow (the n2s-style masking of
+// Figure 3, `AND R10, R3, #7`).
+func TestMaskedLengthSanitizes(t *testing.T) {
+	src := `
+.arch arm
+.import recv
+.import memcpy
+
+.func f
+  SUB SP, SP, #0x50
+  ADD R5, SP, #0x10
+  MOV R1, R5
+  MOV R0, #0
+  MOV R2, #0x40
+  BL recv
+  LDRB R6, [R5, #0]
+  AND R6, R6, #0x1F
+  MOV R1, R5
+  ADD R0, SP, #0
+  MOV R2, R6
+  BL memcpy
+  BX LR
+.endfunc
+`
+	res := run(t, src, Options{})
+	if f := findVuln(res, "memcpy", "recv"); f != nil {
+		t.Fatalf("masked length reported: %s", f.String())
+	}
+}
+
+// The same pattern without the mask (a full tainted length) is reported.
+func TestUnmaskedLengthVulnerable(t *testing.T) {
+	src := `
+.arch arm
+.import recv
+.import memcpy
+
+.func f
+  SUB SP, SP, #0x50
+  ADD R5, SP, #0x10
+  MOV R1, R5
+  MOV R0, #0
+  MOV R2, #0x40
+  BL recv
+  LDRB R6, [R5, #0]
+  MOV R1, R5
+  ADD R0, SP, #0
+  MOV R2, R6
+  BL memcpy
+  BX LR
+.endfunc
+`
+	res := run(t, src, Options{})
+	if findVuln(res, "memcpy", "recv") == nil {
+		for _, f := range res.Findings {
+			t.Logf("finding: %s", f.String())
+		}
+		t.Fatal("tainted unmasked length not reported")
+	}
+}
+
+// Statically dead code does not produce findings: the guard constant
+// makes the sink unreachable.
+func TestDeadCodeSinkPruned(t *testing.T) {
+	src := `
+.arch arm
+.import getenv
+.import system
+.data k "X"
+
+.func handler
+  MOV R4, #0
+  CMP R4, #0
+  BEQ skip
+  MOV R0, =k
+  BL getenv
+  BL system
+skip:
+  BX LR
+.endfunc
+`
+	res := run(t, src, Options{})
+	if len(res.Findings) != 0 {
+		for _, f := range res.Findings {
+			t.Logf("finding: %s", f.String())
+		}
+		t.Fatal("dead-code sink produced findings")
+	}
+}
+
+// The feasible side of a constant branch is still fully analyzed.
+func TestFeasibleConstantBranchAnalyzed(t *testing.T) {
+	src := `
+.arch arm
+.import getenv
+.import system
+.data k "X"
+
+.func handler
+  MOV R4, #1
+  CMP R4, #0
+  BEQ skip
+  MOV R0, =k
+  BL getenv
+  BL system
+skip:
+  BX LR
+.endfunc
+`
+	res := run(t, src, Options{})
+	if findVuln(res, "system", "getenv") == nil {
+		t.Fatal("live sink behind a constant branch missed")
+	}
+}

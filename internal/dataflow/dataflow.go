@@ -1,0 +1,451 @@
+// Package dataflow implements DTaint's interprocedural data-flow
+// generation (Section III-E, Algorithm 2) and orchestrates the whole
+// analysis pipeline:
+//
+//  1. Function analysis — every function is symbolically analyzed once
+//     (package symexec), yielding definition pairs, types, and
+//     data-structure field observations.
+//  2. Indirect-call resolution through data-structure layout similarity
+//     (package structsim), which augments the call graph.
+//  3. Bottom-up interprocedural pass — the call graph is traversed in
+//     post-order (callees before callers, via SCC condensation), each
+//     function again analyzed exactly once; at every callsite the callee's
+//     exported definitions, return values, and pending sinks are
+//     instantiated by replacing formal arguments arg0..arg9 and
+//     ret_callsite symbols with the caller's actual expressions
+//     (Algorithm 2's ReplaceFormalArgs / ReplaceRetVariable), with heap
+//     identities re-hashed per callsite chain.
+//  4. Pointer-alias rewriting (package alias, Algorithm 1) extends each
+//     function's definition pairs before they are exported.
+//
+// The result carries every (source, path, sink) finding plus the
+// measurements the evaluation tables report.
+package dataflow
+
+import (
+	"errors"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dtaint/internal/alias"
+	"dtaint/internal/cfg"
+	"dtaint/internal/expr"
+	"dtaint/internal/image"
+	"dtaint/internal/structsim"
+	"dtaint/internal/symexec"
+	"dtaint/internal/taint"
+)
+
+// Options configures the pipeline.
+type Options struct {
+	// Symexec tunes the per-function engine.
+	Symexec symexec.Options
+	// DisableAlias skips Algorithm 1 (ablation).
+	DisableAlias bool
+	// DisableStructSim skips indirect-call resolution (ablation).
+	DisableStructSim bool
+	// Filter restricts analysis to functions for which it returns true
+	// (the paper manually restricts Uniview/Hikvision to their network
+	// modules). Nil analyzes everything.
+	Filter func(name string) bool
+	// ExtraSources adds custom attacker-controlled input functions to the
+	// Table I vocabulary (e.g. vendor NVRAM getters).
+	ExtraSources []taint.SourceSpec
+	// ExtraSinks adds custom security-sensitive sinks.
+	ExtraSinks []taint.SinkSpec
+	// Parallelism is the worker count for the per-function analysis
+	// phase, whose units are independent (0 = GOMAXPROCS). The bottom-up
+	// interprocedural phase is inherently ordered and stays sequential.
+	Parallelism int
+}
+
+// newTracker builds a tracker with the configured vocabulary and access
+// to the program image (for rodata-aware models).
+func newTracker(opts Options, bin *image.Binary) *taint.Tracker {
+	t := taint.NewTracker()
+	t.SetBinary(bin)
+	for _, s := range opts.ExtraSources {
+		t.AddSource(s)
+	}
+	for _, s := range opts.ExtraSinks {
+		t.AddSink(s)
+	}
+	return t
+}
+
+// Result is the output of a whole-binary analysis.
+type Result struct {
+	// Summaries holds the final per-function summaries (post alias
+	// rewriting), keyed by function name.
+	Summaries map[string]*symexec.Summary
+	// Findings are all (source, path, sink) tuples, sanitized or not.
+	Findings []taint.Finding
+	// Resolutions are the indirect calls bound by layout similarity.
+	Resolutions []structsim.Resolution
+
+	FunctionsAnalyzed int
+	SinkCount         int
+	DefPairCount      int
+	SSATime           time.Duration
+	DDGTime           time.Duration
+	Truncated         int // functions that hit the state cap
+}
+
+// VulnerablePaths returns the unsanitized findings (Table III's
+// "Vulnerable paths" column).
+func (r *Result) VulnerablePaths() []taint.Finding {
+	var out []taint.Finding
+	for _, f := range r.Findings {
+		if !f.Sanitized {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Vulnerabilities deduplicates unsanitized findings by sink location and
+// class (Table III's "Vulnerability" column: several paths may reach the
+// same weak sink).
+func (r *Result) Vulnerabilities() []taint.Finding {
+	seen := make(map[string]bool)
+	var out []taint.Finding
+	for _, f := range r.Findings {
+		if f.Sanitized {
+			continue
+		}
+		key := f.SinkFunc + "|" + f.Sink + "|" + itox(f.SinkAddr) + "|" + f.Class.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, f)
+	}
+	return out
+}
+
+func itox(v uint32) string {
+	const hex = "0123456789abcdef"
+	var b [8]byte
+	for i := 7; i >= 0; i-- {
+		b[i] = hex[v&0xF]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// ErrNoProgram is returned when prog is nil or empty.
+var ErrNoProgram = errors.New("dataflow: empty program")
+
+// Analyze runs the full DTaint pipeline over a program.
+func Analyze(prog *cfg.Program, opts Options) (*Result, error) {
+	if prog == nil || len(prog.Funcs) == 0 {
+		return nil, ErrNoProgram
+	}
+	names := filteredNames(prog, opts.Filter)
+	if len(names) == 0 {
+		return nil, ErrNoProgram
+	}
+	if opts.Symexec.Prototypes == nil {
+		opts.Symexec.Prototypes = taint.Prototypes()
+	}
+
+	res := &Result{Summaries: make(map[string]*symexec.Summary, len(names))}
+
+	// Phase 1: per-function static symbolic analysis (the paper's SSA
+	// module). Scratch trackers supply library models; their findings are
+	// discarded — this phase only exists to collect layouts, types, and
+	// indirect callsites. Functions are independent, so the phase fans
+	// out across workers (each with its own tracker).
+	t0 := time.Now()
+	phase1 := runPhase1(prog, names, opts)
+	res.SSATime = time.Since(t0)
+
+	// Phase 2: indirect-call resolution by data-structure similarity.
+	if !opts.DisableStructSim {
+		res.Resolutions = structsim.ResolveIndirect(phase1)
+		for _, r := range res.Resolutions {
+			prog.AddCallEdge(r.Caller, r.Site, r.Callee)
+		}
+	}
+
+	// Phase 3+4: bottom-up interprocedural data flow with alias rewriting.
+	t1 := time.Now()
+	tracker := newTracker(opts, prog.Binary)
+	oracle := &interOracle{tracker: tracker, summaries: res.Summaries}
+	for _, comp := range prog.SCC(names) {
+		for _, name := range comp {
+			tracker.BeginFunction(name)
+			sum := symexec.Analyze(prog.ByName[name], prog.Binary, oracle, opts.Symexec)
+			if !opts.DisableAlias {
+				sum.DefPairs = alias.Rewrite(sum.DefPairs, sum.Types)
+			}
+			tracker.EndFunction(sum)
+			res.Summaries[name] = sum
+			res.FunctionsAnalyzed++
+			res.DefPairCount += len(sum.DefPairs)
+			if sum.Truncated {
+				res.Truncated++
+			}
+		}
+	}
+	res.Findings = tracker.Findings()
+	res.DDGTime = time.Since(t1)
+
+	res.SinkCount = countSinks(prog, names, res.Summaries, opts.ExtraSinks)
+	return res, nil
+}
+
+// runPhase1 analyzes every function independently, in parallel.
+func runPhase1(prog *cfg.Program, names []string, opts Options) map[string]*symexec.Summary {
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(names) {
+		workers = len(names)
+	}
+	sums := make([]*symexec.Summary, len(names))
+	if workers <= 1 {
+		scratch := newTracker(opts, prog.Binary)
+		for i, name := range names {
+			scratch.BeginFunction(name)
+			sums[i] = symexec.Analyze(prog.ByName[name], prog.Binary, scratch, opts.Symexec)
+		}
+	} else {
+		var wg sync.WaitGroup
+		var next atomic.Int64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				scratch := newTracker(opts, prog.Binary)
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(names) {
+						return
+					}
+					scratch.BeginFunction(names[i])
+					sums[i] = symexec.Analyze(prog.ByName[names[i]], prog.Binary, scratch, opts.Symexec)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	out := make(map[string]*symexec.Summary, len(names))
+	for i, name := range names {
+		out[name] = sums[i]
+	}
+	return out
+}
+
+func filteredNames(prog *cfg.Program, filter func(string) bool) []string {
+	names := make([]string, 0, len(prog.Funcs))
+	for _, fn := range prog.Funcs {
+		if filter == nil || filter(fn.Name) {
+			names = append(names, fn.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// countSinks counts static sink sites: import callsites whose callee is in
+// Table I plus loop-copy stores (deduplicated by address).
+func countSinks(prog *cfg.Program, names []string, sums map[string]*symexec.Summary, extra []taint.SinkSpec) int {
+	sinkNames := make(map[string]bool, len(taint.Sinks)+len(extra))
+	for _, s := range taint.Sinks {
+		sinkNames[s] = true
+	}
+	for _, s := range extra {
+		sinkNames[s.Name] = true
+	}
+	n := 0
+	for _, name := range names {
+		fn := prog.ByName[name]
+		for _, cs := range fn.Calls {
+			if cs.Kind == cfg.CallImport && sinkNames[cs.Callee] {
+				n++
+			}
+		}
+		if sum := sums[name]; sum != nil {
+			seen := map[uint32]bool{}
+			for _, ls := range sum.LoopStores {
+				if !seen[ls.Addr] {
+					seen[ls.Addr] = true
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// interOracle composes the taint tracker's library models with callee
+// summary application for local calls (Algorithm 2).
+type interOracle struct {
+	tracker   *taint.Tracker
+	summaries map[string]*symexec.Summary
+}
+
+var _ symexec.Oracle = (*interOracle)(nil)
+
+// Call implements symexec.Oracle.
+func (o *interOracle) Call(ctx *symexec.CallContext) symexec.CallEffect {
+	if ctx.Kind == cfg.CallImport || ctx.Kind == cfg.CallUnknown {
+		return o.tracker.Call(ctx)
+	}
+	sum, ok := o.summaries[ctx.Callee]
+	if !ok {
+		// Within an SCC (recursion) the callee may not be summarized yet;
+		// the engine falls back to a fresh return symbol.
+		return symexec.CallEffect{}
+	}
+	sub := substitutor(ctx)
+
+	eff := symexec.CallEffect{Handled: true}
+	// ReplaceRetVariable: the callee's return values are instantiated at
+	// the callsite. A single return substitutes directly; a small set of
+	// alternative returns is OR-combined so taint in any branch's return
+	// value survives (sound for detection); larger sets keep the opaque
+	// ret symbol.
+	switch {
+	case len(sum.Rets) == 1:
+		eff.Ret = sub(sum.Rets[0])
+	case len(sum.Rets) >= 2 && len(sum.Rets) <= 4:
+		var combined *expr.Expr
+		for _, r := range sum.Rets {
+			rs := sub(r)
+			if rs == nil {
+				continue
+			}
+			if combined == nil {
+				combined = rs
+			} else if !combined.Equal(rs) {
+				combined = expr.Bin(expr.OpOr, combined, rs)
+			}
+		}
+		eff.Ret = combined
+	}
+	// PushToCallSite: exported definitions (root pointer is a formal
+	// argument, a heap identity, or tainted data) are instantiated in the
+	// caller's state.
+	for _, dp := range sum.DefPairs {
+		if !exportable(dp.D) {
+			continue
+		}
+		// Definitions mentioning callee frame-locals cannot be expressed
+		// in the caller: the callee's "sp" symbol would collide with the
+		// caller's own stack pointer.
+		if containsFrameLocal(dp.D) || containsFrameLocal(dp.U) {
+			continue
+		}
+		addr, okD := dp.D.DerefAddr()
+		if !okD {
+			continue
+		}
+		eff.MemDefs = append(eff.MemDefs, symexec.MemDef{
+			Addr: sub(addr),
+			Val:  sub(dp.U),
+		})
+	}
+	// Pending sinks climb from the callee into this function.
+	o.tracker.ImportPending(o.tracker.Pendings(ctx.Callee), sub, ctx.Site)
+	return eff
+}
+
+// substitutor builds Algorithm 2's replacement: formal arguments become
+// the callsite's actual expressions, heap identities are re-hashed with
+// the callsite (unique per callsite chain), and the result is resolved
+// against the live caller state.
+func substitutor(ctx *symexec.CallContext) func(*expr.Expr) *expr.Expr {
+	m := make(map[string]*expr.Expr, len(ctx.Args))
+	for i, a := range ctx.Args {
+		if a != nil {
+			m[expr.ArgName(i)] = a
+		}
+	}
+	site := uint64(ctx.Site)
+	return func(e *expr.Expr) *expr.Expr {
+		if e == nil {
+			return nil
+		}
+		// Re-hash heap identities BEFORE substituting actuals: only heap
+		// symbols originating in the callee (its allocation sites) extend
+		// their callsite chain; heap pointers the caller passes in as
+		// arguments keep their identity.
+		e = e.MapSyms(func(name string) *expr.Expr {
+			if expr.IsHeapName(name) {
+				return expr.Sym(expr.RehashHeap(name, site))
+			}
+			return nil
+		})
+		e = e.SubstMap(m)
+		return ctx.ResolveDeep(e)
+	}
+}
+
+// exportable reports whether a definition's destination survives the
+// callee's frame: rooted at a formal argument, a heap object, tainted
+// data, or an absolute memory address (a global — Section III-B: "in the
+// absolute memory address, DTaint directly uses the memory to present
+// variables, such as 0x670B0"). Stack-rooted and register-init-rooted
+// definitions are locals.
+func exportable(d *expr.Expr) bool {
+	if isGlobalDeref(d) {
+		return true
+	}
+	root := d.RootPointer()
+	if root == nil {
+		return false
+	}
+	name, ok := root.SymName()
+	if !ok {
+		return false
+	}
+	if _, isArg := expr.ArgIndex(name); isArg {
+		return true
+	}
+	return expr.IsHeapName(name) || expr.IsTaintName(name)
+}
+
+// isGlobalDeref reports whether d is a memory access at an absolute
+// (constant) address, possibly nested (deref(deref(0x670B0)+4)).
+func isGlobalDeref(d *expr.Expr) bool {
+	addr, ok := d.DerefAddr()
+	if !ok {
+		return false
+	}
+	if _, isConst := addr.ConstVal(); isConst {
+		return true
+	}
+	base, _, ok := addr.BasePlusOffset()
+	if !ok {
+		return false
+	}
+	if _, isConst := base.ConstVal(); isConst {
+		return true
+	}
+	if base.IsDeref() {
+		return isGlobalDeref(base)
+	}
+	return false
+}
+
+// containsFrameLocal reports whether e mentions a symbol private to the
+// callee's frame (its stack pointer, uninitialized registers, or opaque
+// truncation symbols).
+func containsFrameLocal(e *expr.Expr) bool {
+	if e == nil {
+		return false
+	}
+	for _, s := range e.Syms() {
+		if s == expr.StackSym || strings.HasPrefix(s, "init_") || strings.HasPrefix(s, "opaque_") {
+			return true
+		}
+	}
+	return false
+}

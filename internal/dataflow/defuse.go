@@ -1,0 +1,128 @@
+// defuse.go materializes the definition-pair sets produced by the
+// bottom-up pass into an explicit def-use graph ("DTaint uses the
+// definition pairs to construct use-def and def-use chains to generate
+// data flows", Section III-E). The graph supports the slicing-style
+// queries conventional DDGs (angr's) are used for: which definitions
+// feed a given expression, transitively.
+package dataflow
+
+import (
+	"sort"
+
+	"dtaint/internal/expr"
+	"dtaint/internal/symexec"
+)
+
+// DefNode is one definition in the global def-use graph.
+type DefNode struct {
+	Func string
+	Def  symexec.DefPair
+}
+
+// DefUseGraph is the whole-binary def-use relation over definition pairs.
+type DefUseGraph struct {
+	nodes []DefNode
+	// byKey indexes node positions by the definition's destination key.
+	byKey map[string][]int
+	// deps maps a node to the nodes whose definitions its value reads.
+	deps  map[int][]int
+	edges int
+}
+
+// BuildDefUse constructs the graph from the per-function summaries of a
+// completed analysis.
+func BuildDefUse(sums map[string]*symexec.Summary) *DefUseGraph {
+	g := &DefUseGraph{
+		byKey: make(map[string][]int),
+		deps:  make(map[int][]int),
+	}
+	names := make([]string, 0, len(sums))
+	for n := range sums {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, dp := range sums[name].DefPairs {
+			idx := len(g.nodes)
+			g.nodes = append(g.nodes, DefNode{Func: name, Def: dp})
+			g.byKey[dp.D.Key()] = append(g.byKey[dp.D.Key()], idx)
+		}
+	}
+	// An edge exists from node n to node m when n's value expression
+	// dereferences m's destination.
+	for idx, n := range g.nodes {
+		if n.Def.U == nil {
+			continue
+		}
+		for _, key := range n.Def.U.DerefKeys() {
+			for _, m := range g.byKey[key] {
+				if m == idx {
+					continue
+				}
+				g.deps[idx] = append(g.deps[idx], m)
+				g.edges++
+			}
+		}
+	}
+	return g
+}
+
+// Nodes returns the number of definitions in the graph.
+func (g *DefUseGraph) Nodes() int { return len(g.nodes) }
+
+// Edges returns the number of def-use edges.
+func (g *DefUseGraph) Edges() int { return g.edges }
+
+// DefsOf returns the definitions whose destination matches key.
+func (g *DefUseGraph) DefsOf(key string) []DefNode {
+	idxs := g.byKey[key]
+	out := make([]DefNode, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, g.nodes[i])
+	}
+	return out
+}
+
+// BackwardSlice returns every definition that transitively feeds the
+// given expression — the data provenance of a value, the query a
+// vulnerability analyst runs from a sink argument.
+func (g *DefUseGraph) BackwardSlice(e *expr.Expr) []DefNode {
+	if e == nil {
+		return nil
+	}
+	visited := make(map[int]bool)
+	var stack []int
+	for _, key := range e.DerefKeys() {
+		stack = append(stack, g.byKey[key]...)
+	}
+	var out []DefNode
+	for len(stack) > 0 {
+		idx := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[idx] {
+			continue
+		}
+		visited[idx] = true
+		out = append(out, g.nodes[idx])
+		stack = append(stack, g.deps[idx]...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Func != out[j].Func {
+			return out[i].Func < out[j].Func
+		}
+		return out[i].Def.Addr < out[j].Def.Addr
+	})
+	return out
+}
+
+// TaintedDefs returns every definition whose value carries taint — the
+// attacker-influenced portion of the program state.
+func (g *DefUseGraph) TaintedDefs() []DefNode {
+	var out []DefNode
+	for _, n := range g.nodes {
+		if n.Def.U != nil && n.Def.U.ContainsTaint() {
+			out = append(out, n)
+		}
+	}
+	return out
+}

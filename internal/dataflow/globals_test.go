@@ -1,0 +1,122 @@
+package dataflow
+
+import (
+	"testing"
+)
+
+// Firmware commonly moves request data between stages through globals;
+// the analysis tracks definitions at absolute memory addresses
+// (Section III-B's "absolute memory address" variables).
+const globalFlowSrc = `
+.arch arm
+.import getenv
+.import system
+.data k "QUERY_STRING"
+
+.func parse_request
+  MOV R0, =k
+  BL getenv
+  MOV R4, R0
+  MOV R5, #0x20000
+  STR R4, [R5, #0]
+  BX LR
+.endfunc
+
+.func exec_action
+  MOV R5, #0x20000
+  LDR R0, [R5, #0]
+  BL system
+  BX LR
+.endfunc
+
+.func main
+  BL parse_request
+  BL exec_action
+  BX LR
+.endfunc
+`
+
+func TestTaintThroughGlobalVariable(t *testing.T) {
+	res := run(t, globalFlowSrc, Options{})
+	f := findVuln(res, "system", "getenv")
+	if f == nil {
+		for _, g := range res.Findings {
+			t.Logf("finding: %s", g.String())
+		}
+		t.Fatal("taint through the global variable not tracked")
+	}
+	if f.SinkFunc != "exec_action" {
+		t.Fatalf("sink in %s", f.SinkFunc)
+	}
+}
+
+// The global write must not leak into callers that never execute the
+// writing function.
+func TestGlobalNotTaintedWithoutWriter(t *testing.T) {
+	src := `
+.arch arm
+.import system
+
+.func exec_action
+  MOV R5, #0x20000
+  LDR R0, [R5, #0]
+  BL system
+  BX LR
+.endfunc
+
+.func main
+  BL exec_action
+  BX LR
+.endfunc
+`
+	res := run(t, src, Options{})
+	for _, f := range res.Findings {
+		if !f.Sanitized {
+			t.Fatalf("phantom finding without any source: %s", f.String())
+		}
+	}
+}
+
+// Sanitization of global-carried data still applies.
+func TestGlobalFlowSanitized(t *testing.T) {
+	src := `
+.arch arm
+.import getenv
+.import system
+.import strchr
+.data k "Q"
+
+.func parse_request
+  MOV R0, =k
+  BL getenv
+  MOV R4, R0
+  MOV R5, #0x20000
+  STR R4, [R5, #0]
+  BX LR
+.endfunc
+
+.func exec_action
+  MOV R5, #0x20000
+  LDR R4, [R5, #0]
+  MOV R0, R4
+  MOV R1, #0x3B
+  BL strchr
+  CMP R0, #0
+  BNE out
+  MOV R0, R4
+  BL system
+out:
+  BX LR
+.endfunc
+
+.func main
+  BL parse_request
+  BL exec_action
+  BX LR
+.endfunc
+`
+	res := run(t, src, Options{})
+	if f := findVuln(res, "system", "getenv"); f != nil {
+		t.Fatalf("semicolon-checked global flow reported: %s", f.String())
+	}
+}

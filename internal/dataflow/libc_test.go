@@ -1,0 +1,147 @@
+package dataflow
+
+import "testing"
+
+// gets() on a stack buffer is unconditionally a finding — no bound can
+// exist.
+func TestGetsAlwaysVulnerable(t *testing.T) {
+	src := `
+.arch arm
+.import gets
+
+.func handler
+  SUB SP, SP, #0x40
+  ADD R0, SP, #0
+  BL gets
+  BX LR
+.endfunc
+`
+	res := run(t, src, Options{})
+	if findVuln(res, "gets", "gets") == nil {
+		for _, f := range res.Findings {
+			t.Logf("finding: %s", f.String())
+		}
+		t.Fatal("gets not reported")
+	}
+}
+
+// snprintf with a constant size that fits the destination sanitizes;
+// an oversized constant does not.
+func TestSnprintfBounds(t *testing.T) {
+	mk := func(size string) string {
+		return `
+.arch arm
+.import getenv
+.import snprintf
+.data k "Q"
+.data f "%s"
+
+.func handler
+  SUB SP, SP, #0x40
+  MOV R0, =k
+  BL getenv
+  MOV R3, R0
+  MOV R2, =f
+  MOV R1, ` + size + `
+  ADD R0, SP, #0
+  BL snprintf
+  BX LR
+.endfunc
+`
+	}
+	safe := run(t, mk("#0x40"), Options{})
+	if f := findVuln(safe, "snprintf", "getenv"); f != nil {
+		t.Fatalf("fitting snprintf reported: %s", f.String())
+	}
+	unsafe := run(t, mk("#0x100"), Options{})
+	if findVuln(unsafe, "snprintf", "getenv") == nil {
+		for _, f := range unsafe.Findings {
+			t.Logf("finding: %s", f.String())
+		}
+		t.Fatal("oversized snprintf not reported")
+	}
+}
+
+// strncat with an attacker-derived length is a finding; a small constant
+// bound is not.
+func TestStrncatBounds(t *testing.T) {
+	vuln := `
+.arch arm
+.import getenv
+.import strncat
+.import strlen
+.data k "Q"
+
+.func handler
+  SUB SP, SP, #0x40
+  MOV R0, =k
+  BL getenv
+  MOV R4, R0
+  MOV R0, R4
+  BL strlen
+  MOV R2, R0
+  MOV R1, R4
+  ADD R0, SP, #0
+  BL strncat
+  BX LR
+.endfunc
+`
+	res := run(t, vuln, Options{})
+	if findVuln(res, "strncat", "getenv") == nil {
+		t.Fatal("unbounded strncat not reported")
+	}
+	safe := `
+.arch arm
+.import getenv
+.import strncat
+.data k "Q"
+
+.func handler
+  SUB SP, SP, #0x40
+  MOV R0, =k
+  BL getenv
+  MOV R1, R0
+  MOV R2, #0x10
+  ADD R0, SP, #0
+  BL strncat
+  BX LR
+.endfunc
+`
+	res2 := run(t, safe, Options{})
+	if f := findVuln(res2, "strncat", "getenv"); f != nil {
+		t.Fatalf("bounded strncat reported: %s", f.String())
+	}
+}
+
+// strtol propagates taint like atoi: the parsed number of tainted text is
+// attacker-controlled.
+func TestStrtolPropagatesTaint(t *testing.T) {
+	src := `
+.arch arm
+.import getenv
+.import strtol
+.import memcpy
+.data k "LEN"
+
+.func handler
+  SUB SP, SP, #0x40
+  MOV R0, =k
+  BL getenv
+  MOV R1, #0
+  MOV R2, #10
+  BL strtol
+  MOV R2, R0
+  ADD R0, SP, #0
+  ADD R1, SP, #0x20
+  BL memcpy
+  BX LR
+.endfunc
+`
+	res := run(t, src, Options{})
+	if findVuln(res, "memcpy", "getenv") == nil {
+		for _, f := range res.Findings {
+			t.Logf("finding: %s", f.String())
+		}
+		t.Fatal("strtol-derived length not tracked")
+	}
+}

@@ -1,0 +1,33 @@
+package dataflow
+
+import (
+	"testing"
+
+	"dtaint/internal/asm"
+	"dtaint/internal/cfg"
+)
+
+// Parallel phase-1 analysis must produce identical results to the
+// sequential run: same findings, same resolutions, same summary counts.
+func TestParallelPhase1Deterministic(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		bin, err := asm.Assemble("t", structSimSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := cfg.Build(bin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Analyze(prog, Options{Parallelism: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Resolutions) != 1 || res.Resolutions[0].Callee != "handler" {
+			t.Fatalf("workers=%d: resolutions = %+v", workers, res.Resolutions)
+		}
+		if findVuln(res, "strcpy", "recv") == nil {
+			t.Fatalf("workers=%d: vulnerability missing", workers)
+		}
+	}
+}

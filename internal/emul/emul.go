@@ -1,0 +1,197 @@
+// Package emul models full-system firmware emulation in the style of
+// FIRMADYNE, for the paper's Section II-A study (Figure 1).
+//
+// The paper runs 6,529 firmware images through an emulator and finds that
+// fewer than 670 boot successfully; the rest fail to access custom
+// hardware peripherals or to initialize their network configuration. This
+// model reproduces exactly those two failure classes: an Emulator provides
+// a fixed set of generic peripherals and default NVRAM keys; an image
+// boots iff its declared requirements are satisfiable.
+package emul
+
+import (
+	"fmt"
+	"sort"
+
+	"dtaint/internal/firmware"
+)
+
+// FailReason classifies why a boot failed.
+type FailReason int
+
+// Boot failure classes: extraction, a missing init program, the paper's
+// two dominant runtime causes (custom hardware, network configuration).
+const (
+	FailNone FailReason = iota
+	FailUnpack
+	FailNoInit
+	FailPeripheral
+	FailNetworkConfig
+)
+
+// String implements fmt.Stringer.
+func (f FailReason) String() string {
+	switch f {
+	case FailNone:
+		return "ok"
+	case FailUnpack:
+		return "unpack failed"
+	case FailNoInit:
+		return "no init program in rootfs"
+	case FailPeripheral:
+		return "missing peripheral"
+	case FailNetworkConfig:
+		return "network configuration failed"
+	}
+	return "fail?"
+}
+
+// Result reports the outcome of a boot attempt.
+type Result struct {
+	OK      bool
+	Reason  FailReason
+	Missing []string // peripherals or NVRAM keys that were unavailable
+}
+
+// Emulator is a full-system emulator with a fixed hardware model.
+type Emulator struct {
+	peripherals map[string]bool
+	nvram       map[string]bool
+}
+
+// DefaultPeripherals is the generic hardware a FIRMADYNE-like emulator
+// provides: standard CPU, memory, flash, a generic NIC and an NVRAM shim.
+var DefaultPeripherals = []string{
+	"nvram",
+	"flash",
+	"uart",
+	"eth-generic",
+	"watchdog",
+}
+
+// DefaultNVRAMKeys are the keys the NVRAM shim pre-populates.
+var DefaultNVRAMKeys = []string{
+	"lan_ipaddr",
+	"lan_netmask",
+	"wan_proto",
+	"hostname",
+}
+
+// New returns an emulator with the default hardware model.
+func New() *Emulator {
+	return NewWith(DefaultPeripherals, DefaultNVRAMKeys)
+}
+
+// NewWith returns an emulator providing exactly the given peripherals and
+// NVRAM keys.
+func NewWith(peripherals, nvramKeys []string) *Emulator {
+	e := &Emulator{
+		peripherals: make(map[string]bool, len(peripherals)),
+		nvram:       make(map[string]bool, len(nvramKeys)),
+	}
+	for _, p := range peripherals {
+		e.peripherals[p] = true
+	}
+	for _, k := range nvramKeys {
+		e.nvram[k] = true
+	}
+	return e
+}
+
+// initPaths are the programs the boot process will execute as PID 1,
+// in probe order (FIRMADYNE patches the kernel to locate the image's own
+// init).
+var initPaths = []string{"/sbin/init", "/init", "/bin/busybox", "/bin/sh"}
+
+// Boot attempts to boot a parsed firmware image through the full staged
+// pipeline: extract the root filesystem, locate an init program, probe
+// the hardware the boot scripts touch, then bring up the network
+// configuration from NVRAM.
+func (e *Emulator) Boot(img *firmware.Image) Result {
+	fs, err := firmware.ExtractRootFS(img)
+	if err != nil {
+		return Result{Reason: FailUnpack}
+	}
+	hasInit := false
+	for _, p := range initPaths {
+		if _, err := fs.Lookup(p); err == nil {
+			hasInit = true
+			break
+		}
+	}
+	if !hasInit {
+		return Result{Reason: FailNoInit}
+	}
+	var missing []string
+	for _, p := range img.Header.Boot.Peripherals {
+		if !e.peripherals[p] {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return Result{Reason: FailPeripheral, Missing: missing}
+	}
+	for _, k := range img.Header.Boot.NVRAMKeys {
+		if !e.nvram[k] {
+			missing = append(missing, k)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return Result{Reason: FailNetworkConfig, Missing: missing}
+	}
+	return Result{OK: true}
+}
+
+// BootRaw scans, unpacks, and boots raw image bytes.
+func (e *Emulator) BootRaw(data []byte) Result {
+	img, _, err := firmware.Scan(data)
+	if err != nil {
+		return Result{Reason: FailUnpack}
+	}
+	return e.Boot(img)
+}
+
+// YearStat aggregates boot outcomes for one release year (one histogram
+// bar of Figure 1).
+type YearStat struct {
+	Year    int
+	Total   int
+	Success int
+}
+
+// Failed returns the number of failed boots in the year.
+func (y YearStat) Failed() int { return y.Total - y.Success }
+
+// Study boots every image and aggregates results per release year,
+// producing the Figure 1 data series.
+func (e *Emulator) Study(images []*firmware.Image) []YearStat {
+	byYear := make(map[int]*YearStat)
+	for _, img := range images {
+		st, ok := byYear[img.Header.Year]
+		if !ok {
+			st = &YearStat{Year: img.Header.Year}
+			byYear[img.Header.Year] = st
+		}
+		st.Total++
+		if e.Boot(img).OK {
+			st.Success++
+		}
+	}
+	out := make([]YearStat, 0, len(byYear))
+	for _, st := range byYear {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Year < out[j].Year })
+	return out
+}
+
+// Summarize renders the study as text rows (year, emulable, failed).
+func Summarize(stats []YearStat) string {
+	s := "Year  Total  Emulable  Failed\n"
+	for _, st := range stats {
+		s += fmt.Sprintf("%d  %5d  %8d  %6d\n", st.Year, st.Total, st.Success, st.Failed())
+	}
+	return s
+}

@@ -1,0 +1,156 @@
+package emul
+
+import (
+	"strings"
+	"testing"
+
+	"dtaint/internal/firmware"
+	"dtaint/internal/isa"
+)
+
+func imageWith(t *testing.T, reqs firmware.BootRequirements, rootFlags uint8) *firmware.Image {
+	t.Helper()
+	fs := &firmware.FS{}
+	if err := fs.Add(firmware.File{Path: "/sbin/init", Mode: 0o755, Data: []byte("init")}); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := firmware.MarshalFS(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &firmware.Image{
+		Header: firmware.Header{
+			Vendor: "v", Product: "p", Version: "1", Year: 2014,
+			Arch: isa.ArchARM, Boot: reqs,
+		},
+		Parts: []firmware.Part{{Type: firmware.PartRootFS, Flags: rootFlags, Data: payload}},
+	}
+}
+
+func TestBootSuccess(t *testing.T) {
+	e := New()
+	img := imageWith(t, firmware.BootRequirements{
+		Peripherals: []string{"nvram", "uart"},
+		NVRAMKeys:   []string{"lan_ipaddr"},
+	}, 0)
+	res := e.Boot(img)
+	if !res.OK || res.Reason != FailNone {
+		t.Fatalf("boot failed: %+v", res)
+	}
+}
+
+func TestBootMissingPeripheral(t *testing.T) {
+	e := New()
+	img := imageWith(t, firmware.BootRequirements{
+		Peripherals: []string{"nvram", "sensor-imx291", "dsp-vendor"},
+	}, 0)
+	res := e.Boot(img)
+	if res.OK || res.Reason != FailPeripheral {
+		t.Fatalf("want peripheral failure, got %+v", res)
+	}
+	if len(res.Missing) != 2 || res.Missing[0] != "dsp-vendor" {
+		t.Fatalf("missing = %v", res.Missing)
+	}
+}
+
+func TestBootMissingNVRAM(t *testing.T) {
+	e := New()
+	img := imageWith(t, firmware.BootRequirements{
+		Peripherals: []string{"nvram"},
+		NVRAMKeys:   []string{"vendor_secret_key"},
+	}, 0)
+	res := e.Boot(img)
+	if res.OK || res.Reason != FailNetworkConfig {
+		t.Fatalf("want network-config failure, got %+v", res)
+	}
+}
+
+func TestBootNoInit(t *testing.T) {
+	e := New()
+	payload, err := firmware.MarshalFS(&firmware.FS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := &firmware.Image{
+		Header: firmware.Header{Vendor: "v", Product: "p", Version: "1", Year: 2014, Arch: isa.ArchARM},
+		Parts:  []firmware.Part{{Type: firmware.PartRootFS, Data: payload}},
+	}
+	res := e.Boot(img)
+	if res.OK || res.Reason != FailNoInit {
+		t.Fatalf("want init failure, got %+v", res)
+	}
+}
+
+func TestBootEncryptedImageFailsUnpack(t *testing.T) {
+	e := New()
+	img := imageWith(t, firmware.BootRequirements{}, firmware.FlagEncrypted)
+	res := e.Boot(img)
+	if res.OK || res.Reason != FailUnpack {
+		t.Fatalf("want unpack failure, got %+v", res)
+	}
+}
+
+func TestBootRaw(t *testing.T) {
+	e := New()
+	img := imageWith(t, firmware.BootRequirements{Peripherals: []string{"uart"}}, 0)
+	raw, err := firmware.Pack(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := e.BootRaw(raw); !res.OK {
+		t.Fatalf("BootRaw failed: %+v", res)
+	}
+	if res := e.BootRaw([]byte("garbage")); res.OK || res.Reason != FailUnpack {
+		t.Fatalf("garbage booted: %+v", res)
+	}
+}
+
+func TestStudyAggregation(t *testing.T) {
+	e := New()
+	var images []*firmware.Image
+	mk := func(year int, periph string) *firmware.Image {
+		img := imageWith(t, firmware.BootRequirements{Peripherals: []string{periph}}, 0)
+		img.Header.Year = year
+		return img
+	}
+	images = append(images,
+		mk(2009, "uart"), mk(2009, "custom-asic"),
+		mk(2010, "uart"), mk(2010, "uart"), mk(2010, "custom-asic"),
+	)
+	stats := e.Study(images)
+	if len(stats) != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats[0].Year != 2009 || stats[0].Total != 2 || stats[0].Success != 1 {
+		t.Fatalf("2009 = %+v", stats[0])
+	}
+	if stats[1].Year != 2010 || stats[1].Total != 3 || stats[1].Success != 2 || stats[1].Failed() != 1 {
+		t.Fatalf("2010 = %+v", stats[1])
+	}
+	text := Summarize(stats)
+	if !strings.Contains(text, "2009") || !strings.Contains(text, "Emulable") {
+		t.Fatalf("summary:\n%s", text)
+	}
+}
+
+func TestNewWithCustomHardware(t *testing.T) {
+	e := NewWith([]string{"sensor-imx291"}, nil)
+	img := imageWith(t, firmware.BootRequirements{Peripherals: []string{"sensor-imx291"}}, 0)
+	if res := e.Boot(img); !res.OK {
+		t.Fatalf("custom hardware not honored: %+v", res)
+	}
+}
+
+func TestFailReasonStrings(t *testing.T) {
+	for r, want := range map[FailReason]string{
+		FailNone:          "ok",
+		FailNoInit:        "no init program in rootfs",
+		FailUnpack:        "unpack failed",
+		FailPeripheral:    "missing peripheral",
+		FailNetworkConfig: "network configuration failed",
+	} {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q, want %q", r, r.String(), want)
+		}
+	}
+}

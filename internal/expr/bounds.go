@@ -1,0 +1,84 @@
+package expr
+
+// MaxValue computes a structural upper bound for a non-negative
+// expression, when one exists: constants bound themselves, AND with a
+// constant mask bounds by the mask (firmware length fields are routinely
+// masked, e.g. Figure 3's `AND R10, R3, #7`), right shifts divide the
+// bound, and sums/products of bounded terms combine. Symbolic values are
+// unbounded. ok is false when no bound can be derived.
+//
+// The bound is used by the vulnerability detector: a copy length that is
+// structurally bounded below the destination buffer's capacity cannot
+// overflow it.
+func MaxValue(e *Expr) (int64, bool) {
+	return maxValue(e, 0)
+}
+
+const maxValueDepth = 16
+
+func maxValue(e *Expr, depth int) (int64, bool) {
+	if e == nil || depth > maxValueDepth {
+		return 0, false
+	}
+	switch e.kind {
+	case KindConst:
+		if e.val < 0 {
+			return 0, false
+		}
+		return e.val, true
+	case KindBinOp:
+		switch e.op {
+		case OpAnd:
+			// x & mask <= mask (for non-negative mask); either side may be
+			// the mask.
+			if v, ok := e.y.ConstVal(); ok && v >= 0 {
+				if b, okX := maxValue(e.x, depth+1); okX && b < v {
+					return b, true
+				}
+				return v, true
+			}
+			if v, ok := e.x.ConstVal(); ok && v >= 0 {
+				return v, true
+			}
+			return 0, false
+		case OpShr:
+			if sh, ok := e.y.ConstVal(); ok && sh >= 0 && sh < 63 {
+				if b, okX := maxValue(e.x, depth+1); okX {
+					return b >> uint(sh), true
+				}
+			}
+			return 0, false
+		case OpShl:
+			if sh, ok := e.y.ConstVal(); ok && sh >= 0 && sh < 32 {
+				if b, okX := maxValue(e.x, depth+1); okX && b < (1<<31) {
+					return b << uint(sh), true
+				}
+			}
+			return 0, false
+		case OpAdd:
+			bx, okX := maxValue(e.x, depth+1)
+			by, okY := maxValue(e.y, depth+1)
+			if okX && okY {
+				return bx + by, true
+			}
+			return 0, false
+		case OpMul:
+			bx, okX := maxValue(e.x, depth+1)
+			by, okY := maxValue(e.y, depth+1)
+			if okX && okY && bx < (1<<31) && by < (1<<31) {
+				return bx * by, true
+			}
+			return 0, false
+		case OpOr:
+			// x | y < 2*max(bound(x), bound(y)) rounded to the next power
+			// of two minus one; we use the simpler sum bound.
+			bx, okX := maxValue(e.x, depth+1)
+			by, okY := maxValue(e.y, depth+1)
+			if okX && okY {
+				return bx + by, true
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,107 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxValue(t *testing.T) {
+	taintE := Sym(TaintName("recv", 1))
+	tests := []struct {
+		name  string
+		e     *Expr
+		bound int64
+		ok    bool
+	}{
+		{"const", Const(42), 42, true},
+		{"negative const", Const(-1), 0, false},
+		{"symbol", Sym("n"), 0, false},
+		{"mask", Bin(OpAnd, taintE, Const(7)), 7, true},
+		{"mask reversed", Bin(OpAnd, Const(0xFF), taintE), 255, true},
+		{"mask of bounded", Bin(OpAnd, Const(3), Const(0xFF)), 3, true},
+		{"shr", Bin(OpShr, Bin(OpAnd, taintE, Const(0xFF)), Const(4)), 15, true},
+		{"shl", Bin(OpShl, Bin(OpAnd, taintE, Const(3)), Const(2)), 12, true},
+		{"sum", Bin(OpAdd, Bin(OpAnd, taintE, Const(7)), Bin(OpAnd, Sym("x"), Const(8))), 15, true},
+		{"sum unbounded", Bin(OpAdd, Sym("x"), Const(7)), 0, false},
+		{"mul", Bin(OpMul, Bin(OpAnd, taintE, Const(3)), Const(4)), 12, true},
+		{"or", Bin(OpOr, Bin(OpAnd, taintE, Const(7)), Bin(OpAnd, Sym("x"), Const(8))), 15, true},
+		{"or unbounded", Bin(OpOr, taintE, Const(7)), 0, false},
+		{"deref", Deref(Sym("p")), 0, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b, ok := MaxValue(tt.e)
+			if ok != tt.ok || (ok && b != tt.bound) {
+				t.Fatalf("MaxValue(%s) = %d,%v want %d,%v", tt.e, b, ok, tt.bound, tt.ok)
+			}
+		})
+	}
+}
+
+// Property: whenever MaxValue returns a bound for a randomly built
+// expression over bounded leaves, evaluating the expression with any leaf
+// assignment within those bounds stays <= the bound.
+func TestMaxValueSoundness(t *testing.T) {
+	type leaf struct {
+		sym  *Expr
+		mask int64
+	}
+	build := func(r *rand.Rand) (*Expr, []leaf) {
+		leaves := []leaf{
+			{Sym("a"), int64(r.Intn(255) + 1)},
+			{Sym("b"), int64(r.Intn(255) + 1)},
+		}
+		e1 := Bin(OpAnd, leaves[0].sym, Const(leaves[0].mask))
+		e2 := Bin(OpAnd, leaves[1].sym, Const(leaves[1].mask))
+		ops := []Op{OpAdd, OpMul, OpOr}
+		return Bin(ops[r.Intn(len(ops))], e1, e2), leaves
+	}
+	eval := func(e *Expr, env map[string]int64) int64 {
+		var ev func(x *Expr) int64
+		ev = func(x *Expr) int64 {
+			if v, ok := x.ConstVal(); ok {
+				return v
+			}
+			if n, ok := x.SymName(); ok {
+				return env[n]
+			}
+			op, l, rr, _ := x.BinOperands()
+			a, b := ev(l), ev(rr)
+			switch op {
+			case OpAdd:
+				return a + b
+			case OpMul:
+				return a * b
+			case OpAnd:
+				return a & b
+			case OpOr:
+				return a | b
+			}
+			return 0
+		}
+		return ev(e)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e, leaves := build(r)
+		bound, ok := MaxValue(e)
+		if !ok {
+			return false
+		}
+		for trial := 0; trial < 20; trial++ {
+			env := map[string]int64{}
+			for _, l := range leaves {
+				name, _ := l.sym.SymName()
+				env[name] = r.Int63n(1 << 20)
+			}
+			if eval(e, env) > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package expr
+
+// Type is the primitive-type lattice used by DTaint's data-type inference
+// (Section III-B). The paper uses int, char, int* and char*; we add an
+// explicit function-pointer type, which the data-structure similarity
+// component needs to recognize indirect-call fields, plus Top/Bottom for
+// the join.
+type Type int
+
+// Primitive types. TypeUnknown is the lattice bottom.
+const (
+	TypeUnknown Type = iota
+	TypeInt
+	TypeChar
+	TypeIntPtr
+	TypeCharPtr
+	TypePtr     // pointer of unknown pointee
+	TypeFuncPtr // pointer to code
+	TypeConflict
+)
+
+var typeNames = map[Type]string{
+	TypeUnknown:  "unknown",
+	TypeInt:      "int",
+	TypeChar:     "char",
+	TypeIntPtr:   "int*",
+	TypeCharPtr:  "char*",
+	TypePtr:      "void*",
+	TypeFuncPtr:  "func*",
+	TypeConflict: "conflict",
+}
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return "type?"
+}
+
+// IsPointer reports whether t is any pointer type.
+func (t Type) IsPointer() bool {
+	switch t {
+	case TypeIntPtr, TypeCharPtr, TypePtr, TypeFuncPtr:
+		return true
+	}
+	return false
+}
+
+// Join merges two type observations. Observations refine TypeUnknown;
+// a generic pointer is refined by a specific pointer; contradictory
+// observations yield TypeConflict.
+func (t Type) Join(o Type) Type {
+	switch {
+	case t == o:
+		return t
+	case t == TypeUnknown:
+		return o
+	case o == TypeUnknown:
+		return t
+	case t == TypePtr && o.IsPointer():
+		return o
+	case o == TypePtr && t.IsPointer():
+		return t
+	}
+	return TypeConflict
+}
+
+// Compatible reports whether two field-type observations may describe the
+// same structure field. Rule 2 of the similarity metric (Section III-D)
+// requires fields with the same offset at the same base to have the same
+// type; unknown matches anything, and the generic pointer matches any
+// pointer.
+func (t Type) Compatible(o Type) bool {
+	if t == o || t == TypeUnknown || o == TypeUnknown {
+		return true
+	}
+	if t == TypePtr && o.IsPointer() {
+		return true
+	}
+	if o == TypePtr && t.IsPointer() {
+		return true
+	}
+	return false
+}

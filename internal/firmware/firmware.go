@@ -1,0 +1,467 @@
+// Package firmware implements FWIMG, the firmware image container format
+// of this reproduction, together with a Binwalk-like scanner/extractor.
+//
+// A vendor firmware image wraps a kernel blob, a root filesystem, and
+// configuration data behind vendor-specific padding; extraction tooling
+// must locate the container by magic scanning and unpack the filesystem.
+// The paper reports that more than 65% of collected images could not be
+// unpacked (encrypted, incomplete, or unrecognized); FWIMG models those
+// failure modes explicitly: parts carry CRCs (corruption is detected) and
+// an encrypted flag (extraction is refused).
+package firmware
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strings"
+
+	"dtaint/internal/isa"
+)
+
+// Magic begins a FWIMG container; the scanner searches for it at any offset.
+var Magic = [6]byte{'F', 'W', 'I', 'M', 'G', 1}
+
+// PartType identifies a container part.
+type PartType uint8
+
+// Container part types.
+const (
+	PartKernel PartType = iota + 1
+	PartRootFS
+	PartConfig
+	PartPadding
+)
+
+// String implements fmt.Stringer.
+func (p PartType) String() string {
+	switch p {
+	case PartKernel:
+		return "kernel"
+	case PartRootFS:
+		return "rootfs"
+	case PartConfig:
+		return "config"
+	case PartPadding:
+		return "padding"
+	}
+	return "part?"
+}
+
+// Part flags.
+const (
+	// FlagEncrypted marks a part whose payload is vendor-encrypted; the
+	// extractor refuses it (models Binwalk's unpack failures).
+	FlagEncrypted uint8 = 1 << iota
+)
+
+// Part is one TLV entry in the container.
+type Part struct {
+	Type  PartType
+	Flags uint8
+	Data  []byte
+}
+
+// BootRequirements describes what the image needs from hardware to boot.
+// The emulation model (internal/emul) compares these against what the
+// emulator provides, reproducing the Figure 1 experiment.
+type BootRequirements struct {
+	// Peripherals are hardware components the boot process probes
+	// (e.g. "nvram", "wifi-bcm43xx", "sensor-imx291").
+	Peripherals []string
+	// NVRAMKeys must be present in non-volatile storage for the network
+	// configuration step to succeed.
+	NVRAMKeys []string
+}
+
+// Header carries image metadata, mirroring what the paper's crawler parses
+// from vendor download pages (vendor, product, version, release year).
+type Header struct {
+	Vendor  string
+	Product string
+	Version string
+	Year    int
+	Arch    isa.Arch
+	Boot    BootRequirements
+}
+
+// Image is a parsed FWIMG container.
+type Image struct {
+	Header Header
+	Parts  []Part
+}
+
+// File is one entry of a root filesystem.
+type File struct {
+	Path string
+	Mode uint32
+	Data []byte
+}
+
+// FS is a root filesystem tree, stored as a sorted list of files.
+type FS struct {
+	Files []File
+}
+
+// Errors reported by the scanner and extractor.
+var (
+	ErrNoMagic       = errors.New("firmware: no FWIMG magic found")
+	ErrTruncated     = errors.New("firmware: truncated image")
+	ErrCorrupt       = errors.New("firmware: part checksum mismatch")
+	ErrEncrypted     = errors.New("firmware: rootfs is encrypted")
+	ErrNoRootFS      = errors.New("firmware: image has no rootfs part")
+	ErrMalformed     = errors.New("firmware: malformed container")
+	ErrFileNotFound  = errors.New("firmware: file not found in rootfs")
+	ErrNameTooLong   = errors.New("firmware: name exceeds limit")
+	ErrTooManyParts  = errors.New("firmware: too many parts")
+	ErrPartTooLarge  = errors.New("firmware: part exceeds size limit")
+	ErrTooManyFiles  = errors.New("firmware: too many files in rootfs")
+	ErrFileTooLarge  = errors.New("firmware: file exceeds size limit")
+	ErrDuplicatePath = errors.New("firmware: duplicate path in rootfs")
+)
+
+// Parser limits.
+const (
+	MaxParts    = 64
+	MaxPartSize = 256 << 20
+	MaxFiles    = 1 << 16
+	MaxFileSize = 128 << 20
+	MaxName     = 4096
+)
+
+// Lookup returns the file stored at path.
+func (fs *FS) Lookup(path string) (File, error) {
+	i := sort.Search(len(fs.Files), func(i int) bool { return fs.Files[i].Path >= path })
+	if i < len(fs.Files) && fs.Files[i].Path == path {
+		return fs.Files[i], nil
+	}
+	return File{}, fmt.Errorf("%w: %q", ErrFileNotFound, path)
+}
+
+// Glob returns the files whose path begins with prefix.
+func (fs *FS) Glob(prefix string) []File {
+	var out []File
+	for _, f := range fs.Files {
+		if strings.HasPrefix(f.Path, prefix) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Add inserts a file, keeping the list sorted by path.
+func (fs *FS) Add(f File) error {
+	if len(f.Path) == 0 || len(f.Path) > MaxName {
+		return fmt.Errorf("%w: %q", ErrNameTooLong, f.Path)
+	}
+	i := sort.Search(len(fs.Files), func(i int) bool { return fs.Files[i].Path >= f.Path })
+	if i < len(fs.Files) && fs.Files[i].Path == f.Path {
+		return fmt.Errorf("%w: %q", ErrDuplicatePath, f.Path)
+	}
+	fs.Files = append(fs.Files, File{})
+	copy(fs.Files[i+1:], fs.Files[i:])
+	fs.Files[i] = f
+	return nil
+}
+
+// MarshalFS serializes a filesystem for embedding in a rootfs part.
+func MarshalFS(fs *FS) ([]byte, error) {
+	if len(fs.Files) > MaxFiles {
+		return nil, ErrTooManyFiles
+	}
+	var buf bytes.Buffer
+	w := func(v any) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	w(uint32(len(fs.Files)))
+	for _, f := range fs.Files {
+		if len(f.Path) > MaxName {
+			return nil, fmt.Errorf("%w: %q", ErrNameTooLong, f.Path)
+		}
+		if len(f.Data) > MaxFileSize {
+			return nil, fmt.Errorf("%w: %q", ErrFileTooLarge, f.Path)
+		}
+		w(uint32(len(f.Path)))
+		buf.WriteString(f.Path)
+		w(f.Mode)
+		w(uint32(len(f.Data)))
+		buf.Write(f.Data)
+	}
+	return buf.Bytes(), nil
+}
+
+// ParseFS deserializes a rootfs payload.
+func ParseFS(data []byte) (*FS, error) {
+	r := &byteReader{b: data}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxFiles {
+		return nil, ErrTooManyFiles
+	}
+	fs := &FS{Files: make([]File, 0, n)}
+	for i := uint32(0); i < n; i++ {
+		pl, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if pl > MaxName {
+			return nil, ErrNameTooLong
+		}
+		pb, err := r.take(int(pl))
+		if err != nil {
+			return nil, err
+		}
+		mode, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		dl, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if dl > MaxFileSize {
+			return nil, ErrFileTooLarge
+		}
+		db, err := r.take(int(dl))
+		if err != nil {
+			return nil, err
+		}
+		fs.Files = append(fs.Files, File{
+			Path: string(pb),
+			Mode: mode,
+			Data: append([]byte(nil), db...),
+		})
+	}
+	sort.Slice(fs.Files, func(i, j int) bool { return fs.Files[i].Path < fs.Files[j].Path })
+	for i := 1; i < len(fs.Files); i++ {
+		if fs.Files[i].Path == fs.Files[i-1].Path {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicatePath, fs.Files[i].Path)
+		}
+	}
+	return fs, nil
+}
+
+// Pack serializes a container image, computing part checksums.
+func Pack(img *Image) ([]byte, error) {
+	if len(img.Parts) > MaxParts {
+		return nil, ErrTooManyParts
+	}
+	var buf bytes.Buffer
+	buf.Write(Magic[:])
+	w := func(v any) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	ws := func(s string) {
+		w(uint32(len(s)))
+		buf.WriteString(s)
+	}
+	wl := func(list []string) {
+		w(uint32(len(list)))
+		for _, s := range list {
+			ws(s)
+		}
+	}
+	ws(img.Header.Vendor)
+	ws(img.Header.Product)
+	ws(img.Header.Version)
+	w(uint32(img.Header.Year))
+	w(uint32(img.Header.Arch))
+	wl(img.Header.Boot.Peripherals)
+	wl(img.Header.Boot.NVRAMKeys)
+	w(uint32(len(img.Parts)))
+	for _, p := range img.Parts {
+		if len(p.Data) > MaxPartSize {
+			return nil, ErrPartTooLarge
+		}
+		w(uint8(p.Type))
+		w(p.Flags)
+		w(uint32(len(p.Data)))
+		w(crc32.ChecksumIEEE(p.Data))
+		buf.Write(p.Data)
+	}
+	return buf.Bytes(), nil
+}
+
+// Scan locates the FWIMG container inside arbitrary surrounding bytes
+// (vendor images routinely prepend bootloaders and proprietary headers)
+// and parses it. It returns the parsed image and the offset at which the
+// container was found.
+func Scan(data []byte) (*Image, int, error) {
+	off := bytes.Index(data, Magic[:])
+	if off < 0 {
+		return nil, 0, ErrNoMagic
+	}
+	img, err := parseAt(data[off:])
+	if err != nil {
+		return nil, off, err
+	}
+	return img, off, nil
+}
+
+func parseAt(data []byte) (*Image, error) {
+	r := &byteReader{b: data, off: len(Magic)}
+	rs := func() (string, error) {
+		n, err := r.u32()
+		if err != nil {
+			return "", err
+		}
+		if n > MaxName {
+			return "", ErrNameTooLong
+		}
+		b, err := r.take(int(n))
+		return string(b), err
+	}
+	rl := func() ([]string, error) {
+		n, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if n > MaxFiles {
+			return nil, ErrMalformed
+		}
+		out := make([]string, 0, n)
+		for i := uint32(0); i < n; i++ {
+			s, err := rs()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		}
+		return out, nil
+	}
+	var img Image
+	var err error
+	if img.Header.Vendor, err = rs(); err != nil {
+		return nil, err
+	}
+	if img.Header.Product, err = rs(); err != nil {
+		return nil, err
+	}
+	if img.Header.Version, err = rs(); err != nil {
+		return nil, err
+	}
+	year, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	img.Header.Year = int(year)
+	arch, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	img.Header.Arch = isa.Arch(arch)
+	if img.Header.Boot.Peripherals, err = rl(); err != nil {
+		return nil, err
+	}
+	if img.Header.Boot.NVRAMKeys, err = rl(); err != nil {
+		return nil, err
+	}
+	np, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if np > MaxParts {
+		return nil, ErrTooManyParts
+	}
+	for i := uint32(0); i < np; i++ {
+		t, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		flags, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		n, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if n > MaxPartSize {
+			return nil, ErrPartTooLarge
+		}
+		sum, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		payload, err := r.take(int(n))
+		if err != nil {
+			return nil, err
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return nil, fmt.Errorf("%w: part %d (%s)", ErrCorrupt, i, PartType(t))
+		}
+		img.Parts = append(img.Parts, Part{
+			Type:  PartType(t),
+			Flags: flags,
+			Data:  append([]byte(nil), payload...),
+		})
+	}
+	return &img, nil
+}
+
+// ExtractRootFS unpacks the root filesystem from a parsed image. It fails
+// for encrypted or absent rootfs parts (the Binwalk failure modes).
+func ExtractRootFS(img *Image) (*FS, error) {
+	for _, p := range img.Parts {
+		if p.Type != PartRootFS {
+			continue
+		}
+		if p.Flags&FlagEncrypted != 0 {
+			return nil, ErrEncrypted
+		}
+		fs, err := ParseFS(p.Data)
+		if err != nil {
+			return nil, fmt.Errorf("rootfs: %w", err)
+		}
+		return fs, nil
+	}
+	return nil, ErrNoRootFS
+}
+
+// Unpack scans raw bytes for a container and extracts its filesystem in
+// one step — the common pipeline entry (Section IV: "extract the binary
+// file from the firmware ... built around the Binwalk API").
+func Unpack(data []byte) (*Image, *FS, error) {
+	img, _, err := Scan(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	fs, err := ExtractRootFS(img)
+	if err != nil {
+		return img, nil, err
+	}
+	return img, fs, nil
+}
+
+type byteReader struct {
+	b   []byte
+	off int
+}
+
+func (r *byteReader) u8() (uint8, error) {
+	if r.off+1 > len(r.b) {
+		return 0, ErrTruncated
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *byteReader) u32() (uint32, error) {
+	if r.off+4 > len(r.b) {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *byteReader) take(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.b) {
+		return nil, ErrTruncated
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v, nil
+}

@@ -1,0 +1,279 @@
+package firmware
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dtaint/internal/isa"
+)
+
+func sampleFS(t *testing.T) *FS {
+	t.Helper()
+	fs := &FS{}
+	files := []File{
+		{Path: "/bin/busybox", Mode: 0o755, Data: []byte("BB")},
+		{Path: "/etc/passwd", Mode: 0o644, Data: []byte("root::0:0::/:/bin/sh\n")},
+		{Path: "/htdocs/cgibin", Mode: 0o755, Data: bytes.Repeat([]byte{0xAB}, 128)},
+	}
+	for _, f := range files {
+		if err := fs.Add(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fs
+}
+
+func sampleImage(t *testing.T, rootFlags uint8) *Image {
+	t.Helper()
+	rootfs, err := MarshalFS(sampleFS(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Image{
+		Header: Header{
+			Vendor:  "D-Link",
+			Product: "DIR-645",
+			Version: "1.03",
+			Year:    2013,
+			Arch:    isa.ArchMIPS,
+			Boot: BootRequirements{
+				Peripherals: []string{"nvram", "switch-rtl8367"},
+				NVRAMKeys:   []string{"lan_ipaddr"},
+			},
+		},
+		Parts: []Part{
+			{Type: PartKernel, Data: bytes.Repeat([]byte{0x4B}, 64)},
+			{Type: PartRootFS, Flags: rootFlags, Data: rootfs},
+			{Type: PartConfig, Data: []byte("cfg=1")},
+		},
+	}
+}
+
+func TestPackScanRoundTrip(t *testing.T) {
+	img := sampleImage(t, 0)
+	raw, err := Pack(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, off, err := Scan(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 0 {
+		t.Fatalf("offset = %d", off)
+	}
+	if got.Header.Vendor != "D-Link" || got.Header.Product != "DIR-645" ||
+		got.Header.Year != 2013 || got.Header.Arch != isa.ArchMIPS {
+		t.Fatalf("header = %+v", got.Header)
+	}
+	if len(got.Header.Boot.Peripherals) != 2 || len(got.Header.Boot.NVRAMKeys) != 1 {
+		t.Fatalf("boot reqs = %+v", got.Header.Boot)
+	}
+	if len(got.Parts) != 3 {
+		t.Fatalf("parts = %d", len(got.Parts))
+	}
+}
+
+func TestScanAtOffset(t *testing.T) {
+	// Vendors prepend bootloaders; the scanner must find the magic anywhere.
+	img := sampleImage(t, 0)
+	raw, err := Pack(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded := append(bytes.Repeat([]byte{0xFF}, 777), raw...)
+	got, off, err := Scan(padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 777 {
+		t.Fatalf("offset = %d, want 777", off)
+	}
+	if got.Header.Product != "DIR-645" {
+		t.Fatal("wrong image parsed")
+	}
+}
+
+func TestExtractRootFS(t *testing.T) {
+	img := sampleImage(t, 0)
+	raw, err := Pack(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fs, err := Unpack(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Lookup("/htdocs/cgibin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Data) != 128 || f.Mode != 0o755 {
+		t.Fatalf("file = %+v", f)
+	}
+	if _, err := fs.Lookup("/nope"); !errors.Is(err, ErrFileNotFound) {
+		t.Errorf("lookup ghost: %v", err)
+	}
+	if g := fs.Glob("/etc/"); len(g) != 1 || g[0].Path != "/etc/passwd" {
+		t.Errorf("glob = %+v", g)
+	}
+}
+
+func TestEncryptedRootFS(t *testing.T) {
+	img := sampleImage(t, FlagEncrypted)
+	raw, err := Pack(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Unpack(raw)
+	if !errors.Is(err, ErrEncrypted) {
+		t.Fatalf("want ErrEncrypted, got %v", err)
+	}
+}
+
+func TestMissingRootFS(t *testing.T) {
+	img := sampleImage(t, 0)
+	img.Parts = img.Parts[:1] // kernel only
+	raw, err := Pack(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Unpack(raw)
+	if !errors.Is(err, ErrNoRootFS) {
+		t.Fatalf("want ErrNoRootFS, got %v", err)
+	}
+}
+
+func TestCorruptPart(t *testing.T) {
+	img := sampleImage(t, 0)
+	raw, err := Pack(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the last part's payload (past all headers).
+	mut := append([]byte(nil), raw...)
+	mut[len(mut)-1] ^= 0xFF
+	_, _, err = Scan(mut)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestNoMagic(t *testing.T) {
+	if _, _, err := Scan(bytes.Repeat([]byte{0xAA}, 100)); !errors.Is(err, ErrNoMagic) {
+		t.Fatalf("want ErrNoMagic, got %v", err)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	img := sampleImage(t, 0)
+	raw, err := Pack(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(Magic); i < len(raw); i += 11 {
+		if _, _, err := Scan(raw[:i]); err == nil {
+			t.Fatalf("truncation at %d accepted", i)
+		}
+	}
+}
+
+func TestAddDuplicate(t *testing.T) {
+	fs := sampleFS(t)
+	err := fs.Add(File{Path: "/etc/passwd"})
+	if !errors.Is(err, ErrDuplicatePath) {
+		t.Fatalf("want ErrDuplicatePath, got %v", err)
+	}
+	if err := fs.Add(File{Path: ""}); !errors.Is(err, ErrNameTooLong) {
+		t.Fatalf("empty path: got %v", err)
+	}
+}
+
+func TestFSOrderInvariant(t *testing.T) {
+	fs := &FS{}
+	for _, p := range []string{"/z", "/a", "/m", "/b"} {
+		if err := fs.Add(File{Path: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < len(fs.Files); i++ {
+		if fs.Files[i-1].Path >= fs.Files[i].Path {
+			t.Fatalf("files not sorted: %v", fs.Files)
+		}
+	}
+}
+
+func TestParseFSRejectsDuplicates(t *testing.T) {
+	fs := &FS{Files: []File{{Path: "/a"}, {Path: "/a"}}}
+	raw, err := MarshalFS(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseFS(raw); !errors.Is(err, ErrDuplicatePath) {
+		t.Fatalf("want ErrDuplicatePath, got %v", err)
+	}
+}
+
+func TestPropertyPackScanRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fs := &FS{}
+		n := r.Intn(10)
+		for i := 0; i < n; i++ {
+			data := make([]byte, r.Intn(64))
+			r.Read(data)
+			_ = fs.Add(File{Path: "/f" + string(rune('a'+i)), Mode: 0o644, Data: data})
+		}
+		payload, err := MarshalFS(fs)
+		if err != nil {
+			return false
+		}
+		img := &Image{
+			Header: Header{Vendor: "v", Product: "p", Version: "1", Year: 2009 + r.Intn(8), Arch: isa.ArchARM},
+			Parts:  []Part{{Type: PartRootFS, Data: payload}},
+		}
+		raw, err := Pack(img)
+		if err != nil {
+			return false
+		}
+		_, got, err := Unpack(raw)
+		if err != nil {
+			return false
+		}
+		if len(got.Files) != len(fs.Files) {
+			return false
+		}
+		for i := range got.Files {
+			if got.Files[i].Path != fs.Files[i].Path || !bytes.Equal(got.Files[i].Data, fs.Files[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyScanNeverPanics(t *testing.T) {
+	img := sampleImage(t, 0)
+	raw, err := Pack(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mut := append([]byte(nil), raw...)
+		for i := 0; i < 12; i++ {
+			mut[r.Intn(len(mut))] ^= byte(1 << r.Intn(8))
+		}
+		_, _, _ = Scan(mut) // must not panic; any error is acceptable
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

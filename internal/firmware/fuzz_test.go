@@ -1,0 +1,56 @@
+package firmware
+
+import (
+	"testing"
+
+	"dtaint/internal/isa"
+)
+
+// FuzzScan hardens the container scanner: arbitrary bytes must never
+// panic; accepted images must extract or fail cleanly.
+func FuzzScan(f *testing.F) {
+	payload, err := MarshalFS(&FS{Files: []File{{Path: "/bin/x", Mode: 0o755, Data: []byte("hi")}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	img := &Image{
+		Header: Header{Vendor: "v", Product: "p", Version: "1", Year: 2014, Arch: isa.ArchARM},
+		Parts:  []Part{{Type: PartRootFS, Data: payload}},
+	}
+	raw, err := Pack(img)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add([]byte("FWIMG"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, _, err := Scan(data)
+		if err != nil {
+			return
+		}
+		// Extraction may fail (encrypted/absent rootfs) but must not panic.
+		_, _ = ExtractRootFS(parsed)
+	})
+}
+
+// FuzzParseFS hardens the filesystem decoder.
+func FuzzParseFS(f *testing.F) {
+	payload, err := MarshalFS(&FS{Files: []File{{Path: "/a", Data: []byte("x")}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(payload)
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fs, err := ParseFS(data)
+		if err != nil {
+			return
+		}
+		for i := 1; i < len(fs.Files); i++ {
+			if fs.Files[i-1].Path >= fs.Files[i].Path {
+				t.Fatal("accepted filesystem not sorted/deduplicated")
+			}
+		}
+	})
+}

@@ -1,0 +1,34 @@
+package image
+
+import (
+	"testing"
+
+	"dtaint/internal/isa"
+)
+
+// FuzzParse hardens the FWELF parser: arbitrary bytes must never panic,
+// and anything accepted must satisfy the structural invariants.
+func FuzzParse(f *testing.F) {
+	b := &Binary{
+		Name: "seed", Arch: isa.ArchARM, TextBase: 0x10000,
+		Text:   make([]byte, 32),
+		Funcs:  []Symbol{{Name: "f", Addr: 0x10000, Size: 32}},
+		Rodata: []byte("hello\x00"),
+	}
+	raw, err := b.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add([]byte{})
+	f.Add([]byte("FWELF"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bin, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if err := bin.Validate(); err != nil {
+			t.Fatalf("accepted binary fails validation: %v", err)
+		}
+	})
+}

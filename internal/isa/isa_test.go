@@ -1,0 +1,248 @@
+package isa
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	insts := []Inst{
+		{Op: OpMOV, Rd: R5, Rm: R0},
+		{Op: OpMOV, Rd: R2, Imm: 0x200, HasImm: true},
+		{Op: OpLDR, Rd: R1, Rn: R5, Imm: 0x4C, HasImm: true},
+		{Op: OpLDRB, Rd: R6, Rn: R3, Imm: 0, HasImm: true},
+		{Op: OpSTR, Rd: R1, Rn: SP, Imm: 8, HasImm: true},
+		{Op: OpSTRB, Rd: R0, Rn: R4, Imm: -4, HasImm: true},
+		{Op: OpADD, Rd: R0, Rn: SP, Imm: 0x18, HasImm: true},
+		{Op: OpSUB, Rd: SP, Rn: SP, Imm: 0x118, HasImm: true},
+		{Op: OpMUL, Rd: R3, Rn: R3, Rm: R4},
+		{Op: OpAND, Rd: R10, Rn: R3, Imm: 7, HasImm: true},
+		{Op: OpORR, Rd: R6, Rn: R6, Rm: R2},
+		{Op: OpEOR, Rd: R1, Rn: R1, Rm: R1},
+		{Op: OpLSL, Rd: R2, Rn: R2, Imm: 8, HasImm: true},
+		{Op: OpLSR, Rd: R2, Rn: R2, Imm: 16, HasImm: true},
+		{Op: OpCMP, Rd: R0, Imm: 8, HasImm: true},
+		{Op: OpCMP, Rd: R9, Rm: R1},
+		{Op: OpB, Cond: CondEQ, Target: 0x670BC},
+		{Op: OpB, Target: 0x1000},
+		{Op: OpBL, Target: 0x8000},
+		{Op: OpBLX, Rm: R12},
+		{Op: OpBX},
+		{Op: OpNOP},
+	}
+	for _, arch := range []Arch{ArchARM, ArchMIPS} {
+		for _, in := range insts {
+			t.Run(arch.String()+"/"+in.String(), func(t *testing.T) {
+				enc, err := Encode(arch, in)
+				if err != nil {
+					t.Fatalf("encode: %v", err)
+				}
+				got, err := Decode(arch, enc[:])
+				if err != nil {
+					t.Fatalf("decode: %v", err)
+				}
+				if got != in {
+					t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, got)
+				}
+			})
+		}
+	}
+}
+
+func TestArchEncodingsDiffer(t *testing.T) {
+	// The two flavors must produce different bytes for the same instruction;
+	// this is what makes the multi-arch dimension real.
+	in := Inst{Op: OpLDR, Rd: R1, Rn: R5, Imm: 0x4C, HasImm: true}
+	a, err := Encode(ArchARM, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Encode(ArchMIPS, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == m {
+		t.Fatal("ARM and MIPS encodings are identical")
+	}
+}
+
+func randomInst(r *rand.Rand) Inst {
+	var in Inst
+	in.Op = Opcode(1 + r.Intn(int(numOpcodes)-1))
+	in.Rd = Reg(r.Intn(13)) // avoid PC as destination
+	in.Rn = Reg(r.Intn(16))
+	in.Rm = Reg(r.Intn(16))
+	switch in.Op {
+	case OpB:
+		in.Cond = Cond(r.Intn(int(numConds)))
+		in.Target = r.Uint32()
+		in.Rd, in.Rn, in.Rm = 0, 0, 0
+	case OpBL:
+		in.Target = r.Uint32()
+		in.Rd, in.Rn, in.Rm = 0, 0, 0
+	case OpBLX:
+		in.Rd, in.Rn = 0, 0
+	case OpBX, OpNOP:
+		in.Rd, in.Rn, in.Rm = 0, 0, 0
+	case OpCMP, OpMOV:
+		in.Rn = 0
+		if r.Intn(2) == 0 {
+			in.HasImm = true
+			in.Imm = int32(r.Uint32())
+			in.Rm = 0
+		}
+	case OpLDR, OpLDRB, OpSTR, OpSTRB:
+		in.HasImm = true
+		in.Imm = int32(r.Int31n(1<<20)) - 1<<19
+		in.Rm = 0
+	default:
+		if r.Intn(2) == 0 {
+			in.HasImm = true
+			in.Imm = int32(r.Uint32())
+			in.Rm = 0
+		}
+	}
+	return in
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	for _, arch := range []Arch{ArchARM, ArchMIPS} {
+		arch := arch
+		f := func(seed int64) bool {
+			in := randomInst(rand.New(rand.NewSource(seed)))
+			enc, err := Encode(arch, in)
+			if err != nil {
+				return false
+			}
+			got, err := Decode(arch, enc[:])
+			return err == nil && got == in
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Fatalf("%s: %v", arch, err)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(ArchARM, []byte{1, 2, 3}); !errors.Is(err, ErrShortCode) {
+		t.Errorf("short code: got %v", err)
+	}
+	var zero [InstSize]byte
+	if _, err := Decode(ArchARM, zero[:]); !errors.Is(err, ErrBadOpcode) {
+		t.Errorf("zero opcode: got %v", err)
+	}
+	bad := [InstSize]byte{0xFF}
+	if _, err := Decode(ArchARM, bad[:]); !errors.Is(err, ErrBadOpcode) {
+		t.Errorf("bad opcode: got %v", err)
+	}
+	if _, err := Decode(Arch(99), zero[:]); !errors.Is(err, ErrUnknownArch) {
+		t.Errorf("unknown arch: got %v", err)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := Encode(ArchARM, Inst{Op: OpInvalid}); !errors.Is(err, ErrBadOpcode) {
+		t.Errorf("invalid op: got %v", err)
+	}
+	if _, err := Encode(ArchARM, Inst{Op: OpMOV, Rd: PC}); !errors.Is(err, ErrPCNotWritable) {
+		t.Errorf("PC dest: got %v", err)
+	}
+	if _, err := Encode(ArchARM, Inst{Op: OpMOV, Rd: 200}); !errors.Is(err, ErrBadRegister) {
+		t.Errorf("bad reg: got %v", err)
+	}
+	if _, err := Encode(Arch(0), Inst{Op: OpNOP}); !errors.Is(err, ErrUnknownArch) {
+		t.Errorf("unknown arch: got %v", err)
+	}
+}
+
+func TestDecodeAll(t *testing.T) {
+	prog := []Inst{
+		{Op: OpMOV, Rd: R0, Imm: 1, HasImm: true},
+		{Op: OpADD, Rd: R0, Rn: R0, Imm: 2, HasImm: true},
+		{Op: OpBX},
+	}
+	var code []byte
+	for _, in := range prog {
+		enc, err := Encode(ArchMIPS, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code = append(code, enc[:]...)
+	}
+	got, err := DecodeAll(ArchMIPS, code, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(prog) {
+		t.Fatalf("decoded %d instructions, want %d", len(got), len(prog))
+	}
+	for i := range prog {
+		if got[i] != prog[i] {
+			t.Errorf("inst %d: got %+v, want %+v", i, got[i], prog[i])
+		}
+	}
+	if _, err := DecodeAll(ArchMIPS, code[:len(code)-1], 0); !errors.Is(err, ErrShortCode) {
+		t.Errorf("truncated section: got %v", err)
+	}
+}
+
+func TestCallConv(t *testing.T) {
+	arm := ArchARM.Conv()
+	if len(arm.ArgRegs) != 4 || arm.ArgRegs[0] != R0 || arm.RetReg != R0 {
+		t.Errorf("ARM conv = %+v", arm)
+	}
+	mips := ArchMIPS.Conv()
+	if len(mips.ArgRegs) != 4 || mips.ArgRegs[0] != R4 || mips.RetReg != R2 {
+		t.Errorf("MIPS conv = %+v", mips)
+	}
+	if arm.MaxArgs != 10 || mips.MaxArgs != 10 {
+		t.Error("MaxArgs must be 10 (arg0-arg9 per the paper)")
+	}
+}
+
+func TestCondNegate(t *testing.T) {
+	pairs := [][2]Cond{{CondEQ, CondNE}, {CondLT, CondGE}, {CondGT, CondLE}}
+	for _, p := range pairs {
+		if p[0].Negate() != p[1] || p[1].Negate() != p[0] {
+			t.Errorf("negate %s/%s broken", p[0], p[1])
+		}
+	}
+	if CondAL.Negate() != CondAL {
+		t.Error("AL negates to AL")
+	}
+}
+
+func TestInstPredicates(t *testing.T) {
+	if !(Inst{Op: OpB}).IsTerminator() || !(Inst{Op: OpBX}).IsTerminator() {
+		t.Error("B/BX must terminate blocks")
+	}
+	if (Inst{Op: OpBL}).IsTerminator() {
+		t.Error("calls must not terminate blocks")
+	}
+	if !(Inst{Op: OpBL}).IsBranch() || !(Inst{Op: OpBLX}).IsBranch() {
+		t.Error("calls are branches")
+	}
+	if (Inst{Op: OpADD}).IsBranch() {
+		t.Error("ADD is not a branch")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	tests := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpLDR, Rd: R1, Rn: R5, Imm: 0x4C, HasImm: true}, "LDR R1, [R5, #76]"},
+		{Inst{Op: OpMOV, Rd: R0, Rm: R11}, "MOV R0, R11"},
+		{Inst{Op: OpB, Cond: CondEQ, Target: 0x670BC}, "BEQ 0x670BC"},
+		{Inst{Op: OpBX}, "BX LR"},
+		{Inst{Op: OpSUB, Rd: SP, Rn: SP, Imm: 0x118, HasImm: true}, "SUB SP, SP, #280"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,1193 @@
+// Package taint implements DTaint's vulnerability-detection layer
+// (Section IV): the source/sink vocabulary of Table I, symbolic models of
+// the C library, taint introduction and propagation, sink observation,
+// and the sanitization-constraint checks that decide whether a
+// (source, path, sink) tuple is a taint-style vulnerability.
+package taint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dtaint/internal/expr"
+	"dtaint/internal/image"
+	"dtaint/internal/isa"
+	"dtaint/internal/symexec"
+)
+
+// Class is the vulnerability class of a sink.
+type Class int
+
+// Vulnerability classes checked by the paper's two constraint-expression
+// kinds.
+const (
+	ClassBufferOverflow Class = iota + 1
+	ClassCommandInjection
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassBufferOverflow:
+		return "buffer-overflow"
+	case ClassCommandInjection:
+		return "command-injection"
+	}
+	return "class?"
+}
+
+// Sources is Table I's input-source vocabulary.
+var Sources = []string{
+	"read", "recv", "recvfrom", "recvmsg",
+	"getenv", "fgets", "websGetVar", "find_var",
+}
+
+// Sinks is Table I's sensitive-sink vocabulary ("loop" denotes loop buffer
+// copies, detected structurally rather than by name).
+var Sinks = []string{
+	"strcpy", "strncpy", "sprintf", "memcpy",
+	"strcat", "sscanf", "system", "popen", "loop",
+}
+
+// SemicolonByte is the command separator whose absence of checking makes a
+// system()/popen() call injectable.
+const SemicolonByte = 0x3B
+
+// Step is one hop of a source-to-sink path, ordered sink-first.
+type Step struct {
+	Func string
+	Addr uint32
+	Note string
+}
+
+// String implements fmt.Stringer.
+func (s Step) String() string {
+	if s.Note != "" {
+		return fmt.Sprintf("%s@%#x(%s)", s.Func, s.Addr, s.Note)
+	}
+	return fmt.Sprintf("%s@%#x", s.Func, s.Addr)
+}
+
+// Finding is one (source, path, sink) tuple. Sanitized findings are kept
+// for diagnostics; unsanitized ones are the paper's "vulnerable paths".
+type Finding struct {
+	Class      Class
+	Sink       string
+	SinkFunc   string
+	SinkAddr   uint32
+	Source     string
+	SourceAddr uint64
+	TaintExpr  *expr.Expr
+	GuardExpr  *expr.Expr
+	Path       []Step
+	Sanitized  bool
+}
+
+// String renders a one-line report.
+func (f Finding) String() string {
+	state := "VULNERABLE"
+	if f.Sanitized {
+		state = "sanitized"
+	}
+	steps := make([]string, len(f.Path))
+	for i, s := range f.Path {
+		steps[i] = s.String()
+	}
+	return fmt.Sprintf("[%s] %s -> %s in %s@%#x (%s) path=%s",
+		state, f.Source, f.Sink, f.SinkFunc, f.SinkAddr, f.Class,
+		strings.Join(steps, " <- "))
+}
+
+// PendingSink is a sink whose taintedness depends on the caller: its
+// critical expressions are rooted in formal arguments. Algorithm 2 pushes
+// these up to every callsite.
+type PendingSink struct {
+	Class       Class
+	Sink        string
+	SinkFunc    string
+	SinkAddr    uint32
+	TaintExpr   *expr.Expr
+	GuardExpr   *expr.Expr
+	Path        []Step
+	Constraints []symexec.Constraint
+	Guarded     bool // a guard (e.g. strchr ';' scan) already seen below
+	Depth       int
+	// DstCap and BoundHint travel with the sink: the destination buffer
+	// lives in the sink function's frame, so its capacity is fixed when
+	// the observation is made.
+	DstCap    int64
+	BoundHint int64
+}
+
+// MaxPendingDepth bounds how many call levels a pending sink may climb.
+const MaxPendingDepth = 24
+
+// sinkObs is an in-flight sink observation inside the current function.
+type sinkObs struct {
+	class   Class
+	sink    string
+	addr    uint32
+	taint   *expr.Expr
+	guard   *expr.Expr
+	path    []Step
+	carried []symexec.Constraint
+	guarded bool
+	depth   int
+	// dstCap is the destination stack buffer's capacity in bytes when it
+	// is derivable from the frame layout (0 = unknown).
+	dstCap int64
+	// boundHint is an intrinsic copy bound in bytes (e.g. a %254s scanf
+	// width means at most 255 bytes are written); 0 = none.
+	boundHint int64
+}
+
+// SourceSpec declares a custom attacker-controlled input function beyond
+// Table I — e.g. a vendor NVRAM getter. Exactly one of BufArg >= 0 or
+// ViaReturn should be set.
+type SourceSpec struct {
+	Name string
+	// BufArg is the argument index of the buffer the function fills with
+	// attacker data (-1 when unused).
+	BufArg int
+	// ViaReturn marks functions returning a pointer to attacker data
+	// (getenv-style).
+	ViaReturn bool
+}
+
+// SinkSpec declares a custom security-sensitive sink beyond Table I.
+type SinkSpec struct {
+	Name  string
+	Class Class
+	// DataArg is the argument whose pointed-to content must not be
+	// tainted (-1 when unused).
+	DataArg int
+	// LenArg is the argument carrying the copy bound; -1 means the
+	// sanitization check applies to the data content itself.
+	LenArg int
+}
+
+// Tracker is the stateful oracle half of the detector: it models library
+// calls for the symbolic engine (sources introduce taint, libc calls
+// propagate it, sinks are observed) and accumulates findings across
+// functions. It implements symexec.Oracle for import calls; local calls
+// return Handled=false so the interprocedural driver can apply callee
+// summaries.
+type Tracker struct {
+	curFunc string
+	obs     []sinkObs
+	guards  map[string]bool // guarded content roots (strchr-style checks)
+
+	findings []Finding
+	pendings map[string][]PendingSink
+	obsSeen  map[string]bool
+	frames   []trackerFrame
+
+	extraSources map[string]SourceSpec
+	extraSinks   map[string]SinkSpec
+
+	bin *image.Binary
+}
+
+// SetBinary gives the tracker access to the program image, enabling
+// models that inspect read-only data (e.g. scanf format-width bounds).
+func (t *Tracker) SetBinary(b *image.Binary) { t.bin = b }
+
+// AddSource registers a custom input source (applies to subsequent
+// analysis).
+func (t *Tracker) AddSource(s SourceSpec) {
+	if t.extraSources == nil {
+		t.extraSources = make(map[string]SourceSpec)
+	}
+	t.extraSources[s.Name] = s
+}
+
+// AddSink registers a custom sensitive sink.
+func (t *Tracker) AddSink(s SinkSpec) {
+	if t.extraSinks == nil {
+		t.extraSinks = make(map[string]SinkSpec)
+	}
+	t.extraSinks[s.Name] = s
+}
+
+var _ symexec.Oracle = (*Tracker)(nil)
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{
+		pendings: make(map[string][]PendingSink),
+		obsSeen:  make(map[string]bool),
+	}
+}
+
+// BeginFunction resets per-function observation state.
+func (t *Tracker) BeginFunction(name string) {
+	t.curFunc = name
+	t.obs = nil
+	t.guards = make(map[string]bool)
+	t.frames = nil
+}
+
+// trackerFrame saves the per-function state across a recursive descent.
+type trackerFrame struct {
+	fn     string
+	obs    []sinkObs
+	guards map[string]bool
+}
+
+// PushFrame suspends the current function's observation state and begins
+// a nested one. The context-sensitive top-down baseline uses this when it
+// recursively analyzes a callee in the middle of the caller's analysis.
+func (t *Tracker) PushFrame(name string) {
+	t.frames = append(t.frames, trackerFrame{fn: t.curFunc, obs: t.obs, guards: t.guards})
+	t.curFunc = name
+	t.obs = nil
+	t.guards = make(map[string]bool)
+}
+
+// PopFrame finalizes the nested function against its summary (as
+// EndFunction does) and restores the suspended caller state.
+func (t *Tracker) PopFrame(sum *symexec.Summary) {
+	t.EndFunction(sum)
+	if n := len(t.frames); n > 0 {
+		fr := t.frames[n-1]
+		t.frames = t.frames[:n-1]
+		t.curFunc = fr.fn
+		t.obs = fr.obs
+		t.guards = fr.guards
+	}
+}
+
+// Pendings returns the pending sinks exported by a summarized function.
+func (t *Tracker) Pendings(fn string) []PendingSink { return t.pendings[fn] }
+
+// Findings returns every recorded (source, path, sink) tuple.
+func (t *Tracker) Findings() []Finding { return t.findings }
+
+// Prototypes returns the library type signatures (the paper's library
+// type-inference channel) for symexec.Options.
+func Prototypes() map[string]symexec.Proto {
+	cp := expr.TypeCharPtr
+	i := expr.TypeInt
+	return map[string]symexec.Proto{
+		"strcpy":     {Args: []expr.Type{cp, cp}, Ret: cp},
+		"strncpy":    {Args: []expr.Type{cp, cp, i}, Ret: cp},
+		"strcat":     {Args: []expr.Type{cp, cp}, Ret: cp},
+		"sprintf":    {Args: []expr.Type{cp, cp}, Ret: i},
+		"memcpy":     {Args: []expr.Type{expr.TypePtr, expr.TypePtr, i}, Ret: expr.TypePtr},
+		"sscanf":     {Args: []expr.Type{cp, cp}, Ret: i},
+		"system":     {Args: []expr.Type{cp}, Ret: i},
+		"popen":      {Args: []expr.Type{cp, cp}, Ret: expr.TypePtr},
+		"read":       {Args: []expr.Type{i, expr.TypePtr, i}, Ret: i},
+		"recv":       {Args: []expr.Type{i, expr.TypePtr, i}, Ret: i},
+		"recvfrom":   {Args: []expr.Type{i, expr.TypePtr, i}, Ret: i},
+		"recvmsg":    {Args: []expr.Type{i, expr.TypePtr, i}, Ret: i},
+		"getenv":     {Args: []expr.Type{cp}, Ret: cp},
+		"fgets":      {Args: []expr.Type{cp, i, expr.TypePtr}, Ret: cp},
+		"websGetVar": {Args: []expr.Type{expr.TypePtr, cp, cp}, Ret: cp},
+		"find_var":   {Args: []expr.Type{cp}, Ret: cp},
+		"strlen":     {Args: []expr.Type{cp}, Ret: i},
+		"atoi":       {Args: []expr.Type{cp}, Ret: i},
+		"strchr":     {Args: []expr.Type{cp, i}, Ret: cp},
+		"strcmp":     {Args: []expr.Type{cp, cp}, Ret: i},
+		"strncmp":    {Args: []expr.Type{cp, cp, i}, Ret: i},
+		"malloc":     {Args: []expr.Type{i}, Ret: expr.TypePtr},
+		"gets":       {Args: []expr.Type{cp}, Ret: cp},
+		"snprintf":   {Args: []expr.Type{cp, i, cp}, Ret: i},
+		"strncat":    {Args: []expr.Type{cp, cp, i}, Ret: cp},
+		"strtol":     {Args: []expr.Type{cp, expr.TypePtr, i}, Ret: i},
+		"strtoul":    {Args: []expr.Type{cp, expr.TypePtr, i}, Ret: i},
+		"memset":     {Args: []expr.Type{expr.TypePtr, i, i}, Ret: expr.TypePtr},
+		"free":       {Args: []expr.Type{expr.TypePtr}},
+	}
+}
+
+// LenSymName is the symbol naming the length of the string content with
+// the given expression key (the strlen model's return value).
+func LenSymName(contentKey string) string { return "len_" + expr.Hash(contentKey) }
+
+// Call implements symexec.Oracle: model library calls.
+func (t *Tracker) Call(ctx *symexec.CallContext) symexec.CallEffect {
+	if s, ok := t.extraSources[ctx.Callee]; ok {
+		if s.ViaReturn {
+			return t.modelReturningSource(ctx)
+		}
+		if s.BufArg >= 0 {
+			return t.modelBufferSource(ctx, s.BufArg)
+		}
+		return symexec.CallEffect{Handled: true}
+	}
+	if s, ok := t.extraSinks[ctx.Callee]; ok {
+		return t.modelCustomSink(ctx, s)
+	}
+	switch ctx.Callee {
+	// --- Input sources (Table I) -------------------------------------
+	case "read", "recv", "recvfrom", "recvmsg":
+		return t.modelBufferSource(ctx, 1)
+	case "fgets":
+		return t.modelBufferSource(ctx, 0)
+	case "getenv", "websGetVar", "find_var":
+		return t.modelReturningSource(ctx)
+
+	// --- Sensitive sinks (Table I) -----------------------------------
+	case "strcpy":
+		return t.modelStrcpy(ctx, false)
+	case "strcat":
+		return t.modelStrcpy(ctx, true)
+	case "strncpy":
+		return t.modelStrncpy(ctx)
+	case "sprintf":
+		return t.modelSprintf(ctx)
+	case "memcpy":
+		return t.modelMemcpy(ctx)
+	case "sscanf":
+		return t.modelSscanf(ctx)
+	case "system", "popen":
+		return t.modelCommand(ctx)
+
+	case "gets":
+		return t.modelGets(ctx)
+	case "snprintf":
+		return t.modelSnprintf(ctx)
+	case "strncat":
+		return t.modelStrncat(ctx)
+
+	// --- Propagation-only library models -----------------------------
+	case "strtol", "strtoul":
+		return t.modelAtoi(ctx)
+	case "strlen":
+		return t.modelStrlen(ctx)
+	case "atoi":
+		return t.modelAtoi(ctx)
+	case "strchr":
+		return t.modelStrchr(ctx)
+	case "malloc":
+		return symexec.CallEffect{
+			Handled: true,
+			Ret:     expr.Sym(expr.HeapName(fmt.Sprintf("%s@%x", ctx.Func, ctx.Site))),
+		}
+	case "memset", "free", "strcmp", "strncmp":
+		return symexec.CallEffect{Handled: true}
+	}
+	return symexec.CallEffect{}
+}
+
+// content returns the string/buffer content reached through pointer value
+// p in the current path state. OR-combined pointers (a callee with
+// several alternative returns) resolve component-wise so taint behind any
+// alternative is seen.
+func content(ctx *symexec.CallContext, p *expr.Expr) *expr.Expr {
+	if p == nil {
+		return nil
+	}
+	if op, x, y, ok := p.BinOperands(); ok && op == expr.OpOr {
+		return orCombine(content(ctx, x), content(ctx, y))
+	}
+	return ctx.ResolveDeep(ctx.Resolve(p))
+}
+
+func arg(ctx *symexec.CallContext, i int) *expr.Expr {
+	if i < len(ctx.Args) {
+		return ctx.Args[i]
+	}
+	return nil
+}
+
+func taintSym(source string, site uint32) *expr.Expr {
+	return expr.Sym(expr.TaintName(source, uint64(site)))
+}
+
+// orCombine folds non-nil expressions with OR, preserving every taint and
+// marker symbol of the operands.
+func orCombine(exprs ...*expr.Expr) *expr.Expr {
+	var out *expr.Expr
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+			continue
+		}
+		if out.Equal(e) {
+			continue
+		}
+		out = expr.Bin(expr.OpOr, out, e)
+	}
+	return out
+}
+
+// stackCapacity derives a destination buffer's capacity from the frame
+// layout: a pointer sp+d with d < 0 has -d bytes before the writes cross
+// the caller's frame (the paper reports exact buffer sizes — "a local
+// stack buffer of max size 152" — recovered the same way).
+func stackCapacity(p *expr.Expr) int64 {
+	if p == nil {
+		return 0
+	}
+	base, off, ok := p.BasePlusOffset()
+	if !ok || off >= 0 {
+		return 0
+	}
+	if name, isSym := base.SymName(); isSym && name == expr.StackSym {
+		return -off
+	}
+	return 0
+}
+
+// scanfMaxWidth extracts the largest conversion width from a scanf format
+// string ("%254s" -> 254); 0 when no width is present.
+func scanfMaxWidth(format string) int64 {
+	var best int64
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		var w int64
+		for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+			w = w*10 + int64(format[i]-'0')
+			i++
+		}
+		if w > best {
+			best = w
+		}
+	}
+	return best
+}
+
+// formatString reads the constant format-string argument from rodata.
+func (t *Tracker) formatString(fmtArg *expr.Expr) (string, bool) {
+	if t.bin == nil || fmtArg == nil {
+		return "", false
+	}
+	addr, ok := fmtArg.ConstVal()
+	if !ok || addr < 0 {
+		return "", false
+	}
+	return t.bin.StringAt(uint32(addr))
+}
+
+// modelCustomSink observes a user-declared sink: the DataArg content must
+// be clean; LenArg (when present) is the bound whose constraint counts as
+// sanitization.
+func (t *Tracker) modelCustomSink(ctx *symexec.CallContext, s SinkSpec) symexec.CallEffect {
+	var data, guard *expr.Expr
+	if s.DataArg >= 0 {
+		data = content(ctx, arg(ctx, s.DataArg))
+	}
+	if s.LenArg >= 0 {
+		guard = ctx.ResolveDeep(arg(ctx, s.LenArg))
+	} else {
+		guard = data
+	}
+	taintE := data
+	if s.LenArg >= 0 {
+		taintE = orCombine(data, guard)
+	}
+	if s.Class == ClassCommandInjection {
+		guard = arg(ctx, s.DataArg)
+		taintE = orCombine(ctx.ResolveDeep(arg(ctx, s.DataArg)), data)
+	}
+	t.observe(sinkObs{
+		class: s.Class, sink: s.Name, addr: ctx.Site,
+		taint: taintE, guard: guard,
+	})
+	return symexec.CallEffect{Handled: true}
+}
+
+func (t *Tracker) modelBufferSource(ctx *symexec.CallContext, bufArg int) symexec.CallEffect {
+	buf := arg(ctx, bufArg)
+	if buf == nil {
+		return symexec.CallEffect{Handled: true}
+	}
+	return symexec.CallEffect{
+		Handled: true,
+		MemDefs: []symexec.MemDef{{Addr: buf, Val: taintSym(ctx.Callee, ctx.Site)}},
+	}
+}
+
+func (t *Tracker) modelReturningSource(ctx *symexec.CallContext) symexec.CallEffect {
+	ptr := expr.Sym(expr.HeapName(fmt.Sprintf("%s@%x", ctx.Callee, ctx.Site)))
+	return symexec.CallEffect{
+		Handled: true,
+		Ret:     ptr,
+		MemDefs: []symexec.MemDef{{Addr: ptr, Val: taintSym(ctx.Callee, ctx.Site)}},
+	}
+}
+
+func (t *Tracker) modelStrcpy(ctx *symexec.CallContext, cat bool) symexec.CallEffect {
+	dst, src := arg(ctx, 0), arg(ctx, 1)
+	c := content(ctx, src)
+	t.observe(sinkObs{
+		class: ClassBufferOverflow, sink: sinkName(cat), addr: ctx.Site,
+		taint: c, guard: c, dstCap: stackCapacity(dst),
+	})
+	eff := symexec.CallEffect{Handled: true, Ret: dst}
+	if dst != nil && c != nil {
+		val := c
+		if cat {
+			val = orCombine(content(ctx, dst), c)
+		}
+		eff.MemDefs = []symexec.MemDef{{Addr: dst, Val: val}}
+	}
+	return eff
+}
+
+func sinkName(cat bool) string {
+	if cat {
+		return "strcat"
+	}
+	return "strcpy"
+}
+
+func (t *Tracker) modelStrncpy(ctx *symexec.CallContext) symexec.CallEffect {
+	dst, src, n := arg(ctx, 0), arg(ctx, 1), arg(ctx, 2)
+	c := content(ctx, src)
+	nRes := ctx.ResolveDeep(n)
+	// The copy is dangerous when the copied data is tainted and the length
+	// is not a sanitizing bound (e.g. strncpy(d, s, strlen(s))).
+	t.observe(sinkObs{
+		class: ClassBufferOverflow, sink: "strncpy", addr: ctx.Site,
+		taint: orCombine(c, nRes), guard: nRes, dstCap: stackCapacity(dst),
+	})
+	eff := symexec.CallEffect{Handled: true, Ret: dst}
+	if dst != nil && c != nil {
+		eff.MemDefs = []symexec.MemDef{{Addr: dst, Val: c}}
+	}
+	return eff
+}
+
+func (t *Tracker) modelSprintf(ctx *symexec.CallContext) symexec.CallEffect {
+	dst := arg(ctx, 0)
+	var parts []*expr.Expr
+	for i := 1; i < len(ctx.Args); i++ {
+		a := ctx.Args[i]
+		if a == nil {
+			continue
+		}
+		parts = append(parts, ctx.ResolveDeep(a), content(ctx, a))
+	}
+	combined := orCombine(parts...)
+	t.observe(sinkObs{
+		class: ClassBufferOverflow, sink: "sprintf", addr: ctx.Site,
+		taint: combined, guard: combined, dstCap: stackCapacity(dst),
+	})
+	eff := symexec.CallEffect{Handled: true}
+	if dst != nil && combined != nil {
+		eff.MemDefs = []symexec.MemDef{{Addr: dst, Val: combined}}
+	}
+	return eff
+}
+
+func (t *Tracker) modelMemcpy(ctx *symexec.CallContext) symexec.CallEffect {
+	dst, src, n := arg(ctx, 0), arg(ctx, 1), arg(ctx, 2)
+	c := content(ctx, src)
+	nRes := ctx.ResolveDeep(n)
+	// Two weaknesses: a tainted length (Heartbleed's payload), and tainted
+	// data copied under an unchecked length.
+	cap0 := stackCapacity(dst)
+	// A constant copy length that fits the destination is statically safe;
+	// the observation is kept (as a sanitized path) for diagnostics.
+	fits := false
+	if n != nil {
+		if ln, okC := n.ConstVal(); okC && cap0 > 0 && ln <= cap0 {
+			fits = true
+		}
+	}
+	t.observe(sinkObs{
+		class: ClassBufferOverflow, sink: "memcpy", addr: ctx.Site,
+		taint: nRes, guard: nRes, dstCap: cap0, guarded: fits,
+	})
+	t.observe(sinkObs{
+		class: ClassBufferOverflow, sink: "memcpy", addr: ctx.Site,
+		taint: c, guard: nRes, dstCap: cap0, guarded: fits,
+	})
+	return propagateMemcpy(dst, c)
+}
+
+// propagateMemcpy applies memcpy's data effect: mem[dst] = content(src).
+func propagateMemcpy(dst, c *expr.Expr) symexec.CallEffect {
+	eff := symexec.CallEffect{Handled: true, Ret: dst}
+	if dst != nil && c != nil {
+		eff.MemDefs = []symexec.MemDef{{Addr: dst, Val: c}}
+	}
+	return eff
+}
+
+func (t *Tracker) modelSscanf(ctx *symexec.CallContext) symexec.CallEffect {
+	src := arg(ctx, 0)
+	c := content(ctx, src)
+	// A conversion width in the format bounds the copy; it sanitizes only
+	// when the width (plus NUL) fits the smallest destination buffer —
+	// the Uniview zero-day is exactly a %254s into a 180-byte buffer.
+	var width, minCap int64
+	if f, ok := t.formatString(arg(ctx, 1)); ok {
+		width = scanfMaxWidth(f)
+	}
+	for i := 2; i < len(ctx.Args); i++ {
+		if cp := stackCapacity(ctx.Args[i]); cp > 0 && (minCap == 0 || cp < minCap) {
+			minCap = cp
+		}
+	}
+	var hint int64
+	if width > 0 {
+		hint = width + 1
+	}
+	t.observe(sinkObs{
+		class: ClassBufferOverflow, sink: "sscanf", addr: ctx.Site,
+		taint: c, guard: c, dstCap: minCap, boundHint: hint,
+	})
+	eff := symexec.CallEffect{Handled: true}
+	for i := 2; i < len(ctx.Args); i++ {
+		if ctx.Args[i] != nil && c != nil {
+			eff.MemDefs = append(eff.MemDefs, symexec.MemDef{Addr: ctx.Args[i], Val: c})
+		}
+	}
+	return eff
+}
+
+func (t *Tracker) modelCommand(ctx *symexec.CallContext) symexec.CallEffect {
+	cmd := arg(ctx, 0)
+	c := orCombine(ctx.ResolveDeep(cmd), content(ctx, cmd))
+	guarded := false
+	if c != nil {
+		for _, root := range guardRoots(c) {
+			if t.guards[root] {
+				guarded = true
+			}
+		}
+	}
+	t.observe(sinkObs{
+		class: ClassCommandInjection, sink: ctx.Callee, addr: ctx.Site,
+		taint: c, guard: cmd, guarded: guarded,
+	})
+	return symexec.CallEffect{Handled: true}
+}
+
+// modelGets handles gets(buf): attacker input with no possible bound —
+// reachable gets() on a stack buffer is always a finding.
+func (t *Tracker) modelGets(ctx *symexec.CallContext) symexec.CallEffect {
+	buf := arg(ctx, 0)
+	ts := taintSym("gets", ctx.Site)
+	t.observe(sinkObs{
+		class: ClassBufferOverflow, sink: "gets", addr: ctx.Site,
+		taint: ts, guard: nil, dstCap: stackCapacity(buf),
+	})
+	eff := symexec.CallEffect{Handled: true, Ret: buf}
+	if buf != nil {
+		eff.MemDefs = []symexec.MemDef{{Addr: buf, Val: ts}}
+	}
+	return eff
+}
+
+// modelSnprintf handles the bounded sprintf: a constant size that fits
+// the destination sanitizes; a tainted or oversized size does not.
+func (t *Tracker) modelSnprintf(ctx *symexec.CallContext) symexec.CallEffect {
+	dst, size := arg(ctx, 0), arg(ctx, 1)
+	var parts []*expr.Expr
+	for i := 2; i < len(ctx.Args); i++ {
+		a := ctx.Args[i]
+		if a == nil {
+			continue
+		}
+		parts = append(parts, ctx.ResolveDeep(a), content(ctx, a))
+	}
+	combined := orCombine(parts...)
+	cap0 := stackCapacity(dst)
+	var hint int64
+	if size != nil {
+		if v, ok := ctx.ResolveDeep(size).ConstVal(); ok && v > 0 {
+			hint = v
+		}
+	}
+	t.observe(sinkObs{
+		class: ClassBufferOverflow, sink: "snprintf", addr: ctx.Site,
+		taint: orCombine(combined, ctx.ResolveDeep(size)), guard: ctx.ResolveDeep(size),
+		dstCap: cap0, boundHint: hint,
+	})
+	eff := symexec.CallEffect{Handled: true}
+	if dst != nil && combined != nil {
+		eff.MemDefs = []symexec.MemDef{{Addr: dst, Val: combined}}
+	}
+	return eff
+}
+
+// modelStrncat handles the bounded append.
+func (t *Tracker) modelStrncat(ctx *symexec.CallContext) symexec.CallEffect {
+	dst, src, n := arg(ctx, 0), arg(ctx, 1), arg(ctx, 2)
+	c := content(ctx, src)
+	nRes := ctx.ResolveDeep(n)
+	t.observe(sinkObs{
+		class: ClassBufferOverflow, sink: "strncat", addr: ctx.Site,
+		taint: orCombine(c, nRes), guard: nRes, dstCap: stackCapacity(dst),
+	})
+	eff := symexec.CallEffect{Handled: true, Ret: dst}
+	if dst != nil && c != nil {
+		eff.MemDefs = []symexec.MemDef{{Addr: dst, Val: orCombine(content(ctx, dst), c)}}
+	}
+	return eff
+}
+
+func (t *Tracker) modelStrlen(ctx *symexec.CallContext) symexec.CallEffect {
+	c := content(ctx, arg(ctx, 0))
+	if c == nil {
+		return symexec.CallEffect{Handled: true}
+	}
+	ret := expr.Sym(LenSymName(c.Key()))
+	// The length of tainted data is itself attacker-controlled.
+	for _, ts := range c.TaintSyms() {
+		ret = expr.Bin(expr.OpOr, ret, expr.Sym(ts))
+	}
+	return symexec.CallEffect{Handled: true, Ret: ret}
+}
+
+func (t *Tracker) modelAtoi(ctx *symexec.CallContext) symexec.CallEffect {
+	c := content(ctx, arg(ctx, 0))
+	if c == nil {
+		return symexec.CallEffect{Handled: true}
+	}
+	ret := expr.Sym("atoi_" + expr.Hash(c.Key()))
+	for _, ts := range c.TaintSyms() {
+		ret = expr.Bin(expr.OpOr, ret, expr.Sym(ts))
+	}
+	return symexec.CallEffect{Handled: true, Ret: ret}
+}
+
+// modelStrchr treats strchr(s, ';') as a command-separator guard on s.
+func (t *Tracker) modelStrchr(ctx *symexec.CallContext) symexec.CallEffect {
+	s, ch := arg(ctx, 0), arg(ctx, 1)
+	if ch != nil {
+		if v, ok := ch.ConstVal(); ok && v == SemicolonByte {
+			if c := content(ctx, s); c != nil {
+				for _, root := range guardRoots(c) {
+					t.guards[root] = true
+				}
+			}
+		}
+	}
+	return symexec.CallEffect{Handled: true, Ret: expr.Sym("strchr_" + expr.Hash(fmt.Sprintf("%x", ctx.Site)))}
+}
+
+// guardRoots returns the identity keys under which a guard on content c is
+// registered and looked up: the content's own key, the keys of each
+// OR-combined component (command expressions combine the pointer value
+// and its pointee), plus its taint symbols.
+func guardRoots(c *expr.Expr) []string {
+	seen := map[string]bool{}
+	var roots []string
+	var add func(e *expr.Expr)
+	add = func(e *expr.Expr) {
+		if op, x, y, ok := e.BinOperands(); ok && op == expr.OpOr {
+			add(x)
+			add(y)
+			return
+		}
+		if !seen[e.Key()] {
+			seen[e.Key()] = true
+			roots = append(roots, e.Key())
+		}
+	}
+	add(c)
+	for _, ts := range c.TaintSyms() {
+		if !seen[ts] {
+			seen[ts] = true
+			roots = append(roots, ts)
+		}
+	}
+	return roots
+}
+
+// observe stages a sink observation for the current function, deduplicated
+// by (site, taint key).
+func (t *Tracker) observe(o sinkObs) {
+	if o.taint == nil {
+		return
+	}
+	key := fmt.Sprintf("%s|%x|%s|%s", t.curFunc, o.addr, o.sink, o.taint.Key())
+	if t.obsSeen[key] {
+		return
+	}
+	t.obsSeen[key] = true
+	if len(o.path) == 0 {
+		o.path = []Step{{Func: t.curFunc, Addr: o.addr, Note: o.sink}}
+	}
+	t.obs = append(t.obs, o)
+}
+
+// ImportPending re-evaluates a callee's pending sinks at a callsite in the
+// current function (Algorithm 2's PushToCallSite, executed bottom-up).
+// sub substitutes formal arguments with actuals and resolves the result
+// against the live caller state.
+func (t *Tracker) ImportPending(ps []PendingSink, sub func(*expr.Expr) *expr.Expr, callSite uint32) {
+	for _, p := range ps {
+		if p.Depth >= MaxPendingDepth {
+			continue
+		}
+		taintE := sub(p.TaintExpr)
+		guardE := p.GuardExpr
+		if guardE != nil {
+			guardE = sub(guardE)
+		}
+		carried := make([]symexec.Constraint, 0, len(p.Constraints))
+		for _, c := range p.Constraints {
+			carried = append(carried, symexec.Constraint{
+				L: sub(c.L), R: sub(c.R), Cond: c.Cond, Addr: c.Addr, InLoop: c.InLoop,
+			})
+		}
+		path := make([]Step, len(p.Path), len(p.Path)+1)
+		copy(path, p.Path)
+		path = append(path, Step{Func: t.curFunc, Addr: callSite, Note: "call " + p.SinkFunc})
+		t.observe(sinkObs{
+			class: p.Class, sink: p.Sink, addr: p.SinkAddr,
+			taint: taintE, guard: guardE,
+			path: path, carried: carried, guarded: p.Guarded,
+			depth:  p.Depth + 1,
+			dstCap: p.DstCap, boundHint: p.BoundHint,
+		})
+	}
+}
+
+// EndFunction finalizes the function's observations against its completed
+// summary: tainted sinks become findings, argument-rooted sinks become
+// pending sinks for the callers, and loop-copy stores are checked as the
+// structural "loop" sink of Table I.
+func (t *Tracker) EndFunction(sum *symexec.Summary) {
+	// Structural loop-copy sinks.
+	for _, ls := range sum.LoopStores {
+		if ls.Val == nil || (!ls.Val.ContainsTaint() && !isArgRooted(ls.Val)) {
+			continue
+		}
+		t.observe(sinkObs{
+			class: ClassBufferOverflow, sink: "loop", addr: ls.Addr,
+			taint: ls.Val, guard: ls.Val,
+		})
+	}
+
+	for _, o := range t.obs {
+		switch {
+		case o.taint.ContainsTaint():
+			f := Finding{
+				Class:     o.class,
+				Sink:      o.sink,
+				SinkFunc:  sinkFuncOf(o, sum.Func),
+				SinkAddr:  o.addr,
+				TaintExpr: o.taint,
+				GuardExpr: o.guard,
+				Path:      o.path,
+			}
+			f.Source, f.SourceAddr = primarySource(o.taint)
+			f.Sanitized = t.isSanitized(o, sum)
+			t.findings = append(t.findings, f)
+		case isArgRooted(o.taint) || readsGlobal(o.taint):
+			// A check performed below this point (in this function or a
+			// callee) sanitizes the path no matter where the taint enters;
+			// evaluate it now, while the local length-symbol names still
+			// match (ReplaceFormalArgs cannot rewrite hashed names).
+			guarded := o.guarded || t.isSanitized(o, sum)
+			t.pendings[sum.Func] = append(t.pendings[sum.Func], PendingSink{
+				Class:       o.class,
+				Sink:        o.sink,
+				SinkFunc:    sinkFuncOf(o, sum.Func),
+				SinkAddr:    o.addr,
+				TaintExpr:   o.taint,
+				GuardExpr:   o.guard,
+				Path:        o.path,
+				Constraints: append(relevantConstraints(sum.Constraints, o), o.carried...),
+				Guarded:     guarded,
+				Depth:       o.depth,
+				DstCap:      o.dstCap,
+				BoundHint:   o.boundHint,
+			})
+		}
+	}
+	t.obs = nil
+}
+
+func sinkFuncOf(o sinkObs, cur string) string {
+	if len(o.path) > 0 {
+		return o.path[0].Func
+	}
+	return cur
+}
+
+// obsGuarded re-checks the guard table for observations staged before the
+// guard was registered on the same path.
+func (t *Tracker) obsGuarded(o sinkObs) bool {
+	if o.class != ClassCommandInjection {
+		return false
+	}
+	for _, root := range guardRoots(o.taint) {
+		if t.guards[root] {
+			return true
+		}
+	}
+	return false
+}
+
+// isArgRooted reports whether e depends on a formal argument and can
+// therefore become tainted in a caller context.
+func isArgRooted(e *expr.Expr) bool {
+	for _, s := range e.Syms() {
+		if _, ok := expr.ArgIndex(s); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// readsGlobal reports whether e reads memory at an absolute address — a
+// global variable that a sibling function (reached earlier in the
+// caller's execution) may have tainted.
+func readsGlobal(e *expr.Expr) bool {
+	if e == nil {
+		return false
+	}
+	if addr, ok := e.DerefAddr(); ok {
+		if _, isConst := addr.ConstVal(); isConst {
+			return true
+		}
+		if base, _, ok2 := addr.BasePlusOffset(); ok2 {
+			if _, isConst := base.ConstVal(); isConst {
+				return true
+			}
+		}
+		return readsGlobal(addr)
+	}
+	if _, x, y, ok := e.BinOperands(); ok {
+		return readsGlobal(x) || readsGlobal(y)
+	}
+	return false
+}
+
+// primarySource attributes the finding to the lexically smallest taint
+// symbol (deterministic when multiple sources mix).
+func primarySource(e *expr.Expr) (string, uint64) {
+	ts := e.TaintSyms()
+	if len(ts) == 0 {
+		return "", 0
+	}
+	sort.Strings(ts)
+	src, site, ok := expr.TaintSource(ts[0])
+	if !ok {
+		return "input", 0
+	}
+	return src, site
+}
+
+// relevantConstraints selects the function's constraints that mention any
+// symbol of the observation's taint or guard expressions, so they can be
+// carried (and substituted) when the pending sink climbs to callers.
+func relevantConstraints(cs []symexec.Constraint, o sinkObs) []symexec.Constraint {
+	marks := make(map[string]bool)
+	for _, s := range o.taint.Syms() {
+		marks[s] = true
+	}
+	if o.guard != nil {
+		for _, s := range o.guard.Syms() {
+			marks[s] = true
+		}
+	}
+	marks[LenSymName(o.taint.Key())] = true
+	if o.guard != nil {
+		marks[LenSymName(o.guard.Key())] = true
+	}
+	var out []symexec.Constraint
+	for _, c := range cs {
+		if mentionsAny(c.L, marks) || mentionsAny(c.R, marks) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func mentionsAny(e *expr.Expr, marks map[string]bool) bool {
+	if e == nil {
+		return false
+	}
+	for _, s := range e.Syms() {
+		if marks[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// isSanitized applies the paper's two constraint-expression checks.
+func (t *Tracker) isSanitized(o sinkObs, sum *symexec.Summary) bool {
+	if o.guarded {
+		return true
+	}
+	all := make([]symexec.Constraint, 0, len(sum.Constraints)+len(o.carried))
+	all = append(all, sum.Constraints...)
+	all = append(all, o.carried...)
+	switch o.class {
+	case ClassCommandInjection:
+		return commandGuarded(o, all) || t.obsGuarded(o)
+	default:
+		return overflowGuarded(o, all)
+	}
+}
+
+// overflowGuarded: a buffer-overflow path is sanitized when some magnitude
+// comparison (n < 64, n < y) constrains the tainted length/content — EQ/NE
+// checks (NUL scans) do not bound a copy size.
+func overflowGuarded(o sinkObs, cs []symexec.Constraint) bool {
+	if o.guard == nil {
+		return false
+	}
+	// An intrinsic copy bound (scanf conversion width) decides directly:
+	// it sanitizes iff it fits the destination buffer.
+	if o.boundHint > 0 && o.dstCap > 0 {
+		return o.boundHint <= o.dstCap
+	}
+	// A structurally bounded copy length (masked or shifted) that fits
+	// the destination cannot overflow it, tainted or not.
+	if o.dstCap > 0 {
+		if b, ok := expr.MaxValue(o.guard); ok && b <= o.dstCap {
+			return true
+		}
+	}
+	marks := map[string]bool{o.guard.Key(): true}
+	marks[LenSymName(o.guard.Key())] = true
+	for _, s := range o.guard.TaintSyms() {
+		marks[s] = true
+	}
+	for _, s := range o.taint.TaintSyms() {
+		marks[s] = true
+	}
+	if o.sink == "loop" {
+		return loopGuarded(cs)
+	}
+	for _, c := range cs {
+		if !isMagnitude(c.Cond) {
+			continue
+		}
+		var other *expr.Expr
+		switch {
+		case sideMarked(c.L, marks):
+			other = c.R
+		case sideMarked(c.R, marks):
+			other = c.L
+		default:
+			continue
+		}
+		// A constant bound sanitizes only when it fits the destination
+		// buffer (a `n < 0x200` check before copying into 64 bytes does
+		// not help); symbolic bounds are accepted as the paper does
+		// ("n < 64 or n < y, y is a symbolic value").
+		if b, okC := other.ConstVal(); okC {
+			if o.dstCap == 0 || b <= o.dstCap {
+				return true
+			}
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+func sideMarked(e *expr.Expr, marks map[string]bool) bool {
+	if e == nil {
+		return false
+	}
+	if marks[e.Key()] {
+		return true
+	}
+	for _, s := range e.Syms() {
+		if marks[s] {
+			return true
+		}
+	}
+	return false
+}
+
+func isMagnitude(c isa.Cond) bool {
+	switch c {
+	case isa.CondLT, isa.CondLE, isa.CondGT, isa.CondGE:
+		return true
+	}
+	return false
+}
+
+// loopGuarded: a loop copy is sanitized when the loop's trip count is
+// bounded by a small constant (a fixed-size copy); large or symbolic
+// bounds over tainted data are not sanitizing.
+const maxSafeLoopBound = 256
+
+func loopGuarded(cs []symexec.Constraint) bool {
+	for _, c := range cs {
+		if !c.InLoop || !isMagnitude(c.Cond) {
+			continue
+		}
+		vL, okL := c.L.ConstVal()
+		vR, okR := c.R.ConstVal()
+		switch {
+		case okL && okR:
+			// Loop-once concretizes induction variables, so the trip-count
+			// comparison appears as const-vs-const; the larger value is
+			// the loop bound.
+			bound := vL
+			if vR > bound {
+				bound = vR
+			}
+			if bound > 0 && bound < maxSafeLoopBound {
+				return true
+			}
+		case okR && vR > 0 && vR < maxSafeLoopBound && !c.L.ContainsTaint():
+			return true
+		case okL && vL > 0 && vL < maxSafeLoopBound && !c.R.ContainsTaint():
+			return true
+		}
+	}
+	return false
+}
+
+// commandGuarded: a command-injection path is sanitized when some byte of
+// the command is compared against ';' (EQ/NE), or a strchr-style scan was
+// recorded.
+func commandGuarded(o sinkObs, cs []symexec.Constraint) bool {
+	taintMarks := make(map[string]bool)
+	for _, s := range o.taint.TaintSyms() {
+		taintMarks[s] = true
+	}
+	var roots []string
+	if o.guard != nil {
+		if r := o.guard.RootPointer(); r != nil {
+			if name, ok := r.SymName(); ok {
+				roots = append(roots, name)
+			}
+		}
+	}
+	for _, c := range cs {
+		if c.Cond != isa.CondEQ && c.Cond != isa.CondNE {
+			continue
+		}
+		var deref, other *expr.Expr
+		if v, ok := c.R.ConstVal(); ok && v == SemicolonByte {
+			deref, other = c.L, c.R
+		} else if v, ok := c.L.ConstVal(); ok && v == SemicolonByte {
+			deref, other = c.R, c.L
+		}
+		_ = other
+		if deref == nil {
+			continue
+		}
+		if sideMarked(deref, taintMarks) {
+			return true
+		}
+		if root := deref.RootPointer(); root != nil {
+			if name, ok := root.SymName(); ok {
+				for _, r := range roots {
+					if r == name {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,227 @@
+package taint
+
+import (
+	"strings"
+	"testing"
+
+	"dtaint/internal/expr"
+	"dtaint/internal/isa"
+	"dtaint/internal/symexec"
+)
+
+func TestTableIVocabulary(t *testing.T) {
+	// The exact Table I sets.
+	wantSources := []string{"read", "recv", "recvfrom", "recvmsg", "getenv", "fgets", "websGetVar", "find_var"}
+	wantSinks := []string{"strcpy", "strncpy", "sprintf", "memcpy", "strcat", "sscanf", "system", "popen", "loop"}
+	if len(Sources) != len(wantSources) {
+		t.Fatalf("sources = %v", Sources)
+	}
+	for i, s := range wantSources {
+		if Sources[i] != s {
+			t.Fatalf("source %d = %s, want %s", i, Sources[i], s)
+		}
+	}
+	if len(Sinks) != len(wantSinks) {
+		t.Fatalf("sinks = %v", Sinks)
+	}
+	for i, s := range wantSinks {
+		if Sinks[i] != s {
+			t.Fatalf("sink %d = %s, want %s", i, Sinks[i], s)
+		}
+	}
+}
+
+func TestPrototypesCoverVocabulary(t *testing.T) {
+	protos := Prototypes()
+	for _, s := range Sources {
+		if _, ok := protos[s]; !ok {
+			t.Errorf("no prototype for source %s", s)
+		}
+	}
+	for _, s := range Sinks {
+		if s == "loop" {
+			continue
+		}
+		if _, ok := protos[s]; !ok {
+			t.Errorf("no prototype for sink %s", s)
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if ClassBufferOverflow.String() != "buffer-overflow" ||
+		ClassCommandInjection.String() != "command-injection" {
+		t.Fatal("class strings changed")
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{
+		Class: ClassCommandInjection, Sink: "system", SinkFunc: "h", SinkAddr: 0x10,
+		Source: "getenv",
+		Path:   []Step{{Func: "h", Addr: 0x10, Note: "system"}},
+	}
+	s := f.String()
+	for _, want := range []string{"VULNERABLE", "getenv", "system", "command-injection"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("finding string %q missing %q", s, want)
+		}
+	}
+	f.Sanitized = true
+	if !strings.Contains(f.String(), "sanitized") {
+		t.Error("sanitized not rendered")
+	}
+}
+
+func TestOverflowGuardRules(t *testing.T) {
+	taintE := expr.Sym(expr.TaintName("recv", 0x100))
+	obs := sinkObs{class: ClassBufferOverflow, sink: "memcpy", addr: 1, taint: taintE, guard: taintE}
+
+	// No constraints: unsanitized.
+	if overflowGuarded(obs, nil) {
+		t.Fatal("no constraints but guarded")
+	}
+	// EQ/NE checks (NUL scans) do not bound a copy.
+	eq := []symexec.Constraint{{L: taintE, R: expr.Const(0), Cond: isa.CondEQ}}
+	if overflowGuarded(obs, eq) {
+		t.Fatal("EQ check treated as bound")
+	}
+	// A magnitude comparison on the tainted value sanitizes.
+	lt := []symexec.Constraint{{L: taintE, R: expr.Const(64), Cond: isa.CondLT}}
+	if !overflowGuarded(obs, lt) {
+		t.Fatal("LT bound not recognized")
+	}
+	// A comparison of the length symbol also sanitizes.
+	lenC := []symexec.Constraint{{L: expr.Sym(LenSymName(taintE.Key())), R: expr.Const(64), Cond: isa.CondGE}}
+	if !overflowGuarded(obs, lenC) {
+		t.Fatal("strlen bound not recognized")
+	}
+	// Constraints on unrelated values do not sanitize.
+	other := []symexec.Constraint{{L: expr.Sym("other"), R: expr.Const(64), Cond: isa.CondLT}}
+	if overflowGuarded(obs, other) {
+		t.Fatal("unrelated constraint treated as guard")
+	}
+}
+
+func TestCommandGuardRules(t *testing.T) {
+	ts := expr.Sym(expr.TaintName("getenv", 0x20))
+	obs := sinkObs{class: ClassCommandInjection, sink: "system", addr: 1, taint: ts, guard: expr.Sym("cmdptr")}
+
+	if commandGuarded(obs, nil) {
+		t.Fatal("unchecked command guarded")
+	}
+	// EQ against ';' over the tainted data sanitizes.
+	semi := []symexec.Constraint{{L: ts, R: expr.Const(SemicolonByte), Cond: isa.CondEQ}}
+	if !commandGuarded(obs, semi) {
+		t.Fatal("';' EQ check not recognized")
+	}
+	// Reversed operand order too.
+	semiRev := []symexec.Constraint{{L: expr.Const(SemicolonByte), R: ts, Cond: isa.CondNE}}
+	if !commandGuarded(obs, semiRev) {
+		t.Fatal("reversed ';' check not recognized")
+	}
+	// A magnitude comparison against ';' does not count.
+	mag := []symexec.Constraint{{L: ts, R: expr.Const(SemicolonByte), Cond: isa.CondLT}}
+	if commandGuarded(obs, mag) {
+		t.Fatal("magnitude ';' comparison treated as guard")
+	}
+	// Deref rooted at the command pointer counts.
+	cmdPtr := expr.Sym("cmdptr")
+	obs2 := sinkObs{class: ClassCommandInjection, sink: "system", addr: 1, taint: ts, guard: cmdPtr}
+	byByte := []symexec.Constraint{{
+		L: expr.Deref(expr.Add(cmdPtr, 3)), R: expr.Const(SemicolonByte), Cond: isa.CondNE,
+	}}
+	if !commandGuarded(obs2, byByte) {
+		t.Fatal("byte-scan over cmd pointer not recognized")
+	}
+}
+
+func TestLoopGuardRules(t *testing.T) {
+	mk := func(l, r *expr.Expr, cond isa.Cond, inLoop bool) symexec.Constraint {
+		return symexec.Constraint{L: l, R: r, Cond: cond, InLoop: inLoop}
+	}
+	// Small const-const bound (loop-once concretized induction): guarded.
+	if !loopGuarded([]symexec.Constraint{mk(expr.Const(1), expr.Const(16), isa.CondLT, true)}) {
+		t.Fatal("small fixed loop not guarded")
+	}
+	// Large bound: unguarded.
+	if loopGuarded([]symexec.Constraint{mk(expr.Const(1), expr.Const(2048), isa.CondLT, true)}) {
+		t.Fatal("2048-byte loop treated as safe")
+	}
+	// Tainted symbolic bound: unguarded.
+	ts := expr.Sym(expr.TaintName("read", 1))
+	if loopGuarded([]symexec.Constraint{mk(ts, expr.Const(16), isa.CondLT, true)}) {
+		t.Fatal("tainted bound treated as safe")
+	}
+	// Symbolic untainted vs small const: guarded.
+	if !loopGuarded([]symexec.Constraint{mk(expr.Sym("i"), expr.Const(32), isa.CondLT, true)}) {
+		t.Fatal("symbolic small bound not guarded")
+	}
+	// Out-of-loop constraints are ignored.
+	if loopGuarded([]symexec.Constraint{mk(expr.Const(1), expr.Const(16), isa.CondLT, false)}) {
+		t.Fatal("out-of-loop constraint counted")
+	}
+}
+
+func TestIsArgRooted(t *testing.T) {
+	if !isArgRooted(expr.Deref(expr.Add(expr.Arg(2), 8))) {
+		t.Fatal("arg deref not detected")
+	}
+	if isArgRooted(expr.Deref(expr.Sym("heap_x"))) {
+		t.Fatal("heap deref wrongly arg-rooted")
+	}
+}
+
+func TestPrimarySource(t *testing.T) {
+	e := expr.Bin(expr.OpOr,
+		expr.Sym(expr.TaintName("recv", 0x200)),
+		expr.Sym(expr.TaintName("getenv", 0x100)))
+	src, site := primarySource(e)
+	// Lexicographically smallest taint symbol wins: getenv < recv.
+	if src != "getenv" || site != 0x100 {
+		t.Fatalf("source = %s@%#x", src, site)
+	}
+	if src, _ := primarySource(expr.Const(1)); src != "" {
+		t.Fatal("untainted expr has a source")
+	}
+}
+
+func TestPendingDepthBound(t *testing.T) {
+	tr := NewTracker()
+	tr.BeginFunction("f")
+	deep := PendingSink{
+		Class: ClassBufferOverflow, Sink: "strcpy", SinkAddr: 1,
+		TaintExpr: expr.Deref(expr.Arg(0)), Depth: MaxPendingDepth,
+	}
+	tr.ImportPending([]PendingSink{deep}, func(e *expr.Expr) *expr.Expr { return e }, 0x10)
+	sum := &symexec.Summary{Func: "f", Types: map[string]expr.Type{}}
+	tr.EndFunction(sum)
+	if len(tr.Pendings("f")) != 0 || len(tr.Findings()) != 0 {
+		t.Fatal("over-deep pending not dropped")
+	}
+}
+
+func TestObservationDedup(t *testing.T) {
+	tr := NewTracker()
+	tr.BeginFunction("f")
+	ts := expr.Sym(expr.TaintName("recv", 9))
+	o := sinkObs{class: ClassBufferOverflow, sink: "strcpy", addr: 5, taint: ts, guard: ts}
+	tr.observe(o)
+	tr.observe(o)
+	sum := &symexec.Summary{Func: "f", Types: map[string]expr.Type{}}
+	tr.EndFunction(sum)
+	if len(tr.Findings()) != 1 {
+		t.Fatalf("findings = %d, want 1 (dedup)", len(tr.Findings()))
+	}
+}
+
+func TestLenSymStability(t *testing.T) {
+	a := LenSymName("deref(arg0)")
+	b := LenSymName("deref(arg0)")
+	if a != b {
+		t.Fatal("len symbol not deterministic")
+	}
+	if a == LenSymName("deref(arg1)") {
+		t.Fatal("len symbols collide")
+	}
+}

@@ -1,0 +1,62 @@
+package dtaint_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dtaint"
+)
+
+func TestWriteMarkdown(t *testing.T) {
+	fw, err := dtaint.GenerateStudyFirmware("DIR-645", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := dtaint.New().AnalyzeFirmware(fw, "/htdocs/cgibin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# Taint analysis report: cgibin",
+		"| Architecture | MIPS |",
+		"4 vulnerabilities",
+		"CWE-78",
+		"CWE-121",
+		"cgi_pg_exec",
+		"Path 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	if f.n > 2 {
+		return 0, bytes.ErrTooLarge
+	}
+	return len(p), nil
+}
+
+func TestWriteMarkdownPropagatesError(t *testing.T) {
+	fw, err := dtaint.GenerateStudyFirmware("DIR-645", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := dtaint.New().AnalyzeFirmware(fw, "/htdocs/cgibin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteMarkdown(&failWriter{}); err == nil {
+		t.Fatal("writer error swallowed")
+	}
+}

@@ -1,0 +1,164 @@
+package dtaint_test
+
+import (
+	"testing"
+
+	"dtaint"
+	"dtaint/internal/asm"
+)
+
+// Vendor firmware has input wrappers and sinks beyond Table I; the
+// analyzer accepts custom vocabulary entries for them.
+func TestCustomVocabulary(t *testing.T) {
+	src := `
+.arch arm
+.import nvram_get
+.import uart_read
+.import wifi_set_ssid
+.data key "wl_ssid"
+
+.func set_ssid_from_nvram
+  MOV R0, =key
+  BL nvram_get
+  BL wifi_set_ssid
+  BX LR
+.endfunc
+
+.func read_uart_cmd
+  SUB SP, SP, #0x110
+  ADD R0, SP, #8
+  MOV R1, #0x100
+  BL uart_read
+  ADD R0, SP, #8
+  BL wifi_set_ssid
+  BX LR
+.endfunc
+`
+	bin, err := asm.Assemble("vendor", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := bin.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Without the custom vocabulary: nothing is found.
+	plain, err := dtaint.New().AnalyzeExecutable(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(plain.Vulnerabilities()); n != 0 {
+		t.Fatalf("default vocabulary found %d vulns in vendor-only code", n)
+	}
+
+	// With nvram_get/uart_read as sources and wifi_set_ssid as a sink,
+	// both flows are vulnerabilities.
+	a := dtaint.New(
+		dtaint.WithReturningSource("nvram_get"),
+		dtaint.WithBufferSource("uart_read", 0),
+		dtaint.WithSink("wifi_set_ssid", dtaint.ClassBufferOverflow, 0, -1),
+	)
+	rep, err := a.AnalyzeExecutable(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vulns := rep.Vulnerabilities()
+	if len(vulns) != 2 {
+		for _, v := range vulns {
+			t.Logf("vuln: %s", v)
+		}
+		t.Fatalf("custom vocabulary found %d vulns, want 2", len(vulns))
+	}
+	sources := map[string]bool{}
+	for _, v := range vulns {
+		if v.Sink != "wifi_set_ssid" {
+			t.Fatalf("wrong sink: %s", v.Sink)
+		}
+		sources[v.Source] = true
+	}
+	if !sources["nvram_get"] || !sources["uart_read"] {
+		t.Fatalf("sources = %v", sources)
+	}
+	// Custom sinks count toward the static sink census.
+	if rep.SinkCount != 2 {
+		t.Fatalf("sink count = %d, want 2", rep.SinkCount)
+	}
+}
+
+// A custom sink with a length argument is sanitized by a bound check on
+// that argument.
+func TestCustomSinkLengthGuard(t *testing.T) {
+	src := `
+.arch arm
+.import nvram_get
+.import strlen
+.import flash_write
+.data key "cfg"
+
+.func unchecked
+  MOV R0, =key
+  BL nvram_get
+  MOV R4, R0
+  MOV R0, #0
+  MOV R1, R4
+  BL strlen
+  MOV R2, R0
+  MOV R0, #0
+  MOV R1, R4
+  BL flash_write
+  BX LR
+.endfunc
+
+.func checked
+  MOV R0, =key
+  BL nvram_get
+  MOV R4, R0
+  MOV R0, R4
+  BL strlen
+  MOV R5, R0
+  CMP R5, #0x40
+  BGE out
+  MOV R0, #0
+  MOV R1, R4
+  MOV R2, R5
+  BL flash_write
+out:
+  BX LR
+.endfunc
+`
+	bin, err := asm.Assemble("vendor2", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := bin.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := dtaint.New(
+		dtaint.WithReturningSource("nvram_get"),
+		dtaint.WithSink("flash_write", dtaint.ClassBufferOverflow, 1, 2),
+	)
+	rep, err := a.AnalyzeExecutable(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var uncheckedHit, checkedHit bool
+	for _, v := range rep.VulnerablePaths() {
+		switch v.SinkFunc {
+		case "unchecked":
+			uncheckedHit = true
+		case "checked":
+			checkedHit = true
+		}
+	}
+	if !uncheckedHit {
+		for _, f := range rep.Findings {
+			t.Logf("finding: %s", f)
+		}
+		t.Fatal("unchecked flash_write not reported")
+	}
+	if checkedHit {
+		t.Fatal("length-checked flash_write reported")
+	}
+}
