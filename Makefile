@@ -1,0 +1,16 @@
+# Tier-1 verify is `make test`; `make check` adds vet and the
+# race-enabled run that guards the parallel SCC-DAG scheduler.
+
+.PHONY: build test check bench
+
+build:
+	go build ./...
+
+test: build
+	go test ./...
+
+check:
+	./scripts/check.sh
+
+bench:
+	go test -bench=. -benchmem

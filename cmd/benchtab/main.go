@@ -9,7 +9,7 @@
 //	benchtab -table4            # Table IV: previously-reported CVEs
 //	benchtab -table5            # Table V: zero-days
 //	benchtab -table6            # Table VI: CPU/memory usage
-//	benchtab -table7            # Table VII: DTaint vs top-down baseline
+//	benchtab -table7            # Table VII: DTaint (parallel + sequential DDG) vs top-down baseline
 //	benchtab -ablate            # feature ablations (alias, structsim)
 //
 // -scale (default 0.25) shrinks the filler code of the synthetic binaries;

@@ -5,10 +5,14 @@
 //	dtaint -exe openssl.fwelf
 //	dtaint -fw camera.fwimg -bin /usr/bin/centaurus -module DS-2CD6233F
 //	dtaint -exe prog.fwelf -dis          # disassemble instead of analyzing
+//	dtaint -exe prog.fwelf -workers 8    # analysis worker count
 //
 // Flags -no-alias and -no-structsim disable the corresponding analysis
 // features (ablations); -paths prints every vulnerable path rather than
 // the deduplicated vulnerability list; -all also prints sanitized paths.
+// -workers N sets the worker count for both parallel analysis phases —
+// the per-function pass and the bottom-up SCC-DAG scheduler (0, the
+// default, uses GOMAXPROCS; negative values are rejected).
 package main
 
 import (
@@ -40,6 +44,7 @@ func main() {
 		jsonOut = flag.Bool("json", false, "emit the report as JSON")
 		mdOut   = flag.String("report", "", "write a Markdown report to this file")
 		traceFn = flag.String("trace", "", "print the symbolic-analysis listing of one function (the paper's Figure 6) and exit")
+		workers = flag.Int("workers", 0, "worker count for both analysis phases (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -50,13 +55,16 @@ func main() {
 		}
 		return
 	}
-	if err := run(*fwPath, *exePath, *binPath, *module, *mdOut, *noAlias, *noSim, *paths, *showAll, *dis, *jsonOut); err != nil {
+	if err := run(*fwPath, *exePath, *binPath, *module, *mdOut, *workers, *noAlias, *noSim, *paths, *showAll, *dis, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "dtaint:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fwPath, exePath, binPath, module, mdOut string, noAlias, noSim, paths, showAll, dis, jsonOut bool) error {
+func run(fwPath, exePath, binPath, module, mdOut string, workers int, noAlias, noSim, paths, showAll, dis, jsonOut bool) error {
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 uses GOMAXPROCS), got %d", workers)
+	}
 	raw, err := loadExecutable(fwPath, exePath, binPath)
 	if err != nil {
 		return err
@@ -87,6 +95,9 @@ func run(fwPath, exePath, binPath, module, mdOut string, noAlias, noSim, paths, 
 			opts = append(opts, dtaint.WithFunctionFilter(filter))
 		}
 	}
+	if workers > 0 {
+		opts = append(opts, dtaint.WithParallelism(workers))
+	}
 	rep, err := dtaint.New(opts...).AnalyzeExecutable(raw)
 	if err != nil {
 		return err
@@ -115,7 +126,8 @@ func run(fwPath, exePath, binPath, module, mdOut string, noAlias, noSim, paths, 
 		rep.Binary, rep.Arch, rep.Functions, rep.Blocks, rep.CallEdges)
 	fmt.Printf("analyzed %d functions, %d sink sites, %d indirect calls resolved\n",
 		rep.FunctionsAnalyzed, rep.SinkCount, rep.IndirectResolved)
-	fmt.Printf("symbolic analysis %v, data-flow generation %v\n\n", rep.SSATime, rep.DDGTime)
+	fmt.Printf("symbolic analysis %v, data-flow generation %v (%d workers, %d components, critical path %d)\n\n",
+		rep.SSATime, rep.DDGTime, rep.DDGWorkers, rep.SCCComponents, rep.CriticalPath)
 
 	switch {
 	case showAll:
@@ -186,6 +198,9 @@ type jsonReport struct {
 	IndirectResolved  int           `json:"indirectResolved"`
 	SSAMillis         int64         `json:"ssaMillis"`
 	DDGMillis         int64         `json:"ddgMillis"`
+	DDGWorkers        int           `json:"ddgWorkers"`
+	SCCComponents     int           `json:"sccComponents"`
+	CriticalPath      int           `json:"criticalPath"`
 	Findings          []jsonFinding `json:"findings"`
 }
 
@@ -212,6 +227,9 @@ func writeJSON(rep *dtaint.Report, includeSanitized bool) error {
 		IndirectResolved:  rep.IndirectResolved,
 		SSAMillis:         rep.SSATime.Milliseconds(),
 		DDGMillis:         rep.DDGTime.Milliseconds(),
+		DDGWorkers:        rep.DDGWorkers,
+		SCCComponents:     rep.SCCComponents,
+		CriticalPath:      rep.CriticalPath,
 	}
 	for _, f := range rep.Findings {
 		if f.Sanitized && !includeSanitized {

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"dtaint"
@@ -32,57 +33,61 @@ func writeCorpus(t *testing.T) (fwFile, exeFile string) {
 
 func TestRunFirmware(t *testing.T) {
 	fw, _ := writeCorpus(t)
-	if err := run(fw, "", "/htdocs/cgibin", "", "", false, false, false, false, false, false); err != nil {
+	if err := run(fw, "", "/htdocs/cgibin", "", "", 0, false, false, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	// Paths and all modes.
-	if err := run(fw, "", "/htdocs/cgibin", "", "", false, false, true, false, false, false); err != nil {
+	if err := run(fw, "", "/htdocs/cgibin", "", "", 0, false, false, true, false, false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(fw, "", "/htdocs/cgibin", "", "", false, false, false, true, false, false); err != nil {
+	if err := run(fw, "", "/htdocs/cgibin", "", "", 0, false, false, false, true, false, false); err != nil {
 		t.Fatal(err)
 	}
 	// JSON mode.
-	if err := run(fw, "", "/htdocs/cgibin", "", "", false, false, false, false, false, true); err != nil {
+	if err := run(fw, "", "/htdocs/cgibin", "", "", 0, false, false, false, false, false, true); err != nil {
 		t.Fatal(err)
 	}
 	// Markdown report mode.
 	md := filepath.Join(t.TempDir(), "report.md")
-	if err := run(fw, "", "/htdocs/cgibin", "", md, false, false, false, false, false, false); err != nil {
+	if err := run(fw, "", "/htdocs/cgibin", "", md, 0, false, false, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	if data, err := os.ReadFile(md); err != nil || len(data) == 0 {
 		t.Fatalf("markdown report not written: %v", err)
 	}
 	// Ablations.
-	if err := run(fw, "", "/htdocs/cgibin", "", "", true, true, false, false, false, false); err != nil {
+	if err := run(fw, "", "/htdocs/cgibin", "", "", 0, true, true, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	// Auto-pick.
-	if err := run(fw, "", "", "", "", false, false, false, false, false, false); err != nil {
+	if err := run(fw, "", "", "", "", 0, false, false, false, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	// Explicit worker count.
+	if err := run(fw, "", "/htdocs/cgibin", "", "", 4, false, false, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunExecutableAndDisassemble(t *testing.T) {
 	_, exe := writeCorpus(t)
-	if err := run("", exe, "", "", "", false, false, false, false, false, false); err != nil {
+	if err := run("", exe, "", "", "", 0, false, false, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", exe, "", "", "", false, false, false, false, true, false); err != nil {
+	if err := run("", exe, "", "", "", 0, false, false, false, false, true, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", "", "", "", false, false, false, false, false, false); err == nil {
+	if err := run("", "", "", "", "", 0, false, false, false, false, false, false); err == nil {
 		t.Fatal("missing inputs accepted")
 	}
 	fw, _ := writeCorpus(t)
-	if err := run(fw, "", "/ghost", "", "", false, false, false, false, false, false); err == nil {
+	if err := run(fw, "", "/ghost", "", "", 0, false, false, false, false, false, false); err == nil {
 		t.Fatal("missing binary path accepted")
 	}
-	if err := run("/no/such/file", "", "", "", "", false, false, false, false, false, false); err == nil {
+	if err := run("/no/such/file", "", "", "", "", 0, false, false, false, false, false, false); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	dir := t.TempDir()
@@ -90,10 +95,23 @@ func TestRunErrors(t *testing.T) {
 	if err := os.WriteFile(junk, []byte("not firmware"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(junk, "", "", "", "", false, false, false, false, false, false); err == nil {
+	if err := run(junk, "", "", "", "", 0, false, false, false, false, false, false); err == nil {
 		t.Fatal("junk firmware accepted")
 	}
-	if err := run("", junk, "", "", "", false, false, false, false, false, false); err == nil {
+	if err := run("", junk, "", "", "", 0, false, false, false, false, false, false); err == nil {
 		t.Fatal("junk executable accepted")
+	}
+}
+
+// A negative -workers value must be rejected with a clear error, not
+// silently mapped to GOMAXPROCS.
+func TestRunRejectsNegativeWorkers(t *testing.T) {
+	fw, _ := writeCorpus(t)
+	err := run(fw, "", "/htdocs/cgibin", "", "", -1, false, false, false, false, false, false)
+	if err == nil {
+		t.Fatal("negative worker count accepted")
+	}
+	if !strings.Contains(err.Error(), "-workers") {
+		t.Fatalf("error does not name the flag: %v", err)
 	}
 }

@@ -121,6 +121,13 @@ type Report struct {
 	// (the Table VII columns).
 	SSATime time.Duration
 	DDGTime time.Duration
+	// DDGWorkers, SCCComponents, and CriticalPath describe the parallel
+	// bottom-up phase: the worker count its SCC-DAG scheduler ran with,
+	// the number of call-graph components scheduled, and the longest
+	// chain of dependent components (the parallelism ceiling).
+	DDGWorkers    int
+	SCCComponents int
+	CriticalPath  int
 	// Findings are all discovered source→sink paths, including sanitized
 	// ones.
 	Findings []Finding
@@ -147,7 +154,9 @@ func (r *Report) Vulnerabilities() []Finding {
 		if f.Sanitized {
 			continue
 		}
-		key := fmt.Sprintf("%s|%s|%x|%s", f.SinkFunc, f.Sink, f.SinkAddr, f.Class)
+		// Same key helper as the internal Result, so the public and
+		// internal vulnerability counts cannot diverge.
+		key := taint.VulnKey(f.SinkFunc, f.Sink, f.SinkAddr, string(f.Class))
 		if seen[key] {
 			continue
 		}
@@ -196,8 +205,11 @@ func WithLoopUnrolling(iters int) Option {
 	}
 }
 
-// WithParallelism sets the worker count for the per-function analysis
-// phase (0 = GOMAXPROCS).
+// WithParallelism sets the worker count for both analysis phases
+// (0 = GOMAXPROCS): the per-function phase fans out over independent
+// functions, and the bottom-up interprocedural phase schedules SCC
+// components of the condensed call graph as their callees complete.
+// Results are identical for every worker count.
 func WithParallelism(workers int) Option {
 	return func(a *Analyzer) { a.opts.Parallelism = workers }
 }
@@ -325,6 +337,9 @@ func (a *Analyzer) analyze(bin *image.Binary) (*Report, error) {
 		Truncated:         res.Truncated,
 		SSATime:           res.SSATime,
 		DDGTime:           res.DDGTime,
+		DDGWorkers:        res.Parallel.Workers,
+		SCCComponents:     res.Parallel.Components,
+		CriticalPath:      res.Parallel.CriticalPath,
 	}
 	for _, f := range res.Findings {
 		rep.Findings = append(rep.Findings, publicFinding(f))

@@ -290,18 +290,38 @@ var paperTable7 = map[string][4]float64{
 	"openssl":   {102.94, 7345.56, 47.33, 3.09},
 }
 
-// Table7Row is one measured workload of the comparison.
+// Table7Row is one measured workload of the comparison. DTaintDDG is the
+// parallel bottom-up run (Workers workers over the SCC DAG); DTaintDDGSeq
+// is the same pass scheduled with one worker, so the per-binary DDG
+// speedup of the parallel scheduler is visible next to the paper's
+// baseline comparison.
 type Table7Row struct {
 	Binary                   string
 	BaseSSA, BaseDDG         time.Duration
 	DTaintSSA, DTaintDDG     time.Duration
+	DTaintDDGSeq             time.Duration
+	Workers                  int
+	Components               int
+	CriticalPath             int
 	BaselineAnalyses, Capped int
 }
 
-// RunTable7 measures DTaint and the top-down baseline on the four
-// workloads. maxAnalyses caps the baseline's exponential re-analysis
-// (0 uses the package default of 200k; the cap is the phenomenon being
-// measured, not an unfairness — uncapped, the baseline would not finish).
+// Table7Workers is the worker count of the parallel DDG measurement:
+// GOMAXPROCS, but at least 4 so the SCC-DAG scheduler is exercised even
+// on small hosts (components are goroutine-cheap to oversubscribe).
+func Table7Workers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w < 4 {
+		w = 4
+	}
+	return w
+}
+
+// RunTable7 measures DTaint (sequential and parallel bottom-up) and the
+// top-down baseline on the four workloads. maxAnalyses caps the
+// baseline's exponential re-analysis (0 uses the package default of 200k;
+// the cap is the phenomenon being measured, not an unfairness — uncapped,
+// the baseline would not finish).
 func RunTable7(scale float64, maxAnalyses int) ([]Table7Row, error) {
 	var rows []Table7Row
 	for _, product := range Table7Workloads {
@@ -313,7 +333,18 @@ func RunTable7(scale float64, maxAnalyses int) ([]Table7Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		dt, err := dataflow.Analyze(prog, dataflow.Options{})
+		dt, err := dataflow.Analyze(prog, dataflow.Options{Parallelism: Table7Workers()})
+		if err != nil {
+			return nil, err
+		}
+		// Sequential bottom-up reference on a fresh CFG (same reason as the
+		// baseline below: resolved indirect edges must not leak between
+		// runs).
+		progSeq, err := cfg.Build(bin)
+		if err != nil {
+			return nil, err
+		}
+		seq, err := dataflow.Analyze(progSeq, dataflow.Options{Parallelism: 1})
 		if err != nil {
 			return nil, err
 		}
@@ -337,6 +368,10 @@ func RunTable7(scale float64, maxAnalyses int) ([]Table7Row, error) {
 			BaseDDG:          base.DDGTime,
 			DTaintSSA:        dt.SSATime,
 			DTaintDDG:        dt.DDGTime,
+			DTaintDDGSeq:     seq.DDGTime,
+			Workers:          dt.Parallel.Workers,
+			Components:       dt.Parallel.Components,
+			CriticalPath:     dt.Parallel.CriticalPath,
 			BaselineAnalyses: base.Analyses,
 			Capped:           capped,
 		})
@@ -357,31 +392,40 @@ func table7Binary(product string, scale float64) (*image.Binary, string, error) 
 	return b, spec.BinaryName, err
 }
 
-// Table7 prints the time-cost comparison.
+// Table7 prints the time-cost comparison, including the parallel
+// SCC-DAG scheduler's DDG wall-clock next to the sequential (1-worker)
+// schedule of the same pass.
 func Table7(w io.Writer, scale float64) error {
 	fmt.Fprintln(w, "== Table VII: time cost, top-down baseline (angr-style) vs DTaint ==")
-	fmt.Fprintf(w, "(corpus scale %.2f; seconds; paper full-scale values in parentheses)\n", scale)
+	fmt.Fprintf(w, "(corpus scale %.2f; seconds; paper full-scale values in parentheses; DDG(1w) is the sequential bottom-up schedule)\n", scale)
 	rows, err := RunTable7(scale, 0)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(w, "Program    Baseline-SSA        Baseline-DDG        DTaint-SSA          DTaint-DDG        DDG-speedup")
+	fmt.Fprintln(w, "Program    Baseline-SSA        Baseline-DDG        DTaint-SSA          DTaint-DDG(1w)  DTaint-DDG          par     comps/crit  DDG-speedup")
 	for _, r := range rows {
 		p := paperTable7[r.Binary]
 		speedup := 0.0
 		if r.DTaintDDG > 0 {
 			speedup = float64(r.BaseDDG) / float64(r.DTaintDDG)
 		}
+		par := 0.0
+		if r.DTaintDDG > 0 {
+			par = float64(r.DTaintDDGSeq) / float64(r.DTaintDDG)
+		}
 		note := ""
 		if r.Capped == 1 {
 			note = " (baseline capped)"
 		}
-		fmt.Fprintf(w, "%-9s  %8.3f (%8.2f)  %8.3f (%8.2f)  %8.3f (%8.2f)  %8.3f (%6.2f)  %6.1fx%s\n",
+		fmt.Fprintf(w, "%-9s  %8.3f (%8.2f)  %8.3f (%8.2f)  %8.3f (%8.2f)  %8.3f        %8.3f (%6.2f)  %4.1fx/%dw  %5d/%-5d  %6.1fx%s\n",
 			r.Binary,
 			r.BaseSSA.Seconds(), p[0],
 			r.BaseDDG.Seconds(), p[1],
 			r.DTaintSSA.Seconds(), p[2],
+			r.DTaintDDGSeq.Seconds(),
 			r.DTaintDDG.Seconds(), p[3],
+			par, r.Workers,
+			r.Components, r.CriticalPath,
 			speedup, note)
 	}
 	fmt.Fprintf(w, "Paper DDG speedups: cgibin 1571x, setup.cgi 448x, httpd 2502x, openssl 2377x\n\n")

@@ -117,6 +117,16 @@ func TestTable7Shape(t *testing.T) {
 		if r.BaselineAnalyses <= 0 {
 			t.Errorf("%s: baseline did nothing", r.Binary)
 		}
+		if r.Workers < 4 {
+			t.Errorf("%s: parallel DDG ran with %d workers, want >= 4", r.Binary, r.Workers)
+		}
+		if r.Components <= 0 || r.CriticalPath <= 0 || r.CriticalPath > r.Components {
+			t.Errorf("%s: bad scheduler stats: %d components, critical path %d",
+				r.Binary, r.Components, r.CriticalPath)
+		}
+		if r.DTaintDDGSeq <= 0 {
+			t.Errorf("%s: sequential DDG reference not measured", r.Binary)
+		}
 	}
 }
 

@@ -1,0 +1,126 @@
+package cfg
+
+import (
+	"testing"
+)
+
+// condSrc builds a call graph with a diamond plus a mutual-recursion pair:
+//
+//	main -> a, b;  a -> leaf;  b -> leaf;  p <-> q (SCC);  main -> p
+//
+// Condensation (reverse topological): {leaf} and {p,q} first (no deps),
+// then {a}, {b}, then {main}.
+const condSrc = `
+.arch arm
+.func leaf
+  MOV R0, #1
+  BX LR
+.endfunc
+
+.func a
+  BL leaf
+  BX LR
+.endfunc
+
+.func b
+  BL leaf
+  BX LR
+.endfunc
+
+.func p
+  BL q
+  BX LR
+.endfunc
+
+.func q
+  BL p
+  BX LR
+.endfunc
+
+.func main
+  BL a
+  BL b
+  BL p
+  BX LR
+.endfunc
+`
+
+func condProgram(t *testing.T) *Program {
+	t.Helper()
+	p, err := Build(mustAssemble(t, condSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func allNames(p *Program) []string {
+	var names []string
+	for _, fn := range p.Funcs {
+		names = append(names, fn.Name)
+	}
+	return names
+}
+
+func TestCondenseComponents(t *testing.T) {
+	p := condProgram(t)
+	cond := p.Condense(allNames(p))
+	if len(cond.Comps) != 5 {
+		t.Fatalf("components = %v, want 5", cond.Comps)
+	}
+	// The recursion pair must land in one sorted component.
+	pq := cond.Comps[cond.CompOf["p"]]
+	if len(pq) != 2 || pq[0] != "p" || pq[1] != "q" {
+		t.Fatalf("p/q component = %v", pq)
+	}
+	if cond.CompOf["p"] != cond.CompOf["q"] {
+		t.Fatal("p and q must share a component")
+	}
+	// Reverse topological order: every dependency has a smaller index.
+	for i := range cond.Comps {
+		for _, caller := range cond.Callers[i] {
+			if caller <= i {
+				t.Fatalf("caller component %d not after callee %d", caller, i)
+			}
+		}
+	}
+}
+
+func TestCondenseDegreesAndEdges(t *testing.T) {
+	p := condProgram(t)
+	cond := p.Condense(allNames(p))
+	main, a, b, leaf, pq := cond.CompOf["main"], cond.CompOf["a"], cond.CompOf["b"], cond.CompOf["leaf"], cond.CompOf["p"]
+	if got := cond.NumDeps[main]; got != 3 {
+		t.Fatalf("main deps = %d, want 3 (a, b, p/q)", got)
+	}
+	if cond.NumDeps[leaf] != 0 || cond.NumDeps[pq] != 0 {
+		t.Fatal("leaf and p/q must be ready immediately")
+	}
+	if cond.NumDeps[a] != 1 || cond.NumDeps[b] != 1 {
+		t.Fatalf("a/b deps = %d/%d, want 1/1", cond.NumDeps[a], cond.NumDeps[b])
+	}
+	// leaf is called by a and b; the p/q self-edges must not count.
+	if got := cond.Callers[leaf]; len(got) != 2 {
+		t.Fatalf("leaf callers = %v, want 2", got)
+	}
+	if got := cond.Callers[pq]; len(got) != 1 || got[0] != main {
+		t.Fatalf("p/q callers = %v, want [main]", got)
+	}
+}
+
+func TestCondenseCriticalPath(t *testing.T) {
+	p := condProgram(t)
+	cond := p.Condense(allNames(p))
+	// Longest chain: leaf -> a (or b) -> main = 3 components.
+	if got := cond.CriticalPath(); got != 3 {
+		t.Fatalf("critical path = %d, want 3", got)
+	}
+	// A filtered set with no calls has critical path 1.
+	solo := p.Condense([]string{"leaf"})
+	if got := solo.CriticalPath(); got != 1 {
+		t.Fatalf("solo critical path = %d, want 1", got)
+	}
+	if empty := p.Condense(nil); empty.CriticalPath() != 0 {
+		t.Fatal("empty condensation must have critical path 0")
+	}
+}

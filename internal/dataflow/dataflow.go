@@ -7,16 +7,27 @@
 //     data-structure field observations.
 //  2. Indirect-call resolution through data-structure layout similarity
 //     (package structsim), which augments the call graph.
-//  3. Bottom-up interprocedural pass — the call graph is traversed in
-//     post-order (callees before callers, via SCC condensation), each
-//     function again analyzed exactly once; at every callsite the callee's
-//     exported definitions, return values, and pending sinks are
+//  3. Bottom-up interprocedural pass — the call graph is condensed into
+//     its SCC DAG (cfg.Condense) and traversed callees-before-callers,
+//     each function again analyzed exactly once; at every callsite the
+//     callee's exported definitions, return values, and pending sinks are
 //     instantiated by replacing formal arguments arg0..arg9 and
 //     ret_callsite symbols with the caller's actual expressions
 //     (Algorithm 2's ReplaceFormalArgs / ReplaceRetVariable), with heap
 //     identities re-hashed per callsite chain.
 //  4. Pointer-alias rewriting (package alias, Algorithm 1) extends each
 //     function's definition pairs before they are exported.
+//
+// Both analysis phases are parallel. Phase 1's units are fully
+// independent and fan out over a flat worker pool. Phases 3+4 run under a
+// dependency-counting scheduler over the condensation: sibling components
+// of the SCC DAG have no ordering constraint, so workers pull ready
+// components (all callee components summarized) from a queue and
+// decrement caller in-degrees on completion. Every component is analyzed
+// by its own taint-tracker shard and the per-component findings are
+// concatenated in the condensation's topological order, so the output —
+// findings, their order, and every counter — is bit-identical for any
+// worker count, including the sequential schedule.
 //
 // The result carries every (source, path, sink) finding plus the
 // measurements the evaluation tables report.
@@ -31,7 +42,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"dtaint/internal/alias"
 	"dtaint/internal/cfg"
 	"dtaint/internal/expr"
 	"dtaint/internal/image"
@@ -57,9 +67,12 @@ type Options struct {
 	ExtraSources []taint.SourceSpec
 	// ExtraSinks adds custom security-sensitive sinks.
 	ExtraSinks []taint.SinkSpec
-	// Parallelism is the worker count for the per-function analysis
-	// phase, whose units are independent (0 = GOMAXPROCS). The bottom-up
-	// interprocedural phase is inherently ordered and stays sequential.
+	// Parallelism is the worker count for both analysis phases
+	// (0 = GOMAXPROCS). The per-function phase fans out over independent
+	// units; the bottom-up interprocedural phase schedules SCC components
+	// of the condensed call graph whose callees are all summarized, so
+	// sibling components run concurrently. Results are identical for any
+	// value, including 1 (the fully sequential schedule).
 	Parallelism int
 }
 
@@ -93,6 +106,21 @@ type Result struct {
 	SSATime           time.Duration
 	DDGTime           time.Duration
 	Truncated         int // functions that hit the state cap
+
+	// Parallel reports how the bottom-up scheduler executed (phase 3+4).
+	Parallel ParallelStats
+}
+
+// ParallelStats describes one parallel bottom-up interprocedural pass.
+type ParallelStats struct {
+	// Workers is the worker count the SCC-DAG scheduler ran with.
+	Workers int
+	// Components is the number of call-graph SCC components scheduled.
+	Components int
+	// CriticalPath is the longest chain of dependent components — the
+	// minimum number of sequential scheduling steps, so
+	// Components/CriticalPath approximates the achievable DDG speedup.
+	CriticalPath int
 }
 
 // VulnerablePaths returns the unsanitized findings (Table III's
@@ -117,7 +145,7 @@ func (r *Result) Vulnerabilities() []taint.Finding {
 		if f.Sanitized {
 			continue
 		}
-		key := f.SinkFunc + "|" + f.Sink + "|" + itox(f.SinkAddr) + "|" + f.Class.String()
+		key := taint.VulnKey(f.SinkFunc, f.Sink, f.SinkAddr, f.Class.String())
 		if seen[key] {
 			continue
 		}
@@ -125,16 +153,6 @@ func (r *Result) Vulnerabilities() []taint.Finding {
 		out = append(out, f)
 	}
 	return out
-}
-
-func itox(v uint32) string {
-	const hex = "0123456789abcdef"
-	var b [8]byte
-	for i := 7; i >= 0; i-- {
-		b[i] = hex[v&0xF]
-		v >>= 4
-	}
-	return string(b[:])
 }
 
 // ErrNoProgram is returned when prog is nil or empty.
@@ -172,27 +190,10 @@ func Analyze(prog *cfg.Program, opts Options) (*Result, error) {
 		}
 	}
 
-	// Phase 3+4: bottom-up interprocedural data flow with alias rewriting.
+	// Phase 3+4: bottom-up interprocedural data flow with alias rewriting,
+	// scheduled over the condensed call graph's SCC DAG.
 	t1 := time.Now()
-	tracker := newTracker(opts, prog.Binary)
-	oracle := &interOracle{tracker: tracker, summaries: res.Summaries}
-	for _, comp := range prog.SCC(names) {
-		for _, name := range comp {
-			tracker.BeginFunction(name)
-			sum := symexec.Analyze(prog.ByName[name], prog.Binary, oracle, opts.Symexec)
-			if !opts.DisableAlias {
-				sum.DefPairs = alias.Rewrite(sum.DefPairs, sum.Types)
-			}
-			tracker.EndFunction(sum)
-			res.Summaries[name] = sum
-			res.FunctionsAnalyzed++
-			res.DefPairCount += len(sum.DefPairs)
-			if sum.Truncated {
-				res.Truncated++
-			}
-		}
-	}
-	res.Findings = tracker.Findings()
+	runBottomUp(prog, names, opts, res)
 	res.DDGTime = time.Since(t1)
 
 	res.SinkCount = countSinks(prog, names, res.Summaries, opts.ExtraSinks)
@@ -285,10 +286,14 @@ func countSinks(prog *cfg.Program, names []string, sums map[string]*symexec.Summ
 }
 
 // interOracle composes the taint tracker's library models with callee
-// summary application for local calls (Algorithm 2).
+// summary application for local calls (Algorithm 2). The summary and
+// pending lookups are injected by the scheduler so a component worker
+// sees its own in-flight component first and the published global state
+// behind it.
 type interOracle struct {
-	tracker   *taint.Tracker
-	summaries map[string]*symexec.Summary
+	tracker  *taint.Tracker
+	lookup   func(name string) (*symexec.Summary, bool)
+	pendings func(name string) []taint.PendingSink
 }
 
 var _ symexec.Oracle = (*interOracle)(nil)
@@ -298,7 +303,7 @@ func (o *interOracle) Call(ctx *symexec.CallContext) symexec.CallEffect {
 	if ctx.Kind == cfg.CallImport || ctx.Kind == cfg.CallUnknown {
 		return o.tracker.Call(ctx)
 	}
-	sum, ok := o.summaries[ctx.Callee]
+	sum, ok := o.lookup(ctx.Callee)
 	if !ok {
 		// Within an SCC (recursion) the callee may not be summarized yet;
 		// the engine falls back to a fresh return symbol.
@@ -307,29 +312,7 @@ func (o *interOracle) Call(ctx *symexec.CallContext) symexec.CallEffect {
 	sub := substitutor(ctx)
 
 	eff := symexec.CallEffect{Handled: true}
-	// ReplaceRetVariable: the callee's return values are instantiated at
-	// the callsite. A single return substitutes directly; a small set of
-	// alternative returns is OR-combined so taint in any branch's return
-	// value survives (sound for detection); larger sets keep the opaque
-	// ret symbol.
-	switch {
-	case len(sum.Rets) == 1:
-		eff.Ret = sub(sum.Rets[0])
-	case len(sum.Rets) >= 2 && len(sum.Rets) <= 4:
-		var combined *expr.Expr
-		for _, r := range sum.Rets {
-			rs := sub(r)
-			if rs == nil {
-				continue
-			}
-			if combined == nil {
-				combined = rs
-			} else if !combined.Equal(rs) {
-				combined = expr.Bin(expr.OpOr, combined, rs)
-			}
-		}
-		eff.Ret = combined
-	}
+	eff.Ret = calleeRet(sum, sub, ctx.Callee, ctx.Site)
 	// PushToCallSite: exported definitions (root pointer is a formal
 	// argument, a heap identity, or tainted data) are instantiated in the
 	// caller's state.
@@ -353,8 +336,40 @@ func (o *interOracle) Call(ctx *symexec.CallContext) symexec.CallEffect {
 		})
 	}
 	// Pending sinks climb from the callee into this function.
-	o.tracker.ImportPending(o.tracker.Pendings(ctx.Callee), sub, ctx.Site)
+	o.tracker.ImportPending(o.pendings(ctx.Callee), sub, ctx.Site)
 	return eff
+}
+
+// calleeRet instantiates a summarized callee's return value at the
+// callsite (Algorithm 2's ReplaceRetVariable). A single return
+// substitutes directly; a small set of alternative returns is
+// OR-combined so taint in any branch's return value survives (sound for
+// detection). When the set is too large to combine, or every substituted
+// return resolves to nil, the callee's return must not silently vanish:
+// the opaque per-callsite ret symbol (the same name the engine would
+// assign) is kept instead.
+func calleeRet(sum *symexec.Summary, sub func(*expr.Expr) *expr.Expr, callee string, site uint32) *expr.Expr {
+	var ret *expr.Expr
+	switch {
+	case len(sum.Rets) == 1:
+		ret = sub(sum.Rets[0])
+	case len(sum.Rets) >= 2 && len(sum.Rets) <= 4:
+		for _, r := range sum.Rets {
+			rs := sub(r)
+			if rs == nil {
+				continue
+			}
+			if ret == nil {
+				ret = rs
+			} else if !ret.Equal(rs) {
+				ret = expr.Bin(expr.OpOr, ret, rs)
+			}
+		}
+	}
+	if ret == nil && len(sum.Rets) > 0 {
+		ret = expr.Sym(expr.RetName(callee, uint64(site)))
+	}
+	return ret
 }
 
 // substitutor builds Algorithm 2's replacement: formal arguments become

@@ -1,10 +1,14 @@
 package dataflow
 
 import (
+	"fmt"
 	"testing"
 
 	"dtaint/internal/asm"
 	"dtaint/internal/cfg"
+	"dtaint/internal/corpus"
+	"dtaint/internal/expr"
+	"dtaint/internal/symexec"
 )
 
 // Parallel phase-1 analysis must produce identical results to the
@@ -29,5 +33,104 @@ func TestParallelPhase1Deterministic(t *testing.T) {
 		if findVuln(res, "strcpy", "recv") == nil {
 			t.Fatalf("workers=%d: vulnerability missing", workers)
 		}
+	}
+}
+
+// fingerprint renders everything that must be bit-identical across worker
+// counts: every finding (order included) plus the scalar counters.
+func fingerprint(res *Result) string {
+	out := fmt.Sprintf("funcs=%d defpairs=%d truncated=%d findings=%d\n",
+		res.FunctionsAnalyzed, res.DefPairCount, res.Truncated, len(res.Findings))
+	for _, f := range res.Findings {
+		out += f.String() + "\n"
+	}
+	return out
+}
+
+// The bottom-up SCC-DAG scheduler must be deterministic: analyzing a
+// generated study binary with 1, 4, and 8 workers yields identical
+// findings (order included), DefPairCount, and Truncated counts.
+func TestBottomUpSchedulerDeterministic(t *testing.T) {
+	spec, ok := corpus.SpecByProduct("DIR-645")
+	if !ok {
+		t.Fatal("DIR-645 spec missing")
+	}
+	bin, _, err := corpus.BuildBinary(spec, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want string
+	for _, workers := range []int{1, 4, 8} {
+		prog, err := cfg.Build(bin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Analyze(prog, Options{Parallelism: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Parallel.Components == 0 || res.Parallel.CriticalPath == 0 {
+			t.Fatalf("workers=%d: parallel stats not recorded: %+v", workers, res.Parallel)
+		}
+		if got := res.Parallel.Workers; workers <= res.Parallel.Components && got != workers {
+			t.Fatalf("workers=%d: scheduler reports %d workers", workers, got)
+		}
+		got := fingerprint(res)
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("workers=%d: result diverges from workers=1:\n--- got ---\n%s--- want ---\n%s", workers, got, want)
+		}
+	}
+}
+
+// Regression: when every substituted return expression of a summarized
+// callee resolves to nil, the callee's return value must not vanish —
+// the opaque per-callsite ret symbol is kept so downstream taint flow
+// through the return register survives.
+func TestCalleeRetNilFallback(t *testing.T) {
+	nilSub := func(*expr.Expr) *expr.Expr { return nil }
+	want := expr.RetName("callee", 0x40)
+
+	single := &symexec.Summary{Rets: []*expr.Expr{expr.Sym("arg0")}}
+	ret := calleeRet(single, nilSub, "callee", 0x40)
+	if ret == nil {
+		t.Fatal("single nil-resolving return dropped")
+	}
+	if name, ok := ret.SymName(); !ok || name != want {
+		t.Fatalf("fallback = %v, want sym %s", ret, want)
+	}
+
+	multi := &symexec.Summary{Rets: []*expr.Expr{expr.Sym("arg0"), expr.Sym("arg1"), expr.Sym("arg2")}}
+	ret = calleeRet(multi, nilSub, "callee", 0x40)
+	if ret == nil {
+		t.Fatal("multi nil-resolving returns dropped")
+	}
+	if name, ok := ret.SymName(); !ok || name != want {
+		t.Fatalf("fallback = %v, want sym %s", ret, want)
+	}
+
+	// A substitution that survives is kept untouched.
+	identity := func(e *expr.Expr) *expr.Expr { return e }
+	ret = calleeRet(single, identity, "callee", 0x40)
+	if name, ok := ret.SymName(); !ok || name != "arg0" {
+		t.Fatalf("surviving return rewritten: %v", ret)
+	}
+
+	// No recorded returns keeps nil so the engine assigns the fresh symbol.
+	if got := calleeRet(&symexec.Summary{}, identity, "callee", 0x40); got != nil {
+		t.Fatalf("empty return set should stay nil, got %v", got)
+	}
+
+	// Oversized return sets (> 4) keep the opaque symbol too.
+	var rets []*expr.Expr
+	for i := 0; i < 6; i++ {
+		rets = append(rets, expr.Sym(fmt.Sprintf("arg%d", i)))
+	}
+	ret = calleeRet(&symexec.Summary{Rets: rets}, identity, "callee", 0x40)
+	if name, ok := ret.SymName(); !ok || name != want {
+		t.Fatalf("oversized return set = %v, want sym %s", ret, want)
 	}
 }

@@ -1,0 +1,215 @@
+package dataflow
+
+import (
+	"container/heap"
+	"runtime"
+	"sync"
+
+	"dtaint/internal/alias"
+	"dtaint/internal/cfg"
+	"dtaint/internal/symexec"
+	"dtaint/internal/taint"
+)
+
+// runBottomUp executes the bottom-up interprocedural phase (3+4) with a
+// dependency-counting scheduler over the call graph's SCC condensation.
+// Workers pull ready components — those whose callee components are all
+// summarized — from a priority queue ordered by component index and
+// decrement caller in-degrees on completion. Each component is analyzed
+// by its own tracker shard; its findings, pendings, and counters are
+// stashed per component and merged in condensation order afterwards, so
+// the result is bit-identical for every worker count.
+func runBottomUp(prog *cfg.Program, names []string, opts Options, res *Result) {
+	cond := prog.Condense(names)
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cond.Comps) {
+		workers = len(cond.Comps)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	res.Parallel = ParallelStats{
+		Workers:      workers,
+		Components:   len(cond.Comps),
+		CriticalPath: cond.CriticalPath(),
+	}
+
+	base := newTracker(opts, prog.Binary)
+	shared := &bottomUpState{
+		summaries: res.Summaries,
+		pendings:  make(map[string][]taint.PendingSink),
+	}
+	done := make([]compResult, len(cond.Comps))
+
+	var (
+		mu        sync.Mutex
+		cv        = sync.NewCond(&mu)
+		ready     intHeap
+		deps      = append([]int(nil), cond.NumDeps...)
+		remaining = len(cond.Comps)
+	)
+	for i, d := range deps {
+		if d == 0 {
+			ready = append(ready, i)
+		}
+	}
+	heap.Init(&ready)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for len(ready) == 0 && remaining > 0 {
+					cv.Wait()
+				}
+				if remaining == 0 && len(ready) == 0 {
+					mu.Unlock()
+					return
+				}
+				i := heap.Pop(&ready).(int)
+				mu.Unlock()
+
+				r := analyzeComponent(prog, opts, base, shared, cond.Comps[i])
+				shared.publish(r)
+				done[i] = r
+
+				mu.Lock()
+				remaining--
+				for _, caller := range cond.Callers[i] {
+					deps[caller]--
+					if deps[caller] == 0 {
+						heap.Push(&ready, caller)
+					}
+				}
+				cv.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Deterministic merge: concatenate per-component results in the
+	// condensation's (reverse topological) order — exactly the order the
+	// sequential schedule produces them in.
+	for i := range done {
+		res.Findings = append(res.Findings, done[i].findings...)
+		res.FunctionsAnalyzed += len(cond.Comps[i])
+		res.DefPairCount += done[i].defPairs
+		res.Truncated += done[i].truncated
+	}
+}
+
+// bottomUpState is the published cross-component state: summaries and
+// pending sinks of every completed component. The scheduler's dependency
+// counting guarantees a caller component only starts after its callee
+// components have published, so readers always find what they need.
+type bottomUpState struct {
+	mu        sync.RWMutex
+	summaries map[string]*symexec.Summary
+	pendings  map[string][]taint.PendingSink
+}
+
+func (s *bottomUpState) summary(name string) (*symexec.Summary, bool) {
+	s.mu.RLock()
+	sum, ok := s.summaries[name]
+	s.mu.RUnlock()
+	return sum, ok
+}
+
+func (s *bottomUpState) pending(name string) []taint.PendingSink {
+	s.mu.RLock()
+	ps := s.pendings[name]
+	s.mu.RUnlock()
+	return ps
+}
+
+func (s *bottomUpState) publish(r compResult) {
+	s.mu.Lock()
+	for name, sum := range r.summaries {
+		s.summaries[name] = sum
+	}
+	for name, ps := range r.pendings {
+		s.pendings[name] = ps
+	}
+	s.mu.Unlock()
+}
+
+// compResult is one component's contribution, stashed until the merge.
+type compResult struct {
+	summaries map[string]*symexec.Summary
+	pendings  map[string][]taint.PendingSink
+	findings  []taint.Finding
+	defPairs  int
+	truncated int
+}
+
+// analyzeComponent runs Algorithm 2 over one SCC component with a private
+// tracker shard. Functions inside the component are processed in sorted
+// order (the component's fixed order), mirroring the sequential pass;
+// lookups prefer the in-flight component, then the published state.
+func analyzeComponent(prog *cfg.Program, opts Options, base *taint.Tracker, shared *bottomUpState, comp []string) compResult {
+	shard := base.Shard()
+	local := make(map[string]*symexec.Summary, len(comp))
+	oracle := &interOracle{
+		tracker: shard,
+		lookup: func(name string) (*symexec.Summary, bool) {
+			if sum, ok := local[name]; ok {
+				return sum, true
+			}
+			return shared.summary(name)
+		},
+		pendings: func(name string) []taint.PendingSink {
+			if _, ok := local[name]; ok {
+				return shard.Pendings(name)
+			}
+			return shared.pending(name)
+		},
+	}
+	out := compResult{
+		summaries: local,
+		pendings:  make(map[string][]taint.PendingSink, len(comp)),
+	}
+	for _, name := range comp {
+		shard.BeginFunction(name)
+		sum := symexec.Analyze(prog.ByName[name], prog.Binary, oracle, opts.Symexec)
+		if !opts.DisableAlias {
+			sum.DefPairs = alias.Rewrite(sum.DefPairs, sum.Types)
+		}
+		shard.EndFunction(sum)
+		local[name] = sum
+		out.defPairs += len(sum.DefPairs)
+		if sum.Truncated {
+			out.truncated++
+		}
+	}
+	for _, name := range comp {
+		if ps := shard.Pendings(name); len(ps) > 0 {
+			out.pendings[name] = ps
+		}
+	}
+	out.findings = shard.Findings()
+	return out
+}
+
+// intHeap is a min-heap of component indices: with one worker the pop
+// order reproduces the sequential condensation order exactly, and with
+// many it keeps scheduling deterministic enough to debug.
+type intHeap []int
+
+func (h intHeap) Len() int            { return len(h) }
+func (h intHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

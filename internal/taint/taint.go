@@ -220,6 +220,28 @@ func NewTracker() *Tracker {
 	}
 }
 
+// Shard returns a tracker sharing t's configuration — the custom
+// source/sink vocabulary and the program image — but owning fresh
+// finding, pending, and observation state. The parallel bottom-up
+// scheduler gives every call-graph component its own shard and merges
+// the per-shard results deterministically; the shared maps are never
+// mutated after configuration, so shards are safe to use concurrently.
+func (t *Tracker) Shard() *Tracker {
+	s := NewTracker()
+	s.bin = t.bin
+	s.extraSources = t.extraSources
+	s.extraSinks = t.extraSinks
+	return s
+}
+
+// VulnKey is the canonical deduplication key for a vulnerability:
+// several paths may reach the same weak sink, and every report layer
+// (internal Result, public Report) must collapse them identically — a
+// formatting mismatch between layers makes the two counts diverge.
+func VulnKey(sinkFunc, sink string, sinkAddr uint32, class string) string {
+	return fmt.Sprintf("%s|%s|%08x|%s", sinkFunc, sink, sinkAddr, class)
+}
+
 // BeginFunction resets per-function observation state.
 func (t *Tracker) BeginFunction(name string) {
 	t.curFunc = name

@@ -225,3 +225,44 @@ func TestLenSymStability(t *testing.T) {
 		t.Fatal("len symbols collide")
 	}
 }
+
+func TestVulnKeyStable(t *testing.T) {
+	// Zero-padded address: the field boundaries stay unambiguous and the
+	// public/internal report layers produce byte-identical keys.
+	got := VulnKey("f", "strcpy", 0x38, "buffer-overflow")
+	if got != "f|strcpy|00000038|buffer-overflow" {
+		t.Fatalf("VulnKey = %q", got)
+	}
+	if VulnKey("f", "strcpy", 0x38, "x") == VulnKey("f", "strcpy", 0x1238, "x") {
+		t.Fatal("distinct addresses collide")
+	}
+}
+
+func TestTrackerShard(t *testing.T) {
+	tr := NewTracker()
+	tr.AddSource(SourceSpec{Name: "nvram_get", BufArg: -1, ViaReturn: true})
+	tr.AddSink(SinkSpec{Name: "flash_write", Class: ClassBufferOverflow, DataArg: 0, LenArg: 1})
+	tr.BeginFunction("f")
+	ts := expr.Sym(expr.TaintName("recv", 9))
+	tr.observe(sinkObs{class: ClassBufferOverflow, sink: "strcpy", addr: 5, taint: ts, guard: ts})
+	tr.EndFunction(&symexec.Summary{Func: "f", Types: map[string]expr.Type{}})
+
+	s := tr.Shard()
+	// Configuration is shared...
+	if len(s.extraSources) != 1 || len(s.extraSinks) != 1 {
+		t.Fatal("shard lost the custom vocabulary")
+	}
+	// ...but finding/pending state is not.
+	if len(s.Findings()) != 0 || len(s.Pendings("f")) != 0 {
+		t.Fatal("shard inherited finding state")
+	}
+	s.BeginFunction("g")
+	s.observe(sinkObs{class: ClassBufferOverflow, sink: "strcpy", addr: 7, taint: ts, guard: ts})
+	s.EndFunction(&symexec.Summary{Func: "g", Types: map[string]expr.Type{}})
+	if len(tr.Findings()) != 1 {
+		t.Fatalf("shard findings leaked into parent: %d", len(tr.Findings()))
+	}
+	if len(s.Findings()) != 1 {
+		t.Fatalf("shard findings = %d, want 1", len(s.Findings()))
+	}
+}

@@ -1,0 +1,20 @@
+#!/bin/sh
+# check.sh — the repository's full verification gate.
+#
+# Runs the tier-1 verify (build + tests) plus go vet and a race-enabled
+# test pass, so the parallel bottom-up scheduler is always race-checked.
+# Invoked by `make check`; keep CI and local runs on this single path.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo ">> go build ./..."
+go build ./...
+
+echo ">> go vet ./..."
+go vet ./...
+
+echo ">> go test -race ./..."
+go test -race ./...
+
+echo "check: OK"
