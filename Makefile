@@ -1,7 +1,8 @@
-# Tier-1 verify is `make test`; `make check` adds vet and the
-# race-enabled run that guards the parallel SCC-DAG scheduler.
+# Tier-1 verify is `make test`; `make check` adds gofmt, vet, the
+# race-enabled run that guards the parallel SCC-DAG scheduler and the
+# fleet orchestrator, and the dtaintd smoke test.
 
-.PHONY: build test check bench
+.PHONY: build test check bench smoke
 
 build:
 	go build ./...
@@ -11,6 +12,9 @@ test: build
 
 check:
 	./scripts/check.sh
+
+smoke:
+	./scripts/smoke.sh
 
 bench:
 	go test -bench=. -benchmem

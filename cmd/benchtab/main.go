@@ -11,6 +11,7 @@
 //	benchtab -table6            # Table VI: CPU/memory usage
 //	benchtab -table7            # Table VII: DTaint (parallel + sequential DDG) vs top-down baseline
 //	benchtab -ablate            # feature ablations (alias, structsim)
+//	benchtab -fleet             # fleet orchestrator: cold vs cached image scans
 //
 // -scale (default 0.25) shrinks the filler code of the synthetic binaries;
 // detection results are scale-invariant, runtimes and size columns scale.
@@ -36,23 +37,24 @@ func main() {
 		table6 = flag.Bool("table6", false, "Table VI: resource usage")
 		table7 = flag.Bool("table7", false, "Table VII: time cost vs the top-down baseline")
 		ablate = flag.Bool("ablate", false, "feature ablations")
+		fleetX = flag.Bool("fleet", false, "fleet orchestrator: cold vs cached image scans")
 		screen = flag.Bool("screen", false, "precision/recall over a randomized screening corpus")
 		scale  = flag.Float64("scale", 0.25, "corpus scale factor in (0, 1]")
 	)
 	flag.Parse()
 
 	if err := run(*all, *fig1, *table1, *table2, *table3, *table4, *table5,
-		*table6, *table7, *ablate, *screen, *scale); err != nil {
+		*table6, *table7, *ablate, *fleetX, *screen, *scale); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)
 	}
 }
 
-func run(all, fig1, t1, t2, t3, t4, t5, t6, t7, ablate, screen bool, scale float64) error {
-	none := !(fig1 || t1 || t2 || t3 || t4 || t5 || t6 || t7 || ablate || screen)
+func run(all, fig1, t1, t2, t3, t4, t5, t6, t7, ablate, fleetScan, screen bool, scale float64) error {
+	none := !(fig1 || t1 || t2 || t3 || t4 || t5 || t6 || t7 || ablate || fleetScan || screen)
 	if all || none {
 		fig1, t1, t2, t3, t4, t5, t6, t7 = true, true, true, true, true, true, true, true
-		ablate, screen = true, true
+		ablate, fleetScan, screen = true, true, true
 	}
 	w := os.Stdout
 	if fig1 {
@@ -103,6 +105,11 @@ func run(all, fig1, t1, t2, t3, t4, t5, t6, t7, ablate, screen bool, scale float
 	}
 	if ablate {
 		if err := bench.Ablations(w, scale); err != nil {
+			return err
+		}
+	}
+	if fleetScan {
+		if err := bench.Fleet(w, scale); err != nil {
 			return err
 		}
 	}

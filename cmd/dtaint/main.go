@@ -6,6 +6,7 @@
 //	dtaint -fw camera.fwimg -bin /usr/bin/centaurus -module DS-2CD6233F
 //	dtaint -exe prog.fwelf -dis          # disassemble instead of analyzing
 //	dtaint -exe prog.fwelf -workers 8    # analysis worker count
+//	dtaint -fw camera.fwimg -rootfs-all  # scan every executable in the image
 //
 // Flags -no-alias and -no-structsim disable the corresponding analysis
 // features (ablations); -paths prints every vulnerable path rather than
@@ -13,9 +14,17 @@
 // -workers N sets the worker count for both parallel analysis phases —
 // the per-function pass and the bottom-up SCC-DAG scheduler (0, the
 // default, uses GOMAXPROCS; negative values are rejected).
+//
+// -rootfs-all switches from one binary to the whole image: every FWELF
+// executable in the rootfs is scanned through the fleet orchestrator
+// (bounded worker pool, panic isolation) and per-image totals are
+// printed; -cache-dir reuses reports across runs. -exit-code makes the
+// process exit 2 when any undeduplicated vulnerable path is found, so
+// CI pipelines can gate on scan results.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,19 +41,22 @@ import (
 
 func main() {
 	var (
-		fwPath  = flag.String("fw", "", "firmware image file (FWIMG container)")
-		exePath = flag.String("exe", "", "program executable file (FWELF)")
-		binPath = flag.String("bin", "", "path of the binary inside the firmware rootfs")
-		module  = flag.String("module", "", "restrict analysis to a study product's network module")
-		noAlias = flag.Bool("no-alias", false, "disable pointer-alias recognition (Algorithm 1)")
-		noSim   = flag.Bool("no-structsim", false, "disable data-structure similarity resolution")
-		paths   = flag.Bool("paths", false, "print every vulnerable path, not just deduplicated vulnerabilities")
-		showAll = flag.Bool("all", false, "also print sanitized paths")
-		dis     = flag.Bool("dis", false, "disassemble the executable instead of analyzing")
-		jsonOut = flag.Bool("json", false, "emit the report as JSON")
-		mdOut   = flag.String("report", "", "write a Markdown report to this file")
-		traceFn = flag.String("trace", "", "print the symbolic-analysis listing of one function (the paper's Figure 6) and exit")
-		workers = flag.Int("workers", 0, "worker count for both analysis phases (0 = GOMAXPROCS)")
+		fwPath   = flag.String("fw", "", "firmware image file (FWIMG container)")
+		exePath  = flag.String("exe", "", "program executable file (FWELF)")
+		binPath  = flag.String("bin", "", "path of the binary inside the firmware rootfs")
+		module   = flag.String("module", "", "restrict analysis to a study product's network module")
+		noAlias  = flag.Bool("no-alias", false, "disable pointer-alias recognition (Algorithm 1)")
+		noSim    = flag.Bool("no-structsim", false, "disable data-structure similarity resolution")
+		paths    = flag.Bool("paths", false, "print every vulnerable path, not just deduplicated vulnerabilities")
+		showAll  = flag.Bool("all", false, "also print sanitized paths")
+		dis      = flag.Bool("dis", false, "disassemble the executable instead of analyzing")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
+		mdOut    = flag.String("report", "", "write a Markdown report to this file")
+		traceFn  = flag.String("trace", "", "print the symbolic-analysis listing of one function (the paper's Figure 6) and exit")
+		workers  = flag.Int("workers", 0, "worker count for both analysis phases (0 = GOMAXPROCS)")
+		allBins  = flag.Bool("rootfs-all", false, "scan every FWELF executable in the firmware rootfs (requires -fw)")
+		cacheDir = flag.String("cache-dir", "", "with -rootfs-all: persistent report cache directory")
+		exitCode = flag.Bool("exit-code", false, "exit 2 when undeduplicated vulnerable paths are found")
 	)
 	flag.Parse()
 
@@ -55,33 +67,24 @@ func main() {
 		}
 		return
 	}
-	if err := run(*fwPath, *exePath, *binPath, *module, *mdOut, *workers, *noAlias, *noSim, *paths, *showAll, *dis, *jsonOut); err != nil {
+	var vulnPaths int
+	var err error
+	if *allBins {
+		vulnPaths, err = runFleet(*fwPath, *cacheDir, *workers, *noAlias, *noSim, *jsonOut)
+	} else {
+		vulnPaths, err = run(*fwPath, *exePath, *binPath, *module, *mdOut, *workers, *noAlias, *noSim, *paths, *showAll, *dis, *jsonOut)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dtaint:", err)
 		os.Exit(1)
 	}
+	if *exitCode && vulnPaths > 0 {
+		os.Exit(2)
+	}
 }
 
-func run(fwPath, exePath, binPath, module, mdOut string, workers int, noAlias, noSim, paths, showAll, dis, jsonOut bool) error {
-	if workers < 0 {
-		return fmt.Errorf("-workers must be >= 0 (0 uses GOMAXPROCS), got %d", workers)
-	}
-	raw, err := loadExecutable(fwPath, exePath, binPath)
-	if err != nil {
-		return err
-	}
-	if dis {
-		bin, err := image.Parse(raw)
-		if err != nil {
-			return err
-		}
-		text, err := asm.Disassemble(bin)
-		if err != nil {
-			return err
-		}
-		fmt.Print(text)
-		return nil
-	}
-
+// analyzerOptions translates the shared flags into library options.
+func analyzerOptions(module string, workers int, noAlias, noSim bool) []dtaint.Option {
 	var opts []dtaint.Option
 	if noAlias {
 		opts = append(opts, dtaint.WithoutAliasAnalysis())
@@ -98,28 +101,109 @@ func run(fwPath, exePath, binPath, module, mdOut string, workers int, noAlias, n
 	if workers > 0 {
 		opts = append(opts, dtaint.WithParallelism(workers))
 	}
-	rep, err := dtaint.New(opts...).AnalyzeExecutable(raw)
-	if err != nil {
-		return err
+	return opts
+}
+
+// runFleet scans every executable of the firmware rootfs through the
+// fleet orchestrator and prints the per-image report. It returns the
+// total undeduplicated vulnerable-path count for -exit-code.
+func runFleet(fwPath, cacheDir string, workers int, noAlias, noSim, jsonOut bool) (int, error) {
+	if workers < 0 {
+		return 0, fmt.Errorf("-workers must be >= 0 (0 uses GOMAXPROCS), got %d", workers)
 	}
+	if fwPath == "" {
+		return 0, fmt.Errorf("-rootfs-all requires -fw")
+	}
+	data, err := os.ReadFile(fwPath)
+	if err != nil {
+		return 0, err
+	}
+	var fopts []dtaint.FleetOption
+	if workers > 0 {
+		fopts = append(fopts, dtaint.WithFleetWorkers(workers))
+	}
+	if cacheDir != "" {
+		cache, err := dtaint.NewFleetCache(0, cacheDir)
+		if err != nil {
+			return 0, err
+		}
+		fopts = append(fopts, dtaint.WithFleetCache(cache))
+	}
+	a := dtaint.New(analyzerOptions("", 0, noAlias, noSim)...)
+	img, err := a.ScanFirmwareFleet(context.Background(), data, fopts...)
+	if err != nil {
+		return 0, err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return img.VulnerablePaths, enc.Encode(img)
+	}
+	fmt.Printf("image %s %s %s (%d): %d candidate binaries\n",
+		img.Vendor, img.Product, img.Version, img.Year, img.Candidates)
+	for _, b := range img.Binaries {
+		switch b.Status {
+		case dtaint.BinaryOK, dtaint.BinaryCached:
+			fmt.Printf("  %-32s %-7s %3d vulnerabilities, %3d paths  (%v)\n",
+				b.Path, b.Status, len(b.Report.Vulnerabilities()), len(b.Report.VulnerablePaths()), b.Duration)
+		default:
+			fmt.Printf("  %-32s %-7s %s\n", b.Path, b.Status, b.Error)
+		}
+	}
+	fmt.Printf("totals: %d scanned, %d cached, %d failed, %d skipped; %d vulnerabilities over %d paths; wall %v\n",
+		img.Scanned, img.Cached, img.Failed, img.Skipped,
+		img.Vulnerabilities, img.VulnerablePaths, img.Wall)
+	if img.Cache != (dtaint.CacheStats{}) {
+		fmt.Printf("cache: %d hits (%d disk), %d misses, %d evictions, %d entries\n",
+			img.Cache.Hits, img.Cache.DiskHits, img.Cache.Misses, img.Cache.Evictions, img.Cache.Entries)
+	}
+	return img.VulnerablePaths, nil
+}
+
+func run(fwPath, exePath, binPath, module, mdOut string, workers int, noAlias, noSim, paths, showAll, dis, jsonOut bool) (int, error) {
+	if workers < 0 {
+		return 0, fmt.Errorf("-workers must be >= 0 (0 uses GOMAXPROCS), got %d", workers)
+	}
+	raw, err := loadExecutable(fwPath, exePath, binPath)
+	if err != nil {
+		return 0, err
+	}
+	if dis {
+		bin, err := image.Parse(raw)
+		if err != nil {
+			return 0, err
+		}
+		text, err := asm.Disassemble(bin)
+		if err != nil {
+			return 0, err
+		}
+		fmt.Print(text)
+		return 0, nil
+	}
+
+	rep, err := dtaint.New(analyzerOptions(module, workers, noAlias, noSim)...).AnalyzeExecutable(raw)
+	if err != nil {
+		return 0, err
+	}
+	vulnPaths := len(rep.VulnerablePaths())
 
 	if mdOut != "" {
 		f, err := os.Create(mdOut)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if err := rep.WriteMarkdown(f); err != nil {
 			f.Close()
-			return err
+			return 0, err
 		}
 		if err := f.Close(); err != nil {
-			return err
+			return 0, err
 		}
 		fmt.Printf("wrote %s\n", mdOut)
-		return nil
+		return vulnPaths, nil
 	}
 	if jsonOut {
-		return writeJSON(rep, showAll)
+		return vulnPaths, writeJSON(rep, showAll)
 	}
 
 	fmt.Printf("binary %s (%s): %d functions, %d blocks, %d call edges\n",
@@ -148,7 +232,7 @@ func run(fwPath, exePath, binPath, module, mdOut string, workers int, noAlias, n
 		fmt.Printf("\n%d vulnerabilities (%d paths)\n",
 			len(rep.Vulnerabilities()), len(rep.VulnerablePaths()))
 	}
-	return nil
+	return vulnPaths, nil
 }
 
 // runTrace prints the per-function static symbolic analysis listing —

@@ -33,61 +33,61 @@ func writeCorpus(t *testing.T) (fwFile, exeFile string) {
 
 func TestRunFirmware(t *testing.T) {
 	fw, _ := writeCorpus(t)
-	if err := run(fw, "", "/htdocs/cgibin", "", "", 0, false, false, false, false, false, false); err != nil {
+	if _, err := run(fw, "", "/htdocs/cgibin", "", "", 0, false, false, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	// Paths and all modes.
-	if err := run(fw, "", "/htdocs/cgibin", "", "", 0, false, false, true, false, false, false); err != nil {
+	if _, err := run(fw, "", "/htdocs/cgibin", "", "", 0, false, false, true, false, false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(fw, "", "/htdocs/cgibin", "", "", 0, false, false, false, true, false, false); err != nil {
+	if _, err := run(fw, "", "/htdocs/cgibin", "", "", 0, false, false, false, true, false, false); err != nil {
 		t.Fatal(err)
 	}
 	// JSON mode.
-	if err := run(fw, "", "/htdocs/cgibin", "", "", 0, false, false, false, false, false, true); err != nil {
+	if _, err := run(fw, "", "/htdocs/cgibin", "", "", 0, false, false, false, false, false, true); err != nil {
 		t.Fatal(err)
 	}
 	// Markdown report mode.
 	md := filepath.Join(t.TempDir(), "report.md")
-	if err := run(fw, "", "/htdocs/cgibin", "", md, 0, false, false, false, false, false, false); err != nil {
+	if _, err := run(fw, "", "/htdocs/cgibin", "", md, 0, false, false, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	if data, err := os.ReadFile(md); err != nil || len(data) == 0 {
 		t.Fatalf("markdown report not written: %v", err)
 	}
 	// Ablations.
-	if err := run(fw, "", "/htdocs/cgibin", "", "", 0, true, true, false, false, false, false); err != nil {
+	if _, err := run(fw, "", "/htdocs/cgibin", "", "", 0, true, true, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	// Auto-pick.
-	if err := run(fw, "", "", "", "", 0, false, false, false, false, false, false); err != nil {
+	if _, err := run(fw, "", "", "", "", 0, false, false, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	// Explicit worker count.
-	if err := run(fw, "", "/htdocs/cgibin", "", "", 4, false, false, false, false, false, false); err != nil {
+	if _, err := run(fw, "", "/htdocs/cgibin", "", "", 4, false, false, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunExecutableAndDisassemble(t *testing.T) {
 	_, exe := writeCorpus(t)
-	if err := run("", exe, "", "", "", 0, false, false, false, false, false, false); err != nil {
+	if _, err := run("", exe, "", "", "", 0, false, false, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", exe, "", "", "", 0, false, false, false, false, true, false); err != nil {
+	if _, err := run("", exe, "", "", "", 0, false, false, false, false, true, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", "", "", "", 0, false, false, false, false, false, false); err == nil {
+	if _, err := run("", "", "", "", "", 0, false, false, false, false, false, false); err == nil {
 		t.Fatal("missing inputs accepted")
 	}
 	fw, _ := writeCorpus(t)
-	if err := run(fw, "", "/ghost", "", "", 0, false, false, false, false, false, false); err == nil {
+	if _, err := run(fw, "", "/ghost", "", "", 0, false, false, false, false, false, false); err == nil {
 		t.Fatal("missing binary path accepted")
 	}
-	if err := run("/no/such/file", "", "", "", "", 0, false, false, false, false, false, false); err == nil {
+	if _, err := run("/no/such/file", "", "", "", "", 0, false, false, false, false, false, false); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	dir := t.TempDir()
@@ -95,11 +95,65 @@ func TestRunErrors(t *testing.T) {
 	if err := os.WriteFile(junk, []byte("not firmware"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(junk, "", "", "", "", 0, false, false, false, false, false, false); err == nil {
+	if _, err := run(junk, "", "", "", "", 0, false, false, false, false, false, false); err == nil {
 		t.Fatal("junk firmware accepted")
 	}
-	if err := run("", junk, "", "", "", 0, false, false, false, false, false, false); err == nil {
+	if _, err := run("", junk, "", "", "", 0, false, false, false, false, false, false); err == nil {
 		t.Fatal("junk executable accepted")
+	}
+}
+
+// The -exit-code contract: run reports the undeduplicated
+// vulnerable-path count so main can exit 2 when it is positive.
+func TestRunReturnsVulnerablePathCount(t *testing.T) {
+	fw, _ := writeCorpus(t)
+	n, err := run(fw, "", "/htdocs/cgibin", "", "", 0, false, false, false, false, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("study image reported 0 vulnerable paths")
+	}
+	// Disassembly finds nothing by definition.
+	_, exe := writeCorpus(t)
+	n, err = run("", exe, "", "", "", 0, false, false, false, false, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("disassembly mode reported %d vulnerable paths", n)
+	}
+}
+
+func TestRunFleetMode(t *testing.T) {
+	fw, _ := writeCorpus(t)
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	n, err := runFleet(fw, cacheDir, 2, false, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("fleet scan reported 0 vulnerable paths")
+	}
+	// Same cache dir again: served from disk, same totals.
+	n2, err := runFleet(fw, cacheDir, 2, false, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != n {
+		t.Fatalf("cached fleet run reported %d paths, first run %d", n2, n)
+	}
+}
+
+func TestRunFleetErrors(t *testing.T) {
+	if _, err := runFleet("", "", 0, false, false, false); err == nil {
+		t.Fatal("missing -fw accepted")
+	}
+	if _, err := runFleet("x", "", -1, false, false, false); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+	if _, err := runFleet("/no/such/file", "", 0, false, false, false); err == nil {
+		t.Fatal("missing file accepted")
 	}
 }
 
@@ -107,7 +161,7 @@ func TestRunErrors(t *testing.T) {
 // silently mapped to GOMAXPROCS.
 func TestRunRejectsNegativeWorkers(t *testing.T) {
 	fw, _ := writeCorpus(t)
-	err := run(fw, "", "/htdocs/cgibin", "", "", -1, false, false, false, false, false, false)
+	_, err := run(fw, "", "/htdocs/cgibin", "", "", -1, false, false, false, false, false, false)
 	if err == nil {
 		t.Fatal("negative worker count accepted")
 	}

@@ -1,0 +1,108 @@
+// Command dtaintd serves the fleet-scale scanning subsystem over HTTP:
+// upload a firmware image, poll the job, fetch the per-image report.
+//
+//	dtaintd -addr :8214 -cache-dir /var/cache/dtaint
+//
+//	curl -X POST --data-binary @dir645.fwimg http://localhost:8214/v1/scan
+//	curl http://localhost:8214/v1/jobs/job-000001
+//	curl http://localhost:8214/v1/jobs/job-000001/report
+//	curl http://localhost:8214/v1/metrics
+//
+// Jobs run one at a time in arrival order; each job fans its image's
+// binaries out across -workers analyzer goroutines. The job queue is
+// bounded (-queue); a full queue answers 429 so load sheds at the edge
+// instead of piling up in memory. Reports are cached content-addressed
+// (SHA-256 of the binary plus the analyzer-options fingerprint), so
+// re-scanning an image — or a fleet of images sharing binaries — is
+// served from cache; -cache-dir persists the cache across restarts.
+// SIGINT/SIGTERM shuts down gracefully: the listener stops, the running
+// job drains, queued jobs are failed with a shutdown error.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dtaint/internal/fleet"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8214", "listen address (port 0 picks an ephemeral port)")
+		workers    = flag.Int("workers", 0, "binaries analyzed concurrently per job (0 = GOMAXPROCS)")
+		queueCap   = flag.Int("queue", 16, "maximum queued scan jobs before 429")
+		jobTimeout = flag.Duration("binary-timeout", 10*time.Minute, "per-binary analysis timeout (0 = none)")
+		cacheSize  = flag.Int("cache-size", 1024, "in-memory report cache entries")
+		cacheDir   = flag.String("cache-dir", "", "persistent report cache directory (empty = memory only)")
+		maxUpload  = flag.Int64("max-upload", 256<<20, "maximum firmware upload bytes")
+		noAlias    = flag.Bool("no-alias", false, "disable pointer-alias recognition (Algorithm 1)")
+		noSim      = flag.Bool("no-structsim", false, "disable data-structure similarity resolution")
+		drainWait  = flag.Duration("drain", 5*time.Minute, "shutdown grace for the running job")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *queueCap, *cacheSize, *cacheDir, *maxUpload,
+		*jobTimeout, *drainWait, *noAlias, *noSim); err != nil {
+		fmt.Fprintln(os.Stderr, "dtaintd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queueCap, cacheSize int, cacheDir string, maxUpload int64,
+	jobTimeout, drainWait time.Duration, noAlias, noSim bool) error {
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", workers)
+	}
+	cache, err := fleet.NewCache(cacheSize, cacheDir)
+	if err != nil {
+		return err
+	}
+	cfg := config{
+		workers:       workers,
+		queueCap:      queueCap,
+		binaryTimeout: jobTimeout,
+		maxUpload:     maxUpload,
+		cache:         cache,
+	}
+	cfg.analysis.DisableAlias = noAlias
+	cfg.analysis.DisableStructSim = noSim
+
+	s := newServer(cfg)
+	s.start()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// The ephemeral-port form ("host:0") is how the smoke test and
+	// scripted clients find the server: this line is the contract.
+	fmt.Printf("dtaintd: listening on http://%s\n", ln.Addr())
+
+	srv := &http.Server{Handler: s.handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("dtaintd: %v, draining\n", sig)
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	_ = srv.Shutdown(ctx)
+	cancel()
+	s.shutdown(drainWait)
+	fmt.Println("dtaintd: stopped")
+	return nil
+}

@@ -1,0 +1,324 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"dtaint/internal/dataflow"
+	"dtaint/internal/fleet"
+)
+
+// config tunes the scan service.
+type config struct {
+	// workers is the per-job orchestrator pool size (0 = GOMAXPROCS).
+	workers int
+	// queueCap bounds the job queue; a full queue answers 429.
+	queueCap int
+	// binaryTimeout caps one binary's analysis inside a job.
+	binaryTimeout time.Duration
+	// maxUpload bounds the accepted firmware size in bytes.
+	maxUpload int64
+	// cache is the shared report cache (nil = uncached).
+	cache *fleet.Cache
+	// analysis configures every binary analysis.
+	analysis dataflow.Options
+}
+
+// Job states.
+const (
+	stateQueued  = "queued"
+	stateRunning = "running"
+	stateDone    = "done"
+	stateFailed  = "failed"
+)
+
+// job is one firmware scan moving through the queue.
+type job struct {
+	id       string
+	state    string
+	err      string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	done     int // binaries completed so far
+	total    int // candidate binaries
+	data     []byte
+	report   *fleet.ImageReport
+}
+
+// jobView is the JSON shape of a job's status.
+type jobView struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Error    string `json:"error,omitempty"`
+	Created  string `json:"created"`
+	Started  string `json:"started,omitempty"`
+	Finished string `json:"finished,omitempty"`
+	// BinariesDone/BinariesTotal report scan progress while running.
+	BinariesDone  int `json:"binariesDone"`
+	BinariesTotal int `json:"binariesTotal"`
+}
+
+// metricsView is the JSON shape of /v1/metrics.
+type metricsView struct {
+	Jobs       map[string]int    `json:"jobs"`
+	QueueDepth int               `json:"queueDepth"`
+	QueueCap   int               `json:"queueCap"`
+	Cache      *fleet.CacheStats `json:"cache,omitempty"`
+}
+
+// server owns the job table, the bounded queue, and the single runner
+// goroutine that executes jobs in arrival order (each job is internally
+// parallel across its binaries).
+type server struct {
+	cfg config
+
+	mu   sync.Mutex
+	jobs map[string]*job
+	seq  int
+
+	queue      chan *job
+	stop       chan struct{}
+	runnerDone chan struct{}
+
+	runCtx    context.Context
+	runCancel context.CancelFunc
+}
+
+func newServer(cfg config) *server {
+	if cfg.queueCap <= 0 {
+		cfg.queueCap = 16
+	}
+	if cfg.maxUpload <= 0 {
+		cfg.maxUpload = 256 << 20
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &server{
+		cfg:        cfg,
+		jobs:       make(map[string]*job),
+		queue:      make(chan *job, cfg.queueCap),
+		stop:       make(chan struct{}),
+		runnerDone: make(chan struct{}),
+		runCtx:     ctx,
+		runCancel:  cancel,
+	}
+}
+
+// start launches the runner goroutine.
+func (s *server) start() {
+	go s.run()
+}
+
+// shutdown drains gracefully: the in-flight job finishes, queued jobs
+// are failed with a shutdown error, and the runner exits. If the runner
+// does not drain within wait, the run context is cancelled so the
+// current job's remaining binaries are skipped.
+func (s *server) shutdown(wait time.Duration) {
+	close(s.stop)
+	select {
+	case <-s.runnerDone:
+	case <-time.After(wait):
+		s.runCancel()
+		<-s.runnerDone
+	}
+}
+
+func (s *server) run() {
+	defer close(s.runnerDone)
+	for {
+		select {
+		case <-s.stop:
+			// Drain the queue: everything not yet started is failed
+			// deterministically rather than silently dropped.
+			for {
+				select {
+				case j := <-s.queue:
+					s.finishJob(j, nil, fmt.Errorf("server shutting down"))
+				default:
+					return
+				}
+			}
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+func (s *server) runJob(j *job) {
+	s.mu.Lock()
+	j.state = stateRunning
+	j.started = time.Now()
+	data := j.data
+	j.data = nil // the scan owns the bytes now; drop the queue's copy early
+	s.mu.Unlock()
+
+	rep, err := fleet.ScanImage(s.runCtx, data, fleet.Options{
+		Workers:          s.cfg.workers,
+		PerBinaryTimeout: s.cfg.binaryTimeout,
+		Analysis:         s.cfg.analysis,
+		Cache:            s.cfg.cache,
+		Progress: func(done, total int) {
+			s.mu.Lock()
+			j.done, j.total = done, total
+			s.mu.Unlock()
+		},
+	})
+	s.finishJob(j, rep, err)
+}
+
+func (s *server) finishJob(j *job, rep *fleet.ImageReport, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.finished = time.Now()
+	j.data = nil
+	if err != nil {
+		j.state = stateFailed
+		j.err = err.Error()
+		return
+	}
+	j.state = stateDone
+	j.report = rep
+	j.done, j.total = rep.Candidates, rep.Candidates
+}
+
+// handler routes the v1 API.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/scan", s.handleScan)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxUpload))
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, "firmware upload too large or unreadable")
+		return
+	}
+	if len(data) == 0 {
+		httpError(w, http.StatusBadRequest, "empty firmware upload")
+		return
+	}
+
+	s.mu.Lock()
+	s.seq++
+	j := &job{
+		id:      fmt.Sprintf("job-%06d", s.seq),
+		state:   stateQueued,
+		created: time.Now(),
+		data:    data,
+	}
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- j:
+		writeJSONStatus(w, http.StatusAccepted, map[string]string{"id": j.id, "state": stateQueued})
+	default:
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusTooManyRequests, "scan queue is full")
+	}
+}
+
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, s.view(j))
+}
+
+func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	s.mu.Lock()
+	state, errMsg, rep := j.state, j.err, j.report
+	s.mu.Unlock()
+	switch state {
+	case stateDone:
+		writeJSON(w, rep)
+	case stateFailed:
+		httpError(w, http.StatusUnprocessableEntity, "scan failed: "+errMsg)
+	default:
+		w.Header().Set("Retry-After", "2")
+		httpError(w, http.StatusConflict, "job is "+state+"; report not ready")
+	}
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	byState := map[string]int{stateQueued: 0, stateRunning: 0, stateDone: 0, stateFailed: 0}
+	for _, j := range s.jobs {
+		byState[j.state]++
+	}
+	s.mu.Unlock()
+	m := metricsView{
+		Jobs:       byState,
+		QueueDepth: len(s.queue),
+		QueueCap:   cap(s.queue),
+	}
+	if s.cfg.cache != nil {
+		st := s.cfg.cache.Stats()
+		m.Cache = &st
+	}
+	writeJSON(w, m)
+}
+
+func (s *server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *server) view(j *job) jobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := jobView{
+		ID:            j.id,
+		State:         j.state,
+		Error:         j.err,
+		Created:       j.created.UTC().Format(time.RFC3339Nano),
+		BinariesDone:  j.done,
+		BinariesTotal: j.total,
+	}
+	if !j.started.IsZero() {
+		v.Started = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		v.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	return v
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,293 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dtaint"
+	"dtaint/internal/fleet"
+)
+
+func testFirmware(t *testing.T) []byte {
+	t.Helper()
+	fw, err := dtaint.GenerateStudyFirmware("DIR-645", 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw
+}
+
+func startTestServer(t *testing.T, cfg config) (*server, *httptest.Server) {
+	t.Helper()
+	s := newServer(cfg)
+	s.start()
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.shutdown(5 * time.Second)
+	})
+	return s, ts
+}
+
+func postScan(t *testing.T, ts *httptest.Server, fw []byte) string {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/scan", "application/octet-stream", bytes.NewReader(fw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/scan = %d, want 202", resp.StatusCode)
+	}
+	var ack struct{ ID, State string }
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.ID == "" || ack.State != stateQueued {
+		t.Fatalf("ack = %+v", ack)
+	}
+	return ack.ID
+}
+
+func waitDone(t *testing.T, ts *httptest.Server, id string) jobView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v jobView
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch v.State {
+		case stateDone:
+			return v
+		case stateFailed:
+			t.Fatalf("job failed: %s", v.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("job did not finish in time")
+	return jobView{}
+}
+
+func getReport(t *testing.T, ts *httptest.Server, id string) *fleet.ImageReport {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET report = %d, want 200", resp.StatusCode)
+	}
+	var rep fleet.ImageReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	return &rep
+}
+
+// TestScanEndToEnd is the acceptance flow: POST an image, poll to done,
+// fetch the report, re-POST and see cache hits.
+func TestScanEndToEnd(t *testing.T) {
+	cache, err := fleet.NewCache(64, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := startTestServer(t, config{cache: cache})
+	fw := testFirmware(t)
+
+	id := postScan(t, ts, fw)
+	v := waitDone(t, ts, id)
+	if v.BinariesDone != v.BinariesTotal || v.BinariesTotal == 0 {
+		t.Fatalf("progress = %d/%d", v.BinariesDone, v.BinariesTotal)
+	}
+	rep := getReport(t, ts, id)
+	if rep.Product != "DIR-645" {
+		t.Fatalf("product = %q", rep.Product)
+	}
+	if rep.Vulnerabilities == 0 || rep.Scanned == 0 {
+		t.Fatalf("report: %d scanned, %d vulnerabilities, want > 0", rep.Scanned, rep.Vulnerabilities)
+	}
+	// The findings a direct library run produces must be what the wire
+	// report carries.
+	direct, err := dtaint.New().AnalyzeFirmware(fw, rep.Binaries[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Vulnerabilities != len(direct.Vulnerabilities()) ||
+		rep.VulnerablePaths != len(direct.VulnerablePaths()) {
+		t.Fatalf("served %d/%d, direct run %d/%d",
+			rep.Vulnerabilities, rep.VulnerablePaths,
+			len(direct.Vulnerabilities()), len(direct.VulnerablePaths()))
+	}
+
+	// Second scan of the same image: all binaries served from cache.
+	id2 := postScan(t, ts, fw)
+	waitDone(t, ts, id2)
+	rep2 := getReport(t, ts, id2)
+	if rep2.Cached == 0 || rep2.Cache.Hits == 0 {
+		t.Fatalf("second scan: cached=%d hits=%d, want > 0", rep2.Cached, rep2.Cache.Hits)
+	}
+	if rep2.Vulnerabilities != rep.Vulnerabilities {
+		t.Fatalf("cached report diverged: %d vs %d", rep2.Vulnerabilities, rep.Vulnerabilities)
+	}
+}
+
+func TestQueueSaturation(t *testing.T) {
+	// No runner: jobs stay queued, so the second POST must shed.
+	s := newServer(config{queueCap: 1})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	fw := testFirmware(t)
+
+	postScan(t, ts, fw)
+	resp, err := http.Post(ts.URL+"/v1/scan", "application/octet-stream", bytes.NewReader(fw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated POST = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// The shed job must not linger in the job table.
+	var m metricsView
+	mresp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if err := json.NewDecoder(mresp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs[stateQueued] != 1 || m.QueueDepth != 1 || m.QueueCap != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestJobNotFoundAndNotReady(t *testing.T) {
+	s := newServer(config{queueCap: 2}) // runner not started: job stays queued
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job = %d, want 404", resp.StatusCode)
+	}
+
+	id := postScan(t, ts, testFirmware(t))
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + id + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("unfinished report = %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestBadUploads(t *testing.T) {
+	_, ts := startTestServer(t, config{})
+
+	resp, err := http.Post(ts.URL+"/v1/scan", "application/octet-stream", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty upload = %d, want 400", resp.StatusCode)
+	}
+
+	// Junk bytes queue fine but fail during the scan; the job surfaces
+	// the unpack error.
+	resp, err = http.Post(ts.URL+"/v1/scan", "application/octet-stream", bytes.NewReader([]byte("junk")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack struct{ ID string }
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		r, err := http.Get(ts.URL + "/v1/jobs/" + ack.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v jobView
+		if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if v.State == stateFailed {
+			rr, err := http.Get(ts.URL + "/v1/jobs/" + ack.ID + "/report")
+			if err != nil {
+				t.Fatal(err)
+			}
+			rr.Body.Close()
+			if rr.StatusCode != http.StatusUnprocessableEntity {
+				t.Fatalf("failed job report = %d, want 422", rr.StatusCode)
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("junk scan never failed")
+}
+
+func TestUploadLimit(t *testing.T) {
+	_, ts := startTestServer(t, config{maxUpload: 16})
+	resp, err := http.Post(ts.URL+"/v1/scan", "application/octet-stream",
+		bytes.NewReader(bytes.Repeat([]byte("x"), 64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize upload = %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestGracefulShutdownDrainsQueue(t *testing.T) {
+	s := newServer(config{queueCap: 4})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	id := postScan(t, ts, testFirmware(t))
+
+	// Runner never started; shutdown must fail the queued job rather
+	// than leave it queued forever.
+	s.start()
+	s.shutdown(5 * time.Second)
+
+	j, ok := s.lookup(id)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	s.mu.Lock()
+	state, errMsg := j.state, j.err
+	s.mu.Unlock()
+	if state == stateDone {
+		return // runner got to it before the stop signal: also fine
+	}
+	if state != stateFailed || errMsg == "" {
+		t.Fatalf("queued job after shutdown: state=%q err=%q, want failed", state, errMsg)
+	}
+}

@@ -5,13 +5,16 @@
 //
 //	fwgen -out corpus && fwstudy -dir corpus
 //
-// With no -dir, the study runs over the built-in 6,529-image synthetic
-// population.
+// The directory is walked recursively, so a corpus organized by
+// vendor/product subdirectories (the shape of a real crawl) works
+// unchanged; only *.fwimg files are considered. With no -dir, the study
+// runs over the built-in 6,529-image synthetic population.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
@@ -37,26 +40,37 @@ func run(dir string) error {
 		fmt.Print(emul.Summarize(e.Study(corpus.Population())))
 		return nil
 	}
-	entries, err := os.ReadDir(dir)
+	// Walk recursively: crawled corpora arrive organized in
+	// vendor/product trees, not as one flat directory.
+	var paths []string
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(d.Name(), ".fwimg") {
+			return nil
+		}
+		paths = append(paths, path)
+		return nil
+	})
 	if err != nil {
 		return err
 	}
 	var images []*firmware.Image
 	unpackFails := 0
-	scanned := 0
-	for _, ent := range entries {
-		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".fwimg") {
-			continue
+	for _, path := range paths {
+		rel, relErr := filepath.Rel(dir, path)
+		if relErr != nil {
+			rel = path
 		}
-		scanned++
-		data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		data, err := os.ReadFile(path)
 		if err != nil {
 			return err
 		}
 		img, _, err := firmware.Scan(data)
 		if err != nil {
 			unpackFails++
-			fmt.Printf("%-24s unpack failed: %v\n", ent.Name(), err)
+			fmt.Printf("%-24s unpack failed: %v\n", rel, err)
 			continue
 		}
 		res := e.Boot(img)
@@ -67,13 +81,14 @@ func run(dir string) error {
 				state += fmt.Sprintf(" (%s)", strings.Join(res.Missing, ", "))
 			}
 		}
-		fmt.Printf("%-24s %s %s %s (%d): %s\n", ent.Name(),
+		fmt.Printf("%-24s %s %s %s (%d): %s\n", rel,
 			img.Header.Vendor, img.Header.Product, img.Header.Version,
 			img.Header.Year, state)
 		images = append(images, img)
 	}
+	scanned := len(paths)
 	if scanned == 0 {
-		return fmt.Errorf("no .fwimg files in %s", dir)
+		return fmt.Errorf("no .fwimg files under %s", dir)
 	}
 	fmt.Printf("\n%d images scanned, %d failed to unpack\n\n", scanned, unpackFails)
 	fmt.Print(emul.Summarize(e.Study(images)))

@@ -34,6 +34,39 @@ func TestStudyDirectory(t *testing.T) {
 	}
 }
 
+// The walk must descend into subdirectories: a vendor/product tree with
+// images only at the leaves is a valid corpus.
+func TestStudyNestedDirectory(t *testing.T) {
+	dir := t.TempDir()
+	nested := filepath.Join(dir, "dlink", "dir645", "v1.03")
+	if err := os.MkdirAll(nested, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	fw, err := dtaint.GenerateStudyFirmware("DIR-645", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(nested, "fw.fwimg"), fw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Non-image noise in intermediate directories must be ignored.
+	if err := os.WriteFile(filepath.Join(dir, "dlink", "README.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// A tree with no images at any depth is still an error.
+	empty := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(empty, "sub", "subsub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(empty); err == nil {
+		t.Fatal("image-free tree accepted")
+	}
+}
+
 func TestStudyErrors(t *testing.T) {
 	if err := run("/no/such/dir"); err == nil {
 		t.Fatal("missing dir accepted")

@@ -1,0 +1,291 @@
+package dtaint
+
+import (
+	"context"
+	"time"
+
+	"dtaint/internal/fleet"
+)
+
+// This file is the public face of the fleet-scale scanning subsystem
+// (internal/fleet): whole-image scans over a bounded worker pool with a
+// content-addressed report cache, the workload shape of the paper's
+// evaluation (six study images, 115 binaries; a 6,529-image population).
+
+// BinaryStatus classifies one binary's outcome in an image scan.
+type BinaryStatus string
+
+// Binary scan outcomes.
+const (
+	// BinaryOK: analyzed fresh in this run.
+	BinaryOK BinaryStatus = "ok"
+	// BinaryCached: report served from the content-addressed cache.
+	BinaryCached BinaryStatus = "cached"
+	// BinaryFailed: the analysis errored or panicked.
+	BinaryFailed BinaryStatus = "failed"
+	// BinaryTimeout: the per-binary deadline elapsed.
+	BinaryTimeout BinaryStatus = "timeout"
+	// BinarySkipped: the scan was cancelled before this binary started.
+	BinarySkipped BinaryStatus = "skipped"
+)
+
+// BinaryScan is one rootfs executable's entry in an ImageReport.
+type BinaryScan struct {
+	// Path is the executable's rootfs path.
+	Path string
+	// SHA256 is the hex digest of the binary bytes.
+	SHA256 string
+	Status BinaryStatus
+	// Error describes a failed, timed-out, or skipped scan.
+	Error string
+	// Duration is the wall-clock this run spent on the binary (zero for
+	// cache hits and skips).
+	Duration time.Duration
+	// Report is the full per-binary report; nil unless Status is
+	// BinaryOK or BinaryCached.
+	Report *Report
+}
+
+// CacheStats snapshots the fleet report cache's counters.
+type CacheStats struct {
+	// Hits counts lookups served from memory or disk; DiskHits is the
+	// subset read from the persistent tier.
+	Hits     uint64
+	DiskHits uint64
+	// Misses counts lookups that forced a fresh analysis.
+	Misses uint64
+	// Evictions counts in-memory LRU entries dropped under pressure.
+	Evictions uint64
+	// Entries is the current in-memory entry count.
+	Entries int
+}
+
+// ImageReport aggregates a whole firmware image's scan: identity from
+// the container header, per-binary reports in rootfs path order, and
+// Table VI-style totals. Timings aside, it is identical for every
+// worker count.
+type ImageReport struct {
+	Vendor  string
+	Product string
+	Version string
+	Year    int
+	Arch    string
+
+	// Candidates is how many rootfs files looked like executables;
+	// Scanned/Cached/Failed/Skipped partition them by outcome.
+	Candidates int
+	Scanned    int
+	Cached     int
+	Failed     int
+	Skipped    int
+
+	// Vulnerabilities and VulnerablePaths are totals over all analyzed
+	// binaries (deduplicated per binary by sink location).
+	Vulnerabilities int
+	VulnerablePaths int
+	// FindingsByClass counts deduplicated vulnerabilities per class.
+	FindingsByClass map[Class]int
+
+	// Workers is the orchestrator pool size; Wall the whole-image time.
+	Workers int
+	Wall    time.Duration
+
+	Binaries []BinaryScan
+
+	// Cache is the report cache's counters when the scan finished (zero
+	// when the scan ran uncached).
+	Cache CacheStats
+}
+
+// FleetCache is a process-wide content-addressed report cache shared
+// across image scans: key = SHA-256(binary bytes) + analyzer-options
+// fingerprint. Fleets of firmware images share binaries heavily (every
+// image ships busybox; the same daemons recur across models), so a
+// shared cache collapses a fleet scan to one analysis per distinct
+// binary. Safe for concurrent use.
+type FleetCache struct {
+	c *fleet.Cache
+}
+
+// NewFleetCache returns a cache holding at most maxEntries reports in
+// memory (<= 0 selects a default). A non-empty dir adds a persistent
+// on-disk tier that survives process restarts.
+func NewFleetCache(maxEntries int, dir string) (*FleetCache, error) {
+	c, err := fleet.NewCache(maxEntries, dir)
+	if err != nil {
+		return nil, err
+	}
+	return &FleetCache{c: c}, nil
+}
+
+// Stats returns the cache's counters.
+func (c *FleetCache) Stats() CacheStats {
+	st := c.c.Stats()
+	return CacheStats{
+		Hits:      st.Hits,
+		DiskHits:  st.DiskHits,
+		Misses:    st.Misses,
+		Evictions: st.Evictions,
+		Entries:   st.Entries,
+	}
+}
+
+// FleetOption configures an image scan beyond the Analyzer's own
+// options.
+type FleetOption func(*fleetConfig)
+
+type fleetConfig struct {
+	workers    int
+	timeout    time.Duration
+	cache      *FleetCache
+	pathFilter func(string) bool
+	filterTag  string
+	progress   func(done, total int)
+}
+
+// WithFleetWorkers bounds how many binaries are analyzed concurrently
+// (0 = GOMAXPROCS). Per-binary analysis parallelism is set separately
+// via WithParallelism on the Analyzer and defaults to 1 inside a fleet
+// scan.
+func WithFleetWorkers(n int) FleetOption {
+	return func(c *fleetConfig) { c.workers = n }
+}
+
+// WithFleetTimeout caps each binary's analysis wall-clock; timed-out
+// binaries are reported as BinaryTimeout without failing the image.
+func WithFleetTimeout(d time.Duration) FleetOption {
+	return func(c *fleetConfig) { c.timeout = d }
+}
+
+// WithFleetCache attaches a shared report cache to the scan.
+func WithFleetCache(cache *FleetCache) FleetOption {
+	return func(c *fleetConfig) { c.cache = cache }
+}
+
+// WithFleetPathFilter restricts the scan to rootfs paths for which keep
+// returns true (e.g. only /usr/sbin daemons).
+func WithFleetPathFilter(keep func(path string) bool) FleetOption {
+	return func(c *fleetConfig) { c.pathFilter = keep }
+}
+
+// WithFleetFilterTag names the Analyzer's function filter for cache-key
+// purposes. Function values cannot be fingerprinted, so a scan whose
+// Analyzer has a filter set bypasses the cache unless a tag identifies
+// the filter; two scans with the same tag are assumed to use the same
+// filter.
+func WithFleetFilterTag(tag string) FleetOption {
+	return func(c *fleetConfig) { c.filterTag = tag }
+}
+
+// WithFleetProgress registers a callback invoked after each binary
+// completes with the running done count and the candidate total. Calls
+// are serialized.
+func WithFleetProgress(fn func(done, total int)) FleetOption {
+	return func(c *fleetConfig) { c.progress = fn }
+}
+
+// ScanFirmwareFleet unpacks a firmware image and analyzes every
+// executable in its root filesystem across a bounded worker pool — the
+// whole-image counterpart of AnalyzeFirmware. One corrupt binary cannot
+// kill the scan (panic isolation, per-binary timeouts), cancelling ctx
+// stops new work, and a FleetCache shared across calls makes re-scans
+// and binary-sharing fleets cheap. The Analyzer's own options (filters,
+// ablations, custom sources/sinks, parallelism) apply to every binary.
+func (a *Analyzer) ScanFirmwareFleet(ctx context.Context, data []byte, opts ...FleetOption) (*ImageReport, error) {
+	var cfg fleetConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	fopts := fleet.Options{
+		Workers:          cfg.workers,
+		PerBinaryTimeout: cfg.timeout,
+		Analysis:         a.opts,
+		FilterTag:        cfg.filterTag,
+		PathFilter:       cfg.pathFilter,
+		Progress:         cfg.progress,
+	}
+	if cfg.cache != nil {
+		fopts.Cache = cfg.cache.c
+	}
+	rep, err := fleet.ScanImage(ctx, data, fopts)
+	if err != nil {
+		return nil, err
+	}
+	return publicImageReport(rep), nil
+}
+
+func publicImageReport(r *fleet.ImageReport) *ImageReport {
+	out := &ImageReport{
+		Vendor:          r.Vendor,
+		Product:         r.Product,
+		Version:         r.Version,
+		Year:            r.Year,
+		Arch:            r.Arch,
+		Candidates:      r.Candidates,
+		Scanned:         r.Scanned,
+		Cached:          r.Cached,
+		Failed:          r.Failed,
+		Skipped:         r.Skipped,
+		Vulnerabilities: r.Vulnerabilities,
+		VulnerablePaths: r.VulnerablePaths,
+		FindingsByClass: make(map[Class]int, len(r.FindingsByClass)),
+		Workers:         r.Workers,
+		Wall:            r.Wall,
+		Cache: CacheStats{
+			Hits:      r.Cache.Hits,
+			DiskHits:  r.Cache.DiskHits,
+			Misses:    r.Cache.Misses,
+			Evictions: r.Cache.Evictions,
+			Entries:   r.Cache.Entries,
+		},
+	}
+	for class, n := range r.FindingsByClass {
+		out.FindingsByClass[Class(class)] = n
+	}
+	for _, b := range r.Binaries {
+		out.Binaries = append(out.Binaries, BinaryScan{
+			Path:     b.Path,
+			SHA256:   b.SHA256,
+			Status:   BinaryStatus(b.Status),
+			Error:    b.Error,
+			Duration: b.Duration,
+			Report:   publicBinaryReport(b.Analysis),
+		})
+	}
+	return out
+}
+
+func publicBinaryReport(a *fleet.BinaryAnalysis) *Report {
+	if a == nil {
+		return nil
+	}
+	rep := &Report{
+		Binary:            a.Binary,
+		Arch:              a.Arch,
+		Functions:         a.Functions,
+		Blocks:            a.Blocks,
+		CallEdges:         a.CallEdges,
+		FunctionsAnalyzed: a.FunctionsAnalyzed,
+		SinkCount:         a.SinkCount,
+		IndirectResolved:  a.IndirectResolved,
+		DefPairs:          a.DefPairs,
+		Truncated:         a.Truncated,
+		SSATime:           a.SSATime,
+		DDGTime:           a.DDGTime,
+		DDGWorkers:        a.DDGWorkers,
+		SCCComponents:     a.SCCComponents,
+		CriticalPath:      a.CriticalPath,
+	}
+	for _, f := range a.Findings {
+		rep.Findings = append(rep.Findings, Finding{
+			Class:     Class(f.Class),
+			Sink:      f.Sink,
+			SinkFunc:  f.SinkFunc,
+			SinkAddr:  f.SinkAddr,
+			Source:    f.Source,
+			Path:      append([]string(nil), f.Path...),
+			Sanitized: f.Sanitized,
+		})
+	}
+	return rep
+}

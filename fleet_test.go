@@ -1,0 +1,126 @@
+package dtaint_test
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"dtaint"
+	"dtaint/internal/taint"
+)
+
+func vulnKeys(findings []dtaint.Finding) []string {
+	var keys []string
+	for _, f := range findings {
+		keys = append(keys, taint.VulnKey(f.SinkFunc, f.Sink, f.SinkAddr, string(f.Class)))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestScanFirmwareFleetMatchesAnalyzeFirmware is the end-to-end
+// equivalence guarantee: the fleet orchestrator's per-binary findings
+// are exactly what a single-binary AnalyzeFirmware run produces.
+func TestScanFirmwareFleetMatchesAnalyzeFirmware(t *testing.T) {
+	fw, err := dtaint.GenerateStudyFirmware("DIR-645", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := dtaint.New()
+	img, err := a.ScanFirmwareFleet(context.Background(), fw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Product != "DIR-645" || img.Vendor == "" {
+		t.Fatalf("image identity = %s %s, want D-Link DIR-645", img.Vendor, img.Product)
+	}
+	if img.Candidates != 1 || img.Scanned != 1 || img.Failed != 0 {
+		t.Fatalf("candidates/scanned/failed = %d/%d/%d, want 1/1/0",
+			img.Candidates, img.Scanned, img.Failed)
+	}
+	single, err := a.AnalyzeFirmware(fw, img.Binaries[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleetRep := img.Binaries[0].Report
+	if fleetRep == nil {
+		t.Fatal("fleet scan returned no per-binary report")
+	}
+	got := vulnKeys(fleetRep.Vulnerabilities())
+	want := vulnKeys(single.Vulnerabilities())
+	if len(want) == 0 {
+		t.Fatal("study image produced no vulnerabilities")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fleet found %d vulnerabilities, single-binary run found %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("vuln key mismatch at %d: %q vs %q", i, got[i], want[i])
+		}
+	}
+	if img.Vulnerabilities != len(want) || img.VulnerablePaths != len(single.VulnerablePaths()) {
+		t.Fatalf("image totals %d/%d, want %d/%d", img.Vulnerabilities, img.VulnerablePaths,
+			len(want), len(single.VulnerablePaths()))
+	}
+}
+
+func TestScanFirmwareFleetCache(t *testing.T) {
+	fw, err := dtaint.GenerateStudyFirmware("DGN1000", 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := dtaint.NewFleetCache(64, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := dtaint.New()
+	first, err := a.ScanFirmwareFleet(context.Background(), fw, dtaint.WithFleetCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached != 0 || first.Scanned != 1 {
+		t.Fatalf("first scan cached/scanned = %d/%d, want 0/1", first.Cached, first.Scanned)
+	}
+	second, err := a.ScanFirmwareFleet(context.Background(), fw, dtaint.WithFleetCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Cached != 1 || second.Scanned != 0 {
+		t.Fatalf("second scan cached/scanned = %d/%d, want 1/0", second.Cached, second.Scanned)
+	}
+	if second.Cache.Hits == 0 {
+		t.Fatal("second scan reported no cache hits")
+	}
+	if second.Vulnerabilities != first.Vulnerabilities {
+		t.Fatalf("cached scan changed totals: %d vs %d", second.Vulnerabilities, first.Vulnerabilities)
+	}
+	if st := cache.Stats(); st.Entries == 0 || st.Hits == 0 {
+		t.Fatalf("cache stats empty: %+v", st)
+	}
+}
+
+func TestScanFirmwareFleetProgressAndPathFilter(t *testing.T) {
+	fw, err := dtaint.GenerateStudyFirmware("DIR-645", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last, total int
+	img, err := dtaint.New().ScanFirmwareFleet(context.Background(), fw,
+		dtaint.WithFleetWorkers(2),
+		dtaint.WithFleetProgress(func(d, t int) { last, total = d, t }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != img.Candidates || total != img.Candidates {
+		t.Fatalf("progress ended at %d/%d, want %d/%d", last, total, img.Candidates, img.Candidates)
+	}
+	none, err := dtaint.New().ScanFirmwareFleet(context.Background(), fw,
+		dtaint.WithFleetPathFilter(func(string) bool { return false }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.Candidates != 0 || len(none.Binaries) != 0 {
+		t.Fatalf("path filter ignored: %d candidates", none.Candidates)
+	}
+}

@@ -153,3 +153,20 @@ func TestScreeningOutput(t *testing.T) {
 		t.Fatalf("screening not perfect:\n%s", buf.String())
 	}
 }
+
+func TestFleetOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fleet(&buf, testScale); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"cold", "warm", "TOTAL", "cache: 6 entries, 6 hits, 6 misses"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fleet output missing %q:\n%s", want, out)
+		}
+	}
+	// The warm pass must be served entirely from the cache.
+	if !strings.Contains(out, "warm    TOTAL                6        0       6") {
+		t.Fatalf("warm pass not fully cached:\n%s", out)
+	}
+}

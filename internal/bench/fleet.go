@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"dtaint/internal/corpus"
+	"dtaint/internal/fleet"
+)
+
+// Fleet measures the fleet orchestrator over the six study firmware
+// images: a cold pass that analyzes every binary, then a warm pass over
+// the same images through a shared content-addressed cache. The second
+// pass's wall-clock collapse is the measurement — an image re-scan after
+// a vendor re-release touches only the binaries that changed.
+func Fleet(w io.Writer, scale float64) error {
+	fmt.Fprintln(w, "== Fleet: orchestrated image scans, cold vs cached ==")
+	fmt.Fprintf(w, "(corpus scale %.2f; %d workers; shared cache across passes)\n",
+		scale, Table7Workers())
+
+	cache, err := fleet.NewCache(0, "")
+	if err != nil {
+		return err
+	}
+	specs := corpus.StudyImages()
+	images := make([][]byte, len(specs))
+	for i, spec := range specs {
+		fw, _, err := corpus.BuildFirmware(spec, scale)
+		if err != nil {
+			return err
+		}
+		images[i] = fw
+	}
+
+	fmt.Fprintln(w, "Pass    Firmware      Binaries  Scanned  Cached  Vulns  Paths  Wall(s)")
+	for _, name := range []string{"cold", "warm"} {
+		var reports []*fleet.ImageReport
+		t0 := time.Now()
+		for i, spec := range specs {
+			rep, err := fleet.ScanImage(context.Background(), images[i], fleet.Options{
+				Workers: Table7Workers(),
+				Cache:   cache,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-6s  %-12s  %8d  %7d  %6d  %5d  %5d  %7.3f\n",
+				name, spec.Product, rep.Candidates, rep.Scanned, rep.Cached,
+				rep.Vulnerabilities, rep.VulnerablePaths, rep.Wall.Seconds())
+			reports = append(reports, rep)
+		}
+		totals := fleet.MergeReports(reports)
+		fmt.Fprintf(w, "%-6s  %-12s  %8d  %7d  %6d  %5d  %5d  %7.3f\n",
+			name, "TOTAL", totals.Candidates, totals.Scanned, totals.Cached,
+			totals.Vulnerabilities, totals.VulnerablePaths, time.Since(t0).Seconds())
+	}
+	st := cache.Stats()
+	fmt.Fprintf(w, "cache: %d entries, %d hits, %d misses, %d evictions\n\n",
+		st.Entries, st.Hits, st.Misses, st.Evictions)
+	return nil
+}

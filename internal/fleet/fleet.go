@@ -1,0 +1,262 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"dtaint/internal/cfg"
+	"dtaint/internal/dataflow"
+	"dtaint/internal/firmware"
+	"dtaint/internal/image"
+)
+
+// Options configures an image scan.
+type Options struct {
+	// Workers bounds the orchestrator pool: how many binaries are
+	// analyzed concurrently (0 = GOMAXPROCS, negative is rejected).
+	Workers int
+	// PerBinaryTimeout caps one binary's analysis wall-clock (0 = no
+	// cap). A timed-out binary is reported as StatusTimeout; its
+	// analysis goroutine is abandoned and exits when the analyzer
+	// returns (the engine is CPU-bound and not interruptible).
+	PerBinaryTimeout time.Duration
+	// Analysis configures the per-binary analyzer. If
+	// Analysis.Parallelism is 0 the orchestrator sets it to 1: with many
+	// binaries in flight, one worker per binary maximizes throughput,
+	// and results are identical either way.
+	Analysis dataflow.Options
+	// FilterTag names Analysis.Filter for cache-key purposes (function
+	// values cannot be fingerprinted). Caching is bypassed when
+	// Analysis.Filter is non-nil and FilterTag is empty.
+	FilterTag string
+	// Cache, when non-nil, is consulted before and updated after every
+	// binary analysis.
+	Cache *Cache
+	// PathFilter, when non-nil, restricts candidates to rootfs paths for
+	// which it returns true.
+	PathFilter func(path string) bool
+	// Progress, when non-nil, is called after each binary completes with
+	// the number done so far and the total candidate count. Calls are
+	// serialized.
+	Progress func(done, total int)
+}
+
+// ErrBadWorkers reports a negative worker count.
+var ErrBadWorkers = errors.New("fleet: workers must be >= 0 (0 uses GOMAXPROCS)")
+
+// ScanImage unpacks a firmware container, enumerates the FWELF
+// executables in its root filesystem, and analyzes each across a bounded
+// worker pool. One corrupt or pathological binary cannot take down the
+// run: panics are confined to that binary's report entry, and a
+// per-binary timeout bounds stragglers. Cancelling ctx stops new work;
+// binaries not yet started are reported as StatusSkipped.
+//
+// The returned report lists binaries in rootfs path order and is
+// deterministic (timings aside) for any worker count.
+func ScanImage(ctx context.Context, data []byte, opts Options) (*ImageReport, error) {
+	if opts.Workers < 0 {
+		return nil, ErrBadWorkers
+	}
+	if opts.Workers == 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Analysis.Parallelism == 0 {
+		opts.Analysis.Parallelism = 1
+	}
+	start := time.Now()
+
+	img, fs, err := firmware.Unpack(data)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: unpack image: %w", err)
+	}
+
+	var candidates []firmware.File
+	for _, f := range fs.Files {
+		if !bytes.HasPrefix(f.Data, image.Magic[:]) {
+			continue
+		}
+		if opts.PathFilter != nil && !opts.PathFilter(f.Path) {
+			continue
+		}
+		candidates = append(candidates, f)
+	}
+
+	rep := &ImageReport{
+		Vendor:     img.Header.Vendor,
+		Product:    img.Header.Product,
+		Version:    img.Header.Version,
+		Year:       img.Header.Year,
+		Arch:       img.Header.Arch.String(),
+		Candidates: len(candidates),
+		Workers:    opts.Workers,
+		Binaries:   make([]BinaryScan, len(candidates)),
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	done := 0
+	workers := opts.Workers
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				rep.Binaries[i] = scanOne(ctx, candidates[i], opts)
+				if opts.Progress != nil {
+					progressMu.Lock()
+					done++
+					opts.Progress(done, len(candidates))
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range candidates {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	rep.aggregate()
+	rep.Wall = time.Since(start)
+	if opts.Cache != nil {
+		rep.Cache = opts.Cache.Stats()
+	}
+	return rep, nil
+}
+
+// scanOne analyzes a single rootfs executable: cache lookup, then a
+// fresh analysis under panic isolation and the per-binary deadline.
+func scanOne(ctx context.Context, f firmware.File, opts Options) BinaryScan {
+	sum := sha256.Sum256(f.Data)
+	bs := BinaryScan{Path: f.Path, SHA256: hex.EncodeToString(sum[:])}
+
+	if ctx.Err() != nil {
+		bs.Status = StatusSkipped
+		bs.Error = ctx.Err().Error()
+		return bs
+	}
+
+	cacheable := opts.Cache != nil && (opts.Analysis.Filter == nil || opts.FilterTag != "")
+	var key string
+	if cacheable {
+		key = Key(f.Data, Fingerprint(opts.Analysis, opts.FilterTag))
+		if v, ok := opts.Cache.Get(key); ok {
+			bs.Status = StatusCached
+			bs.Analysis = v
+			return bs
+		}
+	}
+
+	type outcome struct {
+		an  *BinaryAnalysis
+		err error
+	}
+	ch := make(chan outcome, 1)
+	t0 := time.Now()
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{err: fmt.Errorf("analysis panicked: %v", r)}
+			}
+		}()
+		an, err := analyze(f, opts.Analysis)
+		ch <- outcome{an: an, err: err}
+	}()
+
+	var timeout <-chan time.Time
+	if opts.PerBinaryTimeout > 0 {
+		t := time.NewTimer(opts.PerBinaryTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case out := <-ch:
+		bs.Duration = time.Since(t0)
+		if out.err != nil {
+			bs.Status = StatusFailed
+			bs.Error = out.err.Error()
+			return bs
+		}
+		bs.Status = StatusOK
+		bs.Analysis = out.an
+		if cacheable {
+			opts.Cache.Put(key, out.an)
+		}
+	case <-timeout:
+		bs.Duration = time.Since(t0)
+		bs.Status = StatusTimeout
+		bs.Error = fmt.Sprintf("analysis exceeded %v", opts.PerBinaryTimeout)
+	case <-ctx.Done():
+		bs.Duration = time.Since(t0)
+		bs.Status = StatusFailed
+		bs.Error = ctx.Err().Error()
+	}
+	return bs
+}
+
+// analyze is the per-binary pipeline entry; a variable so tests can
+// substitute pathological analyzers (panics, hangs) without crafting
+// binaries that break the real engine.
+var analyze = analyzeBinary
+
+// analyzeBinary runs the full single-binary pipeline and packages the
+// result into the serializable wire form.
+func analyzeBinary(f firmware.File, aopts dataflow.Options) (*BinaryAnalysis, error) {
+	bin, err := image.Parse(f.Data)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", f.Path, err)
+	}
+	prog, err := cfg.Build(bin)
+	if err != nil {
+		return nil, fmt.Errorf("recover CFG of %s: %w", f.Path, err)
+	}
+	res, err := dataflow.Analyze(prog, aopts)
+	if err != nil {
+		return nil, fmt.Errorf("analyze %s: %w", f.Path, err)
+	}
+	st := prog.Stats()
+	an := &BinaryAnalysis{
+		Binary:            bin.Name,
+		Arch:              bin.Arch.String(),
+		Functions:         st.Functions,
+		Blocks:            st.Blocks,
+		CallEdges:         st.CallGraphEdges,
+		FunctionsAnalyzed: res.FunctionsAnalyzed,
+		SinkCount:         res.SinkCount,
+		IndirectResolved:  len(res.Resolutions),
+		DefPairs:          res.DefPairCount,
+		Truncated:         res.Truncated,
+		SSATime:           res.SSATime,
+		DDGTime:           res.DDGTime,
+		DDGWorkers:        res.Parallel.Workers,
+		SCCComponents:     res.Parallel.Components,
+		CriticalPath:      res.Parallel.CriticalPath,
+	}
+	for _, tf := range res.Findings {
+		wf := Finding{
+			Class:     tf.Class.String(),
+			Sink:      tf.Sink,
+			SinkFunc:  tf.SinkFunc,
+			SinkAddr:  tf.SinkAddr,
+			Source:    tf.Source,
+			Sanitized: tf.Sanitized,
+		}
+		for _, s := range tf.Path {
+			wf.Path = append(wf.Path, s.String())
+		}
+		an.Findings = append(an.Findings, wf)
+	}
+	return an, nil
+}

@@ -1,0 +1,258 @@
+// Package fleet scans whole firmware images — and fleets of images —
+// instead of one executable per process. It is the serving layer the
+// paper's evaluation implies: Table II's six study images carry 115
+// binaries, and the Section II-A population holds 6,529 images, so the
+// unit of work at scale is "image" (or "device fleet"), not "binary".
+//
+// The package provides three pieces:
+//
+//   - a job orchestrator (ScanImage) that unpacks a firmware container,
+//     enumerates candidate FWELF executables in its root filesystem, and
+//     fans them out across a bounded worker pool with per-binary
+//     timeouts, panic isolation, and context cancellation;
+//   - a content-addressed report cache (Cache) keyed by the SHA-256 of
+//     the binary bytes plus an analyzer-options fingerprint, with an
+//     in-memory LRU tier and an optional on-disk tier, so re-scanning an
+//     image — or a fleet of images sharing binaries — skips redundant
+//     analysis;
+//   - an aggregation layer (ImageReport) that merges per-binary results
+//     into Table VI-style per-image totals.
+//
+// Results are deterministic: for a fixed image and analysis options the
+// ImageReport is identical for any worker count (the per-binary analyzer
+// already guarantees this; the orchestrator preserves input order and
+// keeps aggregation order-independent).
+package fleet
+
+import (
+	"sort"
+	"time"
+
+	"dtaint/internal/taint"
+)
+
+// Status classifies the outcome of one binary's scan.
+type Status string
+
+// Binary scan outcomes.
+const (
+	// StatusOK: analyzed fresh in this run.
+	StatusOK Status = "ok"
+	// StatusCached: report served from the content-addressed cache.
+	StatusCached Status = "cached"
+	// StatusFailed: the analysis returned an error or panicked.
+	StatusFailed Status = "failed"
+	// StatusTimeout: the per-binary deadline elapsed before the analysis
+	// finished.
+	StatusTimeout Status = "timeout"
+	// StatusSkipped: the scan was cancelled before this binary started.
+	StatusSkipped Status = "skipped"
+)
+
+// Finding is the wire/cache form of one (source, path, sink) tuple. It
+// mirrors the public report's finding with every field JSON-serializable.
+type Finding struct {
+	Class     string   `json:"class"`
+	Sink      string   `json:"sink"`
+	SinkFunc  string   `json:"sinkFunc"`
+	SinkAddr  uint32   `json:"sinkAddr"`
+	Source    string   `json:"source"`
+	Path      []string `json:"path"`
+	Sanitized bool     `json:"sanitized"`
+}
+
+// Key returns the canonical deduplication key (shared with every other
+// report layer via taint.VulnKey).
+func (f Finding) Key() string {
+	return taint.VulnKey(f.SinkFunc, f.Sink, f.SinkAddr, f.Class)
+}
+
+// BinaryAnalysis is the complete, serializable result of analyzing one
+// executable. It is both the cache value and the per-binary payload of
+// the HTTP ImageReport, so a cached scan reproduces exactly what a fresh
+// scan would have reported (timings excepted: cached entries keep the
+// timings of the run that produced them).
+type BinaryAnalysis struct {
+	Binary            string        `json:"binary"`
+	Arch              string        `json:"arch"`
+	Functions         int           `json:"functions"`
+	Blocks            int           `json:"blocks"`
+	CallEdges         int           `json:"callEdges"`
+	FunctionsAnalyzed int           `json:"functionsAnalyzed"`
+	SinkCount         int           `json:"sinkCount"`
+	IndirectResolved  int           `json:"indirectResolved"`
+	DefPairs          int           `json:"defPairs"`
+	Truncated         int           `json:"truncated"`
+	SSATime           time.Duration `json:"ssaNanos"`
+	DDGTime           time.Duration `json:"ddgNanos"`
+	DDGWorkers        int           `json:"ddgWorkers"`
+	SCCComponents     int           `json:"sccComponents"`
+	CriticalPath      int           `json:"criticalPath"`
+	Findings          []Finding     `json:"findings"`
+}
+
+// VulnerablePaths counts the unsanitized findings.
+func (a *BinaryAnalysis) VulnerablePaths() int {
+	n := 0
+	for _, f := range a.Findings {
+		if !f.Sanitized {
+			n++
+		}
+	}
+	return n
+}
+
+// Vulnerabilities counts unsanitized findings deduplicated by sink
+// location, using the same key as every other report layer.
+func (a *BinaryAnalysis) Vulnerabilities() int {
+	seen := make(map[string]bool)
+	for _, f := range a.Findings {
+		if f.Sanitized || seen[f.Key()] {
+			continue
+		}
+		seen[f.Key()] = true
+	}
+	return len(seen)
+}
+
+// BinaryScan is one rootfs executable's entry in an ImageReport.
+type BinaryScan struct {
+	// Path is the file's rootfs path.
+	Path string `json:"path"`
+	// SHA256 is the hex digest of the binary bytes (the content half of
+	// the cache key).
+	SHA256 string `json:"sha256"`
+	Status Status `json:"status"`
+	// Error describes a failed, timed-out, or skipped scan.
+	Error string `json:"error,omitempty"`
+	// Duration is this run's wall-clock spent on the binary (zero for
+	// cache hits and skips).
+	Duration time.Duration `json:"durationNanos"`
+	// Analysis is the full result; nil unless Status is ok or cached.
+	Analysis *BinaryAnalysis `json:"analysis,omitempty"`
+}
+
+// ImageReport aggregates one firmware image's scan — the per-image row
+// of a fleet run (Table VI-style totals plus per-binary detail).
+type ImageReport struct {
+	// Image identity, from the container header.
+	Vendor  string `json:"vendor"`
+	Product string `json:"product"`
+	Version string `json:"version"`
+	Year    int    `json:"year"`
+	Arch    string `json:"arch"`
+
+	// Candidates is how many rootfs files carried the FWELF magic (after
+	// the optional path filter).
+	Candidates int `json:"candidates"`
+	// Scanned/Cached/Failed/Skipped partition the candidates: analyzed
+	// fresh, served from cache, failed or timed out, never started.
+	Scanned int `json:"scanned"`
+	Cached  int `json:"cached"`
+	Failed  int `json:"failed"`
+	Skipped int `json:"skipped"`
+
+	// Vulnerabilities and VulnerablePaths are totals over all analyzed
+	// binaries (deduplicated per binary; the same weak busybox installed
+	// twice is two attack surfaces and counts twice).
+	Vulnerabilities int `json:"vulnerabilities"`
+	VulnerablePaths int `json:"vulnerablePaths"`
+	// FindingsByClass counts deduplicated vulnerabilities per class.
+	FindingsByClass map[string]int `json:"findingsByClass"`
+
+	// Workers is the orchestrator pool size the scan ran with.
+	Workers int `json:"workers"`
+	// Wall is the whole-image wall-clock time.
+	Wall time.Duration `json:"wallNanos"`
+
+	// Binaries lists every candidate in rootfs path order.
+	Binaries []BinaryScan `json:"binaries"`
+
+	// Cache is a snapshot of the report cache's counters taken when the
+	// scan finished (zero value when the scan ran uncached).
+	Cache CacheStats `json:"cache"`
+}
+
+// aggregate fills the report's totals from its Binaries list. The input
+// order is the deterministic rootfs path order, and every total is a sum
+// over per-binary values, so the result is identical for any worker
+// count.
+func (r *ImageReport) aggregate() {
+	r.FindingsByClass = make(map[string]int)
+	for _, b := range r.Binaries {
+		switch b.Status {
+		case StatusOK:
+			r.Scanned++
+		case StatusCached:
+			r.Cached++
+		case StatusFailed, StatusTimeout:
+			r.Failed++
+		case StatusSkipped:
+			r.Skipped++
+		}
+		if b.Analysis == nil {
+			continue
+		}
+		r.Vulnerabilities += b.Analysis.Vulnerabilities()
+		r.VulnerablePaths += b.Analysis.VulnerablePaths()
+		seen := make(map[string]bool)
+		for _, f := range b.Analysis.Findings {
+			if f.Sanitized || seen[f.Key()] {
+				continue
+			}
+			seen[f.Key()] = true
+			r.FindingsByClass[f.Class]++
+		}
+	}
+}
+
+// MergeReports folds several per-image reports into fleet-wide totals:
+// candidates, scan outcomes, and deduplicated vulnerability counts by
+// class, for a fleet run over many images (the 6,529-image population
+// workload). Per-binary detail stays in the per-image reports.
+type FleetTotals struct {
+	Images          int            `json:"images"`
+	Candidates      int            `json:"candidates"`
+	Scanned         int            `json:"scanned"`
+	Cached          int            `json:"cached"`
+	Failed          int            `json:"failed"`
+	Skipped         int            `json:"skipped"`
+	Vulnerabilities int            `json:"vulnerabilities"`
+	VulnerablePaths int            `json:"vulnerablePaths"`
+	FindingsByClass map[string]int `json:"findingsByClass"`
+	Wall            time.Duration  `json:"wallNanos"`
+}
+
+// MergeReports aggregates per-image reports into fleet totals.
+func MergeReports(reports []*ImageReport) FleetTotals {
+	t := FleetTotals{FindingsByClass: make(map[string]int)}
+	for _, r := range reports {
+		if r == nil {
+			continue
+		}
+		t.Images++
+		t.Candidates += r.Candidates
+		t.Scanned += r.Scanned
+		t.Cached += r.Cached
+		t.Failed += r.Failed
+		t.Skipped += r.Skipped
+		t.Vulnerabilities += r.Vulnerabilities
+		t.VulnerablePaths += r.VulnerablePaths
+		t.Wall += r.Wall
+		for class, n := range r.FindingsByClass {
+			t.FindingsByClass[class] += n
+		}
+	}
+	return t
+}
+
+// Classes returns the report's vulnerability classes in sorted order —
+// a stable iteration order for rendering FindingsByClass.
+func (r *ImageReport) Classes() []string {
+	out := make([]string, 0, len(r.FindingsByClass))
+	for c := range r.FindingsByClass {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,12 +1,22 @@
 #!/bin/sh
 # check.sh — the repository's full verification gate.
 #
-# Runs the tier-1 verify (build + tests) plus go vet and a race-enabled
-# test pass, so the parallel bottom-up scheduler is always race-checked.
-# Invoked by `make check`; keep CI and local runs on this single path.
+# Runs the tier-1 verify (build + tests) plus gofmt, go vet, a
+# race-enabled test pass (so the parallel bottom-up scheduler and the
+# fleet orchestrator are always race-checked), and the dtaintd smoke
+# test. Invoked by `make check`; keep CI and local runs on this single
+# path.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo ">> gofmt -l ."
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: these files need formatting:"
+	echo "$unformatted"
+	exit 1
+fi
 
 echo ">> go build ./..."
 go build ./...
@@ -16,5 +26,8 @@ go vet ./...
 
 echo ">> go test -race ./..."
 go test -race ./...
+
+echo ">> scripts/smoke.sh"
+./scripts/smoke.sh
 
 echo "check: OK"

@@ -1,0 +1,65 @@
+#!/bin/sh
+# smoke.sh — end-to-end smoke test of the dtaintd scan service.
+#
+# Builds dtaintd, generates a small study firmware image, starts the
+# server on an ephemeral port, POSTs the image to /v1/scan, polls the
+# job until it is done, and asserts the report finds at least one
+# vulnerability. Invoked by `make smoke` and by scripts/check.sh.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo ">> smoke: build dtaintd"
+go build -o "$tmp/dtaintd" ./cmd/dtaintd
+
+echo ">> smoke: generate firmware"
+go run ./cmd/fwgen -out "$tmp/corpus" -product DIR-645 -scale 0.05 >/dev/null
+
+echo ">> smoke: start dtaintd on an ephemeral port"
+"$tmp/dtaintd" -addr 127.0.0.1:0 -cache-dir "$tmp/cache" >"$tmp/dtaintd.log" 2>&1 &
+pid=$!
+
+# The server prints "dtaintd: listening on http://HOST:PORT" once the
+# listener is up; wait for that line to learn the chosen port.
+base=""
+for _ in $(seq 1 50); do
+	base=$(sed -n 's/^dtaintd: listening on \(http:\/\/[^ ]*\)$/\1/p' "$tmp/dtaintd.log")
+	[ -n "$base" ] && break
+	kill -0 "$pid" 2>/dev/null || { cat "$tmp/dtaintd.log"; echo "smoke: server died"; exit 1; }
+	sleep 0.1
+done
+[ -n "$base" ] || { cat "$tmp/dtaintd.log"; echo "smoke: server never came up"; exit 1; }
+
+echo ">> smoke: POST /v1/scan ($base)"
+resp=$(curl -sf -X POST --data-binary @"$tmp/corpus/DIR-645.fwimg" "$base/v1/scan")
+id=$(printf '%s' "$resp" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[ -n "$id" ] || { echo "smoke: no job id in response: $resp"; exit 1; }
+
+echo ">> smoke: poll job $id"
+state=""
+for _ in $(seq 1 100); do
+	state=$(curl -sf "$base/v1/jobs/$id" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')
+	case "$state" in
+	done | failed) break ;;
+	esac
+	sleep 0.1
+done
+[ "$state" = "done" ] || { echo "smoke: job ended in state '$state'"; exit 1; }
+
+echo ">> smoke: fetch report"
+report=$(curl -sf "$base/v1/jobs/$id/report")
+vulns=$(printf '%s' "$report" | sed -n 's/.*"vulnerabilities": *\([0-9]*\).*/\1/p')
+[ -n "$vulns" ] || { echo "smoke: no vulnerability count in report"; exit 1; }
+[ "$vulns" -ge 1 ] || { echo "smoke: expected >=1 vulnerability, got $vulns"; exit 1; }
+
+curl -sf "$base/v1/metrics" >/dev/null
+
+echo "smoke: OK ($vulns vulnerabilities reported)"
