@@ -2,7 +2,7 @@
 # race-enabled run that guards the parallel SCC-DAG scheduler and the
 # fleet orchestrator, and the dtaintd smoke test.
 
-.PHONY: build test check bench smoke
+.PHONY: build test check bench smoke trace
 
 build:
 	go build ./...
@@ -18,3 +18,12 @@ smoke:
 
 bench:
 	go test -bench=. -benchmem
+
+# trace analyzes a study image with the span tracer attached and leaves
+# trace.json in the repo root — load it in ui.perfetto.dev or
+# chrome://tracing to see the pipeline stages and per-function spans.
+trace:
+	go run ./cmd/fwgen -out /tmp/dtaint-trace-corpus -product DIR-645 -scale 0.10
+	go run ./cmd/dtaint -fw /tmp/dtaint-trace-corpus/DIR-645.fwimg \
+		-bin /htdocs/cgibin -trace-out trace.json -progress
+	@echo "trace: wrote trace.json (open in ui.perfetto.dev)"

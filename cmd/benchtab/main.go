@@ -15,6 +15,13 @@
 //
 // -scale (default 0.25) shrinks the filler code of the synthetic binaries;
 // detection results are scale-invariant, runtimes and size columns scale.
+//
+// Whenever a measured section runs (-table3/4/5, -table7, -fleet, or
+// -all), the run is also archived as machine-readable JSON — schema
+// "dtaint-bench/v1", documented in EXPERIMENTS.md — so benchmark runs
+// can be diffed across commits. -bench-out picks the file name; by
+// default it is BENCH_<UTC timestamp>.json in the working directory.
+// -bench-out=off disables the archive.
 package main
 
 import (
@@ -27,36 +34,38 @@ import (
 
 func main() {
 	var (
-		all    = flag.Bool("all", false, "regenerate every table and figure")
-		fig1   = flag.Bool("fig1", false, "Figure 1: emulation success by release year")
-		table1 = flag.Bool("table1", false, "Table I: sources and sinks")
-		table2 = flag.Bool("table2", false, "Table II: firmware summary")
-		table3 = flag.Bool("table3", false, "Table III: detection results")
-		table4 = flag.Bool("table4", false, "Table IV: previously-reported vulnerabilities")
-		table5 = flag.Bool("table5", false, "Table V: zero-day vulnerabilities")
-		table6 = flag.Bool("table6", false, "Table VI: resource usage")
-		table7 = flag.Bool("table7", false, "Table VII: time cost vs the top-down baseline")
-		ablate = flag.Bool("ablate", false, "feature ablations")
-		fleetX = flag.Bool("fleet", false, "fleet orchestrator: cold vs cached image scans")
-		screen = flag.Bool("screen", false, "precision/recall over a randomized screening corpus")
-		scale  = flag.Float64("scale", 0.25, "corpus scale factor in (0, 1]")
+		all      = flag.Bool("all", false, "regenerate every table and figure")
+		fig1     = flag.Bool("fig1", false, "Figure 1: emulation success by release year")
+		table1   = flag.Bool("table1", false, "Table I: sources and sinks")
+		table2   = flag.Bool("table2", false, "Table II: firmware summary")
+		table3   = flag.Bool("table3", false, "Table III: detection results")
+		table4   = flag.Bool("table4", false, "Table IV: previously-reported vulnerabilities")
+		table5   = flag.Bool("table5", false, "Table V: zero-day vulnerabilities")
+		table6   = flag.Bool("table6", false, "Table VI: resource usage")
+		table7   = flag.Bool("table7", false, "Table VII: time cost vs the top-down baseline")
+		ablate   = flag.Bool("ablate", false, "feature ablations")
+		fleetX   = flag.Bool("fleet", false, "fleet orchestrator: cold vs cached image scans")
+		screen   = flag.Bool("screen", false, "precision/recall over a randomized screening corpus")
+		scale    = flag.Float64("scale", 0.25, "corpus scale factor in (0, 1]")
+		benchOut = flag.String("bench-out", "", "benchmark record file (empty = BENCH_<timestamp>.json, off = none)")
 	)
 	flag.Parse()
 
 	if err := run(*all, *fig1, *table1, *table2, *table3, *table4, *table5,
-		*table6, *table7, *ablate, *fleetX, *screen, *scale); err != nil {
+		*table6, *table7, *ablate, *fleetX, *screen, *scale, *benchOut); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)
 	}
 }
 
-func run(all, fig1, t1, t2, t3, t4, t5, t6, t7, ablate, fleetScan, screen bool, scale float64) error {
+func run(all, fig1, t1, t2, t3, t4, t5, t6, t7, ablate, fleetScan, screen bool, scale float64, benchOut string) error {
 	none := !(fig1 || t1 || t2 || t3 || t4 || t5 || t6 || t7 || ablate || fleetScan || screen)
 	if all || none {
 		fig1, t1, t2, t3, t4, t5, t6, t7 = true, true, true, true, true, true, true, true
 		ablate, fleetScan, screen = true, true, true
 	}
 	w := os.Stdout
+	rec := bench.NewRecord(scale)
 	if fig1 {
 		if err := bench.Figure1(w); err != nil {
 			return err
@@ -77,6 +86,7 @@ func run(all, fig1, t1, t2, t3, t4, t5, t6, t7, ablate, fleetScan, screen bool, 
 		if err != nil {
 			return err
 		}
+		rec.AddStudy(runs)
 		if t3 {
 			if err := bench.Table3(w, runs); err != nil {
 				return err
@@ -99,9 +109,11 @@ func run(all, fig1, t1, t2, t3, t4, t5, t6, t7, ablate, fleetScan, screen bool, 
 		}
 	}
 	if t7 {
-		if err := bench.Table7(w, scale); err != nil {
+		rows, err := bench.Table7(w, scale)
+		if err != nil {
 			return err
 		}
+		rec.AddTable7(rows)
 	}
 	if ablate {
 		if err := bench.Ablations(w, scale); err != nil {
@@ -109,14 +121,23 @@ func run(all, fig1, t1, t2, t3, t4, t5, t6, t7, ablate, fleetScan, screen bool, 
 		}
 	}
 	if fleetScan {
-		if err := bench.Fleet(w, scale); err != nil {
+		fr, err := bench.Fleet(w, scale)
+		if err != nil {
 			return err
 		}
+		rec.Fleet = fr
 	}
 	if screen {
 		if err := bench.Screening(w, 200); err != nil {
 			return err
 		}
+	}
+	if benchOut != "off" && !rec.Empty() {
+		path, err := rec.WriteFile(benchOut)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "benchtab: wrote benchmark record to %s\n", path)
 	}
 	return nil
 }

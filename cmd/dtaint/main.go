@@ -21,6 +21,19 @@
 // printed; -cache-dir reuses reports across runs. -exit-code makes the
 // process exit 2 when any undeduplicated vulnerable path is found, so
 // CI pipelines can gate on scan results.
+//
+// Observability (all off by default):
+//
+//	dtaint -fw dir645.fwimg -bin /htdocs/cgibin -trace-out trace.json
+//	dtaint -fw dir645.fwimg -rootfs-all -progress
+//	dtaint -exe prog.fwelf -log-level debug -log-format json
+//
+// -trace-out records every pipeline stage (and each analyzed function)
+// as a span and writes Chrome trace_event JSON loadable in Perfetto or
+// chrome://tracing. -progress prints per-stage progress lines to
+// stderr, with percentages for the two per-function phases. -log-level
+// enables structured logging (log/slog) to stderr; -log-format picks
+// text or json lines.
 package main
 
 import (
@@ -35,28 +48,33 @@ import (
 	"dtaint/internal/cfg"
 	"dtaint/internal/firmware"
 	"dtaint/internal/image"
+	"dtaint/internal/obs"
 	"dtaint/internal/symexec"
 	"dtaint/internal/taint"
 )
 
 func main() {
 	var (
-		fwPath   = flag.String("fw", "", "firmware image file (FWIMG container)")
-		exePath  = flag.String("exe", "", "program executable file (FWELF)")
-		binPath  = flag.String("bin", "", "path of the binary inside the firmware rootfs")
-		module   = flag.String("module", "", "restrict analysis to a study product's network module")
-		noAlias  = flag.Bool("no-alias", false, "disable pointer-alias recognition (Algorithm 1)")
-		noSim    = flag.Bool("no-structsim", false, "disable data-structure similarity resolution")
-		paths    = flag.Bool("paths", false, "print every vulnerable path, not just deduplicated vulnerabilities")
-		showAll  = flag.Bool("all", false, "also print sanitized paths")
-		dis      = flag.Bool("dis", false, "disassemble the executable instead of analyzing")
-		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
-		mdOut    = flag.String("report", "", "write a Markdown report to this file")
-		traceFn  = flag.String("trace", "", "print the symbolic-analysis listing of one function (the paper's Figure 6) and exit")
-		workers  = flag.Int("workers", 0, "worker count for both analysis phases (0 = GOMAXPROCS)")
-		allBins  = flag.Bool("rootfs-all", false, "scan every FWELF executable in the firmware rootfs (requires -fw)")
-		cacheDir = flag.String("cache-dir", "", "with -rootfs-all: persistent report cache directory")
-		exitCode = flag.Bool("exit-code", false, "exit 2 when undeduplicated vulnerable paths are found")
+		fwPath    = flag.String("fw", "", "firmware image file (FWIMG container)")
+		exePath   = flag.String("exe", "", "program executable file (FWELF)")
+		binPath   = flag.String("bin", "", "path of the binary inside the firmware rootfs")
+		module    = flag.String("module", "", "restrict analysis to a study product's network module")
+		noAlias   = flag.Bool("no-alias", false, "disable pointer-alias recognition (Algorithm 1)")
+		noSim     = flag.Bool("no-structsim", false, "disable data-structure similarity resolution")
+		paths     = flag.Bool("paths", false, "print every vulnerable path, not just deduplicated vulnerabilities")
+		showAll   = flag.Bool("all", false, "also print sanitized paths")
+		dis       = flag.Bool("dis", false, "disassemble the executable instead of analyzing")
+		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
+		mdOut     = flag.String("report", "", "write a Markdown report to this file")
+		traceFn   = flag.String("trace", "", "print the symbolic-analysis listing of one function (the paper's Figure 6) and exit")
+		workers   = flag.Int("workers", 0, "worker count for both analysis phases (0 = GOMAXPROCS)")
+		allBins   = flag.Bool("rootfs-all", false, "scan every FWELF executable in the firmware rootfs (requires -fw)")
+		cacheDir  = flag.String("cache-dir", "", "with -rootfs-all: persistent report cache directory")
+		exitCode  = flag.Bool("exit-code", false, "exit 2 when undeduplicated vulnerable paths are found")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace_event JSON of the pipeline stages to this file")
+		progress  = flag.Bool("progress", false, "print per-stage progress lines to stderr")
+		logLevel  = flag.String("log-level", "", "enable structured logging at this level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "structured log format: text or json")
 	)
 	flag.Parse()
 
@@ -67,12 +85,20 @@ func main() {
 		}
 		return
 	}
+	o := cliOptions{
+		fwPath: *fwPath, exePath: *exePath, binPath: *binPath,
+		module: *module, mdOut: *mdOut, workers: *workers,
+		noAlias: *noAlias, noSim: *noSim,
+		paths: *paths, showAll: *showAll, dis: *dis, jsonOut: *jsonOut,
+		cacheDir: *cacheDir, traceOut: *traceOut, progress: *progress,
+		logLevel: *logLevel, logFormat: *logFormat,
+	}
 	var vulnPaths int
 	var err error
 	if *allBins {
-		vulnPaths, err = runFleet(*fwPath, *cacheDir, *workers, *noAlias, *noSim, *jsonOut)
+		vulnPaths, err = runFleet(o)
 	} else {
-		vulnPaths, err = run(*fwPath, *exePath, *binPath, *module, *mdOut, *workers, *noAlias, *noSim, *paths, *showAll, *dis, *jsonOut)
+		vulnPaths, err = run(o)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dtaint:", err)
@@ -81,6 +107,60 @@ func main() {
 	if *exitCode && vulnPaths > 0 {
 		os.Exit(2)
 	}
+}
+
+// cliOptions carries the parsed analysis flags into run and runFleet.
+type cliOptions struct {
+	fwPath, exePath, binPath string
+	module, mdOut            string
+	workers                  int
+	noAlias, noSim           bool
+	paths, showAll           bool
+	dis, jsonOut             bool
+	cacheDir                 string
+	traceOut                 string
+	progress                 bool
+	logLevel, logFormat      string
+}
+
+// observability translates the tracing/progress/logging flags into
+// analyzer options. The returned flush writes -trace-out (if any) once
+// the analysis has finished and must run on the success path only.
+func (o cliOptions) observability() (opts []dtaint.Option, flush func() error, err error) {
+	var tracer *dtaint.Tracer
+	if o.traceOut != "" || o.progress {
+		tracer = dtaint.NewTracer()
+		opts = append(opts, dtaint.WithTracer(tracer))
+	}
+	if o.progress {
+		attachProgress(tracer, os.Stderr)
+	}
+	if o.logLevel != "" {
+		logger, err := obs.NewLogger(os.Stderr, o.logLevel, o.logFormat)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts = append(opts, dtaint.WithLogger(logger))
+	}
+	flush = func() error {
+		if o.traceOut == "" {
+			return nil
+		}
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dtaint: wrote trace to %s\n", o.traceOut)
+		return nil
+	}
+	return opts, flush, nil
 }
 
 // analyzerOptions translates the shared flags into library options.
@@ -107,34 +187,42 @@ func analyzerOptions(module string, workers int, noAlias, noSim bool) []dtaint.O
 // runFleet scans every executable of the firmware rootfs through the
 // fleet orchestrator and prints the per-image report. It returns the
 // total undeduplicated vulnerable-path count for -exit-code.
-func runFleet(fwPath, cacheDir string, workers int, noAlias, noSim, jsonOut bool) (int, error) {
-	if workers < 0 {
-		return 0, fmt.Errorf("-workers must be >= 0 (0 uses GOMAXPROCS), got %d", workers)
+func runFleet(o cliOptions) (int, error) {
+	if o.workers < 0 {
+		return 0, fmt.Errorf("-workers must be >= 0 (0 uses GOMAXPROCS), got %d", o.workers)
 	}
-	if fwPath == "" {
+	if o.fwPath == "" {
 		return 0, fmt.Errorf("-rootfs-all requires -fw")
 	}
-	data, err := os.ReadFile(fwPath)
+	data, err := os.ReadFile(o.fwPath)
 	if err != nil {
 		return 0, err
 	}
 	var fopts []dtaint.FleetOption
-	if workers > 0 {
-		fopts = append(fopts, dtaint.WithFleetWorkers(workers))
+	if o.workers > 0 {
+		fopts = append(fopts, dtaint.WithFleetWorkers(o.workers))
 	}
-	if cacheDir != "" {
-		cache, err := dtaint.NewFleetCache(0, cacheDir)
+	if o.cacheDir != "" {
+		cache, err := dtaint.NewFleetCache(0, o.cacheDir)
 		if err != nil {
 			return 0, err
 		}
 		fopts = append(fopts, dtaint.WithFleetCache(cache))
 	}
-	a := dtaint.New(analyzerOptions("", 0, noAlias, noSim)...)
+	aopts, flushTrace, err := o.observability()
+	if err != nil {
+		return 0, err
+	}
+	aopts = append(aopts, analyzerOptions("", 0, o.noAlias, o.noSim)...)
+	a := dtaint.New(aopts...)
 	img, err := a.ScanFirmwareFleet(context.Background(), data, fopts...)
 	if err != nil {
 		return 0, err
 	}
-	if jsonOut {
+	if err := flushTrace(); err != nil {
+		return 0, err
+	}
+	if o.jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return img.VulnerablePaths, enc.Encode(img)
@@ -160,15 +248,15 @@ func runFleet(fwPath, cacheDir string, workers int, noAlias, noSim, jsonOut bool
 	return img.VulnerablePaths, nil
 }
 
-func run(fwPath, exePath, binPath, module, mdOut string, workers int, noAlias, noSim, paths, showAll, dis, jsonOut bool) (int, error) {
-	if workers < 0 {
-		return 0, fmt.Errorf("-workers must be >= 0 (0 uses GOMAXPROCS), got %d", workers)
+func run(o cliOptions) (int, error) {
+	if o.workers < 0 {
+		return 0, fmt.Errorf("-workers must be >= 0 (0 uses GOMAXPROCS), got %d", o.workers)
 	}
-	raw, err := loadExecutable(fwPath, exePath, binPath)
+	raw, err := loadExecutable(o.fwPath, o.exePath, o.binPath)
 	if err != nil {
 		return 0, err
 	}
-	if dis {
+	if o.dis {
 		bin, err := image.Parse(raw)
 		if err != nil {
 			return 0, err
@@ -181,14 +269,22 @@ func run(fwPath, exePath, binPath, module, mdOut string, workers int, noAlias, n
 		return 0, nil
 	}
 
-	rep, err := dtaint.New(analyzerOptions(module, workers, noAlias, noSim)...).AnalyzeExecutable(raw)
+	aopts, flushTrace, err := o.observability()
 	if err != nil {
+		return 0, err
+	}
+	aopts = append(aopts, analyzerOptions(o.module, o.workers, o.noAlias, o.noSim)...)
+	rep, err := dtaint.New(aopts...).AnalyzeExecutable(raw)
+	if err != nil {
+		return 0, err
+	}
+	if err := flushTrace(); err != nil {
 		return 0, err
 	}
 	vulnPaths := len(rep.VulnerablePaths())
 
-	if mdOut != "" {
-		f, err := os.Create(mdOut)
+	if o.mdOut != "" {
+		f, err := os.Create(o.mdOut)
 		if err != nil {
 			return 0, err
 		}
@@ -199,11 +295,11 @@ func run(fwPath, exePath, binPath, module, mdOut string, workers int, noAlias, n
 		if err := f.Close(); err != nil {
 			return 0, err
 		}
-		fmt.Printf("wrote %s\n", mdOut)
+		fmt.Printf("wrote %s\n", o.mdOut)
 		return vulnPaths, nil
 	}
-	if jsonOut {
-		return vulnPaths, writeJSON(rep, showAll)
+	if o.jsonOut {
+		return vulnPaths, writeJSON(rep, o.showAll)
 	}
 
 	fmt.Printf("binary %s (%s): %d functions, %d blocks, %d call edges\n",
@@ -214,13 +310,13 @@ func run(fwPath, exePath, binPath, module, mdOut string, workers int, noAlias, n
 		rep.SSATime, rep.DDGTime, rep.DDGWorkers, rep.SCCComponents, rep.CriticalPath)
 
 	switch {
-	case showAll:
+	case o.showAll:
 		for _, f := range rep.Findings {
 			fmt.Println(f)
 		}
 		fmt.Printf("\n%d findings (%d vulnerable paths, %d vulnerabilities)\n",
 			len(rep.Findings), len(rep.VulnerablePaths()), len(rep.Vulnerabilities()))
-	case paths:
+	case o.paths:
 		for _, f := range rep.VulnerablePaths() {
 			fmt.Println(f)
 		}

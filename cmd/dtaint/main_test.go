@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -33,61 +34,73 @@ func writeCorpus(t *testing.T) (fwFile, exeFile string) {
 
 func TestRunFirmware(t *testing.T) {
 	fw, _ := writeCorpus(t)
-	if _, err := run(fw, "", "/htdocs/cgibin", "", "", 0, false, false, false, false, false, false); err != nil {
+	base := cliOptions{fwPath: fw, binPath: "/htdocs/cgibin"}
+	if _, err := run(base); err != nil {
 		t.Fatal(err)
 	}
 	// Paths and all modes.
-	if _, err := run(fw, "", "/htdocs/cgibin", "", "", 0, false, false, true, false, false, false); err != nil {
+	o := base
+	o.paths = true
+	if _, err := run(o); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := run(fw, "", "/htdocs/cgibin", "", "", 0, false, false, false, true, false, false); err != nil {
+	o = base
+	o.showAll = true
+	if _, err := run(o); err != nil {
 		t.Fatal(err)
 	}
 	// JSON mode.
-	if _, err := run(fw, "", "/htdocs/cgibin", "", "", 0, false, false, false, false, false, true); err != nil {
+	o = base
+	o.jsonOut = true
+	if _, err := run(o); err != nil {
 		t.Fatal(err)
 	}
 	// Markdown report mode.
-	md := filepath.Join(t.TempDir(), "report.md")
-	if _, err := run(fw, "", "/htdocs/cgibin", "", md, 0, false, false, false, false, false, false); err != nil {
+	o = base
+	o.mdOut = filepath.Join(t.TempDir(), "report.md")
+	if _, err := run(o); err != nil {
 		t.Fatal(err)
 	}
-	if data, err := os.ReadFile(md); err != nil || len(data) == 0 {
+	if data, err := os.ReadFile(o.mdOut); err != nil || len(data) == 0 {
 		t.Fatalf("markdown report not written: %v", err)
 	}
 	// Ablations.
-	if _, err := run(fw, "", "/htdocs/cgibin", "", "", 0, true, true, false, false, false, false); err != nil {
+	o = base
+	o.noAlias, o.noSim = true, true
+	if _, err := run(o); err != nil {
 		t.Fatal(err)
 	}
 	// Auto-pick.
-	if _, err := run(fw, "", "", "", "", 0, false, false, false, false, false, false); err != nil {
+	if _, err := run(cliOptions{fwPath: fw}); err != nil {
 		t.Fatal(err)
 	}
 	// Explicit worker count.
-	if _, err := run(fw, "", "/htdocs/cgibin", "", "", 4, false, false, false, false, false, false); err != nil {
+	o = base
+	o.workers = 4
+	if _, err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunExecutableAndDisassemble(t *testing.T) {
 	_, exe := writeCorpus(t)
-	if _, err := run("", exe, "", "", "", 0, false, false, false, false, false, false); err != nil {
+	if _, err := run(cliOptions{exePath: exe}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := run("", exe, "", "", "", 0, false, false, false, false, true, false); err != nil {
+	if _, err := run(cliOptions{exePath: exe, dis: true}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if _, err := run("", "", "", "", "", 0, false, false, false, false, false, false); err == nil {
+	if _, err := run(cliOptions{}); err == nil {
 		t.Fatal("missing inputs accepted")
 	}
 	fw, _ := writeCorpus(t)
-	if _, err := run(fw, "", "/ghost", "", "", 0, false, false, false, false, false, false); err == nil {
+	if _, err := run(cliOptions{fwPath: fw, binPath: "/ghost"}); err == nil {
 		t.Fatal("missing binary path accepted")
 	}
-	if _, err := run("/no/such/file", "", "", "", "", 0, false, false, false, false, false, false); err == nil {
+	if _, err := run(cliOptions{fwPath: "/no/such/file"}); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	dir := t.TempDir()
@@ -95,11 +108,15 @@ func TestRunErrors(t *testing.T) {
 	if err := os.WriteFile(junk, []byte("not firmware"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := run(junk, "", "", "", "", 0, false, false, false, false, false, false); err == nil {
+	if _, err := run(cliOptions{fwPath: junk}); err == nil {
 		t.Fatal("junk firmware accepted")
 	}
-	if _, err := run("", junk, "", "", "", 0, false, false, false, false, false, false); err == nil {
+	if _, err := run(cliOptions{exePath: junk}); err == nil {
 		t.Fatal("junk executable accepted")
+	}
+	// A bad log level must be rejected before any analysis runs.
+	if _, err := run(cliOptions{fwPath: fw, binPath: "/htdocs/cgibin", logLevel: "loud"}); err == nil {
+		t.Fatal("bad log level accepted")
 	}
 }
 
@@ -107,7 +124,7 @@ func TestRunErrors(t *testing.T) {
 // vulnerable-path count so main can exit 2 when it is positive.
 func TestRunReturnsVulnerablePathCount(t *testing.T) {
 	fw, _ := writeCorpus(t)
-	n, err := run(fw, "", "/htdocs/cgibin", "", "", 0, false, false, false, false, false, false)
+	n, err := run(cliOptions{fwPath: fw, binPath: "/htdocs/cgibin"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +133,7 @@ func TestRunReturnsVulnerablePathCount(t *testing.T) {
 	}
 	// Disassembly finds nothing by definition.
 	_, exe := writeCorpus(t)
-	n, err = run("", exe, "", "", "", 0, false, false, false, false, true, false)
+	n, err = run(cliOptions{exePath: exe, dis: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,8 +144,8 @@ func TestRunReturnsVulnerablePathCount(t *testing.T) {
 
 func TestRunFleetMode(t *testing.T) {
 	fw, _ := writeCorpus(t)
-	cacheDir := filepath.Join(t.TempDir(), "cache")
-	n, err := runFleet(fw, cacheDir, 2, false, false, false)
+	o := cliOptions{fwPath: fw, cacheDir: filepath.Join(t.TempDir(), "cache"), workers: 2}
+	n, err := runFleet(o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +153,8 @@ func TestRunFleetMode(t *testing.T) {
 		t.Fatal("fleet scan reported 0 vulnerable paths")
 	}
 	// Same cache dir again: served from disk, same totals.
-	n2, err := runFleet(fw, cacheDir, 2, false, false, true)
+	o.jsonOut = true
+	n2, err := runFleet(o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,13 +164,13 @@ func TestRunFleetMode(t *testing.T) {
 }
 
 func TestRunFleetErrors(t *testing.T) {
-	if _, err := runFleet("", "", 0, false, false, false); err == nil {
+	if _, err := runFleet(cliOptions{}); err == nil {
 		t.Fatal("missing -fw accepted")
 	}
-	if _, err := runFleet("x", "", -1, false, false, false); err == nil {
+	if _, err := runFleet(cliOptions{fwPath: "x", workers: -1}); err == nil {
 		t.Fatal("negative workers accepted")
 	}
-	if _, err := runFleet("/no/such/file", "", 0, false, false, false); err == nil {
+	if _, err := runFleet(cliOptions{fwPath: "/no/such/file"}); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }
@@ -161,11 +179,79 @@ func TestRunFleetErrors(t *testing.T) {
 // silently mapped to GOMAXPROCS.
 func TestRunRejectsNegativeWorkers(t *testing.T) {
 	fw, _ := writeCorpus(t)
-	_, err := run(fw, "", "/htdocs/cgibin", "", "", -1, false, false, false, false, false, false)
+	_, err := run(cliOptions{fwPath: fw, binPath: "/htdocs/cgibin", workers: -1})
 	if err == nil {
 		t.Fatal("negative worker count accepted")
 	}
 	if !strings.Contains(err.Error(), "-workers") {
 		t.Fatalf("error does not name the flag: %v", err)
+	}
+}
+
+// -trace-out must produce Chrome trace_event JSON covering every
+// pipeline stage — the Perfetto-loadable artifact from the docs.
+func TestRunTraceOut(t *testing.T) {
+	fw, _ := writeCorpus(t)
+	traceFile := filepath.Join(t.TempDir(), "trace.json")
+	if _, err := run(cliOptions{fwPath: fw, binPath: "/htdocs/cgibin", traceOut: traceFile}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+		names[ev.Name] = true
+	}
+	// The CLI unpacks the firmware itself (loadExecutable), so the
+	// traced pipeline starts at parse-image.
+	for _, want := range []string{"parse-image", "build-cfg",
+		"function-analysis", "structsim", "interproc-dataflow", "count-sinks"} {
+		if !names[want] {
+			t.Errorf("trace lacks stage %q (got %v)", want, names)
+		}
+	}
+	if len(names) < 6 {
+		t.Fatalf("only %d distinct span names", len(names))
+	}
+}
+
+// -progress must emit stage lines and per-function percentages.
+func TestProgressWriter(t *testing.T) {
+	fw, _ := writeCorpus(t)
+	raw, err := loadExecutable(fw, "", "/htdocs/cgibin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := dtaint.NewTracer()
+	var buf strings.Builder
+	attachProgress(tracer, &buf)
+	if _, err := dtaint.New(dtaint.WithTracer(tracer)).AnalyzeExecutable(raw); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"dtaint: parse-image...",
+		"dtaint: build-cfg done in",
+		"dtaint: function-analysis:",
+		"(100%)",
+		"dtaint: interproc-dataflow done in",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("progress output lacks %q:\n%s", want, out)
+		}
 	}
 }

@@ -17,6 +17,17 @@
 // served from cache; -cache-dir persists the cache across restarts.
 // SIGINT/SIGTERM shuts down gracefully: the listener stops, the running
 // job drains, queued jobs are failed with a shutdown error.
+//
+// Observability: /v1/metrics serves the service counters plus the
+// analysis registry as JSON, or as Prometheus text exposition when the
+// client sends "Accept: text/plain" (what Prometheus scrapers do).
+// -log-level/-log-format select structured stderr logging (log/slog)
+// with per-job and per-binary attrs. -pprof-addr exposes the standard
+// net/http/pprof profiles on a second listener kept off the public API
+// address:
+//
+//	dtaintd -addr :8214 -pprof-addr 127.0.0.1:6060 -log-format json
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile
 package main
 
 import (
@@ -26,12 +37,14 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"dtaint/internal/fleet"
+	"dtaint/internal/obs"
 )
 
 func main() {
@@ -46,44 +59,89 @@ func main() {
 		noAlias    = flag.Bool("no-alias", false, "disable pointer-alias recognition (Algorithm 1)")
 		noSim      = flag.Bool("no-structsim", false, "disable data-structure similarity resolution")
 		drainWait  = flag.Duration("drain", 5*time.Minute, "shutdown grace for the running job")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat  = flag.String("log-format", "text", "log format: text or json")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *queueCap, *cacheSize, *cacheDir, *maxUpload,
-		*jobTimeout, *drainWait, *noAlias, *noSim); err != nil {
+	opts := serveOptions{
+		addr: *addr, workers: *workers, queueCap: *queueCap,
+		cacheSize: *cacheSize, cacheDir: *cacheDir, maxUpload: *maxUpload,
+		jobTimeout: *jobTimeout, drainWait: *drainWait,
+		noAlias: *noAlias, noSim: *noSim,
+		logLevel: *logLevel, logFormat: *logFormat, pprofAddr: *pprofAddr,
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "dtaintd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queueCap, cacheSize int, cacheDir string, maxUpload int64,
-	jobTimeout, drainWait time.Duration, noAlias, noSim bool) error {
-	if workers < 0 {
-		return fmt.Errorf("-workers must be >= 0, got %d", workers)
+// serveOptions carries the parsed flags into run.
+type serveOptions struct {
+	addr       string
+	workers    int
+	queueCap   int
+	cacheSize  int
+	cacheDir   string
+	maxUpload  int64
+	jobTimeout time.Duration
+	drainWait  time.Duration
+	noAlias    bool
+	noSim      bool
+	logLevel   string
+	logFormat  string
+	pprofAddr  string
+}
+
+func run(o serveOptions) error {
+	if o.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", o.workers)
 	}
-	cache, err := fleet.NewCache(cacheSize, cacheDir)
+	logger, err := obs.NewLogger(os.Stderr, o.logLevel, o.logFormat)
+	if err != nil {
+		return err
+	}
+	cache, err := fleet.NewCache(o.cacheSize, o.cacheDir)
 	if err != nil {
 		return err
 	}
 	cfg := config{
-		workers:       workers,
-		queueCap:      queueCap,
-		binaryTimeout: jobTimeout,
-		maxUpload:     maxUpload,
+		workers:       o.workers,
+		queueCap:      o.queueCap,
+		binaryTimeout: o.jobTimeout,
+		maxUpload:     o.maxUpload,
 		cache:         cache,
+		metrics:       obs.NewRegistry(),
+		log:           logger,
 	}
-	cfg.analysis.DisableAlias = noAlias
-	cfg.analysis.DisableStructSim = noSim
+	cfg.analysis.DisableAlias = o.noAlias
+	cfg.analysis.DisableStructSim = o.noSim
+	cfg.analysis.Metrics = cfg.metrics
+	cfg.analysis.Log = logger
 
 	s := newServer(cfg)
 	s.start()
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
 	// The ephemeral-port form ("host:0") is how the smoke test and
 	// scripted clients find the server: this line is the contract.
 	fmt.Printf("dtaintd: listening on http://%s\n", ln.Addr())
+
+	if o.pprofAddr != "" {
+		pln, err := net.Listen("tcp", o.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		fmt.Printf("dtaintd: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		// The blank net/http/pprof import registered its handlers on
+		// http.DefaultServeMux; serve that mux on the side listener only,
+		// so profiles never leak onto the public API address.
+		go func() { _ = http.Serve(pln, http.DefaultServeMux) }()
+	}
 
 	srv := &http.Server{Handler: s.handler()}
 	errc := make(chan error, 1)
@@ -102,7 +160,7 @@ func run(addr string, workers, queueCap, cacheSize int, cacheDir string, maxUplo
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	_ = srv.Shutdown(ctx)
 	cancel()
-	s.shutdown(drainWait)
+	s.shutdown(o.drainWait)
 	fmt.Println("dtaintd: stopped")
 	return nil
 }

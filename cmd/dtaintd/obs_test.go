@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dtaint/internal/obs"
+)
+
+// /v1/metrics must content-negotiate: Prometheus scrapers (Accept:
+// text/plain) get text exposition, everyone else the JSON view.
+func TestMetricsContentNegotiation(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := config{metrics: reg}
+	cfg.analysis.Metrics = reg
+	_, ts := startTestServer(t, cfg)
+
+	id := postScan(t, ts, testFirmware(t))
+	waitDone(t, ts, id)
+
+	// Prometheus text form.
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q, want text/plain", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE dtaintd_jobs_accepted_total counter",
+		"dtaintd_jobs_accepted_total 1",
+		"dtaintd_jobs_done_total 1",
+		"# TYPE dtaintd_queue_depth gauge",
+		"dtaint_fn_ssa_seconds_bucket{le=",
+		"dtaint_fleet_binaries_total{status=\"ok\"}",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Prometheus exposition lacks %q:\n%s", want, text)
+		}
+	}
+
+	// JSON form keeps the legacy keys and gains the counters + registry.
+	resp, err = http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	var m metricsView
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs == nil || m.QueueCap == 0 {
+		t.Fatalf("legacy fields missing: %+v", m)
+	}
+	if m.JobsAccepted != 1 || m.JobsStarted != 1 || m.JobsDone != 1 || m.JobsFailed != 0 {
+		t.Fatalf("counters = accepted %d started %d done %d failed %d",
+			m.JobsAccepted, m.JobsStarted, m.JobsDone, m.JobsFailed)
+	}
+	if len(m.Metrics) == 0 {
+		t.Fatal("registry snapshot missing from JSON view")
+	}
+}
+
+// The lifetime counters must be monotonic and mutually consistent in
+// every single response: done+failed can never exceed started, and
+// started can never exceed accepted.
+func TestMetricsSnapshotConsistent(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := config{metrics: reg}
+	cfg.analysis.Metrics = reg
+	_, ts := startTestServer(t, cfg)
+	fw := testFirmware(t)
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get(ts.URL + "/v1/metrics")
+			if err != nil {
+				return
+			}
+			var m metricsView
+			if json.NewDecoder(resp.Body).Decode(&m) == nil {
+				if m.JobsDone+m.JobsFailed > m.JobsStarted || m.JobsStarted > m.JobsAccepted {
+					t.Errorf("inconsistent snapshot: %+v", m)
+				}
+			}
+			resp.Body.Close()
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		waitDone(t, ts, postScan(t, ts, fw))
+	}
+	close(stop)
+	<-done
+}
+
+// Without a registry the endpoint still serves the legacy JSON view,
+// even to a text/plain client (nothing else to serve).
+func TestMetricsWithoutRegistry(t *testing.T) {
+	_, ts := startTestServer(t, config{})
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m metricsView
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("expected JSON fallback: %v", err)
+	}
+}
+
+// The pprof side listener serves the standard profile index. The
+// handlers live on http.DefaultServeMux via the blank net/http/pprof
+// import; this exercises the same mux run() serves on -pprof-addr.
+func TestPprofMux(t *testing.T) {
+	ts := httptest.NewServer(http.DefaultServeMux)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ = %d, want 200", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "goroutine") {
+		t.Fatal("pprof index does not list profiles")
+	}
+}

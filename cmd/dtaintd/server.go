@@ -5,12 +5,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
 	"dtaint/internal/dataflow"
 	"dtaint/internal/fleet"
+	"dtaint/internal/obs"
 )
 
 // config tunes the scan service.
@@ -27,6 +30,12 @@ type config struct {
 	cache *fleet.Cache
 	// analysis configures every binary analysis.
 	analysis dataflow.Options
+	// metrics is the service registry /v1/metrics exposes; the analysis
+	// pipeline shares it via analysis.Metrics (nil = registry off, only
+	// the legacy JSON counters are served).
+	metrics *obs.Registry
+	// log receives job lifecycle lines (nil = logging off).
+	log *slog.Logger
 }
 
 // Job states.
@@ -64,12 +73,24 @@ type jobView struct {
 	BinariesTotal int `json:"binariesTotal"`
 }
 
-// metricsView is the JSON shape of /v1/metrics.
+// metricsView is the JSON shape of /v1/metrics. The jobs/queueDepth/
+// queueCap keys are the original wire contract; the lifetime counters
+// and the registry dump are additive.
 type metricsView struct {
 	Jobs       map[string]int    `json:"jobs"`
 	QueueDepth int               `json:"queueDepth"`
 	QueueCap   int               `json:"queueCap"`
 	Cache      *fleet.CacheStats `json:"cache,omitempty"`
+	// JobsAccepted/Started/Done/Failed are lifetime counters read in the
+	// same critical section as everything above, so done can never exceed
+	// started in one response.
+	JobsAccepted uint64 `json:"jobsAccepted"`
+	JobsStarted  uint64 `json:"jobsStarted"`
+	JobsDone     uint64 `json:"jobsDone"`
+	JobsFailed   uint64 `json:"jobsFailed"`
+	// Metrics is the full registry snapshot (analysis histograms, fleet
+	// counters), absent when the registry is off.
+	Metrics []obs.MetricSnapshot `json:"metrics,omitempty"`
 }
 
 // server owns the job table, the bounded queue, and the single runner
@@ -81,6 +102,14 @@ type server struct {
 	mu   sync.Mutex
 	jobs map[string]*job
 	seq  int
+	// Lifetime job counters, authoritative under mu. /v1/metrics reads
+	// them (and everything else it reports) in one critical section —
+	// the consistent-snapshot fix — and mirrors them into the registry
+	// at scrape time.
+	jobsAccepted uint64
+	jobsStarted  uint64
+	jobsDone     uint64
+	jobsFailed   uint64
 
 	queue      chan *job
 	stop       chan struct{}
@@ -153,14 +182,22 @@ func (s *server) runJob(j *job) {
 	s.mu.Lock()
 	j.state = stateRunning
 	j.started = time.Now()
+	s.jobsStarted++
 	data := j.data
 	j.data = nil // the scan owns the bytes now; drop the queue's copy early
 	s.mu.Unlock()
+	if s.cfg.log != nil {
+		s.cfg.log.Info("job started", "job", j.id, "bytes", len(data))
+	}
 
+	aopts := s.cfg.analysis
+	if aopts.Log != nil {
+		aopts.Log = aopts.Log.With("job", j.id)
+	}
 	rep, err := fleet.ScanImage(s.runCtx, data, fleet.Options{
 		Workers:          s.cfg.workers,
 		PerBinaryTimeout: s.cfg.binaryTimeout,
-		Analysis:         s.cfg.analysis,
+		Analysis:         aopts,
 		Cache:            s.cfg.cache,
 		Progress: func(done, total int) {
 			s.mu.Lock()
@@ -173,17 +210,30 @@ func (s *server) runJob(j *job) {
 
 func (s *server) finishJob(j *job, rep *fleet.ImageReport, err error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j.finished = time.Now()
+	elapsed := j.finished.Sub(j.started)
 	j.data = nil
 	if err != nil {
 		j.state = stateFailed
 		j.err = err.Error()
+		s.jobsFailed++
+	} else {
+		j.state = stateDone
+		j.report = rep
+		j.done, j.total = rep.Candidates, rep.Candidates
+		s.jobsDone++
+	}
+	s.mu.Unlock()
+	if s.cfg.log == nil {
 		return
 	}
-	j.state = stateDone
-	j.report = rep
-	j.done, j.total = rep.Candidates, rep.Candidates
+	if err != nil {
+		s.cfg.log.Error("job failed", "job", j.id, "error", err.Error())
+		return
+	}
+	s.cfg.log.Info("job done", "job", j.id,
+		"candidates", rep.Candidates, "vulnerabilities", rep.Vulnerabilities,
+		"seconds", elapsed.Seconds())
 }
 
 // handler routes the v1 API.
@@ -220,6 +270,12 @@ func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
 
 	select {
 	case s.queue <- j:
+		s.mu.Lock()
+		s.jobsAccepted++
+		s.mu.Unlock()
+		if s.cfg.log != nil {
+			s.cfg.log.Info("job accepted", "job", j.id, "bytes", len(data))
+		}
 		writeJSONStatus(w, http.StatusAccepted, map[string]string{"id": j.id, "state": stateQueued})
 	default:
 		s.mu.Lock()
@@ -260,22 +316,66 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Consistent snapshot: every server-owned value — the per-state job
+	// table, the queue depth, and the lifetime counters — is read in ONE
+	// critical section, so a response can never show jobsDone ahead of
+	// jobsStarted or a queue depth from a different instant.
 	s.mu.Lock()
 	byState := map[string]int{stateQueued: 0, stateRunning: 0, stateDone: 0, stateFailed: 0}
 	for _, j := range s.jobs {
 		byState[j.state]++
 	}
-	s.mu.Unlock()
 	m := metricsView{
-		Jobs:       byState,
-		QueueDepth: len(s.queue),
-		QueueCap:   cap(s.queue),
+		Jobs:         byState,
+		QueueDepth:   len(s.queue),
+		QueueCap:     cap(s.queue),
+		JobsAccepted: s.jobsAccepted,
+		JobsStarted:  s.jobsStarted,
+		JobsDone:     s.jobsDone,
+		JobsFailed:   s.jobsFailed,
 	}
+	s.mu.Unlock()
 	if s.cfg.cache != nil {
 		st := s.cfg.cache.Stats()
 		m.Cache = &st
 	}
+
+	// Mirror the snapshot into the registry so both exposition formats
+	// report the same values.
+	if reg := s.cfg.metrics; reg != nil {
+		reg.Counter("dtaintd_jobs_accepted_total", "Scan jobs accepted into the queue.", nil).Store(m.JobsAccepted)
+		reg.Counter("dtaintd_jobs_started_total", "Scan jobs the runner started.", nil).Store(m.JobsStarted)
+		reg.Counter("dtaintd_jobs_done_total", "Scan jobs finished successfully.", nil).Store(m.JobsDone)
+		reg.Counter("dtaintd_jobs_failed_total", "Scan jobs that failed.", nil).Store(m.JobsFailed)
+		reg.Gauge("dtaintd_queue_depth", "Jobs waiting in the queue.", nil).Set(float64(m.QueueDepth))
+		reg.Gauge("dtaintd_queue_cap", "Queue capacity.", nil).Set(float64(m.QueueCap))
+		if m.Cache != nil {
+			reg.Counter("dtaint_cache_hits_total", "Report cache hits.", nil).Store(m.Cache.Hits)
+			reg.Counter("dtaint_cache_misses_total", "Report cache misses.", nil).Store(m.Cache.Misses)
+			reg.Counter("dtaint_cache_evictions_total", "Report cache LRU evictions.", nil).Store(m.Cache.Evictions)
+			reg.Gauge("dtaint_cache_entries", "Report cache in-memory entries.", nil).Set(float64(m.Cache.Entries))
+		}
+	}
+
+	// Content negotiation: Prometheus scrapers ask for text/plain, API
+	// clients get the JSON view (registry snapshot included).
+	if reg := s.cfg.metrics; reg != nil && wantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+		return
+	}
+	if reg := s.cfg.metrics; reg != nil {
+		m.Metrics = reg.Snapshot()
+	}
 	writeJSON(w, m)
+}
+
+// wantsPrometheus reports whether the request prefers the Prometheus
+// text exposition: an explicit text/plain Accept (what Prometheus
+// sends) without an explicit application/json preference.
+func wantsPrometheus(r *http.Request) bool {
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") && !strings.Contains(accept, "application/json")
 }
 
 func (s *server) lookup(id string) (*job, bool) {

@@ -40,6 +40,7 @@ import (
 	"dtaint/internal/emul"
 	"dtaint/internal/firmware"
 	"dtaint/internal/image"
+	"dtaint/internal/obs"
 	"dtaint/internal/symexec"
 	"dtaint/internal/taint"
 )
@@ -128,6 +129,9 @@ type Report struct {
 	DDGWorkers    int
 	SCCComponents int
 	CriticalPath  int
+	// Runtime snapshots the Go runtime (heap, goroutines, GC) at the
+	// moment the analysis finished.
+	Runtime RuntimeStats
 	// Findings are all discovered source→sink paths, including sanitized
 	// ones.
 	Findings []Finding
@@ -280,10 +284,13 @@ var (
 // executable at binaryPath, and analyzes it. If binaryPath is empty, the
 // first executable that parses as a program image is analyzed.
 func (a *Analyzer) AnalyzeFirmware(data []byte, binaryPath string) (*Report, error) {
+	st := a.opts.StartStage("unpack-firmware", obs.KV("bytes", len(data)))
 	_, fs, err := firmware.Unpack(data)
 	if err != nil {
+		st.End()
 		return nil, fmt.Errorf("unpack firmware: %w", err)
 	}
+	st.End("files", len(fs.Files))
 	var raw []byte
 	if binaryPath != "" {
 		f, err := fs.Lookup(binaryPath)
@@ -307,29 +314,36 @@ func (a *Analyzer) AnalyzeFirmware(data []byte, binaryPath string) (*Report, err
 
 // AnalyzeExecutable analyzes a serialized program image (FWELF bytes).
 func (a *Analyzer) AnalyzeExecutable(data []byte) (*Report, error) {
+	st := a.opts.StartStage("parse-image", obs.KV("bytes", len(data)))
 	bin, err := image.Parse(data)
 	if err != nil {
+		st.End()
 		return nil, fmt.Errorf("parse executable: %w", err)
 	}
+	st.End("binary", bin.Name, "arch", bin.Arch.String())
 	return a.analyze(bin)
 }
 
 func (a *Analyzer) analyze(bin *image.Binary) (*Report, error) {
+	st := a.opts.StartStage("build-cfg", obs.KV("binary", bin.Name))
 	prog, err := cfg.Build(bin)
 	if err != nil {
+		st.End()
 		return nil, fmt.Errorf("recover CFG: %w", err)
 	}
+	cfgStats := prog.Stats()
+	st.End("functions", cfgStats.Functions, "blocks", cfgStats.Blocks)
 	res, err := dataflow.Analyze(prog, a.opts)
 	if err != nil {
 		return nil, fmt.Errorf("analyze: %w", err)
 	}
-	st := prog.Stats()
+	st2 := prog.Stats()
 	rep := &Report{
 		Binary:            bin.Name,
 		Arch:              bin.Arch.String(),
-		Functions:         st.Functions,
-		Blocks:            st.Blocks,
-		CallEdges:         st.CallGraphEdges,
+		Functions:         st2.Functions,
+		Blocks:            st2.Blocks,
+		CallEdges:         st2.CallGraphEdges,
 		FunctionsAnalyzed: res.FunctionsAnalyzed,
 		SinkCount:         res.SinkCount,
 		IndirectResolved:  len(res.Resolutions),
@@ -340,6 +354,7 @@ func (a *Analyzer) analyze(bin *image.Binary) (*Report, error) {
 		DDGWorkers:        res.Parallel.Workers,
 		SCCComponents:     res.Parallel.Components,
 		CriticalPath:      res.Parallel.CriticalPath,
+		Runtime:           publicRuntimeStats(obs.CaptureRuntimeStats()),
 	}
 	for _, f := range res.Findings {
 		rep.Findings = append(rep.Findings, publicFinding(f))

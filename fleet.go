@@ -95,6 +95,10 @@ type ImageReport struct {
 	// Cache is the report cache's counters when the scan finished (zero
 	// when the scan ran uncached).
 	Cache CacheStats
+
+	// Runtime snapshots the Go runtime (heap, goroutines, GC) when the
+	// scan finished.
+	Runtime RuntimeStats
 }
 
 // FleetCache is a process-wide content-addressed report cache shared
@@ -238,6 +242,7 @@ func publicImageReport(r *fleet.ImageReport) *ImageReport {
 			Evictions: r.Cache.Evictions,
 			Entries:   r.Cache.Entries,
 		},
+		Runtime: publicRuntimeStats(r.Runtime),
 	}
 	for class, n := range r.FindingsByClass {
 		out.FindingsByClass[Class(class)] = n

@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+)
+
+// RecordSchema identifies the BENCH_*.json layout; bump on breaking
+// changes. The schema is documented in EXPERIMENTS.md.
+const RecordSchema = "dtaint-bench/v1"
+
+// Record is the machine-readable artifact benchtab writes next to the
+// human-readable tables, so benchmark runs can be archived and diffed
+// across commits.
+type Record struct {
+	Schema      string         `json:"schema"`
+	GeneratedAt time.Time      `json:"generatedAt"`
+	Scale       float64        `json:"scale"`
+	Env         EnvRecord      `json:"env"`
+	Study       []StudyRecord  `json:"study,omitempty"`
+	Table7      []Table7Record `json:"table7,omitempty"`
+	Fleet       *FleetRecord   `json:"fleet,omitempty"`
+}
+
+// EnvRecord pins the toolchain and host shape a record was measured on.
+type EnvRecord struct {
+	GoVersion  string `json:"goVersion"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// NewRecord returns an empty record stamped with the current time and
+// environment.
+func NewRecord(scale float64) *Record {
+	return &Record{
+		Schema:      RecordSchema,
+		GeneratedAt: time.Now().UTC().Truncate(time.Second),
+		Scale:       scale,
+		Env: EnvRecord{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+	}
+}
+
+// StudyRecord is one study image's detection outcome (Table III data).
+type StudyRecord struct {
+	Product           string  `json:"product"`
+	Arch              string  `json:"arch"`
+	Binary            string  `json:"binary"`
+	FunctionsAnalyzed int     `json:"functionsAnalyzed"`
+	SinkCount         int     `json:"sinkCount"`
+	SSASeconds        float64 `json:"ssaSeconds"`
+	DDGSeconds        float64 `json:"ddgSeconds"`
+	VulnerablePaths   int     `json:"vulnerablePaths"`
+	Vulnerabilities   int     `json:"vulnerabilities"`
+}
+
+// AddStudy records the detection results of a RunStudy pass.
+func (rec *Record) AddStudy(runs []StudyRun) {
+	for _, r := range runs {
+		rec.Study = append(rec.Study, StudyRecord{
+			Product:           r.Spec.Product,
+			Arch:              r.Spec.Arch.String(),
+			Binary:            r.Spec.BinaryName,
+			FunctionsAnalyzed: r.Result.FunctionsAnalyzed,
+			SinkCount:         r.Result.SinkCount,
+			SSASeconds:        r.Result.SSATime.Seconds(),
+			DDGSeconds:        r.Result.DDGTime.Seconds(),
+			VulnerablePaths:   len(r.Result.VulnerablePaths()),
+			Vulnerabilities:   len(r.Result.Vulnerabilities()),
+		})
+	}
+}
+
+// Table7Record is one workload of the time-cost comparison.
+type Table7Record struct {
+	Binary             string  `json:"binary"`
+	BaselineSSASeconds float64 `json:"baselineSsaSeconds"`
+	BaselineDDGSeconds float64 `json:"baselineDdgSeconds"`
+	SSASeconds         float64 `json:"ssaSeconds"`
+	DDGSeconds         float64 `json:"ddgSeconds"`
+	DDGSeqSeconds      float64 `json:"ddgSeqSeconds"`
+	Workers            int     `json:"workers"`
+	Components         int     `json:"components"`
+	CriticalPath       int     `json:"criticalPath"`
+	BaselineAnalyses   int     `json:"baselineAnalyses"`
+	BaselineCapped     bool    `json:"baselineCapped"`
+}
+
+// AddTable7 records the rows of a RunTable7 pass.
+func (rec *Record) AddTable7(rows []Table7Row) {
+	for _, r := range rows {
+		rec.Table7 = append(rec.Table7, Table7Record{
+			Binary:             r.Binary,
+			BaselineSSASeconds: r.BaseSSA.Seconds(),
+			BaselineDDGSeconds: r.BaseDDG.Seconds(),
+			SSASeconds:         r.DTaintSSA.Seconds(),
+			DDGSeconds:         r.DTaintDDG.Seconds(),
+			DDGSeqSeconds:      r.DTaintDDGSeq.Seconds(),
+			Workers:            r.Workers,
+			Components:         r.Components,
+			CriticalPath:       r.CriticalPath,
+			BaselineAnalyses:   r.BaselineAnalyses,
+			BaselineCapped:     r.Capped == 1,
+		})
+	}
+}
+
+// FleetRecord is the cold/warm fleet measurement: per-pass totals with
+// tracer-aggregated stage durations, plus the shared cache's hit rate.
+type FleetRecord struct {
+	Workers int              `json:"workers"`
+	Passes  []FleetPass      `json:"passes"`
+	Cache   FleetCacheRecord `json:"cache"`
+}
+
+// FleetPass is one pass (cold or warm) over all study images.
+type FleetPass struct {
+	Name            string             `json:"name"`
+	Images          int                `json:"images"`
+	Candidates      int                `json:"candidates"`
+	Scanned         int                `json:"scanned"`
+	Cached          int                `json:"cached"`
+	Failed          int                `json:"failed"`
+	Skipped         int                `json:"skipped"`
+	Vulnerabilities int                `json:"vulnerabilities"`
+	VulnerablePaths int                `json:"vulnerablePaths"`
+	WallSeconds     float64            `json:"wallSeconds"`
+	StageSeconds    map[string]float64 `json:"stageSeconds"`
+}
+
+// FleetCacheRecord is the cache shape after both passes.
+type FleetCacheRecord struct {
+	Entries   int     `json:"entries"`
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	HitRate   float64 `json:"hitRate"`
+}
+
+// Empty reports whether the record has no measured sections; benchtab
+// skips writing a file for table-only invocations.
+func (rec *Record) Empty() bool {
+	return len(rec.Study) == 0 && len(rec.Table7) == 0 && rec.Fleet == nil
+}
+
+// Write writes the record as indented JSON.
+func (rec *Record) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec)
+}
+
+// WriteFile writes the record to path (or, when path is empty, to an
+// auto-named BENCH_<UTC timestamp>.json in the working directory) and
+// returns the path written.
+func (rec *Record) WriteFile(path string) (string, error) {
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", rec.GeneratedAt.Format("20060102T150405Z"))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := rec.Write(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}

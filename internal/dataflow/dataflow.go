@@ -35,6 +35,7 @@ package dataflow
 
 import (
 	"errors"
+	"log/slog"
 	"runtime"
 	"sort"
 	"strings"
@@ -45,6 +46,7 @@ import (
 	"dtaint/internal/cfg"
 	"dtaint/internal/expr"
 	"dtaint/internal/image"
+	"dtaint/internal/obs"
 	"dtaint/internal/structsim"
 	"dtaint/internal/symexec"
 	"dtaint/internal/taint"
@@ -74,6 +76,50 @@ type Options struct {
 	// sibling components run concurrently. Results are identical for any
 	// value, including 1 (the fully sequential schedule).
 	Parallelism int
+
+	// Tracer records pipeline-stage spans (nil = tracing off). Observability
+	// handles never influence analysis results and are excluded from fleet
+	// cache fingerprints.
+	Tracer *obs.Tracer
+	// ParentSpan nests this analysis's stage spans under an enclosing span
+	// (e.g. a fleet scan's per-binary span). Nil makes stages root spans.
+	ParentSpan *obs.Span
+	// Metrics receives stage counters and the per-function time /
+	// states-explored histograms (nil = collection off).
+	Metrics *obs.Registry
+	// Log receives structured per-stage logs (nil = logging off).
+	Log *slog.Logger
+}
+
+// Stage couples one pipeline stage's span and log lines. Other pipeline
+// layers (the root package, internal/fleet) reuse it so every stage
+// traces and logs identically.
+type Stage struct {
+	span  *obs.Span
+	log   *slog.Logger
+	name  string
+	start time.Time
+}
+
+// StartStage opens a stage span under Options.ParentSpan and emits a
+// debug start line. All handles are nil-safe.
+func (o Options) StartStage(name string, attrs ...obs.Attr) *Stage {
+	st := &Stage{log: o.Log, name: name, start: time.Now()}
+	st.span = o.Tracer.Start(o.ParentSpan, name, attrs...)
+	if o.Log != nil {
+		o.Log.Debug("stage start", "stage", name)
+	}
+	return st
+}
+
+// End closes the stage span and logs completion; extra args are
+// alternating slog key/value pairs.
+func (st *Stage) End(args ...any) {
+	st.span.End()
+	if st.log != nil {
+		all := append([]any{"stage", st.name, "seconds", time.Since(st.start).Seconds()}, args...)
+		st.log.Info("stage done", all...)
+	}
 }
 
 // newTracker builds a tracker with the configured vocabulary and access
@@ -179,29 +225,52 @@ func Analyze(prog *cfg.Program, opts Options) (*Result, error) {
 	// indirect callsites. Functions are independent, so the phase fans
 	// out across workers (each with its own tracker).
 	t0 := time.Now()
-	phase1 := runPhase1(prog, names, opts)
+	st := opts.StartStage("function-analysis", obs.KV("functions", len(names)))
+	phase1 := runPhase1(prog, names, opts, st.span)
 	res.SSATime = time.Since(t0)
+	st.End("functions", len(names))
 
 	// Phase 2: indirect-call resolution by data-structure similarity.
 	if !opts.DisableStructSim {
+		st = opts.StartStage("structsim")
 		res.Resolutions = structsim.ResolveIndirect(phase1)
 		for _, r := range res.Resolutions {
 			prog.AddCallEdge(r.Caller, r.Site, r.Callee)
 		}
+		st.End("resolved", len(res.Resolutions))
 	}
 
 	// Phase 3+4: bottom-up interprocedural data flow with alias rewriting,
 	// scheduled over the condensed call graph's SCC DAG.
 	t1 := time.Now()
-	runBottomUp(prog, names, opts, res)
+	st = opts.StartStage("interproc-dataflow", obs.KV("functions", len(names)))
+	runBottomUp(prog, names, opts, res, st.span)
 	res.DDGTime = time.Since(t1)
+	st.End("workers", res.Parallel.Workers,
+		"components", res.Parallel.Components,
+		"findings", len(res.Findings))
 
+	st = opts.StartStage("count-sinks")
 	res.SinkCount = countSinks(prog, names, res.Summaries, opts.ExtraSinks)
+	st.End("sinks", res.SinkCount)
+
+	if opts.Metrics != nil {
+		opts.Metrics.Counter("dtaint_functions_analyzed_total",
+			"Functions analyzed by the interprocedural pass.", nil).Add(uint64(res.FunctionsAnalyzed))
+		opts.Metrics.Counter("dtaint_defpairs_total",
+			"Definition pairs in generated data flows.", nil).Add(uint64(res.DefPairCount))
+		opts.Metrics.Counter("dtaint_findings_total",
+			"Source-to-sink findings, sanitized included.", nil).Add(uint64(len(res.Findings)))
+		opts.Metrics.Counter("dtaint_truncated_functions_total",
+			"Functions that hit the symbolic state cap.", nil).Add(uint64(res.Truncated))
+	}
 	return res, nil
 }
 
-// runPhase1 analyzes every function independently, in parallel.
-func runPhase1(prog *cfg.Program, names []string, opts Options) map[string]*symexec.Summary {
+// runPhase1 analyzes every function independently, in parallel. stageSpan
+// (nil when tracing is off) parents one "ssa-function" span per unit —
+// the events -progress counts against the stage's "functions" total.
+func runPhase1(prog *cfg.Program, names []string, opts Options, stageSpan *obs.Span) map[string]*symexec.Summary {
 	workers := opts.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -209,12 +278,33 @@ func runPhase1(prog *cfg.Program, names []string, opts Options) map[string]*syme
 	if workers > len(names) {
 		workers = len(names)
 	}
+	var fnSec, fnStates *obs.Histogram
+	if opts.Metrics != nil {
+		fnSec = opts.Metrics.Histogram("dtaint_fn_ssa_seconds",
+			"Per-function symbolic analysis time (phase 1).", obs.DefTimeBuckets, nil)
+		fnStates = opts.Metrics.Histogram("dtaint_fn_states_explored",
+			"Symbolic states explored per function.", obs.ExpBuckets(1, 4, 8), nil)
+	}
+	analyzeOne := func(scratch *taint.Tracker, name string) *symexec.Summary {
+		sp := stageSpan.StartChild("ssa-function", obs.KV("fn", name))
+		var t0 time.Time
+		if fnSec != nil {
+			t0 = time.Now()
+		}
+		scratch.BeginFunction(name)
+		sum := symexec.Analyze(prog.ByName[name], prog.Binary, scratch, opts.Symexec)
+		if fnSec != nil {
+			fnSec.Observe(time.Since(t0).Seconds())
+			fnStates.Observe(float64(sum.StatesExplored))
+		}
+		sp.End()
+		return sum
+	}
 	sums := make([]*symexec.Summary, len(names))
 	if workers <= 1 {
 		scratch := newTracker(opts, prog.Binary)
 		for i, name := range names {
-			scratch.BeginFunction(name)
-			sums[i] = symexec.Analyze(prog.ByName[name], prog.Binary, scratch, opts.Symexec)
+			sums[i] = analyzeOne(scratch, name)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -229,8 +319,7 @@ func runPhase1(prog *cfg.Program, names []string, opts Options) map[string]*syme
 					if i >= len(names) {
 						return
 					}
-					scratch.BeginFunction(names[i])
-					sums[i] = symexec.Analyze(prog.ByName[names[i]], prog.Binary, scratch, opts.Symexec)
+					sums[i] = analyzeOne(scratch, names[i])
 				}
 			}()
 		}

@@ -4,9 +4,11 @@ import (
 	"container/heap"
 	"runtime"
 	"sync"
+	"time"
 
 	"dtaint/internal/alias"
 	"dtaint/internal/cfg"
+	"dtaint/internal/obs"
 	"dtaint/internal/symexec"
 	"dtaint/internal/taint"
 )
@@ -19,7 +21,7 @@ import (
 // by its own tracker shard; its findings, pendings, and counters are
 // stashed per component and merged in condensation order afterwards, so
 // the result is bit-identical for every worker count.
-func runBottomUp(prog *cfg.Program, names []string, opts Options, res *Result) {
+func runBottomUp(prog *cfg.Program, names []string, opts Options, res *Result, stageSpan *obs.Span) {
 	cond := prog.Condense(names)
 	workers := opts.Parallelism
 	if workers <= 0 {
@@ -35,6 +37,16 @@ func runBottomUp(prog *cfg.Program, names []string, opts Options, res *Result) {
 		Workers:      workers,
 		Components:   len(cond.Comps),
 		CriticalPath: cond.CriticalPath(),
+	}
+	stageSpan.SetAttr("workers", workers)
+	stageSpan.SetAttr("components", len(cond.Comps))
+
+	bo := bottomUpObs{stage: stageSpan}
+	if opts.Metrics != nil {
+		bo.fnSec = opts.Metrics.Histogram("dtaint_fn_ddg_seconds",
+			"Per-function interprocedural data-flow time (phase 3+4).", obs.DefTimeBuckets, nil)
+		bo.fnStates = opts.Metrics.Histogram("dtaint_fn_states_explored",
+			"Symbolic states explored per function.", obs.ExpBuckets(1, 4, 8), nil)
 	}
 
 	base := newTracker(opts, prog.Binary)
@@ -75,7 +87,7 @@ func runBottomUp(prog *cfg.Program, names []string, opts Options, res *Result) {
 				i := heap.Pop(&ready).(int)
 				mu.Unlock()
 
-				r := analyzeComponent(prog, opts, base, shared, cond.Comps[i])
+				r := analyzeComponent(prog, opts, base, shared, cond.Comps[i], i, bo)
 				shared.publish(r)
 				done[i] = r
 
@@ -149,11 +161,20 @@ type compResult struct {
 	truncated int
 }
 
+// bottomUpObs carries the bottom-up pass's observability handles into
+// component workers: the stage span to nest under and the per-function
+// histograms. All fields are nil-safe.
+type bottomUpObs struct {
+	stage    *obs.Span
+	fnSec    *obs.Histogram
+	fnStates *obs.Histogram
+}
+
 // analyzeComponent runs Algorithm 2 over one SCC component with a private
 // tracker shard. Functions inside the component are processed in sorted
 // order (the component's fixed order), mirroring the sequential pass;
 // lookups prefer the in-flight component, then the published state.
-func analyzeComponent(prog *cfg.Program, opts Options, base *taint.Tracker, shared *bottomUpState, comp []string) compResult {
+func analyzeComponent(prog *cfg.Program, opts Options, base *taint.Tracker, shared *bottomUpState, comp []string, idx int, bo bottomUpObs) compResult {
 	shard := base.Shard()
 	local := make(map[string]*symexec.Summary, len(comp))
 	oracle := &interOracle{
@@ -175,19 +196,32 @@ func analyzeComponent(prog *cfg.Program, opts Options, base *taint.Tracker, shar
 		summaries: local,
 		pendings:  make(map[string][]taint.PendingSink, len(comp)),
 	}
+	compSpan := bo.stage.StartChild("scc-component",
+		obs.KV("index", idx), obs.KV("functions", len(comp)))
 	for _, name := range comp {
+		fnSpan := compSpan.StartChild("ddg-function", obs.KV("fn", name))
+		var t0 time.Time
+		if bo.fnSec != nil {
+			t0 = time.Now()
+		}
 		shard.BeginFunction(name)
 		sum := symexec.Analyze(prog.ByName[name], prog.Binary, oracle, opts.Symexec)
 		if !opts.DisableAlias {
 			sum.DefPairs = alias.Rewrite(sum.DefPairs, sum.Types)
 		}
 		shard.EndFunction(sum)
+		if bo.fnSec != nil {
+			bo.fnSec.Observe(time.Since(t0).Seconds())
+			bo.fnStates.Observe(float64(sum.StatesExplored))
+		}
+		fnSpan.End()
 		local[name] = sum
 		out.defPairs += len(sum.DefPairs)
 		if sum.Truncated {
 			out.truncated++
 		}
 	}
+	compSpan.End()
 	for _, name := range comp {
 		if ps := shard.Pendings(name); len(ps) > 0 {
 			out.pendings[name] = ps

@@ -15,6 +15,7 @@ import (
 	"dtaint/internal/dataflow"
 	"dtaint/internal/firmware"
 	"dtaint/internal/image"
+	"dtaint/internal/obs"
 )
 
 // Options configures an image scan.
@@ -72,9 +73,24 @@ func ScanImage(ctx context.Context, data []byte, opts Options) (*ImageReport, er
 	}
 	start := time.Now()
 
+	// The scan's observability handles ride on the analysis options; the
+	// whole image gets one root span and every binary a child span that
+	// the per-binary pipeline stages nest under.
+	scanSpan := opts.Analysis.Tracer.Start(opts.Analysis.ParentSpan, "scan-image")
+	opts.Analysis.ParentSpan = scanSpan
+
+	st := opts.Analysis.StartStage("unpack-firmware", obs.KV("bytes", len(data)))
 	img, fs, err := firmware.Unpack(data)
 	if err != nil {
+		st.End()
+		scanSpan.End()
 		return nil, fmt.Errorf("fleet: unpack image: %w", err)
+	}
+	st.End("files", len(fs.Files))
+	scanSpan.SetAttr("product", img.Header.Product)
+	if opts.Analysis.Log != nil {
+		opts.Analysis.Log = opts.Analysis.Log.With(
+			"image", img.Header.Product, "version", img.Header.Version)
 	}
 
 	var candidates []firmware.File
@@ -133,7 +149,45 @@ func ScanImage(ctx context.Context, data []byte, opts Options) (*ImageReport, er
 	if opts.Cache != nil {
 		rep.Cache = opts.Cache.Stats()
 	}
+	rep.Runtime = obs.CaptureRuntimeStats()
+	scanSpan.SetAttr("candidates", rep.Candidates)
+	scanSpan.End()
+	recordScanMetrics(opts.Analysis.Metrics, rep)
+	if opts.Analysis.Log != nil {
+		opts.Analysis.Log.Info("scan-image done",
+			"candidates", rep.Candidates, "scanned", rep.Scanned,
+			"cached", rep.Cached, "failed", rep.Failed,
+			"vulnerabilities", rep.Vulnerabilities,
+			"seconds", rep.Wall.Seconds())
+	}
 	return rep, nil
+}
+
+// recordScanMetrics publishes one finished image scan's outcome counters
+// and the cache hit ratio. Nil-safe on reg.
+func recordScanMetrics(reg *obs.Registry, rep *ImageReport) {
+	if reg == nil {
+		return
+	}
+	for status, n := range map[string]int{
+		"ok": rep.Scanned, "cached": rep.Cached,
+		"failed": rep.Failed, "skipped": rep.Skipped,
+	} {
+		if n > 0 {
+			reg.Counter("dtaint_fleet_binaries_total",
+				"Binaries scanned by the fleet orchestrator, by outcome.",
+				obs.Labels{"status": status}).Add(uint64(n))
+		}
+	}
+	reg.Counter("dtaint_fleet_images_total",
+		"Firmware images scanned by the fleet orchestrator.", nil).Inc()
+	reg.Counter("dtaint_fleet_vulnerabilities_total",
+		"Deduplicated vulnerabilities found by fleet scans.", nil).Add(uint64(rep.Vulnerabilities))
+	if total := rep.Cache.Hits + rep.Cache.Misses; total > 0 {
+		reg.Gauge("dtaint_cache_hit_ratio",
+			"Report cache hit ratio over the cache's lifetime.",
+			nil).Set(float64(rep.Cache.Hits) / float64(total))
+	}
 }
 
 // scanOne analyzes a single rootfs executable: cache lookup, then a
@@ -141,6 +195,21 @@ func ScanImage(ctx context.Context, data []byte, opts Options) (*ImageReport, er
 func scanOne(ctx context.Context, f firmware.File, opts Options) BinaryScan {
 	sum := sha256.Sum256(f.Data)
 	bs := BinaryScan{Path: f.Path, SHA256: hex.EncodeToString(sum[:])}
+
+	span := opts.Analysis.Tracer.Start(opts.Analysis.ParentSpan, "scan-binary",
+		obs.KV("path", f.Path))
+	opts.Analysis.ParentSpan = span
+	if opts.Analysis.Log != nil {
+		opts.Analysis.Log = opts.Analysis.Log.With("binary", f.Path, "sha", bs.SHA256[:12])
+	}
+	defer func() {
+		span.SetAttr("status", string(bs.Status))
+		span.End()
+		if opts.Analysis.Log != nil {
+			opts.Analysis.Log.Info("scan-binary done",
+				"status", string(bs.Status), "seconds", bs.Duration.Seconds())
+		}
+	}()
 
 	if ctx.Err() != nil {
 		bs.Status = StatusSkipped
@@ -214,25 +283,31 @@ var analyze = analyzeBinary
 // analyzeBinary runs the full single-binary pipeline and packages the
 // result into the serializable wire form.
 func analyzeBinary(f firmware.File, aopts dataflow.Options) (*BinaryAnalysis, error) {
+	st := aopts.StartStage("parse-image", obs.KV("bytes", len(f.Data)))
 	bin, err := image.Parse(f.Data)
 	if err != nil {
+		st.End()
 		return nil, fmt.Errorf("parse %s: %w", f.Path, err)
 	}
+	st.End("arch", bin.Arch.String())
+	st = aopts.StartStage("build-cfg")
 	prog, err := cfg.Build(bin)
 	if err != nil {
+		st.End()
 		return nil, fmt.Errorf("recover CFG of %s: %w", f.Path, err)
 	}
+	st.End("functions", len(prog.Funcs))
 	res, err := dataflow.Analyze(prog, aopts)
 	if err != nil {
 		return nil, fmt.Errorf("analyze %s: %w", f.Path, err)
 	}
-	st := prog.Stats()
+	stats := prog.Stats()
 	an := &BinaryAnalysis{
 		Binary:            bin.Name,
 		Arch:              bin.Arch.String(),
-		Functions:         st.Functions,
-		Blocks:            st.Blocks,
-		CallEdges:         st.CallGraphEdges,
+		Functions:         stats.Functions,
+		Blocks:            stats.Blocks,
+		CallEdges:         stats.CallGraphEdges,
 		FunctionsAnalyzed: res.FunctionsAnalyzed,
 		SinkCount:         res.SinkCount,
 		IndirectResolved:  len(res.Resolutions),

@@ -10,6 +10,7 @@ import (
 	"dtaint/internal/asm"
 	"dtaint/internal/dataflow"
 	"dtaint/internal/firmware"
+	"dtaint/internal/obs"
 	"dtaint/internal/taint"
 )
 
@@ -114,6 +115,7 @@ func normalize(r *ImageReport) *ImageReport {
 	c.Wall = 0
 	c.Workers = 0
 	c.Cache = CacheStats{}
+	c.Runtime = obs.RuntimeStats{}
 	c.Binaries = append([]BinaryScan(nil), r.Binaries...)
 	for i := range c.Binaries {
 		c.Binaries[i].Duration = 0

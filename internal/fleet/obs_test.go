@@ -1,0 +1,126 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"dtaint/internal/obs"
+)
+
+// A traced image scan must record the scan-image root span, one
+// scan-binary span per candidate (status attr included), and the full
+// per-binary pipeline stages nested under them.
+func TestScanImageSpans(t *testing.T) {
+	img := twoBinaryImage(t)
+	tr := obs.NewTracer()
+	reg := obs.NewRegistry()
+	opts := Options{Workers: 2}
+	opts.Analysis.Tracer = tr
+	opts.Analysis.Metrics = reg
+
+	rep, err := ScanImage(context.Background(), img, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runtime.HeapAllocBytes == 0 || rep.Runtime.Goroutines == 0 {
+		t.Fatalf("runtime snapshot missing: %+v", rep.Runtime)
+	}
+
+	byName := map[string]int{}
+	var binaryStatuses []string
+	for _, s := range tr.Spans() {
+		byName[s.Name]++
+		if s.Name == "scan-binary" {
+			st, _ := s.Attr("status").(string)
+			binaryStatuses = append(binaryStatuses, st)
+		}
+	}
+	if byName["scan-image"] != 1 {
+		t.Fatalf("scan-image spans = %d, want 1", byName["scan-image"])
+	}
+	if byName["scan-binary"] != rep.Candidates {
+		t.Fatalf("scan-binary spans = %d, candidates = %d", byName["scan-binary"], rep.Candidates)
+	}
+	for _, st := range binaryStatuses {
+		if st != string(StatusOK) {
+			t.Fatalf("scan-binary status attr = %q", st)
+		}
+	}
+	for _, stage := range []string{"unpack-firmware", "parse-image", "build-cfg",
+		"function-analysis", "interproc-dataflow"} {
+		if byName[stage] == 0 {
+			t.Errorf("stage span %q missing (got %v)", stage, byName)
+		}
+	}
+
+	// Fleet metrics: outcome counters and image total.
+	counters := map[string]float64{}
+	for _, s := range reg.Snapshot() {
+		key := s.Name
+		if s.Labels["status"] != "" {
+			key += ":" + s.Labels["status"]
+		}
+		counters[key] = s.Value
+	}
+	if counters["dtaint_fleet_binaries_total:ok"] != float64(rep.Scanned) {
+		t.Fatalf("fleet ok counter = %v, scanned = %d", counters["dtaint_fleet_binaries_total:ok"], rep.Scanned)
+	}
+	if counters["dtaint_fleet_images_total"] != 1 {
+		t.Fatalf("fleet images counter = %v", counters["dtaint_fleet_images_total"])
+	}
+}
+
+// Per-binary structured logs must carry the binary path and the image
+// attrs, and a cached rescan must publish a cache hit ratio gauge.
+func TestScanImageLogsAndCacheRatio(t *testing.T) {
+	img := twoBinaryImage(t)
+	cache, err := NewCache(16, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	reg := obs.NewRegistry()
+	opts := Options{Workers: 1, Cache: cache}
+	opts.Analysis.Log = slog.New(slog.NewJSONHandler(&buf, nil))
+	opts.Analysis.Metrics = reg
+
+	for i := 0; i < 2; i++ { // second pass hits the cache
+		if _, err := ScanImage(context.Background(), img, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sawBinaryLine := false
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", line, err)
+		}
+		if rec["msg"] == "scan-binary done" {
+			if rec["binary"] == nil || rec["image"] == nil || rec["sha"] == nil {
+				t.Fatalf("scan-binary line lacks attrs: %v", rec)
+			}
+			sawBinaryLine = true
+		}
+	}
+	if !sawBinaryLine {
+		t.Fatal("no scan-binary done log lines")
+	}
+
+	var ratio float64 = -1
+	for _, s := range reg.Snapshot() {
+		if s.Name == "dtaint_cache_hit_ratio" {
+			ratio = s.Value
+		}
+	}
+	if ratio <= 0 || ratio >= 1 {
+		t.Fatalf("cache hit ratio = %v, want in (0,1)", ratio)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"sort"
 	"time"
 
+	"dtaint/internal/obs"
 	"dtaint/internal/taint"
 )
 
@@ -171,6 +172,10 @@ type ImageReport struct {
 	// Cache is a snapshot of the report cache's counters taken when the
 	// scan finished (zero value when the scan ran uncached).
 	Cache CacheStats `json:"cache"`
+
+	// Runtime snapshots the Go runtime (heap, goroutines, GC) when the
+	// scan finished.
+	Runtime obs.RuntimeStats `json:"runtime"`
 }
 
 // aggregate fills the report's totals from its Binaries list. The input

@@ -1,0 +1,402 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricType classifies a registered metric.
+type MetricType string
+
+// Metric types, matching the Prometheus exposition vocabulary.
+const (
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeHistogram MetricType = "histogram"
+)
+
+// Labels annotates a metric with constant label pairs; two metrics with
+// the same name but different labels are distinct series of one family.
+type Labels map[string]string
+
+// Counter is a monotonically increasing value. Safe for concurrent use.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Store overwrites the counter — for exposing a counter whose
+// authoritative value lives elsewhere and is copied out of a consistent
+// snapshot (e.g. dtaintd's job counters, maintained under the server
+// lock). Regular instrumentation should use Inc/Add.
+func (c *Counter) Store(n uint64) { c.v.Store(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. Safe for concurrent use.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets (cumulative
+// less-or-equal semantics, Prometheus-style). Safe for concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // sorted upper bounds; +Inf is implicit
+	counts []uint64  // len(bounds)+1, last = overflow
+	sum    float64
+	n      uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// DefTimeBuckets are the default upper bounds (seconds) for per-unit
+// analysis durations: sub-millisecond function analyses up to
+// multi-second stragglers.
+var DefTimeBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// ExpBuckets returns n exponential upper bounds starting at start and
+// multiplying by factor: ExpBuckets(1, 4, 6) = 1, 4, 16, 64, 256, 1024.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// entry is one registered series.
+type entry struct {
+	name, help string
+	typ        MetricType
+	labels     []Attr // sorted by key, string values
+	c          *Counter
+	g          *Gauge
+	h          *Histogram
+}
+
+// Registry holds metrics. A nil *Registry is valid: it hands out live
+// but unregistered instruments, so instrumentation never branches.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{entries: make(map[string]*entry)} }
+
+// seriesKey canonicalizes name+labels.
+func seriesKey(name string, labels Labels) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func sortedLabels(labels Labels) []Attr {
+	out := make([]Attr, 0, len(labels))
+	for k, v := range labels {
+		out = append(out, Attr{Key: k, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// lookup get-or-creates a series, enforcing type consistency.
+func (r *Registry) lookup(name, help string, typ MetricType, labels Labels, make_ func() *entry) *entry {
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[key]; ok {
+		if e.typ != typ {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s (was %s)", key, typ, e.typ))
+		}
+		return e
+	}
+	e := make_()
+	e.name, e.help, e.typ, e.labels = name, help, typ, sortedLabels(labels)
+	r.entries[key] = e
+	return e
+}
+
+// Counter returns the named counter, creating it on first use. Extra
+// labels distinguish series within the family; pass nil for none.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	return r.lookup(name, help, TypeCounter, labels, func() *entry {
+		return &entry{c: &Counter{}}
+	}).c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	return r.lookup(name, help, TypeGauge, labels, func() *entry {
+		return &entry{g: &Gauge{}}
+	}).g
+}
+
+// Histogram returns the named histogram, creating it on first use with
+// the given upper bounds (they are ignored on later lookups).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) *Histogram {
+	if r == nil {
+		buckets = append([]float64(nil), buckets...)
+		return &Histogram{bounds: buckets, counts: make([]uint64, len(buckets)+1)}
+	}
+	return r.lookup(name, help, TypeHistogram, labels, func() *entry {
+		b := append([]float64(nil), buckets...)
+		sort.Float64s(b)
+		return &entry{h: &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}}
+	}).h
+}
+
+// ---------------------------------------------------------------------------
+// Exposition.
+
+// Bucket is one cumulative histogram bucket in a snapshot.
+type Bucket struct {
+	// LE is the bucket's inclusive upper bound; math.Inf(1) marshals as
+	// the JSON string "+Inf".
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// MarshalJSON renders +Inf as a string (JSON has no infinity literal).
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	type alias struct {
+		LE    any    `json:"le"`
+		Count uint64 `json:"count"`
+	}
+	var le any = b.LE
+	if math.IsInf(b.LE, 1) {
+		le = "+Inf"
+	}
+	return json.Marshal(alias{LE: le, Count: b.Count})
+}
+
+// UnmarshalJSON accepts both numeric bounds and the "+Inf" string.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LE    json.RawMessage `json:"le"`
+		Count uint64          `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	var s string
+	if err := json.Unmarshal(raw.LE, &s); err == nil {
+		if s == "+Inf" {
+			b.LE = math.Inf(1)
+			return nil
+		}
+		return fmt.Errorf("obs: bad bucket bound %q", s)
+	}
+	return json.Unmarshal(raw.LE, &b.LE)
+}
+
+// MetricSnapshot is one series' state at snapshot time.
+type MetricSnapshot struct {
+	Name   string            `json:"name"`
+	Type   MetricType        `json:"type"`
+	Help   string            `json:"help,omitempty"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value carries counters and gauges.
+	Value float64 `json:"value,omitempty"`
+	// Sum, Count, and Buckets carry histograms; bucket counts are
+	// cumulative and the +Inf bucket equals Count.
+	Sum     float64  `json:"sum,omitempty"`
+	Count   uint64   `json:"count,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot returns every series, sorted by name then label set. Each
+// individual value is read atomically; the set is collected under the
+// registry lock.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	entries := make([]*entry, 0, len(r.entries))
+	keys := make([]string, 0, len(r.entries))
+	for k := range r.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		entries = append(entries, r.entries[k])
+	}
+	r.mu.Unlock()
+
+	out := make([]MetricSnapshot, 0, len(entries))
+	for _, e := range entries {
+		s := MetricSnapshot{Name: e.name, Type: e.typ, Help: e.help}
+		if len(e.labels) > 0 {
+			s.Labels = make(map[string]string, len(e.labels))
+			for _, l := range e.labels {
+				s.Labels[l.Key] = l.Value.(string)
+			}
+		}
+		switch e.typ {
+		case TypeCounter:
+			s.Value = float64(e.c.Value())
+		case TypeGauge:
+			s.Value = e.g.Value()
+		case TypeHistogram:
+			e.h.mu.Lock()
+			cum := uint64(0)
+			for i, b := range e.h.bounds {
+				cum += e.h.counts[i]
+				s.Buckets = append(s.Buckets, Bucket{LE: b, Count: cum})
+			}
+			s.Buckets = append(s.Buckets, Bucket{LE: math.Inf(1), Count: e.h.n})
+			s.Sum, s.Count = e.h.sum, e.h.n
+			e.h.mu.Unlock()
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as {"metrics": [...]}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Metrics []MetricSnapshot `json:"metrics"`
+	}{Metrics: r.Snapshot()})
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	pw := &errWriter{w: w}
+	lastFamily := ""
+	for _, s := range r.Snapshot() {
+		if s.Name != lastFamily {
+			lastFamily = s.Name
+			if s.Help != "" {
+				pw.printf("# HELP %s %s\n", s.Name, escapeHelp(s.Help))
+			}
+			pw.printf("# TYPE %s %s\n", s.Name, s.Type)
+		}
+		switch s.Type {
+		case TypeHistogram:
+			for _, b := range s.Buckets {
+				pw.printf("%s_bucket%s %d\n", s.Name, labelString(s.Labels, "le", formatBound(b.LE)), b.Count)
+			}
+			pw.printf("%s_sum%s %s\n", s.Name, labelString(s.Labels, "", ""), formatFloat(s.Sum))
+			pw.printf("%s_count%s %d\n", s.Name, labelString(s.Labels, "", ""), s.Count)
+		default:
+			pw.printf("%s%s %s\n", s.Name, labelString(s.Labels, "", ""), formatFloat(s.Value))
+		}
+	}
+	return pw.err
+}
+
+// labelString renders a label set (plus one optional extra pair) as
+// {k="v",...}, or "" when empty.
+func labelString(labels map[string]string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=\"%s\"", k, escapeLabel(labels[k]))
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=\"%s\"", extraKey, escapeLabel(extraVal))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatBound(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return formatFloat(v)
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

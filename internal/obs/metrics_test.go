@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("dtaint_jobs_total", "Jobs.", nil)
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Same name+labels returns the same instrument.
+	if r.Counter("dtaint_jobs_total", "Jobs.", nil) != c {
+		t.Fatal("re-lookup returned a different counter")
+	}
+	g := r.Gauge("dtaint_queue_depth", "Depth.", nil)
+	g.Set(3.5)
+	if got := g.Value(); got != 3.5 {
+		t.Fatalf("gauge = %v, want 3.5", got)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dur_seconds", "Durations.", []float64{1, 2.5, 5}, nil)
+	// A value exactly on a bound lands in that bound's bucket (le is
+	// inclusive, Prometheus semantics).
+	for _, v := range []float64{0.5, 1, 1.0001, 2.5, 4, 5, 7} {
+		h.Observe(v)
+	}
+	snaps := r.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("snapshot has %d series, want 1", len(snaps))
+	}
+	s := snaps[0]
+	want := []Bucket{
+		{LE: 1, Count: 2},           // 0.5, 1
+		{LE: 2.5, Count: 4},         // + 1.0001, 2.5
+		{LE: 5, Count: 6},           // + 4, 5
+		{LE: math.Inf(1), Count: 7}, // + 7
+	}
+	if !reflect.DeepEqual(s.Buckets, want) {
+		t.Fatalf("buckets = %+v, want %+v", s.Buckets, want)
+	}
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	if wantSum := 0.5 + 1 + 1.0001 + 2.5 + 4 + 5 + 7; math.Abs(s.Sum-wantSum) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", s.Sum, wantSum)
+	}
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dtaint_scans_total", "Total scans.", Labels{"status": "ok"}).Add(3)
+	r.Counter("dtaint_scans_total", "Total scans.", Labels{"status": "error"}).Add(1)
+	r.Gauge("dtaint_queue_depth", "Jobs queued.", nil).Set(2)
+	h := r.Histogram("dtaint_fn_seconds", "Per-function time.", []float64{0.1, 1}, nil)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP dtaint_fn_seconds Per-function time.
+# TYPE dtaint_fn_seconds histogram
+dtaint_fn_seconds_bucket{le="0.1"} 1
+dtaint_fn_seconds_bucket{le="1"} 2
+dtaint_fn_seconds_bucket{le="+Inf"} 3
+dtaint_fn_seconds_sum 2.55
+dtaint_fn_seconds_count 3
+# HELP dtaint_queue_depth Jobs queued.
+# TYPE dtaint_queue_depth gauge
+dtaint_queue_depth 2
+# HELP dtaint_scans_total Total scans.
+# TYPE dtaint_scans_total counter
+dtaint_scans_total{status="error"} 1
+dtaint_scans_total{status="ok"} 3
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("Prometheus exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "A counter.", Labels{"k": "v"}).Add(9)
+	r.Gauge("g", "A gauge.", nil).Set(1.25)
+	h := r.Histogram("h_seconds", "A histogram.", []float64{0.5, 2}, nil)
+	h.Observe(0.25)
+	h.Observe(3)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Metrics []MetricSnapshot `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("decode: %v\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(decoded.Metrics, r.Snapshot()) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", decoded.Metrics, r.Snapshot())
+	}
+	// The +Inf bound must survive as the JSON string "+Inf".
+	if !strings.Contains(buf.String(), `"+Inf"`) {
+		t.Fatalf("JSON exposition lacks +Inf bucket:\n%s", buf.String())
+	}
+}
+
+func TestNilRegistryInstruments(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "", nil)
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("nil-registry counter should still count")
+	}
+	g := r.Gauge("y", "", nil)
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Fatal("nil-registry gauge should still hold a value")
+	}
+	h := r.Histogram("z", "", []float64{1}, nil)
+	h.Observe(0.5) // must not panic
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("nil registry snapshot = %v, want nil", got)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("conc_total", "", nil).Inc()
+				r.Histogram("conc_seconds", "", []float64{0.5}, nil).Observe(0.1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("conc_total", "", nil).Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	for _, s := range r.Snapshot() {
+		if s.Name == "conc_seconds" && s.Count != 8000 {
+			t.Fatalf("histogram count = %d, want 8000", s.Count)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Package obs is the pipeline-wide observability layer: a lightweight
+// span tracer exportable as Chrome trace_event JSON, a zero-dependency
+// metrics registry (counters, gauges, fixed-bucket histograms) with
+// Prometheus text and JSON exposition, structured-logging helpers over
+// log/slog, and Go-runtime snapshots.
+//
+// Every handle is nil-safe: a nil *Tracer produces nil *Span values
+// whose methods no-op, and a nil *Registry hands out unregistered dummy
+// instruments. Instrumented code therefore threads the handles through
+// unconditionally and pays only a pointer check when observability is
+// off — no boolean plumbing, no wrapper interfaces.
+//
+// The layer is deliberately dependency-free (stdlib only): it must be
+// embeddable in the analysis hot path, in the fleet orchestrator's
+// worker pools, and in the dtaintd service without pulling a client
+// library into a static-analysis codebase.
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// KV builds an Attr.
+func KV(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// RuntimeStats is a point-in-time snapshot of the Go runtime — the
+// memory and scheduling context an analysis ran under, embedded in
+// reports so a slow or fat run carries its own explanation.
+type RuntimeStats struct {
+	// HeapAllocBytes is the live heap at snapshot time; HeapSysBytes the
+	// heap memory obtained from the OS.
+	HeapAllocBytes uint64 `json:"heapAllocBytes"`
+	HeapSysBytes   uint64 `json:"heapSysBytes"`
+	// TotalAllocBytes is the cumulative allocation volume (monotonic).
+	TotalAllocBytes uint64 `json:"totalAllocBytes"`
+	// Goroutines is the live goroutine count.
+	Goroutines int `json:"goroutines"`
+	// NumGC is the completed GC cycle count; GCPauseTotal the cumulative
+	// stop-the-world pause time.
+	NumGC        uint32        `json:"numGC"`
+	GCPauseTotal time.Duration `json:"gcPauseTotalNanos"`
+}
+
+// CaptureRuntimeStats snapshots the Go runtime.
+func CaptureRuntimeStats() RuntimeStats {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return RuntimeStats{
+		HeapAllocBytes:  m.HeapAlloc,
+		HeapSysBytes:    m.HeapSys,
+		TotalAllocBytes: m.TotalAlloc,
+		Goroutines:      runtime.NumGoroutine(),
+		NumGC:           m.NumGC,
+		GCPauseTotal:    time.Duration(m.PauseTotalNs),
+	}
+}

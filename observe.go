@@ -1,0 +1,153 @@
+package dtaint
+
+import (
+	"io"
+	"log/slog"
+	"time"
+
+	"dtaint/internal/obs"
+)
+
+// Tracer records spans for every pipeline stage an Analyzer (or fleet
+// scan) runs: firmware unpacking, image parsing, CFG recovery, the
+// per-function symbolic phase, struct-similarity resolution, the
+// bottom-up interprocedural pass (with per-SCC-component and
+// per-function child spans), and per-binary fleet scans. Attach one
+// with WithTracer; a nil *Tracer disables tracing. Safe for concurrent
+// use.
+type Tracer struct{ t *obs.Tracer }
+
+// NewTracer returns an empty tracer whose trace clock starts now.
+func NewTracer() *Tracer { return &Tracer{t: obs.NewTracer()} }
+
+// WriteChromeTrace exports the collected spans as Chrome trace_event
+// JSON, loadable in chrome://tracing and Perfetto (ui.perfetto.dev).
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return (*obs.Tracer)(nil).WriteChromeTrace(w)
+	}
+	return t.t.WriteChromeTrace(w)
+}
+
+// SpanNames returns the distinct names of finished spans, sorted.
+func (t *Tracer) SpanNames() []string {
+	if t == nil {
+		return nil
+	}
+	return t.t.SpanNames()
+}
+
+// SpanEvent is the view of a span handed to OnSpanStart/OnSpanEnd
+// observers (Duration is zero in start events).
+type SpanEvent struct {
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Attrs    map[string]any
+}
+
+func spanEvent(r obs.SpanRecord) SpanEvent {
+	ev := SpanEvent{Name: r.Name, Start: r.Start, Duration: r.Duration}
+	if len(r.Attrs) > 0 {
+		ev.Attrs = make(map[string]any, len(r.Attrs))
+		for _, a := range r.Attrs {
+			ev.Attrs[a.Key] = a.Value
+		}
+	}
+	return ev
+}
+
+// OnSpanStart registers fn to run synchronously whenever a span starts —
+// the hook progress reporting is built on. Register before analyzing.
+func (t *Tracer) OnSpanStart(fn func(SpanEvent)) {
+	if t == nil {
+		return
+	}
+	t.t.OnSpanStart(func(r obs.SpanRecord) { fn(spanEvent(r)) })
+}
+
+// OnSpanEnd registers fn to run synchronously whenever a span ends.
+func (t *Tracer) OnSpanEnd(fn func(SpanEvent)) {
+	if t == nil {
+		return
+	}
+	t.t.OnSpanEnd(func(r obs.SpanRecord) { fn(spanEvent(r)) })
+}
+
+// Metrics is a registry of counters, gauges, and histograms the
+// pipeline populates: per-function analysis-time and states-explored
+// histograms, totals for functions/def-pairs/findings, and fleet cache
+// hit ratios. Attach one with WithMetrics; nil disables collection.
+type Metrics struct{ r *obs.Registry }
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return &Metrics{r: obs.NewRegistry()} }
+
+// WriteJSON writes every metric as a JSON document.
+func (m *Metrics) WriteJSON(w io.Writer) error { return m.registry().WriteJSON(w) }
+
+// WritePrometheus writes every metric in the Prometheus text
+// exposition format.
+func (m *Metrics) WritePrometheus(w io.Writer) error { return m.registry().WritePrometheus(w) }
+
+func (m *Metrics) registry() *obs.Registry {
+	if m == nil {
+		return nil
+	}
+	return m.r
+}
+
+// RuntimeStats is a snapshot of the Go runtime taken when an analysis
+// finished — the memory and scheduling context embedded in reports.
+type RuntimeStats struct {
+	// HeapAllocBytes is the live heap; HeapSysBytes the heap memory
+	// obtained from the OS; TotalAllocBytes the cumulative allocation
+	// volume.
+	HeapAllocBytes  uint64
+	HeapSysBytes    uint64
+	TotalAllocBytes uint64
+	// Goroutines is the live goroutine count.
+	Goroutines int
+	// NumGC counts completed GC cycles; GCPauseTotal is the cumulative
+	// stop-the-world pause time.
+	NumGC        uint32
+	GCPauseTotal time.Duration
+}
+
+func publicRuntimeStats(s obs.RuntimeStats) RuntimeStats {
+	return RuntimeStats{
+		HeapAllocBytes:  s.HeapAllocBytes,
+		HeapSysBytes:    s.HeapSysBytes,
+		TotalAllocBytes: s.TotalAllocBytes,
+		Goroutines:      s.Goroutines,
+		NumGC:           s.NumGC,
+		GCPauseTotal:    s.GCPauseTotal,
+	}
+}
+
+// WithTracer attaches a span tracer: every pipeline stage (and, in
+// fleet scans, every binary) is recorded as a span, exportable as
+// Chrome trace JSON.
+func WithTracer(t *Tracer) Option {
+	return func(a *Analyzer) {
+		if t != nil {
+			a.opts.Tracer = t.t
+		}
+	}
+}
+
+// WithMetrics attaches a metrics registry the pipeline populates.
+func WithMetrics(m *Metrics) Option {
+	return func(a *Analyzer) {
+		if m != nil {
+			a.opts.Metrics = m.r
+		}
+	}
+}
+
+// WithLogger attaches a structured logger; the pipeline logs one line
+// per stage (and per fleet binary) with stage, duration, and size
+// attrs. Nil disables logging.
+func WithLogger(l *slog.Logger) Option {
+	return func(a *Analyzer) { a.opts.Log = l }
+}

@@ -1,0 +1,70 @@
+// Command logcheck validates a dtaint/dtaintd structured log stream:
+// it reads stdin, skips lines that are not JSON (plain-stdout banners,
+// curl noise), requires every JSON line to parse, and asserts that at
+// least one "stage done" line was logged for each pipeline stage named
+// in -stages. The smoke test pipes the dtaintd log through it, so a
+// regression that drops per-stage logging (or emits malformed JSON)
+// fails scripts/check.sh.
+//
+//	dtaintd -log-format json -log-level debug ... 2>&1 | logcheck
+//	logcheck -stages parse-image,build-cfg < dtaintd.log
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+const defaultStages = "parse-image,build-cfg,function-analysis,structsim,interproc-dataflow"
+
+func main() {
+	stages := flag.String("stages", defaultStages, "comma-separated stages that must each log at least one line")
+	flag.Parse()
+	if err := run(os.Stdin, strings.Split(*stages, ",")); err != nil {
+		fmt.Fprintln(os.Stderr, "logcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(r *os.File, stages []string) error {
+	seen := map[string]int{}
+	jsonLines := 0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] != '{' {
+			continue // server banner, curl output, etc.
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return fmt.Errorf("malformed JSON log line %q: %v", line, err)
+		}
+		jsonLines++
+		if stage, ok := rec["stage"].(string); ok && rec["msg"] == "stage done" {
+			seen[stage]++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if jsonLines == 0 {
+		return fmt.Errorf("no JSON log lines on stdin")
+	}
+	var missing []string
+	for _, s := range stages {
+		if s = strings.TrimSpace(s); s != "" && seen[s] == 0 {
+			missing = append(missing, s)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("no \"stage done\" line for: %s (saw %v over %d JSON lines)",
+			strings.Join(missing, ", "), seen, jsonLines)
+	}
+	fmt.Printf("logcheck: OK (%d JSON lines; stages %v)\n", jsonLines, seen)
+	return nil
+}

@@ -2,9 +2,12 @@
 # smoke.sh — end-to-end smoke test of the dtaintd scan service.
 #
 # Builds dtaintd, generates a small study firmware image, starts the
-# server on an ephemeral port, POSTs the image to /v1/scan, polls the
-# job until it is done, and asserts the report finds at least one
-# vulnerability. Invoked by `make smoke` and by scripts/check.sh.
+# server on an ephemeral port with JSON structured logging, POSTs the
+# image to /v1/scan, polls the job until it is done, and asserts the
+# report finds at least one vulnerability, /v1/metrics speaks
+# Prometheus text to a text/plain client, and the log stream contains a
+# valid JSON line for every pipeline stage (scripts/logcheck). Invoked
+# by `make smoke` and by scripts/check.sh.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -17,14 +20,16 @@ cleanup() {
 }
 trap cleanup EXIT INT TERM
 
-echo ">> smoke: build dtaintd"
+echo ">> smoke: build dtaintd and logcheck"
 go build -o "$tmp/dtaintd" ./cmd/dtaintd
+go build -o "$tmp/logcheck" ./scripts/logcheck
 
 echo ">> smoke: generate firmware"
 go run ./cmd/fwgen -out "$tmp/corpus" -product DIR-645 -scale 0.05 >/dev/null
 
 echo ">> smoke: start dtaintd on an ephemeral port"
-"$tmp/dtaintd" -addr 127.0.0.1:0 -cache-dir "$tmp/cache" >"$tmp/dtaintd.log" 2>&1 &
+"$tmp/dtaintd" -addr 127.0.0.1:0 -cache-dir "$tmp/cache" \
+	-log-format json -log-level debug >"$tmp/dtaintd.log" 2>&1 &
 pid=$!
 
 # The server prints "dtaintd: listening on http://HOST:PORT" once the
@@ -61,5 +66,13 @@ vulns=$(printf '%s' "$report" | sed -n 's/.*"vulnerabilities": *\([0-9]*\).*/\1/
 [ "$vulns" -ge 1 ] || { echo "smoke: expected >=1 vulnerability, got $vulns"; exit 1; }
 
 curl -sf "$base/v1/metrics" >/dev/null
+
+echo ">> smoke: /v1/metrics speaks Prometheus text"
+promtext=$(curl -sf -H 'Accept: text/plain' "$base/v1/metrics")
+printf '%s' "$promtext" | grep -q '^# TYPE dtaintd_jobs_done_total counter' ||
+	{ echo "smoke: no Prometheus exposition:"; printf '%s\n' "$promtext" | head -5; exit 1; }
+
+echo ">> smoke: one JSON log line per pipeline stage"
+"$tmp/logcheck" <"$tmp/dtaintd.log"
 
 echo "smoke: OK ($vulns vulnerabilities reported)"
