@@ -1,14 +1,21 @@
 # Tier-1 verify is `make test`; `make check` adds gofmt, vet, the
-# race-enabled run that guards the parallel SCC-DAG scheduler and the
-# fleet orchestrator, and the dtaintd smoke test.
+# dtaintlint contract rules, the race-enabled run that guards the
+# parallel SCC-DAG scheduler and the fleet orchestrator, the
+# screening-corpus precision/recall gate, and the dtaintd smoke test.
 
-.PHONY: build test check bench smoke trace
+.PHONY: build test check lint bench smoke trace
 
 build:
 	go build ./...
 
 test: build
 	go test ./...
+
+# lint runs the repo-specific rules: unordered map iteration in
+# determinism-critical code and nil-guarded calls on nil-safe obs
+# handles. gofmt and vet run under `make check`.
+lint:
+	go run ./cmd/dtaintlint .
 
 check:
 	./scripts/check.sh

@@ -10,8 +10,15 @@
 //	benchtab -table5            # Table V: zero-days
 //	benchtab -table6            # Table VI: CPU/memory usage
 //	benchtab -table7            # Table VII: DTaint (parallel + sequential DDG) vs top-down baseline
-//	benchtab -ablate            # feature ablations (alias, structsim)
+//	benchtab -ablate            # feature ablations (alias, structsim, value ranges)
 //	benchtab -fleet             # fleet orchestrator: cold vs cached image scans
+//	benchtab -screen            # precision/recall over the screening corpus
+//
+// -screen runs the 200-case screening corpus twice — full pipeline and
+// with the interval value-range domain ablated — and prints both
+// confusion rows. -min-precision/-min-recall make it a CI gate: the
+// process exits non-zero when the full pipeline falls below either
+// threshold (`make check` runs it with both set to 1).
 //
 // -scale (default 0.25) shrinks the filler code of the synthetic binaries;
 // detection results are scale-invariant, runtimes and size columns scale.
@@ -46,19 +53,21 @@ func main() {
 		ablate   = flag.Bool("ablate", false, "feature ablations")
 		fleetX   = flag.Bool("fleet", false, "fleet orchestrator: cold vs cached image scans")
 		screen   = flag.Bool("screen", false, "precision/recall over a randomized screening corpus")
+		minPrec  = flag.Float64("min-precision", 0, "with -screen: exit non-zero when full-pipeline precision falls below this")
+		minRec   = flag.Float64("min-recall", 0, "with -screen: exit non-zero when full-pipeline recall falls below this")
 		scale    = flag.Float64("scale", 0.25, "corpus scale factor in (0, 1]")
 		benchOut = flag.String("bench-out", "", "benchmark record file (empty = BENCH_<timestamp>.json, off = none)")
 	)
 	flag.Parse()
 
 	if err := run(*all, *fig1, *table1, *table2, *table3, *table4, *table5,
-		*table6, *table7, *ablate, *fleetX, *screen, *scale, *benchOut); err != nil {
+		*table6, *table7, *ablate, *fleetX, *screen, *minPrec, *minRec, *scale, *benchOut); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)
 	}
 }
 
-func run(all, fig1, t1, t2, t3, t4, t5, t6, t7, ablate, fleetScan, screen bool, scale float64, benchOut string) error {
+func run(all, fig1, t1, t2, t3, t4, t5, t6, t7, ablate, fleetScan, screen bool, minPrec, minRec, scale float64, benchOut string) error {
 	none := !(fig1 || t1 || t2 || t3 || t4 || t5 || t6 || t7 || ablate || fleetScan || screen)
 	if all || none {
 		fig1, t1, t2, t3, t4, t5, t6, t7 = true, true, true, true, true, true, true, true
@@ -128,8 +137,15 @@ func run(all, fig1, t1, t2, t3, t4, t5, t6, t7, ablate, fleetScan, screen bool, 
 		rec.Fleet = fr
 	}
 	if screen {
-		if err := bench.Screening(w, 200); err != nil {
+		stats, err := bench.Screening(w, 200)
+		if err != nil {
 			return err
+		}
+		if stats.Precision < minPrec {
+			return fmt.Errorf("screening precision %.3f below -min-precision %.3f", stats.Precision, minPrec)
+		}
+		if stats.Recall < minRec {
+			return fmt.Errorf("screening recall %.3f below -min-recall %.3f", stats.Recall, minRec)
 		}
 	}
 	if benchOut != "off" && !rec.Empty() {

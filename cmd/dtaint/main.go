@@ -8,9 +8,13 @@
 //	dtaint -exe prog.fwelf -workers 8    # analysis worker count
 //	dtaint -fw camera.fwimg -rootfs-all  # scan every executable in the image
 //
-// Flags -no-alias and -no-structsim disable the corresponding analysis
-// features (ablations); -paths prints every vulnerable path rather than
-// the deduplicated vulnerability list; -all also prints sanitized paths.
+// -ablate takes a comma-separated feature list (alias, structsim,
+// vrange) and disables those analyses; -no-alias and -no-structsim are
+// the older spellings of the first two. Ablating vrange turns off the
+// interval value-range domain: verdicts fall back to structural bounds
+// and the off-by-one/length-truncation classes disappear. -paths prints
+// every vulnerable path rather than the deduplicated vulnerability
+// list; -all also prints sanitized paths.
 // -workers N sets the worker count for both parallel analysis phases —
 // the per-function pass and the bottom-up SCC-DAG scheduler (0, the
 // default, uses GOMAXPROCS; negative values are rejected).
@@ -42,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dtaint"
 	"dtaint/internal/asm"
@@ -61,6 +66,7 @@ func main() {
 		module    = flag.String("module", "", "restrict analysis to a study product's network module")
 		noAlias   = flag.Bool("no-alias", false, "disable pointer-alias recognition (Algorithm 1)")
 		noSim     = flag.Bool("no-structsim", false, "disable data-structure similarity resolution")
+		ablate    = flag.String("ablate", "", "comma-separated analysis features to disable: alias, structsim, vrange")
 		paths     = flag.Bool("paths", false, "print every vulnerable path, not just deduplicated vulnerabilities")
 		showAll   = flag.Bool("all", false, "also print sanitized paths")
 		dis       = flag.Bool("dis", false, "disassemble the executable instead of analyzing")
@@ -93,6 +99,10 @@ func main() {
 		cacheDir: *cacheDir, traceOut: *traceOut, progress: *progress,
 		logLevel: *logLevel, logFormat: *logFormat,
 	}
+	if err := o.applyAblations(*ablate); err != nil {
+		fmt.Fprintln(os.Stderr, "dtaint:", err)
+		os.Exit(1)
+	}
 	var vulnPaths int
 	var err error
 	if *allBins {
@@ -114,13 +124,34 @@ type cliOptions struct {
 	fwPath, exePath, binPath string
 	module, mdOut            string
 	workers                  int
-	noAlias, noSim           bool
+	noAlias, noSim, noVRange bool
 	paths, showAll           bool
 	dis, jsonOut             bool
 	cacheDir                 string
 	traceOut                 string
 	progress                 bool
 	logLevel, logFormat      string
+}
+
+// applyAblations folds the -ablate list into the feature switches.
+func (o *cliOptions) applyAblations(list string) error {
+	if list == "" {
+		return nil
+	}
+	for _, name := range strings.Split(list, ",") {
+		switch strings.TrimSpace(name) {
+		case "alias":
+			o.noAlias = true
+		case "structsim":
+			o.noSim = true
+		case "vrange":
+			o.noVRange = true
+		case "":
+		default:
+			return fmt.Errorf("unknown -ablate feature %q (want alias, structsim, or vrange)", name)
+		}
+	}
+	return nil
 }
 
 // observability translates the tracing/progress/logging flags into
@@ -164,13 +195,16 @@ func (o cliOptions) observability() (opts []dtaint.Option, flush func() error, e
 }
 
 // analyzerOptions translates the shared flags into library options.
-func analyzerOptions(module string, workers int, noAlias, noSim bool) []dtaint.Option {
+func analyzerOptions(module string, workers int, noAlias, noSim, noVRange bool) []dtaint.Option {
 	var opts []dtaint.Option
 	if noAlias {
 		opts = append(opts, dtaint.WithoutAliasAnalysis())
 	}
 	if noSim {
 		opts = append(opts, dtaint.WithoutStructSimilarity())
+	}
+	if noVRange {
+		opts = append(opts, dtaint.WithoutValueRange())
 	}
 	if module != "" {
 		filter := dtaint.StudyModuleFilter(module)
@@ -213,7 +247,7 @@ func runFleet(o cliOptions) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	aopts = append(aopts, analyzerOptions("", 0, o.noAlias, o.noSim)...)
+	aopts = append(aopts, analyzerOptions("", 0, o.noAlias, o.noSim, o.noVRange)...)
 	a := dtaint.New(aopts...)
 	img, err := a.ScanFirmwareFleet(context.Background(), data, fopts...)
 	if err != nil {
@@ -273,7 +307,7 @@ func run(o cliOptions) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	aopts = append(aopts, analyzerOptions(o.module, o.workers, o.noAlias, o.noSim)...)
+	aopts = append(aopts, analyzerOptions(o.module, o.workers, o.noAlias, o.noSim, o.noVRange)...)
 	rep, err := dtaint.New(aopts...).AnalyzeExecutable(raw)
 	if err != nil {
 		return 0, err
@@ -393,6 +427,7 @@ type jsonFinding struct {
 	Source    string   `json:"source"`
 	Path      []string `json:"path"`
 	Sanitized bool     `json:"sanitized"`
+	Evidence  []string `json:"evidence,omitempty"`
 }
 
 func writeJSON(rep *dtaint.Report, includeSanitized bool) error {
@@ -424,6 +459,7 @@ func writeJSON(rep *dtaint.Report, includeSanitized bool) error {
 			Source:    f.Source,
 			Path:      f.Path,
 			Sanitized: f.Sanitized,
+			Evidence:  f.Evidence,
 		})
 	}
 	enc := json.NewEncoder(os.Stdout)

@@ -113,8 +113,10 @@ func TestMetricsSnapshotConsistent(t *testing.T) {
 	<-done
 }
 
-// Without a registry the endpoint still serves the legacy JSON view,
-// even to a text/plain client (nothing else to serve).
+// Without a registry the handler behaves exactly as with one — obs
+// handles are nil-safe, so there is no availability branch: a
+// text/plain client gets a valid (empty) Prometheus exposition and a
+// JSON client gets the legacy view with no registry snapshot.
 func TestMetricsWithoutRegistry(t *testing.T) {
 	_, ts := startTestServer(t, config{})
 	req, _ := http.NewRequest("GET", ts.URL+"/v1/metrics", nil)
@@ -123,10 +125,26 @@ func TestMetricsWithoutRegistry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q, want Prometheus text exposition", ct)
+	}
+	if len(body) != 0 {
+		t.Fatalf("nil registry must expose zero series, got %q", body)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer resp.Body.Close()
 	var m metricsView
 	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
-		t.Fatalf("expected JSON fallback: %v", err)
+		t.Fatalf("JSON view: %v", err)
+	}
+	if len(m.Metrics) != 0 {
+		t.Fatalf("nil registry produced a snapshot: %+v", m.Metrics)
 	}
 }
 

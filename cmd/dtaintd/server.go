@@ -341,32 +341,30 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Mirror the snapshot into the registry so both exposition formats
-	// report the same values.
-	if reg := s.cfg.metrics; reg != nil {
-		reg.Counter("dtaintd_jobs_accepted_total", "Scan jobs accepted into the queue.", nil).Store(m.JobsAccepted)
-		reg.Counter("dtaintd_jobs_started_total", "Scan jobs the runner started.", nil).Store(m.JobsStarted)
-		reg.Counter("dtaintd_jobs_done_total", "Scan jobs finished successfully.", nil).Store(m.JobsDone)
-		reg.Counter("dtaintd_jobs_failed_total", "Scan jobs that failed.", nil).Store(m.JobsFailed)
-		reg.Gauge("dtaintd_queue_depth", "Jobs waiting in the queue.", nil).Set(float64(m.QueueDepth))
-		reg.Gauge("dtaintd_queue_cap", "Queue capacity.", nil).Set(float64(m.QueueCap))
-		if m.Cache != nil {
-			reg.Counter("dtaint_cache_hits_total", "Report cache hits.", nil).Store(m.Cache.Hits)
-			reg.Counter("dtaint_cache_misses_total", "Report cache misses.", nil).Store(m.Cache.Misses)
-			reg.Counter("dtaint_cache_evictions_total", "Report cache LRU evictions.", nil).Store(m.Cache.Evictions)
-			reg.Gauge("dtaint_cache_entries", "Report cache in-memory entries.", nil).Set(float64(m.Cache.Entries))
-		}
+	// report the same values. Registry handles are nil-safe: a server
+	// without a registry mirrors into throwaway instruments.
+	reg := s.cfg.metrics
+	reg.Counter("dtaintd_jobs_accepted_total", "Scan jobs accepted into the queue.", nil).Store(m.JobsAccepted)
+	reg.Counter("dtaintd_jobs_started_total", "Scan jobs the runner started.", nil).Store(m.JobsStarted)
+	reg.Counter("dtaintd_jobs_done_total", "Scan jobs finished successfully.", nil).Store(m.JobsDone)
+	reg.Counter("dtaintd_jobs_failed_total", "Scan jobs that failed.", nil).Store(m.JobsFailed)
+	reg.Gauge("dtaintd_queue_depth", "Jobs waiting in the queue.", nil).Set(float64(m.QueueDepth))
+	reg.Gauge("dtaintd_queue_cap", "Queue capacity.", nil).Set(float64(m.QueueCap))
+	if m.Cache != nil {
+		reg.Counter("dtaint_cache_hits_total", "Report cache hits.", nil).Store(m.Cache.Hits)
+		reg.Counter("dtaint_cache_misses_total", "Report cache misses.", nil).Store(m.Cache.Misses)
+		reg.Counter("dtaint_cache_evictions_total", "Report cache LRU evictions.", nil).Store(m.Cache.Evictions)
+		reg.Gauge("dtaint_cache_entries", "Report cache in-memory entries.", nil).Set(float64(m.Cache.Entries))
 	}
 
 	// Content negotiation: Prometheus scrapers ask for text/plain, API
 	// clients get the JSON view (registry snapshot included).
-	if reg := s.cfg.metrics; reg != nil && wantsPrometheus(r) {
+	if wantsPrometheus(r) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
 		return
 	}
-	if reg := s.cfg.metrics; reg != nil {
-		m.Metrics = reg.Snapshot()
-	}
+	m.Metrics = reg.Snapshot()
 	writeJSON(w, m)
 }
 

@@ -1,0 +1,232 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// lintSource writes one fixture file into a temp module tree and lints it.
+func lintSource(t *testing.T, src string) []string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "fixture.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lintTree([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+func wantRule(t *testing.T, findings []string, rule string, n int) {
+	t.Helper()
+	got := 0
+	for _, f := range findings {
+		if strings.Contains(f, rule+":") {
+			got++
+		}
+	}
+	if got != n {
+		t.Fatalf("want %d %s finding(s), got %d: %v", n, rule, got, findings)
+	}
+}
+
+func TestUnorderedMapRangeFlagged(t *testing.T) {
+	findings := lintSource(t, `package p
+
+func leak(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`)
+	wantRule(t, findings, "unordered-map-range", 1)
+}
+
+func TestCollectThenSortClean(t *testing.T) {
+	findings := lintSource(t, `package p
+
+import "sort"
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+`)
+	wantRule(t, findings, "unordered-map-range", 0)
+}
+
+func TestOrderInsensitiveBodiesClean(t *testing.T) {
+	findings := lintSource(t, `package p
+
+func aggregate(m map[string]int) (int, bool) {
+	sum, seen := 0, map[string]bool{}
+	for k, v := range m {
+		sum += v
+		seen[k] = true
+		if v < 0 {
+			return 0, false
+		}
+	}
+	return sum, true
+}
+
+func merge(dst, src map[string]int) {
+	for k, v := range src {
+		if old, ok := dst[k]; ok {
+			v = min(v, old)
+		}
+		dst[k] = v
+	}
+}
+`)
+	wantRule(t, findings, "unordered-map-range", 0)
+}
+
+func TestMakeAndLiteralMapsTracked(t *testing.T) {
+	findings := lintSource(t, `package p
+
+func f() []int {
+	m := make(map[int]int)
+	lit := map[string]bool{"a": true}
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	for k := range lit {
+		_ = k
+		out = append(out, 1)
+	}
+	return out
+}
+`)
+	wantRule(t, findings, "unordered-map-range", 2)
+}
+
+func TestStructFieldMapTracked(t *testing.T) {
+	findings := lintSource(t, `package p
+
+type prog struct {
+	callers map[string][]string
+}
+
+func (p *prog) dump(w interface{ Write([]byte) (int, error) }) {
+	for k := range p.callers {
+		w.Write([]byte(k))
+	}
+}
+`)
+	wantRule(t, findings, "unordered-map-range", 1)
+}
+
+func TestSliceRangeClean(t *testing.T) {
+	findings := lintSource(t, `package p
+
+func f(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+`)
+	wantRule(t, findings, "unordered-map-range", 0)
+}
+
+func TestIgnoreDirective(t *testing.T) {
+	findings := lintSource(t, `package p
+
+func leak(m map[string]int) []string {
+	var out []string
+	//dtaintlint:ignore diagnostic output only, order does not matter
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`)
+	wantRule(t, findings, "unordered-map-range", 0)
+}
+
+func TestGuardedObsCallFlagged(t *testing.T) {
+	findings := lintSource(t, `package p
+
+import "dtaint/internal/obs"
+
+type opts struct {
+	Metrics *obs.Registry
+}
+
+func record(o opts, n int) {
+	if o.Metrics != nil {
+		o.Metrics.Counter("n", "help", nil).Add(uint64(n))
+	}
+}
+
+func snapshot(o opts) []obs.MetricSnapshot {
+	if reg := o.Metrics; reg != nil {
+		return reg.Snapshot()
+	}
+	return nil
+}
+`)
+	wantRule(t, findings, "guarded-obs-call", 2)
+}
+
+func TestUnguardedObsCallClean(t *testing.T) {
+	findings := lintSource(t, `package p
+
+import "dtaint/internal/obs"
+
+type opts struct {
+	Metrics *obs.Registry
+}
+
+func record(o opts, n int) {
+	o.Metrics.Counter("n", "help", nil).Add(uint64(n))
+}
+`)
+	wantRule(t, findings, "guarded-obs-call", 0)
+}
+
+func TestNonObsNilGuardClean(t *testing.T) {
+	findings := lintSource(t, `package p
+
+type cache struct{}
+
+func (c *cache) Stats() int { return 0 }
+
+func f(c *cache) int {
+	if c != nil {
+		return c.Stats()
+	}
+	return 0
+}
+`)
+	wantRule(t, findings, "guarded-obs-call", 0)
+}
+
+// TestRepositoryIsClean runs the linter over the real tree: the
+// determinism and nil-safe-handle contracts must hold everywhere.
+func TestRepositoryIsClean(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lintTree([]string{root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Error(f)
+	}
+}

@@ -52,6 +52,13 @@ type Class string
 const (
 	ClassBufferOverflow   Class = "buffer-overflow"
 	ClassCommandInjection Class = "command-injection"
+	// ClassOffByOne marks a copy whose proven length bound equals the
+	// destination capacity exactly: the NUL terminator (or an inclusive
+	// `<=` guard) overruns the buffer by a single byte.
+	ClassOffByOne Class = "off-by-one"
+	// ClassLengthTruncation marks a tainted length narrowed through a
+	// 1-byte store: the truncated value defeats any later bound check.
+	ClassLengthTruncation Class = "length-truncation"
 )
 
 // Finding is one (source, path, sink) tuple discovered by the analysis.
@@ -72,14 +79,22 @@ type Finding struct {
 	// Sanitized reports whether a constraint on the tainted data was
 	// found; sanitized paths are not vulnerabilities.
 	Sanitized bool
+	// Evidence is the constraint/interval chain behind the verdict: which
+	// proven bound (or absence of one) decided Sanitized and Class.
+	Evidence []string
 }
 
 // CWE returns the finding's Common Weakness Enumeration identifier:
-// CWE-121 (stack-based buffer overflow) or CWE-78 (OS command injection),
-// the two weakness classes the paper's constraint expressions check.
+// CWE-121 (stack-based buffer overflow), CWE-78 (OS command injection),
+// CWE-193 (off-by-one error), or CWE-197 (numeric truncation error).
 func (f Finding) CWE() string {
-	if f.Class == ClassCommandInjection {
+	switch f.Class {
+	case ClassCommandInjection:
 		return "CWE-78"
+	case ClassOffByOne:
+		return "CWE-193"
+	case ClassLengthTruncation:
+		return "CWE-197"
 	}
 	return "CWE-121"
 }
@@ -190,6 +205,15 @@ func WithoutAliasAnalysis() Option {
 // data-structure layout similarity — an ablation switch.
 func WithoutStructSimilarity() Option {
 	return func(a *Analyzer) { a.opts.DisableStructSim = true }
+}
+
+// WithoutValueRange disables the interval value-range domain — an
+// ablation switch. Sink verdicts fall back to the purely structural
+// constraint checks: off-by-one and length-truncation findings disappear
+// and interval-proven-safe copies are reported again. Path discovery is
+// unaffected.
+func WithoutValueRange() Option {
+	return func(a *Analyzer) { a.opts.DisableVRange = true }
 }
 
 // WithStateBudget caps the symbolic states explored per function.
@@ -370,6 +394,7 @@ func publicFinding(f taint.Finding) Finding {
 		SinkAddr:  f.SinkAddr,
 		Source:    f.Source,
 		Sanitized: f.Sanitized,
+		Evidence:  append([]string(nil), f.Evidence...),
 	}
 	for _, s := range f.Path {
 		out.Path = append(out.Path, s.String())

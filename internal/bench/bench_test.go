@@ -5,6 +5,9 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"dtaint/internal/corpus"
+	"dtaint/internal/dataflow"
 )
 
 const testScale = 0.05
@@ -145,15 +148,43 @@ func TestAblationsOutput(t *testing.T) {
 	}
 }
 
+// TestScreeningOutput asserts the headline claim of the interval domain:
+// the full pipeline scores precision = recall = 1.0 on the screening
+// corpus, and ablating the domain measurably costs precision.
 func TestScreeningOutput(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Screening(&buf, 40); err != nil {
+	stats, err := Screening(&buf, 60)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), "precision 1.000, recall 1.000") {
-		t.Fatalf("screening not perfect:\n%s", buf.String())
+	if stats.Precision != 1.0 || stats.Recall != 1.0 {
+		t.Fatalf("full pipeline not perfect (precision %.3f, recall %.3f):\n%s",
+			stats.Precision, stats.Recall, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "full pipeline") || !strings.Contains(out, "ablated (-ablate vrange)") {
+		t.Fatalf("screening must print both configurations:\n%s", out)
+	}
+	// The ablated line must show degraded precision: some fp > 0.
+	ablated, err := screeningRun(mustScreeningCases(t, 60), dtaintAblated())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ablated.Precision >= 1.0 {
+		t.Fatalf("vrange ablation did not degrade precision: %+v", ablated)
 	}
 }
+
+func mustScreeningCases(t *testing.T, n int) []corpus.ScreeningCase {
+	t.Helper()
+	cases, err := corpus.ScreeningCorpus(n, 20180625)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cases
+}
+
+func dtaintAblated() dataflow.Options { return dataflow.Options{DisableVRange: true} }
 
 func TestFleetOutput(t *testing.T) {
 	var buf bytes.Buffer

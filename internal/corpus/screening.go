@@ -125,6 +125,55 @@ handler_lp:
 		},
 	},
 	{
+		// Provable only with the interval domain: fgets(buf, n, f) writes
+		// at most n-1 content bytes, so the strcpy is safe iff n-1 fits
+		// the destination with room for the NUL. The sanitized form has no
+		// explicit length check at all — the structural/constraint checks
+		// alone cannot clear it.
+		name:  "fgets-strcpy-bounded",
+		class: taint.ClassBufferOverflow,
+		emit: func(e emitter, vulnerable bool) {
+			n := "#0x20"
+			if vulnerable {
+				n = "#0x80"
+			}
+			e.writef(".func handler\n  SUB SP, SP, #0xC0\n  ADD %%t0%%, SP, #0\n  MOV %%a0%%, %%t0%%\n  MOV %%a1%%, %s\n  MOV %%a2%%, #0\n  BL fgets\n", n)
+			e.writef("  MOV %%a1%%, %%t0%%\n  ADD %%a0%%, SP, #0x80\n  BL strcpy\n  BX LR\n.endfunc\n")
+		},
+	},
+	{
+		// The `<=` boundary blunder: the guard rejects len > 64 but the
+		// 64-byte destination also needs the NUL terminator, so len == 64
+		// overruns by exactly one byte. The sanitized form rejects
+		// len >= 64.
+		name:  "offbyone-strcpy",
+		class: taint.ClassOffByOne,
+		emit: func(e emitter, vulnerable bool) {
+			rej := "BGE"
+			if vulnerable {
+				rej = "BGT"
+			}
+			e.writef(".func handler\n  SUB SP, SP, #0x140\n  ADD %%t0%%, SP, #0x40\n  MOV %%a1%%, %%t0%%\n  MOV %%a0%%, #0\n  MOV %%a2%%, #0x100\n  BL recv\n")
+			e.writef("  MOV %%a0%%, %%t0%%\n  BL strlen\n  CMP %%rt%%, #0x40\n  %s handler_rej\n", rej)
+			e.writef("  MOV %%a1%%, %%t0%%\n  ADD %%a0%%, SP, #0x100\n  BL strcpy\nhandler_rej:\n  BX LR\n.endfunc\n")
+		},
+	},
+	{
+		// A tainted length squeezed through a 1-byte store: the truncated
+		// value defeats any later bound check (CWE-197). The sanitized
+		// form masks the length into the byte range first.
+		name:  "truncated-length",
+		class: taint.ClassLengthTruncation,
+		emit: func(e emitter, vulnerable bool) {
+			e.writef(".func handler\n  SUB SP, SP, #0x90\n  ADD %%t0%%, SP, #0x10\n  MOV %%a1%%, %%t0%%\n  MOV %%a0%%, #0\n  MOV %%a2%%, #0x80\n  BL recv\n")
+			e.writef("  MOV %%a0%%, %%t0%%\n  BL strlen\n  MOV %%t1%%, %%rt%%\n")
+			if !vulnerable {
+				e.writef("  AND %%t1%%, %%t1%%, #0x7F\n")
+			}
+			e.writef("  ADD %%t2%%, SP, #0\n  STRB %%t1%%, [%%t2%%, #0]\n  BX LR\n.endfunc\n")
+		},
+	},
+	{
 		name:  "masked-memcpy",
 		class: taint.ClassBufferOverflow,
 		emit: func(e emitter, vulnerable bool) {

@@ -57,6 +57,93 @@ func TestScreeningPrecisionRecall(t *testing.T) {
 	}
 }
 
+// TestScreeningVRangeInvariant checks the ablation contract: disabling
+// the interval value-range domain may flip Sanitized and the finding
+// class, but never which source→sink paths are discovered.
+func TestScreeningVRangeInvariant(t *testing.T) {
+	cases, err := ScreeningCorpus(60, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		// Rebuild per run: structsim resolution adds call edges in place.
+		progOn, err := cfg.Build(c.Binary)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		on, err := dataflow.Analyze(progOn, dataflow.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		progOff, err := cfg.Build(c.Binary)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		off, err := dataflow.Analyze(progOff, dataflow.Options{DisableVRange: true})
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if len(on.Findings) != len(off.Findings) {
+			t.Fatalf("%s: vrange ablation changed path discovery: %d findings on, %d off",
+				c.Name, len(on.Findings), len(off.Findings))
+		}
+		for i := range on.Findings {
+			a, b := on.Findings[i], off.Findings[i]
+			if a.Sink != b.Sink || a.SinkFunc != b.SinkFunc ||
+				a.SinkAddr != b.SinkAddr || a.Source != b.Source ||
+				len(a.Path) != len(b.Path) {
+				t.Fatalf("%s: finding %d differs beyond verdict: on=%s off=%s",
+					c.Name, i, a.String(), b.String())
+			}
+		}
+	}
+}
+
+// TestScreeningAblationDegradesPrecision quantifies what the interval
+// domain buys: with it the corpus scores precision = recall = 1.0 (the
+// test above); without it the fgets-bounded copies are false positives
+// (precision drops) and the off-by-one and truncation plants are missed
+// (recall drops).
+func TestScreeningAblationDegradesPrecision(t *testing.T) {
+	cases, err := ScreeningCorpus(120, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tp, fp, fn int
+	for _, c := range cases {
+		prog, err := cfg.Build(c.Binary)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		res, err := dataflow.Analyze(prog, dataflow.Options{DisableVRange: true})
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		flagged := false
+		for _, v := range res.Vulnerabilities() {
+			if v.SinkFunc == "handler" {
+				flagged = true
+			}
+		}
+		switch {
+		case c.HasVuln && flagged:
+			tp++
+		case !c.HasVuln && flagged:
+			fp++
+		case c.HasVuln && !flagged:
+			fn++
+		}
+	}
+	if fp == 0 {
+		t.Fatal("ablated run produced no false positives: the interval domain is not buying precision")
+	}
+	if fn == 0 {
+		t.Fatal("ablated run missed nothing: the off-by-one/truncation classes are not interval-dependent")
+	}
+	t.Logf("ablated: tp=%d fp=%d fn=%d precision=%.3f recall=%.3f",
+		tp, fp, fn, float64(tp)/float64(tp+fp), float64(tp)/float64(tp+fn))
+}
+
 func TestScreeningDeterministic(t *testing.T) {
 	a, err := ScreeningCorpus(10, 3)
 	if err != nil {

@@ -50,6 +50,7 @@ import (
 	"dtaint/internal/structsim"
 	"dtaint/internal/symexec"
 	"dtaint/internal/taint"
+	"dtaint/internal/vrange"
 )
 
 // Options configures the pipeline.
@@ -60,6 +61,11 @@ type Options struct {
 	DisableAlias bool
 	// DisableStructSim skips indirect-call resolution (ablation).
 	DisableStructSim bool
+	// DisableVRange turns off the interval value-range domain (ablation):
+	// sink verdicts fall back to the purely structural/constraint checks,
+	// and callee range facts are not imported at callsites. Path discovery
+	// is unaffected — only Sanitized and the finding class can change.
+	DisableVRange bool
 	// Filter restricts analysis to functions for which it returns true
 	// (the paper manually restricts Uniview/Hikvision to their network
 	// modules). Nil analyzes everything.
@@ -127,6 +133,9 @@ func (st *Stage) End(args ...any) {
 func newTracker(opts Options, bin *image.Binary) *taint.Tracker {
 	t := taint.NewTracker()
 	t.SetBinary(bin)
+	if opts.DisableVRange {
+		t.DisableValueRange()
+	}
 	for _, s := range opts.ExtraSources {
 		t.AddSource(s)
 	}
@@ -254,16 +263,14 @@ func Analyze(prog *cfg.Program, opts Options) (*Result, error) {
 	res.SinkCount = countSinks(prog, names, res.Summaries, opts.ExtraSinks)
 	st.End("sinks", res.SinkCount)
 
-	if opts.Metrics != nil {
-		opts.Metrics.Counter("dtaint_functions_analyzed_total",
-			"Functions analyzed by the interprocedural pass.", nil).Add(uint64(res.FunctionsAnalyzed))
-		opts.Metrics.Counter("dtaint_defpairs_total",
-			"Definition pairs in generated data flows.", nil).Add(uint64(res.DefPairCount))
-		opts.Metrics.Counter("dtaint_findings_total",
-			"Source-to-sink findings, sanitized included.", nil).Add(uint64(len(res.Findings)))
-		opts.Metrics.Counter("dtaint_truncated_functions_total",
-			"Functions that hit the symbolic state cap.", nil).Add(uint64(res.Truncated))
-	}
+	opts.Metrics.Counter("dtaint_functions_analyzed_total",
+		"Functions analyzed by the interprocedural pass.", nil).Add(uint64(res.FunctionsAnalyzed))
+	opts.Metrics.Counter("dtaint_defpairs_total",
+		"Definition pairs in generated data flows.", nil).Add(uint64(res.DefPairCount))
+	opts.Metrics.Counter("dtaint_findings_total",
+		"Source-to-sink findings, sanitized included.", nil).Add(uint64(len(res.Findings)))
+	opts.Metrics.Counter("dtaint_truncated_functions_total",
+		"Functions that hit the symbolic state cap.", nil).Add(uint64(res.Truncated))
 	return res, nil
 }
 
@@ -278,25 +285,17 @@ func runPhase1(prog *cfg.Program, names []string, opts Options, stageSpan *obs.S
 	if workers > len(names) {
 		workers = len(names)
 	}
-	var fnSec, fnStates *obs.Histogram
-	if opts.Metrics != nil {
-		fnSec = opts.Metrics.Histogram("dtaint_fn_ssa_seconds",
-			"Per-function symbolic analysis time (phase 1).", obs.DefTimeBuckets, nil)
-		fnStates = opts.Metrics.Histogram("dtaint_fn_states_explored",
-			"Symbolic states explored per function.", obs.ExpBuckets(1, 4, 8), nil)
-	}
+	fnSec := opts.Metrics.Histogram("dtaint_fn_ssa_seconds",
+		"Per-function symbolic analysis time (phase 1).", obs.DefTimeBuckets, nil)
+	fnStates := opts.Metrics.Histogram("dtaint_fn_states_explored",
+		"Symbolic states explored per function.", obs.ExpBuckets(1, 4, 8), nil)
 	analyzeOne := func(scratch *taint.Tracker, name string) *symexec.Summary {
 		sp := stageSpan.StartChild("ssa-function", obs.KV("fn", name))
-		var t0 time.Time
-		if fnSec != nil {
-			t0 = time.Now()
-		}
+		t0 := time.Now()
 		scratch.BeginFunction(name)
 		sum := symexec.Analyze(prog.ByName[name], prog.Binary, scratch, opts.Symexec)
-		if fnSec != nil {
-			fnSec.Observe(time.Since(t0).Seconds())
-			fnStates.Observe(float64(sum.StatesExplored))
-		}
+		fnSec.Observe(time.Since(t0).Seconds())
+		fnStates.Observe(float64(sum.StatesExplored))
 		sp.End()
 		return sum
 	}
@@ -383,6 +382,7 @@ type interOracle struct {
 	tracker  *taint.Tracker
 	lookup   func(name string) (*symexec.Summary, bool)
 	pendings func(name string) []taint.PendingSink
+	noVRange bool
 }
 
 var _ symexec.Oracle = (*interOracle)(nil)
@@ -423,6 +423,35 @@ func (o *interOracle) Call(ctx *symexec.CallContext) symexec.CallEffect {
 			Addr: sub(addr),
 			Val:  sub(dp.U),
 		})
+	}
+	// Interval facts proven in the callee climb to the caller: length and
+	// parsed-value symbols are hash-stable across the substitution
+	// (ReplaceFormalArgs cannot rewrite hashed names), so they import
+	// verbatim; the return value's interval attaches to the instantiated
+	// return expression's key. Formal-argument keys (argN) are skipped — a
+	// bound observed on one path through the callee does not hold for the
+	// actual on every path.
+	if !o.noVRange && len(sum.Ranges) > 0 {
+		addRange := func(k string, iv vrange.Interval) {
+			if eff.Ranges == nil {
+				eff.Ranges = make(map[string]vrange.Interval)
+			}
+			eff.Ranges[k] = iv
+		}
+		for k, iv := range sum.Ranges {
+			if strings.HasPrefix(k, "len_") || strings.HasPrefix(k, "atoi_") {
+				addRange(k, iv)
+			}
+		}
+		if eff.Ret != nil && len(sum.Rets) > 0 {
+			riv := vrange.Bottom()
+			for _, r := range sum.Rets {
+				riv = riv.Join(vrange.OfExpr(r, vrange.Env(sum.Ranges)))
+			}
+			if riv.Bounded() {
+				addRange(eff.Ret.Key(), riv)
+			}
+		}
 	}
 	// Pending sinks climb from the callee into this function.
 	o.tracker.ImportPending(o.pendings(ctx.Callee), sub, ctx.Site)

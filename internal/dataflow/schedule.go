@@ -41,12 +41,12 @@ func runBottomUp(prog *cfg.Program, names []string, opts Options, res *Result, s
 	stageSpan.SetAttr("workers", workers)
 	stageSpan.SetAttr("components", len(cond.Comps))
 
-	bo := bottomUpObs{stage: stageSpan}
-	if opts.Metrics != nil {
-		bo.fnSec = opts.Metrics.Histogram("dtaint_fn_ddg_seconds",
-			"Per-function interprocedural data-flow time (phase 3+4).", obs.DefTimeBuckets, nil)
-		bo.fnStates = opts.Metrics.Histogram("dtaint_fn_states_explored",
-			"Symbolic states explored per function.", obs.ExpBuckets(1, 4, 8), nil)
+	bo := bottomUpObs{
+		stage: stageSpan,
+		fnSec: opts.Metrics.Histogram("dtaint_fn_ddg_seconds",
+			"Per-function interprocedural data-flow time (phase 3+4).", obs.DefTimeBuckets, nil),
+		fnStates: opts.Metrics.Histogram("dtaint_fn_states_explored",
+			"Symbolic states explored per function.", obs.ExpBuckets(1, 4, 8), nil),
 	}
 
 	base := newTracker(opts, prog.Binary)
@@ -191,6 +191,7 @@ func analyzeComponent(prog *cfg.Program, opts Options, base *taint.Tracker, shar
 			}
 			return shared.pending(name)
 		},
+		noVRange: opts.DisableVRange,
 	}
 	out := compResult{
 		summaries: local,
@@ -200,20 +201,15 @@ func analyzeComponent(prog *cfg.Program, opts Options, base *taint.Tracker, shar
 		obs.KV("index", idx), obs.KV("functions", len(comp)))
 	for _, name := range comp {
 		fnSpan := compSpan.StartChild("ddg-function", obs.KV("fn", name))
-		var t0 time.Time
-		if bo.fnSec != nil {
-			t0 = time.Now()
-		}
+		t0 := time.Now()
 		shard.BeginFunction(name)
 		sum := symexec.Analyze(prog.ByName[name], prog.Binary, oracle, opts.Symexec)
 		if !opts.DisableAlias {
 			sum.DefPairs = alias.Rewrite(sum.DefPairs, sum.Types)
 		}
 		shard.EndFunction(sum)
-		if bo.fnSec != nil {
-			bo.fnSec.Observe(time.Since(t0).Seconds())
-			bo.fnStates.Observe(float64(sum.StatesExplored))
-		}
+		bo.fnSec.Observe(time.Since(t0).Seconds())
+		bo.fnStates.Observe(float64(sum.StatesExplored))
 		fnSpan.End()
 		local[name] = sum
 		out.defPairs += len(sum.DefPairs)

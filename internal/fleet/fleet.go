@@ -169,14 +169,17 @@ func recordScanMetrics(reg *obs.Registry, rep *ImageReport) {
 	if reg == nil {
 		return
 	}
-	for status, n := range map[string]int{
-		"ok": rep.Scanned, "cached": rep.Cached,
-		"failed": rep.Failed, "skipped": rep.Skipped,
+	for _, oc := range []struct {
+		status string
+		n      int
+	}{
+		{"ok", rep.Scanned}, {"cached", rep.Cached},
+		{"failed", rep.Failed}, {"skipped", rep.Skipped},
 	} {
-		if n > 0 {
+		if oc.n > 0 {
 			reg.Counter("dtaint_fleet_binaries_total",
 				"Binaries scanned by the fleet orchestrator, by outcome.",
-				obs.Labels{"status": status}).Add(uint64(n))
+				obs.Labels{"status": oc.status}).Add(uint64(oc.n))
 		}
 	}
 	reg.Counter("dtaint_fleet_images_total",

@@ -23,6 +23,7 @@ import (
 	"dtaint/internal/image"
 	"dtaint/internal/ir"
 	"dtaint/internal/isa"
+	"dtaint/internal/vrange"
 )
 
 // DefPair is the paper's definition pair (d, u): d names a storage
@@ -89,6 +90,13 @@ type Summary struct {
 	Fields      []FieldObs
 	LoopStores  []LoopStore
 	UndefUses   []*expr.Expr
+	// Ranges are the per-symbol value intervals proven for this function:
+	// upper-bound evidence from branch constraints (with widening for
+	// bounds observed inside loops), plus facts contributed by library
+	// models and summarized callees through CallEffect.Ranges. Keys are
+	// expression keys (symbol names, deref keys, or whole-expression
+	// keys for callee return values).
+	Ranges map[string]vrange.Interval
 
 	BlocksAnalyzed int
 	StatesExplored int
@@ -113,6 +121,12 @@ type CallEffect struct {
 	// MemDefs are memory definitions the callee performs, expressed over
 	// caller values (Algorithm 2's pushed definition pairs).
 	MemDefs []MemDef
+	// Ranges are value-interval facts the call establishes in the caller,
+	// keyed by expression key — e.g. fgets(buf, n, f) bounds the length
+	// of the content it writes by n-1, and a summarized callee's proven
+	// return range is attached to the instantiated return expression.
+	// Facts for a key already known are combined by Meet (both hold).
+	Ranges map[string]vrange.Interval
 }
 
 // MemDef is a memory write: mem[Addr] = Val.
@@ -130,7 +144,17 @@ type CallContext struct {
 	Args   []*expr.Expr
 	InLoop bool
 
-	st *State
+	st     *State
+	ranges map[string]vrange.Interval
+}
+
+// RangeOf returns the interval proven so far for an expression key
+// (facts contributed by earlier CallEffect.Ranges on this function).
+// Oracles use it to chain models — e.g. strtol's result range depends
+// on the proven length of its input string.
+func (c *CallContext) RangeOf(key string) (vrange.Interval, bool) {
+	iv, ok := c.ranges[key]
+	return iv, ok
 }
 
 // Resolve returns the value stored at pointer p, or deref(p) when the
@@ -297,6 +321,7 @@ type engine struct {
 	opts   Options
 
 	sum        *Summary
+	ranges     map[string]vrange.Interval // facts from oracle CallEffects
 	defSeen    map[string]bool
 	constSeen  map[string]bool
 	fieldSeen  map[string]bool
@@ -319,6 +344,7 @@ func Analyze(fn *cfg.Function, bin *image.Binary, oracle Oracle, opts Options) *
 			Addr:  fn.Addr,
 			Types: make(map[string]expr.Type),
 		},
+		ranges:     make(map[string]vrange.Interval),
 		defSeen:    make(map[string]bool),
 		constSeen:  make(map[string]bool),
 		fieldSeen:  make(map[string]bool),
@@ -331,7 +357,99 @@ func Analyze(fn *cfg.Function, bin *image.Binary, oracle Oracle, opts Options) *
 		e.callByAddr[cs.Addr] = cs
 	}
 	e.run()
+	e.sum.Ranges = DeriveRanges(e.sum.Constraints, e.ranges)
 	return e.sum
+}
+
+// mergeRange meets an oracle-provided interval fact into the function's
+// accumulated ranges. Meet is commutative and associative, so the result
+// is independent of the order facts arrive in.
+func (e *engine) mergeRange(key string, iv vrange.Interval) {
+	if key == "" || iv.IsTop() {
+		return
+	}
+	if old, ok := e.ranges[key]; ok {
+		iv = old.Meet(iv)
+	}
+	e.ranges[key] = iv
+}
+
+// DeriveRanges builds a per-symbol interval environment from branch
+// constraints and (optionally nil) oracle facts accumulated during
+// execution. The detector also calls it over the carried constraints of
+// a pending sink, re-deriving bounds in the caller's namespace after
+// formal arguments were substituted.
+//
+// The engine records the constraints of both directions of every branch
+// (taken and fall-through are different paths), so meeting everything
+// per symbol would yield ⊥ for any compared value. Instead only
+// upper-bound evidence is kept (intervals with a finite Hi — a pure
+// lower bound can never prove a copy fits), and sibling bounds on the
+// same symbol are joined: the weakest recorded upper bound is the one
+// the detector may trust. Bounds observed inside loops go through
+// Widen — a bound that escapes previously seen evidence is assumed
+// unstable across iterations and jumps to the domain edge. Oracle facts
+// (libc models, callee summaries) hold unconditionally and are met in
+// last.
+func DeriveRanges(cs []Constraint, oracle map[string]vrange.Interval) map[string]vrange.Interval {
+	derived := make(map[string]vrange.Interval)
+	apply := func(key string, iv vrange.Interval, inLoop bool) {
+		if !iv.Bounded() {
+			return
+		}
+		old, ok := derived[key]
+		switch {
+		case !ok:
+			derived[key] = iv
+		case inLoop:
+			derived[key] = old.Widen(iv)
+		default:
+			derived[key] = old.Join(iv)
+		}
+	}
+	for _, c := range cs {
+		if key, iv, ok := vrange.FromConstraint(c.L, c.R, c.Cond); ok {
+			apply(key, iv, c.InLoop)
+			continue
+		}
+		// Taint bookkeeping OR-combines the real value with marker
+		// symbols (e.g. strlen's len_x | taint_recv_1): a comparison of
+		// the combined register bounds every component.
+		l, r := c.L, c.R
+		if _, isConst := l.ConstVal(); isConst {
+			l, r = r, l
+		}
+		if _, isConst := r.ConstVal(); !isConst {
+			continue
+		}
+		for _, comp := range orComponents(l) {
+			if key, iv, ok := vrange.FromConstraint(comp, r, c.Cond); ok {
+				apply(key, iv, c.InLoop)
+			}
+		}
+	}
+	for key, iv := range oracle {
+		if old, ok := derived[key]; ok {
+			iv = old.Meet(iv)
+		}
+		derived[key] = iv
+	}
+	if len(derived) == 0 {
+		return nil
+	}
+	return derived
+}
+
+// orComponents splits an OR-combined expression into its components; a
+// non-OR expression is its own single component.
+func orComponents(e *expr.Expr) []*expr.Expr {
+	if e == nil {
+		return nil
+	}
+	if op, x, y, ok := e.BinOperands(); ok && op == expr.OpOr {
+		return append(orComponents(x), orComponents(y)...)
+	}
+	return []*expr.Expr{e}
 }
 
 func (e *engine) initialState() *State {
@@ -622,6 +740,7 @@ func (e *engine) execCall(addr uint32, c ir.Call, st *State, inLoop bool) {
 			Args:   args,
 			InLoop: inLoop,
 			st:     st,
+			ranges: e.ranges,
 		}
 		eff := e.oracle.Call(ctx)
 		if eff.Handled {
@@ -631,6 +750,9 @@ func (e *engine) execCall(addr uint32, c ir.Call, st *State, inLoop bool) {
 				}
 				st.mem[md.Addr.Key()] = md.Val
 				e.recordDef(expr.Deref(md.Addr), md.Val, addr, 0)
+			}
+			for k, iv := range eff.Ranges {
+				e.mergeRange(k, iv)
 			}
 			if eff.Ret != nil {
 				ret = eff.Ret

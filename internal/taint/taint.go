@@ -14,16 +14,23 @@ import (
 	"dtaint/internal/image"
 	"dtaint/internal/isa"
 	"dtaint/internal/symexec"
+	"dtaint/internal/vrange"
 )
 
 // Class is the vulnerability class of a sink.
 type Class int
 
-// Vulnerability classes checked by the paper's two constraint-expression
-// kinds.
+// Vulnerability classes. The first two are the paper's constraint-
+// expression kinds; the last two are refinements the value-range domain
+// makes decidable: a copy whose proven bound equals the destination
+// capacity exactly (the NUL terminator lands one byte past the end),
+// and a tainted length narrowed by a one-byte store (the classic
+// truncated-length-check pattern).
 const (
 	ClassBufferOverflow Class = iota + 1
 	ClassCommandInjection
+	ClassOffByOne
+	ClassLengthTruncation
 )
 
 // String implements fmt.Stringer.
@@ -33,6 +40,10 @@ func (c Class) String() string {
 		return "buffer-overflow"
 	case ClassCommandInjection:
 		return "command-injection"
+	case ClassOffByOne:
+		return "off-by-one"
+	case ClassLengthTruncation:
+		return "length-truncation"
 	}
 	return "class?"
 }
@@ -82,6 +93,10 @@ type Finding struct {
 	GuardExpr  *expr.Expr
 	Path       []Step
 	Sanitized  bool
+	// Evidence is the constraint/interval chain behind the verdict —
+	// why the path was (or was not) considered sanitized — rendered into
+	// the report so an analyst can audit the decision.
+	Evidence []string
 }
 
 // String renders a one-line report.
@@ -187,7 +202,17 @@ type Tracker struct {
 	extraSinks   map[string]SinkSpec
 
 	bin *image.Binary
+
+	// noVRange disables the value-range sanitization refinement (the
+	// `-ablate vrange` mode): verdicts fall back to the pre-interval
+	// checks. Path discovery is identical in both modes — only the
+	// Sanitized flag and the finding class may differ.
+	noVRange bool
 }
+
+// DisableValueRange switches the tracker to the pre-interval
+// sanitization checks (ablation). Must be set before analysis starts.
+func (t *Tracker) DisableValueRange() { t.noVRange = true }
 
 // SetBinary gives the tracker access to the program image, enabling
 // models that inspect read-only data (e.g. scanf format-width bounds).
@@ -231,6 +256,7 @@ func (t *Tracker) Shard() *Tracker {
 	s.bin = t.bin
 	s.extraSources = t.extraSources
 	s.extraSinks = t.extraSinks
+	s.noVRange = t.noVRange
 	return s
 }
 
@@ -526,10 +552,25 @@ func (t *Tracker) modelBufferSource(ctx *symexec.CallContext, bufArg int) symexe
 	if buf == nil {
 		return symexec.CallEffect{Handled: true}
 	}
-	return symexec.CallEffect{
+	ts := taintSym(ctx.Callee, ctx.Site)
+	eff := symexec.CallEffect{
 		Handled: true,
-		MemDefs: []symexec.MemDef{{Addr: buf, Val: taintSym(ctx.Callee, ctx.Site)}},
+		MemDefs: []symexec.MemDef{{Addr: buf, Val: ts}},
 	}
+	// fgets(buf, n, f) reads at most n-1 characters and NUL-terminates,
+	// so the length of the attacker data it writes is provably in
+	// [0, n-1] — the libc model every later strlen/strcpy of this
+	// content inherits through the interval environment.
+	if ctx.Callee == "fgets" {
+		if nArg := ctx.ResolveDeep(arg(ctx, 1)); nArg != nil {
+			if n, ok := nArg.ConstVal(); ok && n > 0 {
+				eff.Ranges = map[string]vrange.Interval{
+					LenSymName(ts.Key()): vrange.Range(0, n-1),
+				}
+			}
+		}
+	}
+	return eff
 }
 
 func (t *Tracker) modelReturningSource(ctx *symexec.CallContext) symexec.CallEffect {
@@ -759,12 +800,19 @@ func (t *Tracker) modelStrlen(ctx *symexec.CallContext) symexec.CallEffect {
 	if c == nil {
 		return symexec.CallEffect{Handled: true}
 	}
-	ret := expr.Sym(LenSymName(c.Key()))
+	lenName := LenSymName(c.Key())
+	ret := expr.Sym(lenName)
 	// The length of tainted data is itself attacker-controlled.
 	for _, ts := range c.TaintSyms() {
 		ret = expr.Bin(expr.OpOr, ret, expr.Sym(ts))
 	}
-	return symexec.CallEffect{Handled: true, Ret: ret}
+	// A string length is never negative; met with any source-model bound
+	// (fgets) this pins the symbol to [0, n-1].
+	return symexec.CallEffect{
+		Handled: true,
+		Ret:     ret,
+		Ranges:  map[string]vrange.Interval{lenName: vrange.AtLeast(0)},
+	}
 }
 
 func (t *Tracker) modelAtoi(ctx *symexec.CallContext) symexec.CallEffect {
@@ -772,11 +820,49 @@ func (t *Tracker) modelAtoi(ctx *symexec.CallContext) symexec.CallEffect {
 	if c == nil {
 		return symexec.CallEffect{Handled: true}
 	}
-	ret := expr.Sym("atoi_" + expr.Hash(c.Key()))
+	name := "atoi_" + expr.Hash(c.Key())
+	ret := expr.Sym(name)
 	for _, ts := range c.TaintSyms() {
 		ret = expr.Bin(expr.OpOr, ret, expr.Sym(ts))
 	}
-	return symexec.CallEffect{Handled: true, Ret: ret}
+	eff := symexec.CallEffect{Handled: true, Ret: ret}
+	// strtol-family range model: when the input string's length is
+	// already bounded (e.g. it came from fgets) and the base is a known
+	// constant, the parsed magnitude is below base^len.
+	base := int64(10)
+	if ctx.Callee == "strtol" || ctx.Callee == "strtoul" {
+		base = 0
+		if b := arg(ctx, 2); b != nil {
+			if v, okC := ctx.ResolveDeep(b).ConstVal(); okC && v >= 2 && v <= 36 {
+				base = v
+			}
+		}
+	}
+	if base > 0 {
+		if lenIv, ok := ctx.RangeOf(LenSymName(c.Key())); ok && lenIv.Bounded() && lenIv.Hi >= 0 {
+			if mag, okP := powCapped(base, lenIv.Hi); okP {
+				iv := vrange.Range(-(mag - 1), mag-1)
+				if ctx.Callee == "strtoul" {
+					iv = vrange.Range(0, mag-1)
+				}
+				eff.Ranges = map[string]vrange.Interval{name: iv}
+			}
+		}
+	}
+	return eff
+}
+
+// powCapped computes base^exp, reporting failure once the result leaves
+// the 32-bit value domain (an unbounded parse).
+func powCapped(base, exp int64) (int64, bool) {
+	v := int64(1)
+	for i := int64(0); i < exp; i++ {
+		v *= base
+		if v > vrange.DomainMax {
+			return 0, false
+		}
+	}
+	return v, true
 }
 
 // modelStrchr treats strchr(s, ';') as a command-separator guard on s.
@@ -889,27 +975,43 @@ func (t *Tracker) EndFunction(sum *symexec.Summary) {
 		})
 	}
 
+	// Narrowing stores of tainted lengths (CWE-197): a strlen result
+	// squeezed through a 1-byte store silently drops the high bits any
+	// later bound check would have rejected. Staged in both vrange modes
+	// so path discovery is mode-independent; only the verdict differs.
+	for _, dp := range sum.DefPairs {
+		if dp.Size != 1 || dp.U == nil || !dp.U.ContainsTaint() || !mentionsLenSym(dp.U) {
+			continue
+		}
+		t.observe(sinkObs{
+			class: ClassLengthTruncation, sink: "narrow-store", addr: dp.Addr,
+			taint: dp.U, guard: dp.U,
+		})
+	}
+
 	for _, o := range t.obs {
 		switch {
 		case o.taint.ContainsTaint():
+			v := t.checkObs(o, sum)
 			f := Finding{
-				Class:     o.class,
+				Class:     v.class,
 				Sink:      o.sink,
 				SinkFunc:  sinkFuncOf(o, sum.Func),
 				SinkAddr:  o.addr,
 				TaintExpr: o.taint,
 				GuardExpr: o.guard,
 				Path:      o.path,
+				Sanitized: v.sanitized,
+				Evidence:  v.evidence,
 			}
 			f.Source, f.SourceAddr = primarySource(o.taint)
-			f.Sanitized = t.isSanitized(o, sum)
 			t.findings = append(t.findings, f)
 		case isArgRooted(o.taint) || readsGlobal(o.taint):
 			// A check performed below this point (in this function or a
 			// callee) sanitizes the path no matter where the taint enters;
 			// evaluate it now, while the local length-symbol names still
 			// match (ReplaceFormalArgs cannot rewrite hashed names).
-			guarded := o.guarded || t.isSanitized(o, sum)
+			guarded := o.guarded || t.checkObs(o, sum).sanitized
 			t.pendings[sum.Func] = append(t.pendings[sum.Func], PendingSink{
 				Class:       o.class,
 				Sink:        o.sink,
@@ -1038,26 +1140,324 @@ func mentionsAny(e *expr.Expr, marks map[string]bool) bool {
 	return false
 }
 
-// isSanitized applies the paper's two constraint-expression checks.
-func (t *Tracker) isSanitized(o sinkObs, sum *symexec.Summary) bool {
-	if o.guarded {
-		return true
-	}
+// verdict is the outcome of one sanitization check together with the
+// constraint/interval evidence chain behind it.
+type verdict struct {
+	sanitized bool
+	class     Class
+	evidence  []string
+}
+
+// checkObs decides one observation's verdict: the interval-aware checks
+// by default, the legacy constraint checks under the vrange ablation.
+// Both modes see the same observations — only Sanitized and the finding
+// class may differ between them, never which paths are discovered.
+func (t *Tracker) checkObs(o sinkObs, sum *symexec.Summary) verdict {
 	all := make([]symexec.Constraint, 0, len(sum.Constraints)+len(o.carried))
 	all = append(all, sum.Constraints...)
 	all = append(all, o.carried...)
-	switch o.class {
-	case ClassCommandInjection:
-		return commandGuarded(o, all) || t.obsGuarded(o)
+	switch {
+	case o.class == ClassCommandInjection:
+		v := verdict{class: o.class}
+		if o.guarded || commandGuarded(o, all) || t.obsGuarded(o) {
+			v.sanitized = true
+			v.evidence = append(v.evidence,
+				"command separator ';' checked on the tainted data")
+		}
+		return v
+	case o.class == ClassLengthTruncation:
+		return t.checkTruncation(o, sum)
+	case t.noVRange:
+		v := verdict{class: o.class, sanitized: o.guarded || legacyOverflowGuarded(o, all)}
+		return v
 	default:
-		return overflowGuarded(o, all)
+		return t.checkOverflow(o, sum, all)
 	}
 }
 
-// overflowGuarded: a buffer-overflow path is sanitized when some magnitude
-// comparison (n < 64, n < y) constrains the tainted length/content — EQ/NE
-// checks (NUL scans) do not bound a copy size.
-func overflowGuarded(o sinkObs, cs []symexec.Constraint) bool {
+// checkOverflow is the interval-aware buffer-overflow check: a bound
+// sanitizes only when the proven maximum of the copied length stays
+// strictly below the destination capacity for NUL-terminating copies
+// (`<=` at exact capacity is the off-by-one class), or at most equal for
+// explicit-length copies.
+func (t *Tracker) checkOverflow(o sinkObs, sum *symexec.Summary, cs []symexec.Constraint) verdict {
+	v := verdict{class: o.class}
+	if o.guarded {
+		v.sanitized = true
+		v.evidence = append(v.evidence, "bound established below the sink")
+		return v
+	}
+	if o.guard == nil {
+		v.evidence = append(v.evidence, "no bound can apply to this sink")
+		return v
+	}
+	nul := nulTerminating(o.sink)
+	// An intrinsic copy bound (scanf conversion width, snprintf size)
+	// decides directly against the destination capacity.
+	if o.boundHint > 0 && o.dstCap > 0 {
+		switch {
+		case o.boundHint <= o.dstCap:
+			v.sanitized = true
+			v.evidence = append(v.evidence, fmt.Sprintf(
+				"intrinsic copy bound %d fits capacity %d", o.boundHint, o.dstCap))
+		case o.boundHint == o.dstCap+1:
+			v.class = ClassOffByOne
+			v.evidence = append(v.evidence, fmt.Sprintf(
+				"intrinsic copy bound %d overruns capacity %d by exactly one byte",
+				o.boundHint, o.dstCap))
+		default:
+			v.evidence = append(v.evidence, fmt.Sprintf(
+				"intrinsic copy bound %d exceeds capacity %d", o.boundHint, o.dstCap))
+		}
+		return v
+	}
+	if o.sink == "loop" {
+		if loopGuarded(cs) {
+			v.sanitized = true
+			v.evidence = append(v.evidence, "loop trip count bounded by a small constant")
+		}
+		return v
+	}
+	env := t.obsEnv(o, sum)
+	if o.dstCap > 0 {
+		if nul {
+			// The copy writes strlen(content)+1 bytes: the proven length
+			// bound must leave room for the NUL terminator.
+			if ub, ok := contentLenBound(o.guard, env); ok {
+				switch {
+				case ub < o.dstCap:
+					v.sanitized = true
+					v.evidence = append(v.evidence, fmt.Sprintf(
+						"strlen(content) <= %d proven, +NUL fits capacity %d", ub, o.dstCap))
+					return v
+				case ub == o.dstCap:
+					v.class = ClassOffByOne
+					v.evidence = append(v.evidence, fmt.Sprintf(
+						"strlen(content) <= %d proven: the NUL terminator lands one byte past capacity %d",
+						ub, o.dstCap))
+					return v
+				default:
+					v.evidence = append(v.evidence, fmt.Sprintf(
+						"proven length bound %d exceeds capacity %d", ub, o.dstCap))
+				}
+			}
+		} else if ub, ok := vrange.MaxValueEnv(o.guard, env); ok {
+			// Explicit-length copy: a length of exactly the capacity fits.
+			if ub <= o.dstCap {
+				v.sanitized = true
+				v.evidence = append(v.evidence, fmt.Sprintf(
+					"copy length bounded by %d, fits capacity %d", ub, o.dstCap))
+				return v
+			}
+			v.evidence = append(v.evidence, fmt.Sprintf(
+				"copy length bound %d exceeds capacity %d", ub, o.dstCap))
+		}
+	}
+	// Constraint scan: symbolic bounds and comparisons the interval
+	// derivation cannot express (unknown capacities, symbolic caps).
+	marks := guardMarks(o)
+	for _, c := range cs {
+		if !isMagnitude(c.Cond) {
+			continue
+		}
+		var other *expr.Expr
+		switch {
+		case sideMarked(c.L, marks):
+			other = c.R
+		case sideMarked(c.R, marks):
+			other = c.L
+		default:
+			continue
+		}
+		if b, okC := other.ConstVal(); okC {
+			switch {
+			case o.dstCap == 0:
+				v.sanitized = true
+				v.evidence = append(v.evidence, fmt.Sprintf(
+					"magnitude check against %d at %#x (capacity unknown)", b, c.Addr))
+				return v
+			case nul && b == o.dstCap:
+				v.class = ClassOffByOne
+				v.evidence = append(v.evidence, fmt.Sprintf(
+					"guard at %#x admits length == capacity %d: `<=` check is off by one",
+					c.Addr, o.dstCap))
+				return v
+			case (nul && b < o.dstCap) || (!nul && b <= o.dstCap):
+				v.sanitized = true
+				v.evidence = append(v.evidence, fmt.Sprintf(
+					"constant bound %d at %#x fits capacity %d", b, c.Addr, o.dstCap))
+				return v
+			}
+			continue
+		}
+		v.sanitized = true
+		v.evidence = append(v.evidence, fmt.Sprintf(
+			"symbolic bound %s at %#x", other, c.Addr))
+		return v
+	}
+	v.evidence = append(v.evidence, "no sanitizing bound on the tainted data")
+	return v
+}
+
+// checkTruncation decides a narrowing-store observation: the store is
+// safe only when the stored length provably fits one byte. The ablation
+// cannot judge narrowing stores and marks them all sanitized, restoring
+// the pre-interval vulnerable set.
+func (t *Tracker) checkTruncation(o sinkObs, sum *symexec.Summary) verdict {
+	v := verdict{class: ClassLengthTruncation}
+	if t.noVRange {
+		v.sanitized = true
+		return v
+	}
+	env := t.obsEnv(o, sum)
+	// A structurally masked store (AND 0x7F before STRB) bounds the
+	// whole stored value regardless of the length's own range.
+	if iv := vrange.OfExpr(o.taint, env); iv.Bounded() && iv.Lo >= 0 && iv.Hi <= 0xFF {
+		v.sanitized = true
+		v.evidence = append(v.evidence, fmt.Sprintf(
+			"stored value in %s fits the 1-byte store", iv))
+		return v
+	}
+	// Otherwise bound the length symbols themselves (the OR-combined
+	// taint bookkeeping hides the value from the structural walk).
+	lens := lenComponents(o.taint)
+	if len(lens) > 0 {
+		var hi int64
+		for _, c := range lens {
+			civ := vrange.OfExpr(c, env)
+			if !civ.Bounded() || civ.Hi > 0xFF {
+				v.evidence = append(v.evidence, fmt.Sprintf(
+					"tainted length %s has range %s: truncated by the 1-byte store", c, civ))
+				return v
+			}
+			if civ.Hi > hi {
+				hi = civ.Hi
+			}
+		}
+		v.sanitized = true
+		v.evidence = append(v.evidence, fmt.Sprintf(
+			"stored length <= %d fits the 1-byte store", hi))
+		return v
+	}
+	v.evidence = append(v.evidence, "tainted length narrowed with no proven bound")
+	return v
+}
+
+// obsEnv assembles the interval environment for one observation: the
+// function's proven ranges, met with bounds re-derived from the
+// constraints a pending sink carried up from callees (the carried
+// expressions were already substituted into this function's namespace,
+// so formal-argument bounds arrive here expressed over the actuals).
+func (t *Tracker) obsEnv(o sinkObs, sum *symexec.Summary) vrange.Env {
+	if len(o.carried) == 0 {
+		return vrange.Env(sum.Ranges)
+	}
+	carried := symexec.DeriveRanges(o.carried, nil)
+	if len(carried) == 0 {
+		return vrange.Env(sum.Ranges)
+	}
+	env := make(vrange.Env, len(sum.Ranges)+len(carried))
+	for k, iv := range sum.Ranges {
+		env[k] = iv
+	}
+	for k, iv := range carried {
+		if old, ok := env[k]; ok {
+			iv = old.Meet(iv)
+		}
+		env[k] = iv
+	}
+	return env
+}
+
+// contentLenBound returns the proven upper bound of strlen(content) for
+// a NUL-terminating copy: every OR-combined alternative of the content
+// must have a bounded length symbol, and the weakest bound wins.
+func contentLenBound(guard *expr.Expr, env vrange.Env) (int64, bool) {
+	comps := orComps(guard)
+	if len(comps) == 0 {
+		return 0, false
+	}
+	best := int64(-1)
+	for _, c := range comps {
+		iv := vrange.OfExpr(expr.Sym(LenSymName(c.Key())), env)
+		if !iv.Bounded() {
+			return 0, false
+		}
+		if iv.Hi > best {
+			best = iv.Hi
+		}
+	}
+	return best, true
+}
+
+// nulTerminating lists the sinks whose copy writes strlen(content)+1
+// bytes: a proven bound equal to the capacity still overflows by the
+// NUL terminator, so these take the strict `<` comparison. Explicit-
+// length sinks (memcpy, strncpy, strncat, snprintf) write at most their
+// length argument and keep `<=`.
+func nulTerminating(sink string) bool {
+	switch sink {
+	case "strcpy", "strcat", "sprintf", "sscanf", "gets":
+		return true
+	}
+	return false
+}
+
+// orComps splits an OR-combined expression into components.
+func orComps(e *expr.Expr) []*expr.Expr {
+	if e == nil {
+		return nil
+	}
+	if op, x, y, ok := e.BinOperands(); ok && op == expr.OpOr {
+		return append(orComps(x), orComps(y)...)
+	}
+	return []*expr.Expr{e}
+}
+
+// lenComponents returns the strlen-result symbols among e's OR
+// components.
+func lenComponents(e *expr.Expr) []*expr.Expr {
+	var out []*expr.Expr
+	for _, c := range orComps(e) {
+		if name, ok := c.SymName(); ok && strings.HasPrefix(name, "len_") {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// mentionsLenSym reports whether e mentions a strlen-result symbol.
+func mentionsLenSym(e *expr.Expr) bool {
+	for _, s := range e.Syms() {
+		if strings.HasPrefix(s, "len_") {
+			return true
+		}
+	}
+	return false
+}
+
+// guardMarks collects the symbol/key marks a sanitizing constraint must
+// touch to count for this observation.
+func guardMarks(o sinkObs) map[string]bool {
+	marks := map[string]bool{o.guard.Key(): true}
+	marks[LenSymName(o.guard.Key())] = true
+	for _, s := range o.guard.TaintSyms() {
+		marks[s] = true
+	}
+	for _, s := range o.taint.TaintSyms() {
+		marks[s] = true
+	}
+	return marks
+}
+
+// legacyOverflowGuarded is the pre-interval buffer-overflow check, kept
+// verbatim for the `-ablate vrange` mode: a path is sanitized when some
+// magnitude comparison (n < 64, n < y) constrains the tainted
+// length/content — EQ/NE checks (NUL scans) do not bound a copy size.
+// Note the `<=` comparisons against the capacity: the ablation
+// deliberately retains the off-by-one acceptance the interval domain
+// fixes.
+func legacyOverflowGuarded(o sinkObs, cs []symexec.Constraint) bool {
 	if o.guard == nil {
 		return false
 	}
@@ -1069,18 +1469,11 @@ func overflowGuarded(o sinkObs, cs []symexec.Constraint) bool {
 	// A structurally bounded copy length (masked or shifted) that fits
 	// the destination cannot overflow it, tainted or not.
 	if o.dstCap > 0 {
-		if b, ok := expr.MaxValue(o.guard); ok && b <= o.dstCap {
+		if b, ok := vrange.MaxValue(o.guard); ok && b <= o.dstCap {
 			return true
 		}
 	}
-	marks := map[string]bool{o.guard.Key(): true}
-	marks[LenSymName(o.guard.Key())] = true
-	for _, s := range o.guard.TaintSyms() {
-		marks[s] = true
-	}
-	for _, s := range o.taint.TaintSyms() {
-		marks[s] = true
-	}
+	marks := guardMarks(o)
 	if o.sink == "loop" {
 		return loopGuarded(cs)
 	}

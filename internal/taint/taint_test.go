@@ -78,28 +78,73 @@ func TestOverflowGuardRules(t *testing.T) {
 	obs := sinkObs{class: ClassBufferOverflow, sink: "memcpy", addr: 1, taint: taintE, guard: taintE}
 
 	// No constraints: unsanitized.
-	if overflowGuarded(obs, nil) {
+	if legacyOverflowGuarded(obs, nil) {
 		t.Fatal("no constraints but guarded")
 	}
 	// EQ/NE checks (NUL scans) do not bound a copy.
 	eq := []symexec.Constraint{{L: taintE, R: expr.Const(0), Cond: isa.CondEQ}}
-	if overflowGuarded(obs, eq) {
+	if legacyOverflowGuarded(obs, eq) {
 		t.Fatal("EQ check treated as bound")
 	}
 	// A magnitude comparison on the tainted value sanitizes.
 	lt := []symexec.Constraint{{L: taintE, R: expr.Const(64), Cond: isa.CondLT}}
-	if !overflowGuarded(obs, lt) {
+	if !legacyOverflowGuarded(obs, lt) {
 		t.Fatal("LT bound not recognized")
 	}
 	// A comparison of the length symbol also sanitizes.
 	lenC := []symexec.Constraint{{L: expr.Sym(LenSymName(taintE.Key())), R: expr.Const(64), Cond: isa.CondGE}}
-	if !overflowGuarded(obs, lenC) {
+	if !legacyOverflowGuarded(obs, lenC) {
 		t.Fatal("strlen bound not recognized")
 	}
 	// Constraints on unrelated values do not sanitize.
 	other := []symexec.Constraint{{L: expr.Sym("other"), R: expr.Const(64), Cond: isa.CondLT}}
-	if overflowGuarded(obs, other) {
+	if legacyOverflowGuarded(obs, other) {
 		t.Fatal("unrelated constraint treated as guard")
+	}
+}
+
+// TestOffByOneBoundaryGuard is the regression test for the `<=` blunder
+// the interval domain fixes: a guard admitting length == capacity on a
+// NUL-terminating copy (`if (n > 152) reject` before strcpy into a
+// 152-byte buffer) still overflows by the terminator byte. The default
+// checks classify it off-by-one and unsanitized; one byte of slack
+// (n < 152) sanitizes; the legacy ablation check deliberately keeps the
+// old `<=` acceptance.
+func TestOffByOneBoundaryGuard(t *testing.T) {
+	tr := NewTracker()
+	tr.BeginFunction("handler")
+	taintE := expr.Sym(expr.TaintName("recv", 0x100))
+	obs := sinkObs{class: ClassBufferOverflow, sink: "strcpy", addr: 1,
+		taint: taintE, guard: taintE, dstCap: 152}
+
+	le := &symexec.Summary{Func: "handler", Constraints: []symexec.Constraint{
+		{L: taintE, R: expr.Const(152), Cond: isa.CondLE, Addr: 0x40},
+	}}
+	v := tr.checkObs(obs, le)
+	if v.sanitized || v.class != ClassOffByOne {
+		t.Fatalf("n <= 152 into cap 152: got sanitized=%v class=%v, want off-by-one finding", v.sanitized, v.class)
+	}
+	if len(v.evidence) == 0 {
+		t.Fatal("off-by-one verdict carries no evidence")
+	}
+
+	lt := &symexec.Summary{Func: "handler", Constraints: []symexec.Constraint{
+		{L: taintE, R: expr.Const(151), Cond: isa.CondLE, Addr: 0x40},
+	}}
+	if v := tr.checkObs(obs, lt); !v.sanitized {
+		t.Fatalf("n <= 151 into cap 152 must sanitize, got %+v", v)
+	}
+
+	// Explicit-length sinks (memcpy) legitimately fill the whole buffer.
+	memObs := obs
+	memObs.sink = "memcpy"
+	if v := tr.checkObs(memObs, le); !v.sanitized {
+		t.Fatalf("memcpy of <= 152 into cap 152 must sanitize, got %+v", v)
+	}
+
+	// The ablation keeps the historical acceptance.
+	if !legacyOverflowGuarded(obs, le.Constraints) {
+		t.Fatal("legacy check must keep the <= acceptance under -ablate vrange")
 	}
 }
 

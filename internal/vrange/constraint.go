@@ -1,0 +1,81 @@
+package vrange
+
+import (
+	"dtaint/internal/expr"
+	"dtaint/internal/isa"
+)
+
+// FromConstraint turns one branch constraint `l cond r` into an interval
+// fact about a single expression: the returned key identifies the
+// constrained expression (its canonical Key) and iv is the set of values
+// it can take on the path where the constraint holds. ok is false when
+// the constraint does not shape up as "expression versus constant" —
+// two symbolic sides, two constants, or a condition (NE, AL) that an
+// interval cannot represent usefully.
+//
+// Base-plus-offset forms are shifted onto the base: `(n+1) <= cap`
+// yields n <= cap-1, so the guard idiom `if (len+1 > sizeof buf) reject`
+// still bounds len itself.
+//
+// Note symexec records the constraints of *both* branch directions
+// (taken and fall-through are different paths); callers must therefore
+// treat each derived interval as evidence about its own path, keeping
+// upper-bound evidence (iv.Bounded()) for sanitization, never meeting
+// intervals across sibling paths.
+func FromConstraint(l, r *expr.Expr, cond isa.Cond) (key string, iv Interval, ok bool) {
+	if l == nil || r == nil {
+		return "", Interval{}, false
+	}
+	c, rConst := r.ConstVal()
+	if !rConst {
+		// Maybe the constant is on the left: flip operands and mirror
+		// the condition (c < n  ⇔  n > c).
+		lc, lConst := l.ConstVal()
+		if !lConst {
+			return "", Interval{}, false
+		}
+		l, c = r, lc
+		cond = mirror(cond)
+	} else if _, alsoConst := l.ConstVal(); alsoConst {
+		return "", Interval{}, false
+	}
+	base, off, okBase := l.BasePlusOffset()
+	if !okBase || base == nil {
+		return "", Interval{}, false
+	}
+	c -= off
+	switch cond {
+	case isa.CondEQ:
+		iv = Point(c)
+	case isa.CondLT:
+		iv = AtMost(c - 1)
+	case isa.CondLE:
+		iv = AtMost(c)
+	case isa.CondGT:
+		iv = AtLeast(c + 1)
+	case isa.CondGE:
+		iv = AtLeast(c)
+	default: // NE, AL: no single-interval meaning
+		return "", Interval{}, false
+	}
+	if iv.IsBottom() {
+		return "", Interval{}, false
+	}
+	return base.Key(), iv, true
+}
+
+// mirror swaps the operand order of a comparison: `c cond n` holds iff
+// `n mirror(cond) c` does.
+func mirror(cond isa.Cond) isa.Cond {
+	switch cond {
+	case isa.CondLT:
+		return isa.CondGT
+	case isa.CondGT:
+		return isa.CondLT
+	case isa.CondLE:
+		return isa.CondGE
+	case isa.CondGE:
+		return isa.CondLE
+	}
+	return cond
+}

@@ -1,0 +1,132 @@
+package vrange
+
+import "dtaint/internal/expr"
+
+// Env maps expression keys (symbol names, deref keys) to proven
+// intervals. OfExpr consults it for leaves it cannot bound structurally.
+type Env map[string]Interval
+
+// ofExprDepth caps the structural walk, mirroring the old
+// expr.MaxValue recursion limit.
+const ofExprDepth = 16
+
+// OfExpr evaluates e in the interval domain under env. Constants bound
+// themselves, masks bound by the mask (firmware length fields are
+// routinely masked, e.g. Figure 3's `AND R10, R3, #7`), shifts scale
+// bounds, and sums/products of bounded terms combine. The env is
+// consulted at every node by expression key — symbol names, deref keys,
+// and whole-expression keys (callee return values carry facts under
+// their instantiated expression key) — and env facts are met with the
+// structural bound, both being true of the same value. The result is a
+// sound over-approximation of the concrete 32-bit value whenever env is.
+func OfExpr(e *expr.Expr, env Env) Interval {
+	return ofExpr(e, env, 0)
+}
+
+func ofExpr(e *expr.Expr, env Env, depth int) Interval {
+	if e == nil || depth > ofExprDepth {
+		return Top()
+	}
+	s := structural(e, env, depth)
+	if env != nil {
+		if iv, ok := env[e.Key()]; ok {
+			s = s.Meet(iv)
+		}
+	}
+	return s
+}
+
+// structural is the purely syntactic half of ofExpr: leaves other than
+// constants are Top (their env facts are applied by the caller).
+func structural(e *expr.Expr, env Env, depth int) Interval {
+	if v, ok := e.ConstVal(); ok {
+		return Point(v)
+	}
+	op, x, y, ok := e.BinOperands()
+	if !ok {
+		return Top() // symbol or deref: env-only
+	}
+	a := ofExpr(x, env, depth+1)
+	b := ofExpr(y, env, depth+1)
+	switch op {
+	case expr.OpAdd:
+		if a.IsBottom() || b.IsBottom() {
+			return Bottom()
+		}
+		return Range(a.Lo+b.Lo, a.Hi+b.Hi)
+	case expr.OpSub:
+		if a.IsBottom() || b.IsBottom() {
+			return Bottom()
+		}
+		return Range(a.Lo-b.Hi, a.Hi-b.Lo)
+	case expr.OpMul:
+		if nonNegBounded(a) && nonNegBounded(b) && a.Hi < (1<<31) && b.Hi < (1<<31) {
+			return Range(a.Lo*b.Lo, a.Hi*b.Hi)
+		}
+	case expr.OpAnd:
+		// x & mask lies in [0, mask] for a non-negative mask no matter
+		// what x is; a tighter non-negative bound on x wins.
+		if m, ok := y.ConstVal(); ok && m >= 0 {
+			hi := m
+			if nonNegBounded(a) && a.Hi < hi {
+				hi = a.Hi
+			}
+			return Range(0, hi)
+		}
+		if m, ok := x.ConstVal(); ok && m >= 0 {
+			hi := m
+			if nonNegBounded(b) && b.Hi < hi {
+				hi = b.Hi
+			}
+			return Range(0, hi)
+		}
+		if nonNegBounded(a) && nonNegBounded(b) {
+			hi := a.Hi
+			if b.Hi < hi {
+				hi = b.Hi
+			}
+			return Range(0, hi)
+		}
+	case expr.OpOr, expr.OpXor:
+		// Both stay under the sum of the operand bounds (a coarse but
+		// simple bound; OR is at most the next power of two minus one).
+		if nonNegBounded(a) && nonNegBounded(b) {
+			return Range(0, a.Hi+b.Hi)
+		}
+	case expr.OpShl:
+		if sh, ok := y.ConstVal(); ok && sh >= 0 && sh < 32 && nonNegBounded(a) && a.Hi < (1<<31) {
+			return Range(a.Lo<<uint(sh), a.Hi<<uint(sh))
+		}
+	case expr.OpShr:
+		if sh, ok := y.ConstVal(); ok && sh >= 0 && sh < 63 && nonNegBounded(a) {
+			return Range(a.Lo>>uint(sh), a.Hi>>uint(sh))
+		}
+	}
+	return Top()
+}
+
+func nonNegBounded(i Interval) bool { return i.Bounded() && i.Lo >= 0 }
+
+// MaxValue computes a structural upper bound for a non-negative
+// expression, when one exists. It is the thin compatibility wrapper over
+// OfExpr that replaces the former expr.MaxValue: constants bound
+// themselves, AND with a constant mask bounds by the mask, right shifts
+// divide the bound, and sums/products of bounded terms combine. Symbolic
+// values are unbounded. ok is false when no bound can be derived.
+func MaxValue(e *expr.Expr) (int64, bool) {
+	iv := OfExpr(e, nil)
+	if !iv.Bounded() || iv.Lo < 0 {
+		return 0, false
+	}
+	return iv.Hi, true
+}
+
+// MaxValueEnv is MaxValue with proven ranges for leaves: the upper bound
+// of e under env, when one exists.
+func MaxValueEnv(e *expr.Expr, env Env) (int64, bool) {
+	iv := OfExpr(e, env)
+	if !iv.Bounded() {
+		return 0, false
+	}
+	return iv.Hi, true
+}

@@ -1,0 +1,185 @@
+// Package vrange implements the interval abstract domain DTaint uses to
+// give numeric meaning to sanitization checks (Section IV of the paper).
+//
+// The domain abstracts 32-bit machine values as closed intervals
+// [Lo, Hi] of int64, clamped to the span a 32-bit register can denote
+// under either signedness interpretation: DomainMin = -2^31 (most
+// negative signed value) through DomainMax = 2^32-1 (largest unsigned
+// value). The lattice has the usual shape: Bottom (empty set) at the
+// foot, Top (the full span) at the head, Join = interval hull,
+// Meet = intersection. Widen jumps unstable bounds straight to the
+// domain edge so that loop-head iteration terminates after one widening
+// step per bound.
+//
+// Intervals flow into the analysis from three sides: branch constraints
+// recorded by symexec ("CMP n, #151; BGT reject" proves n <= 151 on the
+// fall-through path), libc models (fgets never writes more than n-1
+// content bytes), and structural mask/shift bounds (the former
+// expr.MaxValue, now the OfExpr walker in this package).
+package vrange
+
+// Domain edges: everything a 32-bit register can denote, signed or
+// unsigned.
+const (
+	DomainMin int64 = -(1 << 31)
+	DomainMax int64 = (1 << 32) - 1
+)
+
+// Interval is a closed interval [Lo, Hi] over the 32-bit domain span.
+// Lo > Hi encodes Bottom (the empty set). The zero value is the point
+// interval [0, 0]; use Bottom()/Top() for the lattice extremes.
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Bottom returns the empty interval (unreachable / contradictory facts).
+func Bottom() Interval { return Interval{Lo: 1, Hi: 0} }
+
+// Top returns the full domain span (no information).
+func Top() Interval { return Interval{Lo: DomainMin, Hi: DomainMax} }
+
+// Point returns the singleton interval {v}, clamped to the domain.
+func Point(v int64) Interval { return Range(v, v) }
+
+// Range returns [lo, hi] clamped to the domain span; an empty input
+// (lo > hi) normalizes to Bottom.
+func Range(lo, hi int64) Interval {
+	if lo > hi {
+		return Bottom()
+	}
+	if lo < DomainMin {
+		lo = DomainMin
+	}
+	if hi > DomainMax {
+		hi = DomainMax
+	}
+	if lo > hi { // the clamp emptied the interval
+		return Bottom()
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// AtMost returns [DomainMin, hi]: pure upper-bound evidence, the form a
+// branch constraint such as `n <= 151` contributes.
+func AtMost(hi int64) Interval { return Range(DomainMin, hi) }
+
+// AtLeast returns [lo, DomainMax]: pure lower-bound evidence.
+func AtLeast(lo int64) Interval { return Range(lo, DomainMax) }
+
+// IsBottom reports whether the interval is empty.
+func (i Interval) IsBottom() bool { return i.Lo > i.Hi }
+
+// IsTop reports whether the interval carries no information.
+func (i Interval) IsTop() bool { return i.Lo <= DomainMin && i.Hi >= DomainMax }
+
+// Bounded reports whether the interval supplies a usable upper bound:
+// non-empty and with Hi strictly inside the domain. Lower-bound-only
+// facts (`n > 4`) are not Bounded — they can never prove a copy fits.
+func (i Interval) Bounded() bool { return !i.IsBottom() && i.Hi < DomainMax }
+
+// Contains reports whether v lies in the interval.
+func (i Interval) Contains(v int64) bool { return !i.IsBottom() && i.Lo <= v && v <= i.Hi }
+
+// Eq reports lattice equality: all Bottom representations are equal.
+func (i Interval) Eq(o Interval) bool {
+	if i.IsBottom() || o.IsBottom() {
+		return i.IsBottom() && o.IsBottom()
+	}
+	return i.Lo == o.Lo && i.Hi == o.Hi
+}
+
+// Join returns the least upper bound (interval hull).
+func (i Interval) Join(o Interval) Interval {
+	if i.IsBottom() {
+		return o
+	}
+	if o.IsBottom() {
+		return i
+	}
+	lo, hi := i.Lo, i.Hi
+	if o.Lo < lo {
+		lo = o.Lo
+	}
+	if o.Hi > hi {
+		hi = o.Hi
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Meet returns the greatest lower bound (intersection).
+func (i Interval) Meet(o Interval) Interval {
+	if i.IsBottom() || o.IsBottom() {
+		return Bottom()
+	}
+	lo, hi := i.Lo, i.Hi
+	if o.Lo > lo {
+		lo = o.Lo
+	}
+	if o.Hi < hi {
+		hi = o.Hi
+	}
+	if lo > hi {
+		return Bottom()
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Widen returns the standard interval widening of i by o: any bound of o
+// that escapes i jumps to the domain edge. Used at loop heads, where a
+// bound that moved between iterations must be assumed unstable; a bound
+// that held still is kept. Widen(i, o) always contains Join(i, o), and
+// iterating x = Widen(x, next) stabilizes after at most two steps.
+func (i Interval) Widen(o Interval) Interval {
+	if i.IsBottom() {
+		return o
+	}
+	if o.IsBottom() {
+		return i
+	}
+	lo, hi := i.Lo, i.Hi
+	if o.Lo < lo {
+		lo = DomainMin
+	}
+	if o.Hi > hi {
+		hi = DomainMax
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// String formats the interval for evidence chains and diagnostics.
+func (i Interval) String() string {
+	switch {
+	case i.IsBottom():
+		return "⊥"
+	case i.IsTop():
+		return "⊤"
+	case i.Lo <= DomainMin:
+		return "[..," + itoa(i.Hi) + "]"
+	case i.Hi >= DomainMax:
+		return "[" + itoa(i.Lo) + ",..]"
+	}
+	return "[" + itoa(i.Lo) + "," + itoa(i.Hi) + "]"
+}
+
+func itoa(v int64) string {
+	// Small local formatter keeps the hot path allocation-light.
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	p := len(buf)
+	for v > 0 {
+		p--
+		buf[p] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		p--
+		buf[p] = '-'
+	}
+	return string(buf[p:])
+}

@@ -1,0 +1,188 @@
+package vrange
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Generate produces a mix of Bottom, Top, points, half-bounded and
+// proper intervals so the lattice laws are exercised across the whole
+// domain, not just well-behaved finite boxes.
+func (Interval) Generate(r *rand.Rand, _ int) reflect.Value {
+	var iv Interval
+	switch r.Intn(6) {
+	case 0:
+		iv = Bottom()
+	case 1:
+		iv = Top()
+	case 2:
+		iv = Point(randVal(r))
+	case 3:
+		iv = AtMost(randVal(r))
+	case 4:
+		iv = AtLeast(randVal(r))
+	default:
+		a, b := randVal(r), randVal(r)
+		if a > b {
+			a, b = b, a
+		}
+		iv = Range(a, b)
+	}
+	return reflect.ValueOf(iv)
+}
+
+func randVal(r *rand.Rand) int64 {
+	switch r.Intn(4) {
+	case 0:
+		return DomainMin
+	case 1:
+		return DomainMax
+	case 2:
+		return int64(r.Intn(512)) - 256
+	}
+	return r.Int63n(DomainMax-DomainMin) + DomainMin
+}
+
+func qc(t *testing.T, name string, f interface{}) {
+	t.Helper()
+	t.Run(name, func(t *testing.T) {
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// leq is the lattice partial order: a ⊑ b iff a ⊆ b.
+func leq(a, b Interval) bool {
+	if a.IsBottom() {
+		return true
+	}
+	if b.IsBottom() {
+		return false
+	}
+	return b.Lo <= a.Lo && a.Hi <= b.Hi
+}
+
+func TestLatticeLaws(t *testing.T) {
+	qc(t, "join commutative", func(a, b Interval) bool { return a.Join(b).Eq(b.Join(a)) })
+	qc(t, "meet commutative", func(a, b Interval) bool { return a.Meet(b).Eq(b.Meet(a)) })
+	qc(t, "join associative", func(a, b, c Interval) bool {
+		return a.Join(b).Join(c).Eq(a.Join(b.Join(c)))
+	})
+	qc(t, "meet associative", func(a, b, c Interval) bool {
+		return a.Meet(b).Meet(c).Eq(a.Meet(b.Meet(c)))
+	})
+	qc(t, "join idempotent", func(a Interval) bool { return a.Join(a).Eq(a) })
+	qc(t, "meet idempotent", func(a Interval) bool { return a.Meet(a).Eq(a) })
+	qc(t, "absorption", func(a, b Interval) bool {
+		return a.Join(a.Meet(b)).Eq(a) && a.Meet(a.Join(b)).Eq(a)
+	})
+	qc(t, "bottom is join identity", func(a Interval) bool { return a.Join(Bottom()).Eq(a) })
+	qc(t, "top is meet identity", func(a Interval) bool { return a.Meet(Top()).Eq(a) })
+	qc(t, "bottom annihilates meet", func(a Interval) bool { return a.Meet(Bottom()).IsBottom() })
+	qc(t, "top annihilates join", func(a Interval) bool { return a.Join(Top()).IsTop() })
+	qc(t, "join is an upper bound", func(a, b Interval) bool {
+		j := a.Join(b)
+		return leq(a, j) && leq(b, j)
+	})
+	qc(t, "meet is a lower bound", func(a, b Interval) bool {
+		m := a.Meet(b)
+		return leq(m, a) && leq(m, b)
+	})
+	qc(t, "join is the least upper bound", func(a, b, c Interval) bool {
+		if leq(a, c) && leq(b, c) {
+			return leq(a.Join(b), c)
+		}
+		return true
+	})
+}
+
+func TestWidening(t *testing.T) {
+	qc(t, "widen covers join", func(a, b Interval) bool {
+		return leq(a.Join(b), a.Widen(b))
+	})
+	qc(t, "widen stabilizes", func(a, b, c Interval) bool {
+		// One widening step per bound: after w = a∇b, further
+		// observations inside w change nothing, and observations
+		// outside terminate at Top in one more step.
+		w := a.Widen(b)
+		w2 := w.Widen(c)
+		return w.Widen(b).Eq(w) && w2.Widen(c).Eq(w2)
+	})
+	// An unstable upper bound jumps to the domain edge, a stable one is
+	// kept: this is the loop-head policy (DESIGN.md §3.3).
+	if got := Range(0, 10).Widen(Range(0, 11)); !got.Eq(Range(0, DomainMax)) {
+		t.Fatalf("unstable Hi: got %v", got)
+	}
+	if got := Range(0, 10).Widen(Range(3, 10)); !got.Eq(Range(0, 10)) {
+		t.Fatalf("stable bounds: got %v", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	if Bottom().Contains(0) {
+		t.Fatal("bottom contains nothing")
+	}
+	if !Top().Contains(DomainMax) || !Top().Contains(DomainMin) {
+		t.Fatal("top contains everything in the domain")
+	}
+	iv := Range(3, 7)
+	for v, want := range map[int64]bool{2: false, 3: true, 5: true, 7: true, 8: false} {
+		if iv.Contains(v) != want {
+			t.Fatalf("Contains(%d) = %v", v, !want)
+		}
+	}
+}
+
+func TestClamping(t *testing.T) {
+	if got := Range(DomainMin-5, DomainMax+5); !got.Eq(Top()) {
+		t.Fatalf("Range clamps to domain: got %v", got)
+	}
+	if got := Range(5, 3); !got.IsBottom() {
+		t.Fatalf("inverted Range is Bottom: got %v", got)
+	}
+	// Hi == DomainMax means "could be anything up there": a point
+	// exactly at the edge is indistinguishable from unbounded evidence,
+	// so Bounded is false — the detector must not trust it.
+	if Point(DomainMax).Bounded() {
+		t.Fatal("point at domain edge must count as unbounded")
+	}
+}
+
+func TestBounded(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		want bool
+	}{
+		{Bottom(), false},
+		{Top(), false},
+		{AtMost(151), true},
+		{AtLeast(4), false}, // lower bounds never prove a copy fits
+		{Range(0, 255), true},
+		{Point(42), true},
+	}
+	for _, c := range cases {
+		if c.iv.Bounded() != c.want {
+			t.Fatalf("Bounded(%v) = %v, want %v", c.iv, !c.want, c.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	for _, c := range []struct {
+		iv   Interval
+		want string
+	}{
+		{Bottom(), "⊥"},
+		{Top(), "⊤"},
+		{AtMost(64), "[..,64]"},
+		{AtLeast(-3), "[-3,..]"},
+		{Range(0, 151), "[0,151]"},
+	} {
+		if got := c.iv.String(); got != c.want {
+			t.Fatalf("String(%#v) = %q, want %q", c.iv, got, c.want)
+		}
+	}
+}

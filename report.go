@@ -31,7 +31,11 @@ func (r *Report) WriteMarkdown(w io.Writer) error {
 	for i, v := range vulns {
 		pw.printf("## %d. %s: %s → %s in `%s`\n\n", i+1, v.CWE(), v.Source, v.Sink, v.SinkFunc)
 		pw.printf("- Class: %s\n", v.Class)
-		pw.printf("- Sink callsite: `%s` at `%#x`\n\n", v.Sink, v.SinkAddr)
+		pw.printf("- Sink callsite: `%s` at `%#x`\n", v.Sink, v.SinkAddr)
+		for _, ev := range v.Evidence {
+			pw.printf("- Evidence: %s\n", ev)
+		}
+		pw.printf("\n")
 		n := 0
 		for _, p := range paths {
 			if p.SinkFunc == v.SinkFunc && p.Sink == v.Sink &&

@@ -1,11 +1,12 @@
 #!/bin/sh
 # check.sh — the repository's full verification gate.
 #
-# Runs the tier-1 verify (build + tests) plus gofmt, go vet, a
+# Runs the tier-1 verify (build + tests) plus gofmt, go vet, the
+# repo-specific dtaintlint rules (determinism + nil-safe obs handles), a
 # race-enabled test pass (so the parallel bottom-up scheduler and the
-# fleet orchestrator are always race-checked), and the dtaintd smoke
-# test. Invoked by `make check`; keep CI and local runs on this single
-# path.
+# fleet orchestrator are always race-checked), the screening-corpus
+# precision/recall gate, and the dtaintd smoke test. Invoked by
+# `make check`; keep CI and local runs on this single path.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -24,8 +25,14 @@ go build ./...
 echo ">> go vet ./..."
 go vet ./...
 
+echo ">> dtaintlint ."
+go run ./cmd/dtaintlint .
+
 echo ">> go test -race ./..."
 go test -race ./...
+
+echo ">> benchtab -screen (precision/recall gate)"
+go run ./cmd/benchtab -screen -min-precision 1 -min-recall 1 -bench-out off
 
 echo ">> scripts/smoke.sh"
 ./scripts/smoke.sh
