@@ -12,7 +12,17 @@
 //	benchtab -table7            # Table VII: DTaint (parallel + sequential DDG) vs top-down baseline
 //	benchtab -ablate            # feature ablations (alias, structsim, value ranges)
 //	benchtab -fleet             # fleet orchestrator: cold vs cached image scans
+//	benchtab -corpus            # corpus-scale scans: summary store cold vs warm
 //	benchtab -screen            # precision/recall over the screening corpus
+//
+// -corpus builds an overlap corpus (many images cycling a few binary
+// variants that share a common module) and scans it four times — an
+// uncached baseline, cold, warm, and a resummarize pass that replays
+// analysis from the summary store alone. Findings must be bit-identical
+// across all passes or the run fails. -corpus-scale sizes the corpus
+// (1.0 = 200 images; 10 = 2,000), -corpus-workers the scan pool, and
+// -min-corpus-speedup / -min-corpus-hits turn the warm-re-scan speedup
+// and the replay hit rate into CI gates.
 //
 // -screen runs the 200-case screening corpus twice — full pipeline and
 // with the interval value-range domain ablated — and prints both
@@ -37,6 +47,7 @@ import (
 	"os"
 
 	"dtaint/internal/bench"
+	"dtaint/internal/corpus"
 )
 
 func main() {
@@ -57,21 +68,36 @@ func main() {
 		minRec   = flag.Float64("min-recall", 0, "with -screen: exit non-zero when full-pipeline recall falls below this")
 		scale    = flag.Float64("scale", 0.25, "corpus scale factor in (0, 1]")
 		benchOut = flag.String("bench-out", "", "benchmark record file (empty = BENCH_<timestamp>.json, off = none)")
+
+		corpusX = flag.Bool("corpus", false, "corpus-scale scans: summary store cold vs warm")
+		cOpts   corpusOpts
 	)
+	flag.Float64Var(&cOpts.scale, "corpus-scale", 0.25, "with -corpus: overlap corpus scale (1.0 = 200 images)")
+	flag.IntVar(&cOpts.workers, "corpus-workers", 0, "with -corpus: scan worker pool (0 = auto)")
+	flag.Float64Var(&cOpts.minSpeedup, "min-corpus-speedup", 0, "with -corpus: exit non-zero when the warm re-scan speedup falls below this")
+	flag.Float64Var(&cOpts.minHitRate, "min-corpus-hits", 0, "with -corpus: exit non-zero when the resummarize summary hit rate falls below this")
 	flag.Parse()
 
 	if err := run(*all, *fig1, *table1, *table2, *table3, *table4, *table5,
-		*table6, *table7, *ablate, *fleetX, *screen, *minPrec, *minRec, *scale, *benchOut); err != nil {
+		*table6, *table7, *ablate, *fleetX, *corpusX, *screen, *minPrec, *minRec, *scale, *benchOut, cOpts); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)
 	}
 }
 
-func run(all, fig1, t1, t2, t3, t4, t5, t6, t7, ablate, fleetScan, screen bool, minPrec, minRec, scale float64, benchOut string) error {
-	none := !(fig1 || t1 || t2 || t3 || t4 || t5 || t6 || t7 || ablate || fleetScan || screen)
+// corpusOpts bundles the -corpus knobs and gates.
+type corpusOpts struct {
+	scale      float64
+	workers    int
+	minSpeedup float64
+	minHitRate float64
+}
+
+func run(all, fig1, t1, t2, t3, t4, t5, t6, t7, ablate, fleetScan, corpusScan, screen bool, minPrec, minRec, scale float64, benchOut string, cOpts corpusOpts) error {
+	none := !(fig1 || t1 || t2 || t3 || t4 || t5 || t6 || t7 || ablate || fleetScan || corpusScan || screen)
 	if all || none {
 		fig1, t1, t2, t3, t4, t5, t6, t7 = true, true, true, true, true, true, true, true
-		ablate, fleetScan, screen = true, true, true
+		ablate, fleetScan, corpusScan, screen = true, true, true, true
 	}
 	w := os.Stdout
 	rec := bench.NewRecord(scale)
@@ -135,6 +161,23 @@ func run(all, fig1, t1, t2, t3, t4, t5, t6, t7, ablate, fleetScan, screen bool, 
 			return err
 		}
 		rec.Fleet = fr
+	}
+	if corpusScan {
+		workers := cOpts.workers
+		if workers <= 0 {
+			workers = bench.Table7Workers()
+		}
+		cr, err := bench.Corpus(w, corpus.OverlapAt(cOpts.scale), workers)
+		if err != nil {
+			return err
+		}
+		rec.Corpus = cr
+		if cr.WarmSpeedup < cOpts.minSpeedup {
+			return fmt.Errorf("corpus warm speedup %.2fx below -min-corpus-speedup %.2f", cr.WarmSpeedup, cOpts.minSpeedup)
+		}
+		if cr.SummaryHitRate < cOpts.minHitRate {
+			return fmt.Errorf("corpus summary hit rate %.3f below -min-corpus-hits %.3f", cr.SummaryHitRate, cOpts.minHitRate)
+		}
 	}
 	if screen {
 		stats, err := bench.Screening(w, 200)

@@ -22,7 +22,10 @@
 // -rootfs-all switches from one binary to the whole image: every FWELF
 // executable in the rootfs is scanned through the fleet orchestrator
 // (bounded worker pool, panic isolation) and per-image totals are
-// printed; -cache-dir reuses reports across runs. -exit-code makes the
+// printed; -cache-dir reuses reports across runs. -summary-dir (valid
+// with and without -rootfs-all) keeps a persistent function-summary
+// store, so re-runs and binaries sharing code replay per-function
+// analysis instead of repeating it. -exit-code makes the
 // process exit 2 when any undeduplicated vulnerable path is found, so
 // CI pipelines can gate on scan results.
 //
@@ -76,6 +79,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker count for both analysis phases (0 = GOMAXPROCS)")
 		allBins   = flag.Bool("rootfs-all", false, "scan every FWELF executable in the firmware rootfs (requires -fw)")
 		cacheDir  = flag.String("cache-dir", "", "with -rootfs-all: persistent report cache directory")
+		sumDir    = flag.String("summary-dir", "", "persistent function-summary store directory, shared across runs")
 		exitCode  = flag.Bool("exit-code", false, "exit 2 when undeduplicated vulnerable paths are found")
 		traceOut  = flag.String("trace-out", "", "write a Chrome trace_event JSON of the pipeline stages to this file")
 		progress  = flag.Bool("progress", false, "print per-stage progress lines to stderr")
@@ -96,7 +100,7 @@ func main() {
 		module: *module, mdOut: *mdOut, workers: *workers,
 		noAlias: *noAlias, noSim: *noSim,
 		paths: *paths, showAll: *showAll, dis: *dis, jsonOut: *jsonOut,
-		cacheDir: *cacheDir, traceOut: *traceOut, progress: *progress,
+		cacheDir: *cacheDir, sumDir: *sumDir, traceOut: *traceOut, progress: *progress,
 		logLevel: *logLevel, logFormat: *logFormat,
 	}
 	if err := o.applyAblations(*ablate); err != nil {
@@ -127,7 +131,7 @@ type cliOptions struct {
 	noAlias, noSim, noVRange bool
 	paths, showAll           bool
 	dis, jsonOut             bool
-	cacheDir                 string
+	cacheDir, sumDir         string
 	traceOut                 string
 	progress                 bool
 	logLevel, logFormat      string
@@ -243,6 +247,13 @@ func runFleet(o cliOptions) (int, error) {
 		}
 		fopts = append(fopts, dtaint.WithFleetCache(cache))
 	}
+	if o.sumDir != "" {
+		store, err := dtaint.NewSummaryStore(0, o.sumDir)
+		if err != nil {
+			return 0, err
+		}
+		fopts = append(fopts, dtaint.WithFleetSummaryStore(store))
+	}
 	aopts, flushTrace, err := o.observability()
 	if err != nil {
 		return 0, err
@@ -308,6 +319,13 @@ func run(o cliOptions) (int, error) {
 		return 0, err
 	}
 	aopts = append(aopts, analyzerOptions(o.module, o.workers, o.noAlias, o.noSim, o.noVRange)...)
+	if o.sumDir != "" {
+		store, err := dtaint.NewSummaryStore(0, o.sumDir)
+		if err != nil {
+			return 0, err
+		}
+		aopts = append(aopts, dtaint.WithSummaryStore(store))
+	}
 	rep, err := dtaint.New(aopts...).AnalyzeExecutable(raw)
 	if err != nil {
 		return 0, err

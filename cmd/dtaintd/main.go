@@ -15,8 +15,12 @@
 // (SHA-256 of the binary plus the analyzer-options fingerprint), so
 // re-scanning an image — or a fleet of images sharing binaries — is
 // served from cache; -cache-dir persists the cache across restarts.
-// SIGINT/SIGTERM shuts down gracefully: the listener stops, the running
-// job drains, queued jobs are failed with a shutdown error.
+// Below the report cache, a function-summary store shared across all
+// jobs replays per-function analysis for code recurring across distinct
+// binaries (same SDK, same libc); -summary-size bounds its in-memory
+// tier and -summary-dir persists it across restarts. SIGINT/SIGTERM
+// shuts down gracefully: the listener stops, the running job drains,
+// queued jobs are failed with a shutdown error.
 //
 // Observability: /v1/metrics serves the service counters plus the
 // analysis registry as JSON, or as Prometheus text exposition when the
@@ -45,6 +49,7 @@ import (
 
 	"dtaint/internal/fleet"
 	"dtaint/internal/obs"
+	"dtaint/internal/sumstore"
 )
 
 func main() {
@@ -55,6 +60,8 @@ func main() {
 		jobTimeout = flag.Duration("binary-timeout", 10*time.Minute, "per-binary analysis timeout (0 = none)")
 		cacheSize  = flag.Int("cache-size", 1024, "in-memory report cache entries")
 		cacheDir   = flag.String("cache-dir", "", "persistent report cache directory (empty = memory only)")
+		sumSize    = flag.Int("summary-size", 4096, "in-memory function-summary store entries")
+		sumDir     = flag.String("summary-dir", "", "persistent function-summary store directory (empty = memory only)")
 		maxUpload  = flag.Int64("max-upload", 256<<20, "maximum firmware upload bytes")
 		noAlias    = flag.Bool("no-alias", false, "disable pointer-alias recognition (Algorithm 1)")
 		noSim      = flag.Bool("no-structsim", false, "disable data-structure similarity resolution")
@@ -67,6 +74,7 @@ func main() {
 	opts := serveOptions{
 		addr: *addr, workers: *workers, queueCap: *queueCap,
 		cacheSize: *cacheSize, cacheDir: *cacheDir, maxUpload: *maxUpload,
+		sumSize: *sumSize, sumDir: *sumDir,
 		jobTimeout: *jobTimeout, drainWait: *drainWait,
 		noAlias: *noAlias, noSim: *noSim,
 		logLevel: *logLevel, logFormat: *logFormat, pprofAddr: *pprofAddr,
@@ -84,6 +92,8 @@ type serveOptions struct {
 	queueCap   int
 	cacheSize  int
 	cacheDir   string
+	sumSize    int
+	sumDir     string
 	maxUpload  int64
 	jobTimeout time.Duration
 	drainWait  time.Duration
@@ -106,12 +116,17 @@ func run(o serveOptions) error {
 	if err != nil {
 		return err
 	}
+	store, err := sumstore.NewStore(o.sumSize, o.sumDir)
+	if err != nil {
+		return err
+	}
 	cfg := config{
 		workers:       o.workers,
 		queueCap:      o.queueCap,
 		binaryTimeout: o.jobTimeout,
 		maxUpload:     o.maxUpload,
 		cache:         cache,
+		sumStore:      store,
 		metrics:       obs.NewRegistry(),
 		log:           logger,
 	}

@@ -14,6 +14,7 @@ import (
 	"dtaint/internal/dataflow"
 	"dtaint/internal/fleet"
 	"dtaint/internal/obs"
+	"dtaint/internal/sumstore"
 )
 
 // config tunes the scan service.
@@ -28,6 +29,9 @@ type config struct {
 	maxUpload int64
 	// cache is the shared report cache (nil = uncached).
 	cache *fleet.Cache
+	// sumStore is the shared function-summary store (nil = off); every
+	// job's binaries replay per-function analysis through it.
+	sumStore *sumstore.Store
 	// analysis configures every binary analysis.
 	analysis dataflow.Options
 	// metrics is the service registry /v1/metrics exposes; the analysis
@@ -199,6 +203,7 @@ func (s *server) runJob(j *job) {
 		PerBinaryTimeout: s.cfg.binaryTimeout,
 		Analysis:         aopts,
 		Cache:            s.cfg.cache,
+		SummaryStore:     s.cfg.sumStore,
 		Progress: func(done, total int) {
 			s.mu.Lock()
 			j.done, j.total = done, total

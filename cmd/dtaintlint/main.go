@@ -1,4 +1,4 @@
-// Command dtaintlint enforces two repository-specific contracts that
+// Command dtaintlint enforces three repository-specific contracts that
 // go vet cannot check:
 //
 //  1. unordered-map-range — the determinism contract. Findings, reports,
@@ -16,6 +16,15 @@
 //     instrumentation call in `if h != nil { h.Observe(...) }` is
 //     therefore dead weight that rots into inconsistently-guarded
 //     telemetry; the guard must go.
+//
+//  3. unversioned-serialization — the wire-format contract. Analysis
+//     values (internal/symexec, taint, expr, vrange) are persisted only
+//     through internal/sumstore's versioned, checksummed wire format;
+//     a store written by one build must be a clean cache miss — never a
+//     silently-wrong decode — under the next. encoding/gob writes no
+//     format version at all and is flagged on import; ad-hoc
+//     json/xml/Encode serialization of an analysis type outside
+//     internal/sumstore is flagged at the call.
 //
 // Usage:
 //
@@ -269,6 +278,9 @@ var obsMethods = map[string]bool{
 
 func (w *world) lintPackage(fset *token.FileSet, dir string, files []*ast.File) []string {
 	p := w.pkgs[dir]
+	// internal/sumstore IS the versioned serialization layer; rule 3
+	// exempts it.
+	allowSer := strings.Contains(filepath.ToSlash(dir), "internal/sumstore")
 	var out []string
 	for _, f := range files {
 		importsObs := false
@@ -279,6 +291,14 @@ func (w *world) lintPackage(fset *token.FileSet, dir string, files []*ast.File) 
 		}
 		ignored := directiveLines(fset, f)
 		lf := &linter{w: w, p: p, fset: fset, ignored: ignored, importsObs: importsObs}
+		if !allowSer {
+			for _, imp := range f.Imports {
+				if imp.Path.Value == `"encoding/gob"` {
+					lf.report(imp.Pos(), "unversioned-serialization",
+						"encoding/gob writes no format version; persist analysis values through internal/sumstore's versioned wire format (//dtaintlint:ignore <reason> to waive)")
+				}
+			}
+		}
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
@@ -286,6 +306,9 @@ func (w *world) lintPackage(fset *token.FileSet, dir string, files []*ast.File) 
 			}
 			env := lf.collectEnv(fd)
 			lf.lintBlock(fd.Body, env)
+			if !allowSer {
+				lf.lintSerialization(fd)
+			}
 		}
 		out = append(out, lf.findings...)
 	}
@@ -755,4 +778,147 @@ func copyEnv(env map[string]varInfo) map[string]varInfo {
 		out[k] = v
 	}
 	return out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: unversioned serialization of analysis types.
+
+// analysisTypePkgs are the packages whose values flow through the
+// summary store's versioned wire format; persisting them any other way
+// is rule 3's target.
+var analysisTypePkgs = map[string]bool{
+	"symexec": true, "taint": true, "expr": true, "vrange": true,
+}
+
+// analysisTypeName returns the qualified name ("taint.Finding") when the
+// type expression names an analysis-package type, looking through
+// pointers, slices, arrays, and maps.
+func analysisTypeName(t ast.Expr) string {
+	switch x := t.(type) {
+	case *ast.StarExpr:
+		return analysisTypeName(x.X)
+	case *ast.ParenExpr:
+		return analysisTypeName(x.X)
+	case *ast.ArrayType:
+		return analysisTypeName(x.Elt)
+	case *ast.MapType:
+		if n := analysisTypeName(x.Value); n != "" {
+			return n
+		}
+		return analysisTypeName(x.Key)
+	case *ast.SelectorExpr:
+		if id, ok := x.X.(*ast.Ident); ok && analysisTypePkgs[id.Name] {
+			return id.Name + "." + x.Sel.Name
+		}
+	}
+	return ""
+}
+
+// lintSerialization flags Marshal/Encode calls whose argument is an
+// analysis-package value. Analysis types are tracked through their
+// declared spellings (receiver, parameters, results, var declarations,
+// and := from composite literals); the scan is flow-insensitive like
+// the rest of the linter.
+func (l *linter) lintSerialization(fd *ast.FuncDecl) {
+	env := map[string]string{}
+	bind := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			if n := analysisTypeName(f.Type); n != "" {
+				for _, nm := range f.Names {
+					env[nm.Name] = n
+				}
+			}
+		}
+	}
+	bind(fd.Recv)
+	bind(fd.Type.Params)
+	bind(fd.Type.Results)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := s.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || vs.Type == nil {
+					continue
+				}
+				if name := analysisTypeName(vs.Type); name != "" {
+					for _, nm := range vs.Names {
+						env[nm.Name] = name
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				if name := serializedArgType(s.Rhs[i], env); name != "" {
+					env[id.Name] = name
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			l.checkSerializeCall(call, env)
+		}
+		return true
+	})
+}
+
+// checkSerializeCall reports a serialization call whose first argument
+// is an analysis-package value: json.Marshal/MarshalIndent and
+// xml.Marshal at package level, and Encode/EncodeValue on any encoder
+// value (json.NewEncoder, gob.NewEncoder, ...).
+func (l *linter) checkSerializeCall(call *ast.CallExpr, env map[string]string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Marshal", "MarshalIndent":
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || (id.Name != "json" && id.Name != "xml") {
+			return
+		}
+	case "Encode", "EncodeValue":
+	default:
+		return
+	}
+	if name := serializedArgType(call.Args[0], env); name != "" {
+		l.report(call.Pos(), "unversioned-serialization",
+			fmt.Sprintf("ad-hoc serialization of analysis type %s; persist analysis values through internal/sumstore's versioned wire format (//dtaintlint:ignore <reason> to waive)", name))
+	}
+}
+
+// serializedArgType resolves a serialization argument to a qualified
+// analysis type name, or "" when it is not one.
+func serializedArgType(e ast.Expr, env map[string]string) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return env[x.Name]
+	case *ast.ParenExpr:
+		return serializedArgType(x.X, env)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return serializedArgType(x.X, env)
+		}
+	case *ast.CompositeLit:
+		if x.Type != nil {
+			return analysisTypeName(x.Type)
+		}
+	}
+	return ""
 }

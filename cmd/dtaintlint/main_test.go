@@ -230,3 +230,82 @@ func TestRepositoryIsClean(t *testing.T) {
 		t.Error(f)
 	}
 }
+
+func TestGobImportFlagged(t *testing.T) {
+	findings := lintSource(t, `package p
+
+import "encoding/gob"
+
+var _ = gob.Register
+`)
+	wantRule(t, findings, "unversioned-serialization", 1)
+}
+
+func TestAdHocAnalysisSerializationFlagged(t *testing.T) {
+	findings := lintSource(t, `package p
+
+import (
+	"encoding/json"
+
+	"dtaint/internal/symexec"
+	"dtaint/internal/taint"
+)
+
+func dump(sum *symexec.Summary, findings []taint.Finding) ([]byte, error) {
+	if _, err := json.Marshal(findings); err != nil {
+		return nil, err
+	}
+	return json.Marshal(sum)
+}
+`)
+	wantRule(t, findings, "unversioned-serialization", 2)
+}
+
+func TestEncoderOfAnalysisValueFlagged(t *testing.T) {
+	findings := lintSource(t, `package p
+
+import (
+	"encoding/json"
+	"io"
+
+	"dtaint/internal/vrange"
+)
+
+func dump(w io.Writer) error {
+	iv := vrange.Interval{Lo: 1, Hi: 2}
+	return json.NewEncoder(w).Encode(iv)
+}
+`)
+	wantRule(t, findings, "unversioned-serialization", 1)
+}
+
+func TestNonAnalysisSerializationClean(t *testing.T) {
+	findings := lintSource(t, `package p
+
+import "encoding/json"
+
+type report struct{ N int }
+
+func dump(r *report) ([]byte, error) {
+	return json.Marshal(r)
+}
+`)
+	wantRule(t, findings, "unversioned-serialization", 0)
+}
+
+func TestSerializationIgnoreDirective(t *testing.T) {
+	findings := lintSource(t, `package p
+
+import (
+	"encoding/json"
+
+	"dtaint/internal/taint"
+)
+
+func dump(fs []taint.Finding) ([]byte, error) {
+	//dtaintlint:ignore debug-only dump, never persisted
+	return json.Marshal(fs)
+}
+`)
+	wantRule(t, findings, "unversioned-serialization", 0)
+}

@@ -242,6 +242,16 @@ func WithParallelism(workers int) Option {
 	return func(a *Analyzer) { a.opts.Parallelism = workers }
 }
 
+// WithSummaryStore attaches a shared function-summary store: each
+// analyzed function's summary is keyed by a fingerprint of its bytes,
+// its ISA, and the analysis-options version, and looked up before
+// symbolic execution. Across analyses of binaries that share code, each
+// unique function is executed once. Results are bit-identical with and
+// without the store.
+func WithSummaryStore(store *SummaryStore) Option {
+	return func(a *Analyzer) { a.opts.SummaryStore = store.s }
+}
+
 // WithBufferSource registers a custom input-source function that fills
 // the buffer passed as argument bufArg with attacker-controlled data
 // (read/recv-style). Vendor firmware commonly has private input wrappers

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dtaint/internal/fleet"
+	"dtaint/internal/sumstore"
 )
 
 // This file is the public face of the fleet-scale scanning subsystem
@@ -134,6 +135,55 @@ func (c *FleetCache) Stats() CacheStats {
 	}
 }
 
+// SummaryStore is a process-wide content-addressed store of per-function
+// analysis summaries, shared across scans: key = fingerprint of the
+// function's bytes, ISA, and the analysis-options version. Where the
+// FleetCache collapses duplicate binaries, the SummaryStore collapses
+// duplicate functions across distinct binaries — firmware fleets reuse
+// the same SDK and libc code in binary after binary, so each unique
+// function is symbolically executed once per corpus. Results are
+// bit-identical with and without a store. Safe for concurrent use.
+type SummaryStore struct {
+	s *sumstore.Store
+}
+
+// NewSummaryStore returns a store holding at most maxEntries summaries
+// in memory (<= 0 selects a default). A non-empty dir adds a persistent
+// on-disk tier that survives process restarts.
+func NewSummaryStore(maxEntries int, dir string) (*SummaryStore, error) {
+	s, err := sumstore.NewStore(maxEntries, dir)
+	if err != nil {
+		return nil, err
+	}
+	return &SummaryStore{s: s}, nil
+}
+
+// SummaryStoreStats snapshots a summary store's counters.
+type SummaryStoreStats struct {
+	// Hits counts lookups served from memory or disk; DiskHits is the
+	// subset read from the persistent tier.
+	Hits     uint64
+	DiskHits uint64
+	// Misses counts lookups that forced a fresh symbolic execution.
+	Misses uint64
+	// Evictions counts in-memory LRU entries dropped under pressure.
+	Evictions uint64
+	// Entries is the current in-memory entry count.
+	Entries int
+}
+
+// Stats returns the store's counters.
+func (s *SummaryStore) Stats() SummaryStoreStats {
+	st := s.s.Stats()
+	return SummaryStoreStats{
+		Hits:      st.Hits,
+		DiskHits:  st.DiskHits,
+		Misses:    st.Misses,
+		Evictions: st.Evictions,
+		Entries:   st.Entries,
+	}
+}
+
 // FleetOption configures an image scan beyond the Analyzer's own
 // options.
 type FleetOption func(*fleetConfig)
@@ -142,6 +192,7 @@ type fleetConfig struct {
 	workers    int
 	timeout    time.Duration
 	cache      *FleetCache
+	sumStore   *SummaryStore
 	pathFilter func(string) bool
 	filterTag  string
 	progress   func(done, total int)
@@ -164,6 +215,13 @@ func WithFleetTimeout(d time.Duration) FleetOption {
 // WithFleetCache attaches a shared report cache to the scan.
 func WithFleetCache(cache *FleetCache) FleetOption {
 	return func(c *fleetConfig) { c.cache = cache }
+}
+
+// WithFleetSummaryStore attaches a shared function-summary store to the
+// scan: binaries that share code (same SDK, same libc) re-use each
+// other's per-function analysis results.
+func WithFleetSummaryStore(store *SummaryStore) FleetOption {
+	return func(c *fleetConfig) { c.sumStore = store }
 }
 
 // WithFleetPathFilter restricts the scan to rootfs paths for which keep
@@ -211,11 +269,89 @@ func (a *Analyzer) ScanFirmwareFleet(ctx context.Context, data []byte, opts ...F
 	if cfg.cache != nil {
 		fopts.Cache = cfg.cache.c
 	}
+	if cfg.sumStore != nil {
+		fopts.SummaryStore = cfg.sumStore.s
+	}
 	rep, err := fleet.ScanImage(ctx, data, fopts)
 	if err != nil {
 		return nil, err
 	}
 	return publicImageReport(rep), nil
+}
+
+// CorpusReport aggregates a whole-corpus scan: per-image reports in
+// input order, the cross-image binary dedup accounting, and final
+// snapshots of the shared cache tiers.
+type CorpusReport struct {
+	// Images holds one report per input image, in input order.
+	Images []*ImageReport
+	// UniqueBinaries and DuplicateBinaries partition the corpus's
+	// candidate executables by content; duplicates are served from the
+	// shared report cache rather than re-analyzed.
+	UniqueBinaries    int
+	DuplicateBinaries int
+	// Cache and SummaryStore snapshot the shared tiers when the corpus
+	// scan finished.
+	Cache        CacheStats
+	SummaryStore SummaryStoreStats
+	// Wall is the whole-corpus wall-clock time.
+	Wall time.Duration
+}
+
+// ScanFirmwareCorpus scans a corpus of firmware images with one report
+// cache and one summary store shared across every image — each unique
+// binary is analyzed once per corpus and each unique function is
+// symbolically executed once per corpus. Supply the tiers with
+// WithFleetCache / WithFleetSummaryStore to persist or reuse them across
+// calls; otherwise corpus-lifetime in-memory tiers are created. Images
+// are scanned sequentially, each fanning its binaries across the worker
+// pool; cancelling ctx stops new work.
+func (a *Analyzer) ScanFirmwareCorpus(ctx context.Context, images [][]byte, opts ...FleetOption) (*CorpusReport, error) {
+	var cfg fleetConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	fopts := fleet.Options{
+		Workers:          cfg.workers,
+		PerBinaryTimeout: cfg.timeout,
+		Analysis:         a.opts,
+		FilterTag:        cfg.filterTag,
+		PathFilter:       cfg.pathFilter,
+		Progress:         cfg.progress,
+	}
+	if cfg.cache != nil {
+		fopts.Cache = cfg.cache.c
+	}
+	if cfg.sumStore != nil {
+		fopts.SummaryStore = cfg.sumStore.s
+	}
+	rep, err := fleet.ScanCorpus(ctx, images, fopts)
+	if err != nil {
+		return nil, err
+	}
+	out := &CorpusReport{
+		UniqueBinaries:    rep.UniqueBinaries,
+		DuplicateBinaries: rep.DuplicateBinaries,
+		Cache: CacheStats{
+			Hits:      rep.Cache.Hits,
+			DiskHits:  rep.Cache.DiskHits,
+			Misses:    rep.Cache.Misses,
+			Evictions: rep.Cache.Evictions,
+			Entries:   rep.Cache.Entries,
+		},
+		SummaryStore: SummaryStoreStats{
+			Hits:      rep.SummaryStore.Hits,
+			DiskHits:  rep.SummaryStore.DiskHits,
+			Misses:    rep.SummaryStore.Misses,
+			Evictions: rep.SummaryStore.Evictions,
+			Entries:   rep.SummaryStore.Entries,
+		},
+		Wall: rep.Wall,
+	}
+	for _, ir := range rep.Images {
+		out.Images = append(out.Images, publicImageReport(ir))
+	}
+	return out, nil
 }
 
 func publicImageReport(r *fleet.ImageReport) *ImageReport {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"dtaint"
+	"dtaint/internal/corpus"
 	"dtaint/internal/taint"
 )
 
@@ -122,5 +123,95 @@ func TestScanFirmwareFleetProgressAndPathFilter(t *testing.T) {
 	}
 	if none.Candidates != 0 || len(none.Binaries) != 0 {
 		t.Fatalf("path filter ignored: %d candidates", none.Candidates)
+	}
+}
+
+// TestScanFirmwareCorpus exercises the corpus entry point over an
+// overlap corpus: duplicate binaries collapse onto the report cache and
+// shared-module functions collapse onto the summary store.
+func TestScanFirmwareCorpus(t *testing.T) {
+	c, err := corpus.BuildOverlapCorpus(corpus.OverlapSpec{
+		Images: 4, Variants: 2, SharedFuncs: 10, UniqueFuncs: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := dtaint.NewSummaryStore(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := dtaint.New()
+	rep, err := a.ScanFirmwareCorpus(context.Background(), c.Images,
+		dtaint.WithFleetSummaryStore(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Images) != 4 {
+		t.Fatalf("got %d image reports", len(rep.Images))
+	}
+	if rep.UniqueBinaries != 2 || rep.DuplicateBinaries != 2 {
+		t.Fatalf("unique/duplicate = %d/%d, want 2/2", rep.UniqueBinaries, rep.DuplicateBinaries)
+	}
+	if rep.Cache.Hits == 0 {
+		t.Fatal("duplicate images produced no report-cache hits")
+	}
+	// Variant 1 shares its module with variant 0, so its analysis must
+	// hit the summary store even though its binary is new.
+	if rep.SummaryStore.Hits == 0 || rep.SummaryStore.Misses == 0 {
+		t.Fatalf("summary store hits/misses = %d/%d, want both > 0",
+			rep.SummaryStore.Hits, rep.SummaryStore.Misses)
+	}
+	for i, ir := range rep.Images {
+		if ir.Vulnerabilities != rep.Images[0].Vulnerabilities {
+			t.Fatalf("image %d vulnerabilities %d != image 0's %d",
+				i, ir.Vulnerabilities, rep.Images[0].Vulnerabilities)
+		}
+	}
+}
+
+// TestWithSummaryStoreSingleBinary checks the single-binary Analyzer
+// surface: a second analysis of the same bytes through the same store
+// replays without re-executing, with identical findings.
+func TestWithSummaryStoreSingleBinary(t *testing.T) {
+	fw, err := dtaint.GenerateStudyFirmware("DIR-645", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := dtaint.NewSummaryStore(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := dtaint.New()
+	want, err := plain.AnalyzeFirmware(fw, "/htdocs/cgibin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := dtaint.New(dtaint.WithSummaryStore(store))
+	first, err := a.AnalyzeFirmware(fw, "/htdocs/cgibin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.Stats()
+	if st.Misses == 0 || st.Entries == 0 {
+		t.Fatalf("cold run should populate the store: %+v", st)
+	}
+	second, err := a.AnalyzeFirmware(fw, "/htdocs/cgibin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := store.Stats().Hits - st.Hits; hits == 0 {
+		t.Fatal("warm run had no store hits")
+	}
+	w := vulnKeys(want.Findings)
+	for run, rep := range map[string]*dtaint.Report{"cold": first, "warm": second} {
+		got := vulnKeys(rep.Findings)
+		if len(got) != len(w) {
+			t.Fatalf("%s run: %d findings, store-off baseline has %d", run, len(got), len(w))
+		}
+		for i := range got {
+			if got[i] != w[i] {
+				t.Fatalf("%s run finding %d = %s, want %s", run, i, got[i], w[i])
+			}
+		}
 	}
 }

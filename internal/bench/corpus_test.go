@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dtaint/internal/corpus"
+)
+
+// TestCorpusBench runs the four-pass corpus benchmark over a tiny
+// overlap corpus. The pass-identity and baseline checks inside Corpus
+// are the real assertions; here we additionally pin the cache-behavior
+// invariants the record is supposed to demonstrate.
+func TestCorpusBench(t *testing.T) {
+	var buf bytes.Buffer
+	spec := corpus.OverlapSpec{
+		Images:      6,
+		Variants:    2,
+		SharedFuncs: 12,
+		UniqueFuncs: 6,
+		Seed:        3,
+	}
+	rec, err := Corpus(&buf, spec, 2)
+	if err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, buf.String())
+	}
+	if len(rec.Passes) != 4 {
+		t.Fatalf("got %d passes", len(rec.Passes))
+	}
+	cold, warm, resum := rec.Passes[1], rec.Passes[2], rec.Passes[3]
+	if cold.Scanned != rec.Variants {
+		t.Fatalf("cold pass scanned %d binaries, want one per variant (%d)",
+			cold.Scanned, rec.Variants)
+	}
+	if warm.Scanned != 0 || warm.Cached != warm.Candidates {
+		t.Fatalf("warm pass should be all report-cache hits: scanned=%d cached=%d/%d",
+			warm.Scanned, warm.Cached, warm.Candidates)
+	}
+	if resum.SummaryHits == 0 || resum.SummaryMisses != 0 {
+		t.Fatalf("resummarize pass should replay entirely from the summary store: hits=%d misses=%d",
+			resum.SummaryHits, resum.SummaryMisses)
+	}
+	if rec.SummaryHitRate != 1 {
+		t.Fatalf("summary hit rate %.2f, want 1.0", rec.SummaryHitRate)
+	}
+	if rec.DuplicateBinaries != rec.Images-rec.Variants {
+		t.Fatalf("duplicates=%d images=%d variants=%d",
+			rec.DuplicateBinaries, rec.Images, rec.Variants)
+	}
+	if cold.Vulnerabilities == 0 {
+		t.Fatal("planted vulnerability not detected")
+	}
+	if !strings.Contains(buf.String(), "findings identical across passes") {
+		t.Fatalf("missing identity line:\n%s", buf.String())
+	}
+}

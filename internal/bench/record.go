@@ -24,6 +24,7 @@ type Record struct {
 	Study       []StudyRecord  `json:"study,omitempty"`
 	Table7      []Table7Record `json:"table7,omitempty"`
 	Fleet       *FleetRecord   `json:"fleet,omitempty"`
+	Corpus      *CorpusRecord  `json:"corpus,omitempty"`
 }
 
 // EnvRecord pins the toolchain and host shape a record was measured on.
@@ -146,10 +147,44 @@ type FleetCacheRecord struct {
 	HitRate   float64 `json:"hitRate"`
 }
 
+// CorpusRecord is the corpus-scale measurement: the overlap corpus's
+// shape, the four passes, and the two headline numbers — the warm
+// re-scan speedup (cold wall / warm wall) and the summary-store hit rate
+// of the resummarize pass.
+type CorpusRecord struct {
+	Images            int          `json:"images"`
+	Variants          int          `json:"variants"`
+	UniqueBinaries    int          `json:"uniqueBinaries"`
+	DuplicateBinaries int          `json:"duplicateBinaries"`
+	Workers           int          `json:"workers"`
+	Passes            []CorpusPass `json:"passes"`
+	WarmSpeedup       float64      `json:"warmSpeedup"`
+	SummaryHitRate    float64      `json:"summaryHitRate"`
+}
+
+// CorpusPass is one pass over the overlap corpus. Cache and summary
+// counters are per-pass deltas, not cumulative store totals.
+type CorpusPass struct {
+	Name            string  `json:"name"`
+	Images          int     `json:"images"`
+	Candidates      int     `json:"candidates"`
+	Scanned         int     `json:"scanned"`
+	Cached          int     `json:"cached"`
+	Vulnerabilities int     `json:"vulnerabilities"`
+	VulnerablePaths int     `json:"vulnerablePaths"`
+	CacheHits       uint64  `json:"cacheHits"`
+	CacheMisses     uint64  `json:"cacheMisses"`
+	SummaryHits     uint64  `json:"summaryHits"`
+	SummaryMisses   uint64  `json:"summaryMisses"`
+	WallSeconds     float64 `json:"wallSeconds"`
+	BinariesPerSec  float64 `json:"binariesPerSecond"`
+}
+
 // Empty reports whether the record has no measured sections; benchtab
 // skips writing a file for table-only invocations.
 func (rec *Record) Empty() bool {
-	return len(rec.Study) == 0 && len(rec.Table7) == 0 && rec.Fleet == nil
+	return len(rec.Study) == 0 && len(rec.Table7) == 0 && rec.Fleet == nil &&
+		rec.Corpus == nil
 }
 
 // Write writes the record as indented JSON.

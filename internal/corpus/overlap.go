@@ -1,0 +1,212 @@
+// overlap.go generates corpora with controlled cross-image overlap: many
+// firmware images cycling a small set of binary variants (exact duplicate
+// binaries), where every variant starts with an identical shared module
+// (shared functions at identical addresses) followed by a variant-private
+// filler family. This is the workload the corpus-scale caches are built
+// for — the report cache collapses the duplicate binaries and the summary
+// store collapses the shared functions of the non-duplicate variants.
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dtaint/internal/asm"
+	"dtaint/internal/firmware"
+	"dtaint/internal/isa"
+)
+
+// OverlapSpec describes an overlap corpus. The two overlap ratios are
+// directly controlled: (Images-Variants)/Images of the corpus's binaries
+// are exact duplicates, and SharedFuncs/(SharedFuncs+UniqueFuncs) of each
+// variant's functions are byte-identical across variants.
+type OverlapSpec struct {
+	// Images is the number of firmware images. Image i ships the binary
+	// of variant i%Variants, so every variant after the first Variants
+	// images is an exact duplicate.
+	Images int
+	// Variants is the number of distinct binaries.
+	Variants int
+	// SharedFuncs sizes the shared module emitted first in every variant:
+	// the planted vulnerability plus a filler family seeded from Seed
+	// alone, so its bytes and addresses are identical in every variant.
+	SharedFuncs int
+	// UniqueFuncs sizes each variant's private filler family, seeded from
+	// Seed and the variant index.
+	UniqueFuncs int
+	Arch        isa.Arch
+	Seed        uint64
+}
+
+// OverlapAt is the corpus scale knob: 1.0 yields a two-hundred-image
+// corpus, 10 a two-thousand-image one. Image count grows linearly with
+// scale; the variant count grows with its square root so the unique
+// analysis work stays a shrinking fraction of the corpus.
+func OverlapAt(scale float64) OverlapSpec {
+	if scale <= 0 {
+		scale = 1
+	}
+	return OverlapSpec{
+		Images:      scaleInt(200, scale, 6),
+		Variants:    scaleInt(8, math.Sqrt(scale), 2),
+		SharedFuncs: 96,
+		UniqueFuncs: 32,
+		Arch:        isa.ArchARM,
+		Seed:        7,
+	}
+}
+
+// normalized clamps a spec to buildable values.
+func (s OverlapSpec) normalized() OverlapSpec {
+	if s.Images < 1 {
+		s.Images = 1
+	}
+	if s.Variants < 1 {
+		s.Variants = 1
+	}
+	if s.Variants > s.Images {
+		s.Variants = s.Images
+	}
+	// The shared module always contains the planted vulnerability
+	// (helper + two callers) plus at least a minimal filler family.
+	if s.SharedFuncs < 7 {
+		s.SharedFuncs = 7
+	}
+	if s.UniqueFuncs < 4 {
+		s.UniqueFuncs = 4
+	}
+	if s.Arch != isa.ArchMIPS {
+		s.Arch = isa.ArchARM
+	}
+	return s
+}
+
+// DuplicateBinaryRatio is the fraction of the corpus's binaries that are
+// exact duplicates of an earlier image's binary.
+func (s OverlapSpec) DuplicateBinaryRatio() float64 {
+	s = s.normalized()
+	return float64(s.Images-s.Variants) / float64(s.Images)
+}
+
+// SharedFunctionRatio is the fraction of each variant's functions that
+// are byte-identical across variants.
+func (s OverlapSpec) SharedFunctionRatio() float64 {
+	s = s.normalized()
+	return float64(s.SharedFuncs) / float64(s.SharedFuncs+s.UniqueFuncs)
+}
+
+// OverlapCorpus is a built overlap corpus.
+type OverlapCorpus struct {
+	Spec OverlapSpec
+	// Images holds the packed FWIMG containers in corpus order. Image i
+	// embeds Binaries[i%len(Binaries)] byte-for-byte.
+	Images [][]byte
+	// Binaries holds one marshalled FWELF binary per variant.
+	Binaries [][]byte
+	// Planted is the shared-module vulnerability, present in every
+	// variant at the same addresses.
+	Planted Planted
+}
+
+// BuildOverlapCorpus builds the corpus described by spec. Each variant
+// binary is assembled once and its bytes reused by every image that
+// ships it; generation is deterministic for a given spec.
+func BuildOverlapCorpus(spec OverlapSpec) (*OverlapCorpus, error) {
+	spec = spec.normalized()
+	c := &OverlapCorpus{Spec: spec}
+	for v := 0; v < spec.Variants; v++ {
+		src, planted := overlapVariantSource(spec, v)
+		bin, err := asm.Assemble("netsvc", src)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: overlap variant %d: %w", v, err)
+		}
+		raw, err := bin.Marshal()
+		if err != nil {
+			return nil, fmt.Errorf("corpus: overlap variant %d: %w", v, err)
+		}
+		c.Binaries = append(c.Binaries, raw)
+		c.Planted = planted
+	}
+	for i := 0; i < spec.Images; i++ {
+		img, err := packOverlapImage(spec, i, c.Binaries[i%spec.Variants])
+		if err != nil {
+			return nil, fmt.Errorf("corpus: overlap image %d: %w", i, err)
+		}
+		c.Images = append(c.Images, img)
+	}
+	return c, nil
+}
+
+// overlapVariantSource emits one variant's assembly. The shared module —
+// the planted vulnerability and a filler family driven by a generator
+// seeded from Seed alone — comes first, so its text and rodata occupy an
+// identical prefix at identical addresses in every variant (the filler
+// emits no rodata, and the import table is the fixed emitImports list).
+// The variant-private filler family follows.
+func overlapVariantSource(spec OverlapSpec, v int) (string, Planted) {
+	var b strings.Builder
+	b.Grow(1 << 18)
+	fmt.Fprintf(&b, "; overlap corpus variant %02d/%02d\n", v, spec.Variants)
+	fmt.Fprintf(&b, ".arch %s\n", strings.ToLower(spec.Arch.String()))
+	emitImports(&b)
+
+	em := emitter{b: &b, cv: regmap(spec.Arch)}
+	planted := emitGetenvStrcpy(em, "shr_sess", "OVL-SHARED-1", 2, true, "")
+	emitFiller(em, shape{
+		Funcs:            spec.SharedFuncs - 3, // planted = helper + 2 callers
+		BlocksPerFunc:    9,
+		CallsPerFunc:     3,
+		SinkRatePermille: 200,
+		Prefix:           "shr",
+	}, newLCG(spec.Seed*1013904223+11))
+
+	emitFiller(em, shape{
+		Funcs:            spec.UniqueFuncs,
+		BlocksPerFunc:    9,
+		CallsPerFunc:     3,
+		SinkRatePermille: 200,
+		Prefix:           fmt.Sprintf("u%02d", v),
+	}, newLCG(spec.Seed*2654435761+uint64(v+1)*977))
+	return b.String(), planted
+}
+
+// packOverlapImage wraps a variant binary in a FWIMG container with the
+// usual rootfs stubs. Headers vary per image (distinct product strings),
+// so the corpus exercises cross-image — not just same-bytes-image —
+// binary dedup.
+func packOverlapImage(spec OverlapSpec, idx int, raw []byte) ([]byte, error) {
+	fs := &firmware.FS{}
+	files := []firmware.File{
+		{Path: "/bin/busybox", Mode: 0o755, Data: []byte("busybox-stub")},
+		{Path: "/etc/passwd", Mode: 0o644, Data: []byte("root::0:0::/:/bin/sh\n")},
+		{Path: "/etc/version", Mode: 0o644, Data: []byte("1.0")},
+		{Path: "/usr/sbin/netsvc", Mode: 0o755, Data: raw},
+	}
+	for _, f := range files {
+		if err := fs.Add(f); err != nil {
+			return nil, err
+		}
+	}
+	payload, err := firmware.MarshalFS(fs)
+	if err != nil {
+		return nil, err
+	}
+	img := &firmware.Image{
+		Header: firmware.Header{
+			Vendor:  "OverlapCo",
+			Product: fmt.Sprintf("OVL-%04d", idx),
+			Version: "1.0",
+			Year:    2026,
+			Arch:    spec.Arch,
+			Boot: firmware.BootRequirements{
+				Peripherals: []string{"nvram", "flash"},
+			},
+		},
+		Parts: []firmware.Part{
+			{Type: firmware.PartKernel, Data: []byte("kernel-stub")},
+			{Type: firmware.PartRootFS, Data: payload},
+		},
+	}
+	return firmware.Pack(img)
+}

@@ -1,0 +1,130 @@
+package corpus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dtaint/internal/image"
+)
+
+func testOverlapSpec() OverlapSpec {
+	return OverlapSpec{
+		Images:      6,
+		Variants:    2,
+		SharedFuncs: 12,
+		UniqueFuncs: 6,
+		Seed:        3,
+	}
+}
+
+func TestOverlapCorpusDeterministic(t *testing.T) {
+	a, err := BuildOverlapCorpus(testOverlapSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildOverlapCorpus(testOverlapSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Images) != 6 || len(a.Binaries) != 2 {
+		t.Fatalf("got %d images, %d binaries", len(a.Images), len(a.Binaries))
+	}
+	for i := range a.Images {
+		if !bytes.Equal(a.Images[i], b.Images[i]) {
+			t.Fatalf("image %d differs between identical builds", i)
+		}
+	}
+}
+
+func TestOverlapImagesCycleVariants(t *testing.T) {
+	c, err := BuildOverlapCorpus(testOverlapSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Images 0 and 1 carry distinct binaries; image 2 repeats image 0's.
+	if bytes.Equal(c.Binaries[0], c.Binaries[1]) {
+		t.Fatal("variant binaries are identical; unique filler missing")
+	}
+	if !bytes.Contains(c.Images[2], c.Binaries[0]) {
+		t.Fatal("image 2 does not embed variant 0's binary")
+	}
+	if !bytes.Contains(c.Images[1], c.Binaries[1]) {
+		t.Fatal("image 1 does not embed variant 1's binary")
+	}
+	// Headers still differ, so dedup must be by binary content, not
+	// image content.
+	if bytes.Equal(c.Images[0], c.Images[2]) {
+		t.Fatal("images sharing a variant should still differ (headers)")
+	}
+}
+
+// TestOverlapSharedModuleIdentical verifies the property the summary
+// store's cross-variant hits depend on: every shared-module function has
+// the same address and code bytes in every variant.
+func TestOverlapSharedModuleIdentical(t *testing.T) {
+	c, err := BuildOverlapCorpus(testOverlapSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0, err := image.Parse(c.Binaries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := image.Parse(c.Binaries[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := 0
+	for _, s := range b0.Funcs {
+		if !strings.HasPrefix(s.Name, "shr") {
+			continue
+		}
+		shared++
+		s1, ok := b1.FuncByName(s.Name)
+		if !ok {
+			t.Fatalf("%s missing from variant 1", s.Name)
+		}
+		if s1.Addr != s.Addr || s1.Size != s.Size {
+			t.Fatalf("%s: variant 0 at %#x+%d, variant 1 at %#x+%d",
+				s.Name, s.Addr, s.Size, s1.Addr, s1.Size)
+		}
+		c0, err := b0.FuncCode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c1, err := b1.FuncCode(s1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(c0, c1) {
+			t.Fatalf("%s: code bytes differ across variants", s.Name)
+		}
+	}
+	if shared < 12 {
+		t.Fatalf("only %d shared functions found", shared)
+	}
+	if !bytes.Equal(b0.Rodata, b1.Rodata) {
+		t.Fatal("rodata differs across variants")
+	}
+}
+
+func TestOverlapAtScales(t *testing.T) {
+	small := OverlapAt(1)
+	big := OverlapAt(10)
+	if small.Images != 200 {
+		t.Fatalf("OverlapAt(1).Images = %d", small.Images)
+	}
+	if big.Images != 2000 {
+		t.Fatalf("OverlapAt(10).Images = %d", big.Images)
+	}
+	if big.Variants <= small.Variants {
+		t.Fatalf("variants should grow with scale: %d vs %d", big.Variants, small.Variants)
+	}
+	if r := small.DuplicateBinaryRatio(); r < 0.9 {
+		t.Fatalf("duplicate ratio %.2f too low", r)
+	}
+	if r := small.SharedFunctionRatio(); r < 0.7 {
+		t.Fatalf("shared-function ratio %.2f too low", r)
+	}
+}

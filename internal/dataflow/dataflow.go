@@ -48,6 +48,7 @@ import (
 	"dtaint/internal/image"
 	"dtaint/internal/obs"
 	"dtaint/internal/structsim"
+	"dtaint/internal/sumstore"
 	"dtaint/internal/symexec"
 	"dtaint/internal/taint"
 	"dtaint/internal/vrange"
@@ -75,6 +76,15 @@ type Options struct {
 	ExtraSources []taint.SourceSpec
 	// ExtraSinks adds custom security-sensitive sinks.
 	ExtraSinks []taint.SinkSpec
+	// SummaryStore, when non-nil, caches analysis results content-
+	// addressed by function bytes + ISA + options fingerprint
+	// (internal/sumstore): phase-1 summaries per function and bottom-up
+	// results per SCC component. The scheduler consults it before
+	// symbolically executing a unit and writes back after, so a corpus
+	// re-scan — or a scan of binaries sharing code — skips every
+	// already-summarized function. Results are bit-identical with and
+	// without a store, so the store is excluded from cache fingerprints.
+	SummaryStore *sumstore.Store
 	// Parallelism is the worker count for both analysis phases
 	// (0 = GOMAXPROCS). The per-function phase fans out over independent
 	// units; the bottom-up interprocedural phase schedules SCC components
@@ -164,6 +174,20 @@ type Result struct {
 
 	// Parallel reports how the bottom-up scheduler executed (phase 3+4).
 	Parallel ParallelStats
+
+	// SumStore counts this run's summary-store lookups across both
+	// phases (zero when Options.SummaryStore is nil).
+	SumStore StoreStats
+}
+
+// StoreStats counts one analysis run's summary-store lookups.
+type StoreStats struct {
+	// Hits is the number of analysis units (phase-1 functions and
+	// bottom-up components) replayed from the store.
+	Hits int
+	// Misses is the number of units that had to be symbolically
+	// executed (and were then written back).
+	Misses int
 }
 
 // ParallelStats describes one parallel bottom-up interprocedural pass.
@@ -228,6 +252,16 @@ func Analyze(prog *cfg.Program, opts Options) (*Result, error) {
 
 	res := &Result{Summaries: make(map[string]*symexec.Summary, len(names))}
 
+	// The summary-store fingerprinter keys both cached granularities.
+	// The filter tag is deliberately empty: a function filter only
+	// selects which functions and call-graph components exist, and both
+	// are captured structurally by the per-function and per-component
+	// digests (see sumstore.Fingerprinter).
+	var fp *sumstore.Fingerprinter
+	if opts.SummaryStore != nil {
+		fp = sumstore.NewFingerprinter(prog, OptionsFingerprint(opts, ""))
+	}
+
 	// Phase 1: per-function static symbolic analysis (the paper's SSA
 	// module). Scratch trackers supply library models; their findings are
 	// discarded — this phase only exists to collect layouts, types, and
@@ -235,7 +269,7 @@ func Analyze(prog *cfg.Program, opts Options) (*Result, error) {
 	// out across workers (each with its own tracker).
 	t0 := time.Now()
 	st := opts.StartStage("function-analysis", obs.KV("functions", len(names)))
-	phase1 := runPhase1(prog, names, opts, st.span)
+	phase1 := runPhase1(prog, names, opts, fp, res, st.span)
 	res.SSATime = time.Since(t0)
 	st.End("functions", len(names))
 
@@ -253,7 +287,7 @@ func Analyze(prog *cfg.Program, opts Options) (*Result, error) {
 	// scheduled over the condensed call graph's SCC DAG.
 	t1 := time.Now()
 	st = opts.StartStage("interproc-dataflow", obs.KV("functions", len(names)))
-	runBottomUp(prog, names, opts, res, st.span)
+	runBottomUp(prog, names, opts, fp, res, st.span)
 	res.DDGTime = time.Since(t1)
 	st.End("workers", res.Parallel.Workers,
 		"components", res.Parallel.Components,
@@ -271,13 +305,20 @@ func Analyze(prog *cfg.Program, opts Options) (*Result, error) {
 		"Source-to-sink findings, sanitized included.", nil).Add(uint64(len(res.Findings)))
 	opts.Metrics.Counter("dtaint_truncated_functions_total",
 		"Functions that hit the symbolic state cap.", nil).Add(uint64(res.Truncated))
+	if opts.SummaryStore != nil {
+		opts.SummaryStore.PublishMetrics(opts.Metrics)
+	}
 	return res, nil
 }
 
 // runPhase1 analyzes every function independently, in parallel. stageSpan
 // (nil when tracing is off) parents one "ssa-function" span per unit —
 // the events -progress counts against the stage's "functions" total.
-func runPhase1(prog *cfg.Program, names []string, opts Options, stageSpan *obs.Span) map[string]*symexec.Summary {
+// With a summary store, each function's phase-1 key is consulted first:
+// phase 1 applies no callee summaries and its scratch tracker's
+// side-effects are discarded, so a stored summary replays the unit
+// exactly, and skipping the execution cannot affect any other unit.
+func runPhase1(prog *cfg.Program, names []string, opts Options, fp *sumstore.Fingerprinter, res *Result, stageSpan *obs.Span) map[string]*symexec.Summary {
 	workers := opts.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -285,11 +326,28 @@ func runPhase1(prog *cfg.Program, names []string, opts Options, stageSpan *obs.S
 	if workers > len(names) {
 		workers = len(names)
 	}
+	store := opts.SummaryStore
+	var keys []string
+	if store != nil {
+		// Keys are derived serially up front: digests walk decoded
+		// instructions, a negligible pass next to symbolic execution.
+		keys = make([]string, len(names))
+		for i, name := range names {
+			keys[i] = fp.FuncKey(name)
+		}
+	}
 	fnSec := opts.Metrics.Histogram("dtaint_fn_ssa_seconds",
 		"Per-function symbolic analysis time (phase 1).", obs.DefTimeBuckets, nil)
 	fnStates := opts.Metrics.Histogram("dtaint_fn_states_explored",
 		"Symbolic states explored per function.", obs.ExpBuckets(1, 4, 8), nil)
-	analyzeOne := func(scratch *taint.Tracker, name string) *symexec.Summary {
+	var hits, misses atomic.Int64
+	analyzeOne := func(scratch *taint.Tracker, i int, name string) *symexec.Summary {
+		if store != nil {
+			if sum, ok := store.GetSummary(keys[i]); ok {
+				hits.Add(1)
+				return sum
+			}
+		}
 		sp := stageSpan.StartChild("ssa-function", obs.KV("fn", name))
 		t0 := time.Now()
 		scratch.BeginFunction(name)
@@ -297,13 +355,17 @@ func runPhase1(prog *cfg.Program, names []string, opts Options, stageSpan *obs.S
 		fnSec.Observe(time.Since(t0).Seconds())
 		fnStates.Observe(float64(sum.StatesExplored))
 		sp.End()
+		if store != nil {
+			misses.Add(1)
+			store.PutSummary(keys[i], sum)
+		}
 		return sum
 	}
 	sums := make([]*symexec.Summary, len(names))
 	if workers <= 1 {
 		scratch := newTracker(opts, prog.Binary)
 		for i, name := range names {
-			sums[i] = analyzeOne(scratch, name)
+			sums[i] = analyzeOne(scratch, i, name)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -318,12 +380,14 @@ func runPhase1(prog *cfg.Program, names []string, opts Options, stageSpan *obs.S
 					if i >= len(names) {
 						return
 					}
-					sums[i] = analyzeOne(scratch, names[i])
+					sums[i] = analyzeOne(scratch, i, names[i])
 				}
 			}()
 		}
 		wg.Wait()
 	}
+	res.SumStore.Hits += int(hits.Load())
+	res.SumStore.Misses += int(misses.Load())
 	out := make(map[string]*symexec.Summary, len(names))
 	for i, name := range names {
 		out[name] = sums[i]

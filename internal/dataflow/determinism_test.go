@@ -1,0 +1,80 @@
+package dataflow
+
+import (
+	"reflect"
+	"testing"
+
+	"dtaint/internal/cfg"
+	"dtaint/internal/corpus"
+	"dtaint/internal/image"
+	"dtaint/internal/sumstore"
+)
+
+// TestSummaryStoreDeterminism is the store-on-vs-off identity gate: for
+// every overlap-corpus binary variant, the findings with the summary
+// store attached — cold and warm, at 1 and at 8 workers — must be
+// deeply equal to the findings of a plain store-less run. A summary
+// store may only change wall time, never results.
+func TestSummaryStoreDeterminism(t *testing.T) {
+	c, err := corpus.BuildOverlapCorpus(corpus.OverlapSpec{
+		Images: 2, Variants: 2, SharedFuncs: 12, UniqueFuncs: 6, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	analyze := func(data []byte, workers int, store *sumstore.Store) *Result {
+		t.Helper()
+		bin, err := image.Parse(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := cfg.Build(bin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Analyze(prog, Options{Parallelism: workers, SummaryStore: store})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	for _, workers := range []int{1, 8} {
+		store, err := sumstore.NewStore(0, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var warmHits int
+		for v, data := range c.Binaries {
+			base := analyze(data, workers, nil)
+			cold := analyze(data, workers, store)
+			warm := analyze(data, workers, store)
+			for pass, res := range map[string]*Result{"cold": cold, "warm": warm} {
+				if !reflect.DeepEqual(res.Findings, base.Findings) {
+					t.Errorf("workers=%d variant=%d %s: findings differ from store-less run", workers, v, pass)
+				}
+				if !reflect.DeepEqual(res.Summaries, base.Summaries) {
+					t.Errorf("workers=%d variant=%d %s: summaries differ from store-less run", workers, v, pass)
+				}
+				if res.SinkCount != base.SinkCount || res.DefPairCount != base.DefPairCount {
+					t.Errorf("workers=%d variant=%d %s: counters differ (%d/%d vs %d/%d)",
+						workers, v, pass, res.SinkCount, res.DefPairCount, base.SinkCount, base.DefPairCount)
+				}
+			}
+			if warm.SumStore.Misses != 0 {
+				t.Errorf("workers=%d variant=%d: warm run had %d store misses", workers, v, warm.SumStore.Misses)
+			}
+			if warm.SumStore.Hits == 0 {
+				t.Errorf("workers=%d variant=%d: warm run had no store hits", workers, v)
+			}
+			warmHits += warm.SumStore.Hits
+			if v > 0 && cold.SumStore.Hits == 0 {
+				t.Errorf("workers=%d variant=%d: no cross-variant hits on shared functions", workers, v)
+			}
+		}
+		if warmHits == 0 {
+			t.Fatalf("workers=%d: store never hit", workers)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OptionsFingerprint canonicalizes the semantically relevant analyzer
+// options into a stable, versioned string. It is the options half of
+// every content-addressed cache key in the pipeline: the fleet report
+// cache appends it to the binary digest, and the summary store appends
+// it to per-function and per-component digests. Bump the leading
+// version tag whenever the analysis semantics change in a way the
+// option values cannot express — that invalidates every cached report
+// and summary at once.
+//
+// Parallelism is deliberately excluded: the analyzer produces
+// bit-identical results for every worker count, so cached entries are
+// shareable across differently parallel runs. Observability handles and
+// the summary store itself are likewise excluded — they never influence
+// results. A non-nil function filter cannot be hashed; callers that key
+// whole-binary reports must supply a filterTag naming it (the fleet
+// orchestrator bypasses its cache for a non-nil filter with an empty
+// tag). The summary store passes an empty tag instead: a filter only
+// selects which functions and call-graph components exist, and both are
+// already captured structurally by the per-function and per-component
+// digests.
+func OptionsFingerprint(o Options, filterTag string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v2;alias=%t;structsim=%t;vrange=%t", !o.DisableAlias, !o.DisableStructSim, !o.DisableVRange)
+	fmt.Fprintf(&b, ";loopOnce=%t;loopIters=%d", o.Symexec.LoopOnce, o.Symexec.MaxLoopIters)
+	fmt.Fprintf(&b, ";statesBlock=%d;statesFunc=%d", o.Symexec.MaxStatesPerBlock, o.Symexec.MaxStatesPerFunc)
+	srcs := make([]string, 0, len(o.ExtraSources))
+	for _, s := range o.ExtraSources {
+		srcs = append(srcs, fmt.Sprintf("%s:%d:%t", s.Name, s.BufArg, s.ViaReturn))
+	}
+	sort.Strings(srcs)
+	sinks := make([]string, 0, len(o.ExtraSinks))
+	for _, s := range o.ExtraSinks {
+		sinks = append(sinks, fmt.Sprintf("%s:%d:%d:%d", s.Name, int(s.Class), s.DataArg, s.LenArg))
+	}
+	sort.Strings(sinks)
+	fmt.Fprintf(&b, ";sources=%s;sinks=%s", strings.Join(srcs, ","), strings.Join(sinks, ","))
+	fmt.Fprintf(&b, ";filter=%s", filterTag)
+	return b.String()
+}

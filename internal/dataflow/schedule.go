@@ -4,11 +4,13 @@ import (
 	"container/heap"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dtaint/internal/alias"
 	"dtaint/internal/cfg"
 	"dtaint/internal/obs"
+	"dtaint/internal/sumstore"
 	"dtaint/internal/symexec"
 	"dtaint/internal/taint"
 )
@@ -21,8 +23,22 @@ import (
 // by its own tracker shard; its findings, pendings, and counters are
 // stashed per component and merged in condensation order afterwards, so
 // the result is bit-identical for every worker count.
-func runBottomUp(prog *cfg.Program, names []string, opts Options, res *Result, stageSpan *obs.Span) {
+//
+// With a summary store, each component's Merkle key (its function
+// digests chained with every callee component's key) is consulted
+// before analysis: a stored entry replays the component's complete
+// contribution — exported summaries, climbing pending sinks, findings,
+// and counters — so the published state and the merged result are
+// byte-for-byte what a fresh execution would produce.
+func runBottomUp(prog *cfg.Program, names []string, opts Options, fp *sumstore.Fingerprinter, res *Result, stageSpan *obs.Span) {
 	cond := prog.Condense(names)
+	store := opts.SummaryStore
+	var keys []string
+	if store != nil {
+		// Computed after structsim, so resolved indirect callsites and
+		// the call edges they added are part of every key.
+		keys = fp.CompKeys(cond)
+	}
 	workers := opts.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -70,6 +86,7 @@ func runBottomUp(prog *cfg.Program, names []string, opts Options, res *Result, s
 	}
 	heap.Init(&ready)
 
+	var storeHits, storeMisses atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -87,7 +104,22 @@ func runBottomUp(prog *cfg.Program, names []string, opts Options, res *Result, s
 				i := heap.Pop(&ready).(int)
 				mu.Unlock()
 
-				r := analyzeComponent(prog, opts, base, shared, cond.Comps[i], i, bo)
+				var r compResult
+				replayed := false
+				if store != nil {
+					if ent, ok := store.GetEntry(keys[i]); ok {
+						r = entryToComp(ent)
+						replayed = true
+						storeHits.Add(1)
+					}
+				}
+				if !replayed {
+					r = analyzeComponent(prog, opts, base, shared, cond.Comps[i], i, bo)
+					if store != nil {
+						storeMisses.Add(1)
+						store.PutEntry(keys[i], compToEntry(cond.Comps[i], r))
+					}
+				}
 				shared.publish(r)
 				done[i] = r
 
@@ -105,6 +137,8 @@ func runBottomUp(prog *cfg.Program, names []string, opts Options, res *Result, s
 		}()
 	}
 	wg.Wait()
+	res.SumStore.Hits += int(storeHits.Load())
+	res.SumStore.Misses += int(storeMisses.Load())
 
 	// Deterministic merge: concatenate per-component results in the
 	// condensation's (reverse topological) order — exactly the order the
@@ -159,6 +193,42 @@ type compResult struct {
 	findings  []taint.Finding
 	defPairs  int
 	truncated int
+}
+
+// compToEntry packages a component's contribution for the summary
+// store. Summaries are listed in the component's fixed function order
+// so encoding is deterministic.
+func compToEntry(comp []string, r compResult) *sumstore.Entry {
+	ent := &sumstore.Entry{
+		Pendings:  r.pendings,
+		Findings:  r.findings,
+		DefPairs:  r.defPairs,
+		Truncated: r.truncated,
+	}
+	for _, name := range comp {
+		if sum, ok := r.summaries[name]; ok {
+			ent.Summaries = append(ent.Summaries, sum)
+		}
+	}
+	return ent
+}
+
+// entryToComp replays a stored component contribution.
+func entryToComp(ent *sumstore.Entry) compResult {
+	r := compResult{
+		summaries: make(map[string]*symexec.Summary, len(ent.Summaries)),
+		pendings:  ent.Pendings,
+		findings:  ent.Findings,
+		defPairs:  ent.DefPairs,
+		truncated: ent.Truncated,
+	}
+	if r.pendings == nil {
+		r.pendings = make(map[string][]taint.PendingSink)
+	}
+	for _, sum := range ent.Summaries {
+		r.summaries[sum.Func] = sum
+	}
+	return r
 }
 
 // bottomUpObs carries the bottom-up pass's observability handles into

@@ -8,8 +8,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
-	"strings"
 	"sync"
 
 	"dtaint/internal/dataflow"
@@ -96,31 +94,18 @@ func Key(binary []byte, fingerprint string) string {
 }
 
 // Fingerprint canonicalizes the semantically relevant analyzer options
-// into a stable string — the second half of the cache key. Parallelism
-// is deliberately excluded: the analyzer produces bit-identical results
-// for every worker count, so reports are shareable across differently
-// parallel runs. A non-nil function filter cannot be hashed; callers
-// must supply a filterTag naming it (see Options.FilterTag). The
-// orchestrator bypasses the cache entirely for a non-nil filter with an
-// empty tag, so an unnameable filter can never poison shared entries.
+// into a stable string — the second half of the cache key. It is the
+// shared pipeline fingerprint (dataflow.OptionsFingerprint), so report
+// cache and summary store invalidate together on an analysis version
+// bump. Parallelism is deliberately excluded: the analyzer produces
+// bit-identical results for every worker count, so reports are
+// shareable across differently parallel runs. A non-nil function filter
+// cannot be hashed; callers must supply a filterTag naming it (see
+// Options.FilterTag). The orchestrator bypasses the cache entirely for
+// a non-nil filter with an empty tag, so an unnameable filter can never
+// poison shared entries.
 func Fingerprint(o dataflow.Options, filterTag string) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "v1;alias=%t;structsim=%t", !o.DisableAlias, !o.DisableStructSim)
-	fmt.Fprintf(&b, ";loopOnce=%t;loopIters=%d", o.Symexec.LoopOnce, o.Symexec.MaxLoopIters)
-	fmt.Fprintf(&b, ";statesBlock=%d;statesFunc=%d", o.Symexec.MaxStatesPerBlock, o.Symexec.MaxStatesPerFunc)
-	srcs := make([]string, 0, len(o.ExtraSources))
-	for _, s := range o.ExtraSources {
-		srcs = append(srcs, fmt.Sprintf("%s:%d:%t", s.Name, s.BufArg, s.ViaReturn))
-	}
-	sort.Strings(srcs)
-	sinks := make([]string, 0, len(o.ExtraSinks))
-	for _, s := range o.ExtraSinks {
-		sinks = append(sinks, fmt.Sprintf("%s:%d:%d:%d", s.Name, int(s.Class), s.DataArg, s.LenArg))
-	}
-	sort.Strings(sinks)
-	fmt.Fprintf(&b, ";sources=%s;sinks=%s", strings.Join(srcs, ","), strings.Join(sinks, ","))
-	fmt.Fprintf(&b, ";filter=%s", filterTag)
-	return b.String()
+	return dataflow.OptionsFingerprint(o, filterTag)
 }
 
 // Get looks the key up in memory, then on disk. Disk hits are promoted

@@ -16,6 +16,7 @@ import (
 	"dtaint/internal/firmware"
 	"dtaint/internal/image"
 	"dtaint/internal/obs"
+	"dtaint/internal/sumstore"
 )
 
 // Options configures an image scan.
@@ -40,6 +41,14 @@ type Options struct {
 	// Cache, when non-nil, is consulted before and updated after every
 	// binary analysis.
 	Cache *Cache
+	// SummaryStore, when non-nil, is shared by every binary analysis in
+	// the scan (and, via ScanCorpus, across a whole corpus): per-function
+	// and per-component summaries are keyed by content, so binaries
+	// sharing code — every image's busybox, the common libc-shaped
+	// modules — are symbolically executed once per unique function.
+	// Results are bit-identical with and without a store, so it is
+	// excluded from the report-cache fingerprint.
+	SummaryStore *sumstore.Store
 	// PathFilter, when non-nil, restricts candidates to rootfs paths for
 	// which it returns true.
 	PathFilter func(path string) bool
@@ -47,6 +56,12 @@ type Options struct {
 	// the number done so far and the total candidate count. Calls are
 	// serialized.
 	Progress func(done, total int)
+
+	// inflight deduplicates concurrent analyses of identical binaries
+	// within one scan (set by ScanImage when a cache is configured):
+	// the first worker to reach a cache key analyzes, the rest wait and
+	// re-read the cache.
+	inflight *flightGroup
 }
 
 // ErrBadWorkers reports a negative worker count.
@@ -70,6 +85,12 @@ func ScanImage(ctx context.Context, data []byte, opts Options) (*ImageReport, er
 	}
 	if opts.Analysis.Parallelism == 0 {
 		opts.Analysis.Parallelism = 1
+	}
+	if opts.SummaryStore != nil {
+		opts.Analysis.SummaryStore = opts.SummaryStore
+	}
+	if opts.Cache != nil {
+		opts.inflight = newFlightGroup()
 	}
 	start := time.Now()
 
@@ -224,11 +245,22 @@ func scanOne(ctx context.Context, f firmware.File, opts Options) BinaryScan {
 	var key string
 	if cacheable {
 		key = Key(f.Data, Fingerprint(opts.Analysis, opts.FilterTag))
-		if v, ok := opts.Cache.Get(key); ok {
-			bs.Status = StatusCached
-			bs.Analysis = v
-			return bs
+		for {
+			if v, ok := opts.Cache.Get(key); ok {
+				bs.Status = StatusCached
+				bs.Analysis = v
+				return bs
+			}
+			if opts.inflight.begin(key) {
+				break // leader: analyze and fill the cache
+			}
+			// An identical binary is being analyzed by another worker
+			// right now: wait for it and retry the cache. If the leader
+			// failed (no cache entry), the retry misses and this worker
+			// takes over as leader.
+			opts.inflight.wait(key)
 		}
+		defer opts.inflight.finish(key)
 	}
 
 	type outcome struct {

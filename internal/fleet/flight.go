@@ -1,0 +1,64 @@
+package fleet
+
+import "sync"
+
+// flightGroup is a minimal single-flight: at most one worker analyzes a
+// given cache key at a time, and duplicates wait instead of repeating
+// the work. Firmware images ship the same binary at several rootfs
+// paths (busybox and its applet copies), and without this the worker
+// pool would analyze each copy concurrently — every one a cache miss —
+// then overwrite each other's identical cache entries.
+//
+// A nil *flightGroup is valid and disables deduplication: begin always
+// claims leadership, wait and finish are no-ops.
+type flightGroup struct {
+	mu       sync.Mutex
+	inflight map[string]chan struct{}
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{inflight: make(map[string]chan struct{})}
+}
+
+// begin reports whether the caller becomes the leader for key. A false
+// return means another worker is already analyzing the key; call wait.
+func (g *flightGroup) begin(key string) bool {
+	if g == nil {
+		return true
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.inflight[key]; ok {
+		return false
+	}
+	g.inflight[key] = make(chan struct{})
+	return true
+}
+
+// wait blocks until the current leader for key finishes. Returns
+// immediately if there is none (the leader may have finished between
+// the caller's begin and wait).
+func (g *flightGroup) wait(key string) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	ch := g.inflight[key]
+	g.mu.Unlock()
+	if ch != nil {
+		<-ch
+	}
+}
+
+// finish releases leadership for key and wakes every waiter.
+func (g *flightGroup) finish(key string) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	if ch, ok := g.inflight[key]; ok {
+		close(ch)
+		delete(g.inflight, key)
+	}
+	g.mu.Unlock()
+}

@@ -2,11 +2,14 @@
 # check.sh — the repository's full verification gate.
 #
 # Runs the tier-1 verify (build + tests) plus gofmt, go vet, the
-# repo-specific dtaintlint rules (determinism + nil-safe obs handles), a
-# race-enabled test pass (so the parallel bottom-up scheduler and the
-# fleet orchestrator are always race-checked), the screening-corpus
-# precision/recall gate, and the dtaintd smoke test. Invoked by
-# `make check`; keep CI and local runs on this single path.
+# repo-specific dtaintlint rules (determinism + nil-safe obs handles +
+# versioned serialization), a race-enabled test pass (so the parallel
+# bottom-up scheduler and the fleet orchestrator are always
+# race-checked), the screening-corpus precision/recall gate, a small
+# cold-then-warm corpus pass (warm re-scan must be faster, replay its
+# summaries entirely from the store, and report identical findings), and
+# the dtaintd smoke test. Invoked by `make check`; keep CI and local
+# runs on this single path.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -33,6 +36,9 @@ go test -race ./...
 
 echo ">> benchtab -screen (precision/recall gate)"
 go run ./cmd/benchtab -screen -min-precision 1 -min-recall 1 -bench-out off
+
+echo ">> benchtab -corpus (cold/warm summary-store gate)"
+go run ./cmd/benchtab -corpus -corpus-scale 0.05 -min-corpus-speedup 2 -min-corpus-hits 1 -bench-out off
 
 echo ">> scripts/smoke.sh"
 ./scripts/smoke.sh
