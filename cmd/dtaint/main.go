@@ -18,6 +18,10 @@
 // -workers N sets the worker count for both parallel analysis phases —
 // the per-function pass and the bottom-up SCC-DAG scheduler (0, the
 // default, uses GOMAXPROCS; negative values are rejected).
+// -vocab file.json replaces the embedded source/sink/sanitizer
+// vocabulary with a JSON spec (see DESIGN.md §3.5); malformed specs
+// are rejected with line- and field-precise errors before any
+// analysis starts.
 //
 // -rootfs-all switches from one binary to the whole image: every FWELF
 // executable in the rootfs is scanned through the fleet orchestrator
@@ -77,6 +81,7 @@ func main() {
 		mdOut     = flag.String("report", "", "write a Markdown report to this file")
 		traceFn   = flag.String("trace", "", "print the symbolic-analysis listing of one function (the paper's Figure 6) and exit")
 		workers   = flag.Int("workers", 0, "worker count for both analysis phases (0 = GOMAXPROCS)")
+		vocabPath = flag.String("vocab", "", "source/sink/sanitizer vocabulary spec (JSON; empty = embedded default)")
 		allBins   = flag.Bool("rootfs-all", false, "scan every FWELF executable in the firmware rootfs (requires -fw)")
 		cacheDir  = flag.String("cache-dir", "", "with -rootfs-all: persistent report cache directory")
 		sumDir    = flag.String("summary-dir", "", "persistent function-summary store directory, shared across runs")
@@ -101,7 +106,7 @@ func main() {
 		noAlias: *noAlias, noSim: *noSim,
 		paths: *paths, showAll: *showAll, dis: *dis, jsonOut: *jsonOut,
 		cacheDir: *cacheDir, sumDir: *sumDir, traceOut: *traceOut, progress: *progress,
-		logLevel: *logLevel, logFormat: *logFormat,
+		logLevel: *logLevel, logFormat: *logFormat, vocabPath: *vocabPath,
 	}
 	if err := o.applyAblations(*ablate); err != nil {
 		fmt.Fprintln(os.Stderr, "dtaint:", err)
@@ -135,6 +140,21 @@ type cliOptions struct {
 	traceOut                 string
 	progress                 bool
 	logLevel, logFormat      string
+	vocabPath                string
+}
+
+// vocabulary loads the -vocab spec; an empty path keeps the embedded
+// default and returns no option. Malformed specs abort with the vocab
+// package's line/field-precise error.
+func (o cliOptions) vocabulary() ([]dtaint.Option, error) {
+	if o.vocabPath == "" {
+		return nil, nil
+	}
+	v, err := dtaint.LoadVocabulary(o.vocabPath)
+	if err != nil {
+		return nil, err
+	}
+	return []dtaint.Option{dtaint.WithVocabulary(v)}, nil
 }
 
 // applyAblations folds the -ablate list into the feature switches.
@@ -258,6 +278,11 @@ func runFleet(o cliOptions) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	vopts, err := o.vocabulary()
+	if err != nil {
+		return 0, err
+	}
+	aopts = append(aopts, vopts...)
 	aopts = append(aopts, analyzerOptions("", 0, o.noAlias, o.noSim, o.noVRange)...)
 	a := dtaint.New(aopts...)
 	img, err := a.ScanFirmwareFleet(context.Background(), data, fopts...)
@@ -318,6 +343,11 @@ func run(o cliOptions) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	vopts, err := o.vocabulary()
+	if err != nil {
+		return 0, err
+	}
+	aopts = append(aopts, vopts...)
 	aopts = append(aopts, analyzerOptions(o.module, o.workers, o.noAlias, o.noSim, o.noVRange)...)
 	if o.sumDir != "" {
 		store, err := dtaint.NewSummaryStore(0, o.sumDir)

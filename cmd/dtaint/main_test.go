@@ -175,6 +175,62 @@ func TestRunFleetErrors(t *testing.T) {
 	}
 }
 
+// -vocab swaps the analysis vocabulary: a spec that drops strcpy from
+// the sink list must suppress findings the default vocabulary reports,
+// and a malformed spec must abort before any analysis runs.
+func TestRunVocabFlag(t *testing.T) {
+	fw, _ := writeCorpus(t)
+	base := cliOptions{fwPath: fw, binPath: "/htdocs/cgibin"}
+	n, err := run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("default vocabulary found nothing to compare against")
+	}
+
+	dir := t.TempDir()
+	// A vocabulary with sources but no sinks at all: nothing can be
+	// reported, so the vulnerable-path count must drop to zero.
+	srcOnly := filepath.Join(dir, "sources-only.json")
+	if err := os.WriteFile(srcOnly, []byte(`{"version": 1, "functions": [
+		{"name": "recv", "kind": "source",
+		 "args": [{"type": "int"}, {"type": "char*", "role": "dest"}, {"type": "int", "role": "len"}, {"type": "int"}]}
+	]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := base
+	o.vocabPath = srcOnly
+	n2, err := run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != 0 {
+		t.Fatalf("sink-free vocabulary still reported %d vulnerable paths", n2)
+	}
+
+	// Malformed spec: rejected with the line-precise vocab error.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version": 1, "functions": [
+		{"name": "f", "kind": "sinkhole"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o = base
+	o.vocabPath = bad
+	if _, err := run(o); err == nil || !strings.Contains(err.Error(), "sinkhole") {
+		t.Fatalf("malformed vocab error = %v", err)
+	}
+	// Same rejection on the fleet path.
+	if _, err := runFleet(cliOptions{fwPath: fw, vocabPath: bad}); err == nil {
+		t.Fatal("fleet mode accepted a malformed vocabulary")
+	}
+	// Missing file.
+	o.vocabPath = filepath.Join(dir, "ghost.json")
+	if _, err := run(o); err == nil {
+		t.Fatal("missing vocab file accepted")
+	}
+}
+
 // A negative -workers value must be rejected with a clear error, not
 // silently mapped to GOMAXPROCS.
 func TestRunRejectsNegativeWorkers(t *testing.T) {

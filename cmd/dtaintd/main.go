@@ -4,9 +4,18 @@
 //	dtaintd -addr :8214 -cache-dir /var/cache/dtaint
 //
 //	curl -X POST --data-binary @dir645.fwimg http://localhost:8214/v1/scan
+//	curl -X POST -F firmware=@dir645.fwimg -F vocab=@vendor.json http://localhost:8214/v1/scan
 //	curl http://localhost:8214/v1/jobs/job-000001
 //	curl http://localhost:8214/v1/jobs/job-000001/report
 //	curl http://localhost:8214/v1/metrics
+//
+// The second upload form is multipart: the optional vocab part is a
+// JSON source/sink/sanitizer vocabulary (DESIGN.md §3.5) overriding
+// the server's default for that job only; -vocab file.json changes
+// the server-wide default. Malformed specs answer 400 at accept time
+// with a line-precise error. The vocabulary digest is part of the
+// cache fingerprints, so jobs with different vocabularies never share
+// cached results.
 //
 // Jobs run one at a time in arrival order; each job fans its image's
 // binaries out across -workers analyzer goroutines. The job queue is
@@ -50,6 +59,8 @@ import (
 	"dtaint/internal/fleet"
 	"dtaint/internal/obs"
 	"dtaint/internal/sumstore"
+	"dtaint/internal/taint"
+	"dtaint/internal/vocab"
 )
 
 func main() {
@@ -65,6 +76,7 @@ func main() {
 		maxUpload  = flag.Int64("max-upload", 256<<20, "maximum firmware upload bytes")
 		noAlias    = flag.Bool("no-alias", false, "disable pointer-alias recognition (Algorithm 1)")
 		noSim      = flag.Bool("no-structsim", false, "disable data-structure similarity resolution")
+		vocabPath  = flag.String("vocab", "", "default source/sink/sanitizer vocabulary spec (JSON; empty = embedded default)")
 		drainWait  = flag.Duration("drain", 5*time.Minute, "shutdown grace for the running job")
 		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat  = flag.String("log-format", "text", "log format: text or json")
@@ -76,7 +88,7 @@ func main() {
 		cacheSize: *cacheSize, cacheDir: *cacheDir, maxUpload: *maxUpload,
 		sumSize: *sumSize, sumDir: *sumDir,
 		jobTimeout: *jobTimeout, drainWait: *drainWait,
-		noAlias: *noAlias, noSim: *noSim,
+		noAlias: *noAlias, noSim: *noSim, vocabPath: *vocabPath,
 		logLevel: *logLevel, logFormat: *logFormat, pprofAddr: *pprofAddr,
 	}
 	if err := run(opts); err != nil {
@@ -99,6 +111,7 @@ type serveOptions struct {
 	drainWait  time.Duration
 	noAlias    bool
 	noSim      bool
+	vocabPath  string
 	logLevel   string
 	logFormat  string
 	pprofAddr  string
@@ -132,6 +145,17 @@ func run(o serveOptions) error {
 	}
 	cfg.analysis.DisableAlias = o.noAlias
 	cfg.analysis.DisableStructSim = o.noSim
+	if o.vocabPath != "" {
+		spec, err := vocab.Load(o.vocabPath)
+		if err != nil {
+			return err
+		}
+		v, err := taint.CompileVocabulary(spec)
+		if err != nil {
+			return err
+		}
+		cfg.analysis.Vocab = v
+	}
 	cfg.analysis.Metrics = cfg.metrics
 	cfg.analysis.Log = logger
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"mime"
 	"net/http"
 	"strings"
 	"sync"
@@ -15,6 +16,8 @@ import (
 	"dtaint/internal/fleet"
 	"dtaint/internal/obs"
 	"dtaint/internal/sumstore"
+	"dtaint/internal/taint"
+	"dtaint/internal/vocab"
 )
 
 // config tunes the scan service.
@@ -61,7 +64,11 @@ type job struct {
 	done     int // binaries completed so far
 	total    int // candidate binaries
 	data     []byte
-	report   *fleet.ImageReport
+	// vocab is this job's request-scoped vocabulary override (nil =
+	// server default). Carrying the compiled form means a malformed
+	// spec was already rejected with 400 at accept time.
+	vocab  *taint.Vocabulary
+	report *fleet.ImageReport
 }
 
 // jobView is the JSON shape of a job's status.
@@ -198,6 +205,13 @@ func (s *server) runJob(j *job) {
 	if aopts.Log != nil {
 		aopts.Log = aopts.Log.With("job", j.id)
 	}
+	if j.vocab != nil {
+		// Per-request override beats the server default. The vocabulary
+		// digest is part of the report-cache and summary-store
+		// fingerprints, so a job with a custom vocabulary can never be
+		// served results computed under a different one.
+		aopts.Vocab = j.vocab
+	}
 	rep, err := fleet.ScanImage(s.runCtx, data, fleet.Options{
 		Workers:          s.cfg.workers,
 		PerBinaryTimeout: s.cfg.binaryTimeout,
@@ -252,9 +266,8 @@ func (s *server) handler() http.Handler {
 }
 
 func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
-	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxUpload))
-	if err != nil {
-		httpError(w, http.StatusRequestEntityTooLarge, "firmware upload too large or unreadable")
+	data, voc, ok := s.readScanRequest(w, r)
+	if !ok {
 		return
 	}
 	if len(data) == 0 {
@@ -269,6 +282,7 @@ func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
 		state:   stateQueued,
 		created: time.Now(),
 		data:    data,
+		vocab:   voc,
 	}
 	s.jobs[j.id] = j
 	s.mu.Unlock()
@@ -289,6 +303,70 @@ func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "5")
 		httpError(w, http.StatusTooManyRequests, "scan queue is full")
 	}
+}
+
+// readScanRequest accepts the two upload forms of POST /v1/scan: the
+// original raw-body firmware upload, and multipart/form-data with a
+// required "firmware" part plus an optional "vocab" part carrying a
+// JSON vocabulary spec that overrides the server default for this job
+// only. Malformed vocabularies are rejected here — at accept time,
+// with the vocab package's line- and field-precise error — so a bad
+// spec costs 400, never a queued-then-failed job. On failure the
+// response has been written and ok is false.
+func (s *server) readScanRequest(w http.ResponseWriter, r *http.Request) (data []byte, voc *taint.Vocabulary, ok bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.maxUpload)
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if ct != "multipart/form-data" {
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			httpError(w, http.StatusRequestEntityTooLarge, "firmware upload too large or unreadable")
+			return nil, nil, false
+		}
+		return data, nil, true
+	}
+	if err := r.ParseMultipartForm(s.cfg.maxUpload); err != nil {
+		httpError(w, http.StatusBadRequest, "malformed multipart upload: "+err.Error())
+		return nil, nil, false
+	}
+	defer func() { _ = r.MultipartForm.RemoveAll() }()
+	data, err := formPart(r, "firmware")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "multipart upload needs a \"firmware\" part: "+err.Error())
+		return nil, nil, false
+	}
+	vdata, err := formPart(r, "vocab")
+	if err != nil {
+		// No vocab part at all: the server default applies.
+		return data, nil, true
+	}
+	spec, err := vocab.Parse(vdata, "vocab")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid vocabulary: "+err.Error())
+		return nil, nil, false
+	}
+	v, err := taint.CompileVocabulary(spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid vocabulary: "+err.Error())
+		return nil, nil, false
+	}
+	return data, v, true
+}
+
+// formPart reads one named part of a parsed multipart form, accepting
+// both file parts (curl -F vocab=@file.json) and plain value fields.
+func formPart(r *http.Request, name string) ([]byte, error) {
+	if fhs := r.MultipartForm.File[name]; len(fhs) > 0 {
+		f, err := fhs[0].Open()
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return io.ReadAll(f)
+	}
+	if vs := r.MultipartForm.Value[name]; len(vs) > 0 {
+		return []byte(vs[0]), nil
+	}
+	return nil, fmt.Errorf("part %q missing", name)
 }
 
 func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {

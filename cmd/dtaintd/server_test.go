@@ -3,8 +3,10 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"mime/multipart"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -140,6 +142,147 @@ func TestScanEndToEnd(t *testing.T) {
 	}
 	if rep2.Vulnerabilities != rep.Vulnerabilities {
 		t.Fatalf("cached report diverged: %d vs %d", rep2.Vulnerabilities, rep.Vulnerabilities)
+	}
+}
+
+// postMultipart POSTs /v1/scan as multipart/form-data with a firmware
+// part and, when vocabJSON is non-empty, a vocab part.
+func postMultipart(t *testing.T, ts *httptest.Server, fw []byte, vocabJSON string) *http.Response {
+	t.Helper()
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	fp, err := mw.CreateFormFile("firmware", "image.fwimg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fp.Write(fw); err != nil {
+		t.Fatal(err)
+	}
+	if vocabJSON != "" {
+		vp, err := mw.CreateFormFile("vocab", "vocab.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := vp.Write([]byte(vocabJSON)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/scan", mw.FormDataContentType(), &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestScanVocabOverride: a multipart scan with a sink-free vocabulary
+// must report zero vulnerabilities on an image the default vocabulary
+// flags, and the two jobs must not share cached results even though
+// they scan byte-identical binaries through the same cache.
+func TestScanVocabOverride(t *testing.T) {
+	cache, err := fleet.NewCache(64, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := startTestServer(t, config{cache: cache})
+	fw := testFirmware(t)
+
+	// Baseline raw-body scan under the default vocabulary.
+	id := postScan(t, ts, fw)
+	waitDone(t, ts, id)
+	rep := getReport(t, ts, id)
+	if rep.Vulnerabilities == 0 {
+		t.Fatal("default vocabulary found nothing to compare against")
+	}
+
+	// Multipart scan with a vocabulary that declares sources only: the
+	// cache already holds this image's reports, but the vocabulary digest
+	// keys them apart, so this job recomputes and finds nothing.
+	resp := postMultipart(t, ts, fw, `{"version": 1, "functions": [
+		{"name": "read", "kind": "source",
+		 "args": [{"type": "int"}, {"type": "char*", "role": "dest"}, {"type": "int", "role": "len"}]}]}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("multipart POST = %d, want 202", resp.StatusCode)
+	}
+	var ack struct{ ID string }
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, ts, ack.ID)
+	rep2 := getReport(t, ts, ack.ID)
+	if rep2.Vulnerabilities != 0 {
+		t.Fatalf("sink-free vocabulary reported %d vulnerabilities", rep2.Vulnerabilities)
+	}
+	if rep2.Cached != 0 {
+		t.Fatalf("vocab-override job served %d binaries from the default-vocab cache", rep2.Cached)
+	}
+
+	// A multipart scan without a vocab part behaves like the raw form —
+	// and now it DOES hit the cache warmed by the baseline job.
+	resp3 := postMultipart(t, ts, fw, "")
+	defer resp3.Body.Close()
+	if resp3.StatusCode != http.StatusAccepted {
+		t.Fatalf("vocabless multipart POST = %d, want 202", resp3.StatusCode)
+	}
+	var ack3 struct{ ID string }
+	if err := json.NewDecoder(resp3.Body).Decode(&ack3); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, ts, ack3.ID)
+	rep3 := getReport(t, ts, ack3.ID)
+	if rep3.Vulnerabilities != rep.Vulnerabilities {
+		t.Fatalf("multipart default-vocab scan diverged: %d vs %d", rep3.Vulnerabilities, rep.Vulnerabilities)
+	}
+	if rep3.Cached == 0 {
+		t.Fatal("identical-vocabulary rescan missed the warm cache")
+	}
+}
+
+// Malformed vocabularies are rejected with 400 at accept time, with
+// the vocab package's precise error in the response body.
+func TestScanVocabRejection(t *testing.T) {
+	_, ts := startTestServer(t, config{})
+	fw := testFirmware(t)
+	cases := []struct {
+		name, vocab, want string
+	}{
+		{"bad kind", `{"version": 1, "functions": [{"name": "f", "kind": "sinkhole"}]}`, `unknown kind "sinkhole"`},
+		{"syntax error", "{\n  \"functions\": [,]\n}", "vocab:2"},
+		{"wrong version", `{"version": 9, "functions": [{"name": "f", "kind": "model", "model": "nop"}]}`, "version 9"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postMultipart(t, ts, fw, tc.vocab)
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("malformed vocab POST = %d, want 400", resp.StatusCode)
+			}
+			var e struct{ Error string }
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(e.Error, "invalid vocabulary") || !strings.Contains(e.Error, tc.want) {
+				t.Fatalf("error = %q, want it to mention %q", e.Error, tc.want)
+			}
+		})
+	}
+
+	// A multipart POST without the firmware part is also a 400.
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	if err := mw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/scan", mw.FormDataContentType(), &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("firmware-less multipart POST = %d, want 400", resp.StatusCode)
 	}
 }
 

@@ -1,4 +1,4 @@
-// Command dtaintlint enforces three repository-specific contracts that
+// Command dtaintlint enforces four repository-specific contracts that
 // go vet cannot check:
 //
 //  1. unordered-map-range — the determinism contract. Findings, reports,
@@ -26,6 +26,14 @@
 //     json/xml/Encode serialization of an analysis type outside
 //     internal/sumstore is flagged at the call.
 //
+//  4. hardcoded-vocab-name — the declarative-vocabulary contract. The
+//     taint engine (internal/taint) dispatches sources, sinks,
+//     sanitizers, and propagation models from the compiled vocabulary
+//     (internal/vocab); a string literal naming a vocabulary function
+//     ("strcpy", "system", ...) in engine code is a hard-coded special
+//     case that a custom -vocab spec cannot override. Declare the
+//     behavior in the vocabulary spec instead.
+//
 // Usage:
 //
 //	dtaintlint [dir ...]        # default: the whole module tree
@@ -45,7 +53,10 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
+
+	"dtaint/internal/vocab"
 )
 
 func main() {
@@ -281,6 +292,8 @@ func (w *world) lintPackage(fset *token.FileSet, dir string, files []*ast.File) 
 	// internal/sumstore IS the versioned serialization layer; rule 3
 	// exempts it.
 	allowSer := strings.Contains(filepath.ToSlash(dir), "internal/sumstore")
+	// Rule 4 applies only to the taint engine itself.
+	taintPkg := strings.Contains(filepath.ToSlash(dir), "internal/taint")
 	var out []string
 	for _, f := range files {
 		importsObs := false
@@ -309,6 +322,9 @@ func (w *world) lintPackage(fset *token.FileSet, dir string, files []*ast.File) 
 			if !allowSer {
 				lf.lintSerialization(fd)
 			}
+		}
+		if taintPkg {
+			lf.lintVocabLiterals(f)
 		}
 		out = append(out, lf.findings...)
 	}
@@ -765,6 +781,51 @@ func (l *linter) lintGuardedObs(s *ast.IfStmt, env map[string]varInfo) {
 		}
 		return true
 	})
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: hard-coded vocabulary names in the taint engine.
+
+var vocabNames map[string]bool
+
+// defaultVocabNames is the set of function names the embedded default
+// vocabulary declares — the literals rule 4 hunts for in engine code.
+func defaultVocabNames() map[string]bool {
+	if vocabNames == nil {
+		spec := vocab.Default()
+		vocabNames = make(map[string]bool, len(spec.Functions))
+		for i := range spec.Functions {
+			vocabNames[spec.Functions[i].Name] = true
+		}
+	}
+	return vocabNames
+}
+
+// lintVocabLiterals flags string literals naming a default-vocabulary
+// function inside internal/taint. The engine must dispatch on the
+// compiled vocabulary, never on a spelled-out function name — a
+// hard-coded "strcpy" is a special case no custom -vocab spec can
+// override. Import paths are exempt; waivers use the usual directive.
+func (l *linter) lintVocabLiterals(f *ast.File) {
+	names := defaultVocabNames()
+	for _, decl := range f.Decls {
+		if gd, ok := decl.(*ast.GenDecl); ok && gd.Tok == token.IMPORT {
+			continue
+		}
+		ast.Inspect(decl, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			s, err := strconv.Unquote(lit.Value)
+			if err != nil || !names[s] {
+				return true
+			}
+			l.report(lit.Pos(), "hardcoded-vocab-name",
+				fmt.Sprintf("string literal %q names a vocabulary function; dispatch on the compiled vocabulary instead of the name (//dtaintlint:ignore <reason> to waive)", s))
+			return true
+		})
+	}
 }
 
 func isNil(e ast.Expr) bool {

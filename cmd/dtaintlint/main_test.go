@@ -309,3 +309,53 @@ func dump(fs []taint.Finding) ([]byte, error) {
 `)
 	wantRule(t, findings, "unversioned-serialization", 0)
 }
+
+// lintSourceAt writes one fixture into dir/<rel>/fixture.go so rules
+// scoped by package path (rule 4 targets internal/taint) see it.
+func lintSourceAt(t *testing.T, rel, src string) []string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), rel)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "fixture.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lintTree([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+func TestHardcodedVocabNameFlagged(t *testing.T) {
+	src := `package taint
+
+func special(callee string) bool {
+	return callee == "strcpy" || callee == "system"
+}
+`
+	findings := lintSourceAt(t, "internal/taint", src)
+	wantRule(t, findings, "hardcoded-vocab-name", 2)
+	// The same literals outside the engine are nobody's business.
+	wantRule(t, lintSourceAt(t, "internal/corpus", src), "hardcoded-vocab-name", 0)
+}
+
+func TestHardcodedVocabNameExemptions(t *testing.T) {
+	// Import paths, non-vocab literals, and waived lines are all clean.
+	findings := lintSourceAt(t, "internal/taint", `package taint
+
+import "strings"
+
+const loopSink = "loop"
+
+func f(s string) bool {
+	//dtaintlint:ignore exercising the waiver path
+	if s == "memcpy" {
+		return true
+	}
+	return strings.Contains(s, "atoi_")
+}
+`)
+	wantRule(t, findings, "hardcoded-vocab-name", 0)
+}

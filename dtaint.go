@@ -43,6 +43,7 @@ import (
 	"dtaint/internal/obs"
 	"dtaint/internal/symexec"
 	"dtaint/internal/taint"
+	"dtaint/internal/vocab"
 )
 
 // Class is a vulnerability class.
@@ -59,6 +60,12 @@ const (
 	// ClassLengthTruncation marks a tainted length narrowed through a
 	// 1-byte store: the truncated value defeats any later bound check.
 	ClassLengthTruncation Class = "length-truncation"
+	// ClassFormatString marks attacker-controlled data reaching the
+	// format argument of a printf-family sink.
+	ClassFormatString Class = "format-string"
+	// ClassPathTraversal marks attacker-controlled data reaching the
+	// path argument of a file operation without a '.'-probe.
+	ClassPathTraversal Class = "path-traversal"
 )
 
 // Finding is one (source, path, sink) tuple discovered by the analysis.
@@ -86,7 +93,9 @@ type Finding struct {
 
 // CWE returns the finding's Common Weakness Enumeration identifier:
 // CWE-121 (stack-based buffer overflow), CWE-78 (OS command injection),
-// CWE-193 (off-by-one error), or CWE-197 (numeric truncation error).
+// CWE-193 (off-by-one error), CWE-197 (numeric truncation error),
+// CWE-134 (externally-controlled format string), or CWE-22 (path
+// traversal).
 func (f Finding) CWE() string {
 	switch f.Class {
 	case ClassCommandInjection:
@@ -95,6 +104,10 @@ func (f Finding) CWE() string {
 		return "CWE-193"
 	case ClassLengthTruncation:
 		return "CWE-197"
+	case ClassFormatString:
+		return "CWE-134"
+	case ClassPathTraversal:
+		return "CWE-22"
 	}
 	return "CWE-121"
 }
@@ -282,11 +295,82 @@ func WithSink(name string, class Class, dataArg, lenArg int) Option {
 		switch class {
 		case ClassCommandInjection:
 			c = taint.ClassCommandInjection
+		case ClassFormatString:
+			c = taint.ClassFormatString
+		case ClassPathTraversal:
+			c = taint.ClassPathTraversal
 		default:
 			c = taint.ClassBufferOverflow
 		}
 		a.opts.ExtraSinks = append(a.opts.ExtraSinks,
 			taint.SinkSpec{Name: name, Class: c, DataArg: dataArg, LenArg: lenArg})
+	}
+}
+
+// Vocabulary is a compiled source/sink/sanitizer vocabulary (see
+// internal/vocab for the JSON spec format). The zero value is not
+// usable; obtain one from LoadVocabulary, ParseVocabulary, or
+// DefaultVocabulary.
+type Vocabulary struct {
+	v *taint.Vocabulary
+}
+
+// LoadVocabulary reads, validates, and compiles a vocabulary spec file.
+// Malformed specs are rejected with line/field-precise errors.
+func LoadVocabulary(path string) (*Vocabulary, error) {
+	spec, err := vocab.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	cv, err := taint.CompileVocabulary(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Vocabulary{v: cv}, nil
+}
+
+// ParseVocabulary validates and compiles a vocabulary spec from memory;
+// name labels the source in error messages.
+func ParseVocabulary(data []byte, name string) (*Vocabulary, error) {
+	spec, err := vocab.Parse(data, name)
+	if err != nil {
+		return nil, err
+	}
+	cv, err := taint.CompileVocabulary(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Vocabulary{v: cv}, nil
+}
+
+// DefaultVocabulary returns the embedded default vocabulary (Table I
+// plus the NVRAM/printf/file-op extensions).
+func DefaultVocabulary() *Vocabulary {
+	return &Vocabulary{v: taint.DefaultVocabulary()}
+}
+
+// Fingerprint returns the vocabulary's content digest. Identical specs
+// share a fingerprint; any semantic edit changes it, which invalidates
+// cached summaries and fleet reports keyed on the options fingerprint.
+func (v *Vocabulary) Fingerprint() string { return v.v.Fingerprint() }
+
+// SourceNames returns the vocabulary's input-source census.
+func (v *Vocabulary) SourceNames() []string { return v.v.SourceNames() }
+
+// SinkNames returns the vocabulary's sensitive-sink census.
+func (v *Vocabulary) SinkNames() []string { return v.v.SinkNames() }
+
+// Functions returns the number of modeled functions in the spec.
+func (v *Vocabulary) Functions() int { return len(v.v.Spec().Functions) }
+
+// WithVocabulary replaces the embedded default vocabulary: every
+// library-call model, the sink census, the type prototypes, and the
+// sanitization verdicts follow the given spec. Nil keeps the default.
+func WithVocabulary(v *Vocabulary) Option {
+	return func(a *Analyzer) {
+		if v != nil {
+			a.opts.Vocab = v.v
+		}
 	}
 }
 

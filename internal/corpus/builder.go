@@ -154,6 +154,10 @@ func emitImports(b *strings.Builder) {
 		// Supporting libc.
 		"strlen", "strcmp", "strncmp", "strchr", "memset", "atoi",
 		"malloc", "free",
+		// Vocabulary extensions: NVRAM sources, the printf family, and
+		// the path-consuming file operations.
+		"nvram_get", "nvram_safe_get", "acosNvramConfig_get",
+		"printf", "fprintf", "syslog", "open", "fopen", "unlink",
 	}
 	for _, im := range imports {
 		fmt.Fprintf(b, ".import %s\n", im)

@@ -174,6 +174,63 @@ handler_lp:
 		},
 	},
 	{
+		// The NVRAM extension: router firmware reads attacker-persisted
+		// configuration through nvram_get, which taints like getenv.
+		name:  "nvram-strcpy",
+		class: taint.ClassBufferOverflow,
+		emit: func(e emitter, vulnerable bool) {
+			e.writef(".data nk \"lan_ipaddr\"\n.func handler\n  SUB SP, SP, #0x40\n  MOV %%a0%%, =nk\n  BL nvram_get\n  MOV %%t0%%, %%rt%%\n")
+			if !vulnerable {
+				e.writef("  MOV %%a0%%, %%t0%%\n  BL strlen\n  CMP %%rt%%, #0x20\n  BGE handler_rej\n")
+			}
+			e.writef("  MOV %%a1%%, %%t0%%\n  ADD %%a0%%, SP, #0\n  BL strcpy\nhandler_rej:\n  BX LR\n.endfunc\n")
+		},
+	},
+	{
+		// A second NVRAM getter feeding the shell: the classic router
+		// command-injection shape, sanitized by a ';' scan.
+		name:  "nvram-system",
+		class: taint.ClassCommandInjection,
+		emit: func(e emitter, vulnerable bool) {
+			e.writef(".data wk \"wan_ifname\"\n.func handler\n  MOV %%a0%%, =wk\n  BL nvram_safe_get\n  MOV %%t0%%, %%rt%%\n")
+			if !vulnerable {
+				e.writef("  MOV %%a0%%, %%t0%%\n  MOV %%a1%%, #0x3B\n  BL strchr\n  CMP %%rt%%, #0\n  BNE handler_rej\n")
+			}
+			e.writef("  MOV %%a0%%, %%t0%%\n  BL system\nhandler_rej:\n  BX LR\n.endfunc\n")
+		},
+	},
+	{
+		// Format-string extension (CWE-134): network data used directly
+		// as the printf format. The sanitized form logs through a
+		// constant format with the data demoted to a variadic argument.
+		name:  "recv-printf",
+		class: taint.ClassFormatString,
+		emit: func(e emitter, vulnerable bool) {
+			e.writef(".data lf \"%s\"\n", "log: %s")
+			e.writef(".func handler\n  SUB SP, SP, #0x110\n  ADD %%t0%%, SP, #8\n  MOV %%a1%%, %%t0%%\n  MOV %%a0%%, #0\n  MOV %%a2%%, #0x100\n  BL recv\n")
+			if vulnerable {
+				e.writef("  MOV %%a0%%, %%t0%%\n  BL printf\n")
+			} else {
+				e.writef("  MOV %%a0%%, =lf\n  MOV %%a1%%, %%t0%%\n  BL printf\n")
+			}
+			e.writef("  BX LR\n.endfunc\n")
+		},
+	},
+	{
+		// Path-traversal extension (CWE-22): an environment-supplied path
+		// opened without probing for the '.' climb marker; the sanitized
+		// form scans for '.' first, mirroring the ';' command rule.
+		name:  "getenv-fopen",
+		class: taint.ClassPathTraversal,
+		emit: func(e emitter, vulnerable bool) {
+			e.writef(".data pk \"PATH_INFO\"\n.data om \"r\"\n.func handler\n  MOV %%a0%%, =pk\n  BL getenv\n  MOV %%t0%%, %%rt%%\n")
+			if !vulnerable {
+				e.writef("  MOV %%a0%%, %%t0%%\n  MOV %%a1%%, #0x2E\n  BL strchr\n  CMP %%rt%%, #0\n  BNE handler_rej\n")
+			}
+			e.writef("  MOV %%a0%%, %%t0%%\n  MOV %%a1%%, =om\n  BL fopen\nhandler_rej:\n  BX LR\n.endfunc\n")
+		},
+	},
+	{
 		name:  "masked-memcpy",
 		class: taint.ClassBufferOverflow,
 		emit: func(e emitter, vulnerable bool) {

@@ -71,6 +71,13 @@ type Options struct {
 	// (the paper manually restricts Uniview/Hikvision to their network
 	// modules). Nil analyzes everything.
 	Filter func(name string) bool
+	// Vocab replaces the embedded default source/sink/sanitizer
+	// vocabulary with a compiled custom spec (see internal/vocab). Nil
+	// uses the default. The vocabulary drives library-call models, the
+	// sink census, type prototypes, and sanitization verdicts, and its
+	// fingerprint is folded into OptionsFingerprint so vocabulary changes
+	// invalidate cached summaries and reports.
+	Vocab *taint.Vocabulary
 	// ExtraSources adds custom attacker-controlled input functions to the
 	// Table I vocabulary (e.g. vendor NVRAM getters).
 	ExtraSources []taint.SourceSpec
@@ -142,6 +149,7 @@ func (st *Stage) End(args ...any) {
 // to the program image (for rodata-aware models).
 func newTracker(opts Options, bin *image.Binary) *taint.Tracker {
 	t := taint.NewTracker()
+	t.SetVocabulary(opts.Vocab)
 	t.SetBinary(bin)
 	if opts.DisableVRange {
 		t.DisableValueRange()
@@ -247,7 +255,7 @@ func Analyze(prog *cfg.Program, opts Options) (*Result, error) {
 		return nil, ErrNoProgram
 	}
 	if opts.Symexec.Prototypes == nil {
-		opts.Symexec.Prototypes = taint.Prototypes()
+		opts.Symexec.Prototypes = taint.PrototypesFor(opts.Vocab)
 	}
 
 	res := &Result{Summaries: make(map[string]*symexec.Summary, len(names))}
@@ -294,7 +302,7 @@ func Analyze(prog *cfg.Program, opts Options) (*Result, error) {
 		"findings", len(res.Findings))
 
 	st = opts.StartStage("count-sinks")
-	res.SinkCount = countSinks(prog, names, res.Summaries, opts.ExtraSinks)
+	res.SinkCount = countSinks(prog, names, res.Summaries, opts)
 	st.End("sinks", res.SinkCount)
 
 	opts.Metrics.Counter("dtaint_functions_analyzed_total",
@@ -407,13 +415,18 @@ func filteredNames(prog *cfg.Program, filter func(string) bool) []string {
 }
 
 // countSinks counts static sink sites: import callsites whose callee is in
-// Table I plus loop-copy stores (deduplicated by address).
-func countSinks(prog *cfg.Program, names []string, sums map[string]*symexec.Summary, extra []taint.SinkSpec) int {
-	sinkNames := make(map[string]bool, len(taint.Sinks)+len(extra))
-	for _, s := range taint.Sinks {
+// the vocabulary's sink census plus loop-copy stores (deduplicated by
+// address).
+func countSinks(prog *cfg.Program, names []string, sums map[string]*symexec.Summary, opts Options) int {
+	census := taint.Sinks
+	if opts.Vocab != nil {
+		census = opts.Vocab.SinkNames()
+	}
+	sinkNames := make(map[string]bool, len(census)+len(opts.ExtraSinks))
+	for _, s := range census {
 		sinkNames[s] = true
 	}
-	for _, s := range extra {
+	for _, s := range opts.ExtraSinks {
 		sinkNames[s.Name] = true
 	}
 	n := 0

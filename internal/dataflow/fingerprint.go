@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"dtaint/internal/taint"
 )
 
 // OptionsFingerprint canonicalizes the semantically relevant analyzer
@@ -28,7 +30,15 @@ import (
 // digests.
 func OptionsFingerprint(o Options, filterTag string) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "v2;alias=%t;structsim=%t;vrange=%t", !o.DisableAlias, !o.DisableStructSim, !o.DisableVRange)
+	fmt.Fprintf(&b, "v3;alias=%t;structsim=%t;vrange=%t", !o.DisableAlias, !o.DisableStructSim, !o.DisableVRange)
+	// The vocabulary defines what the analysis looks for; its content
+	// digest isolates caches per vocabulary (the default's digest keeps
+	// default-vocab runs shareable across releases with the same spec).
+	vb := o.Vocab
+	if vb == nil {
+		vb = taint.DefaultVocabulary()
+	}
+	fmt.Fprintf(&b, ";vocab=%s", vb.Fingerprint())
 	fmt.Fprintf(&b, ";loopOnce=%t;loopIters=%d", o.Symexec.LoopOnce, o.Symexec.MaxLoopIters)
 	fmt.Fprintf(&b, ";statesBlock=%d;statesFunc=%d", o.Symexec.MaxStatesPerBlock, o.Symexec.MaxStatesPerFunc)
 	srcs := make([]string, 0, len(o.ExtraSources))

@@ -1,5 +1,6 @@
 // Package taint implements DTaint's vulnerability-detection layer
-// (Section IV): the source/sink vocabulary of Table I, symbolic models of
+// (Section IV): the source/sink vocabulary (Table I plus extensions,
+// declared in internal/vocab and compiled here), symbolic models of
 // the C library, taint introduction and propagation, sink observation,
 // and the sanitization-constraint checks that decide whether a
 // (source, path, sink) tuple is a taint-style vulnerability.
@@ -10,10 +11,12 @@ import (
 	"sort"
 	"strings"
 
+	"dtaint/internal/cfg"
 	"dtaint/internal/expr"
 	"dtaint/internal/image"
 	"dtaint/internal/isa"
 	"dtaint/internal/symexec"
+	"dtaint/internal/vocab"
 	"dtaint/internal/vrange"
 )
 
@@ -21,16 +24,21 @@ import (
 type Class int
 
 // Vulnerability classes. The first two are the paper's constraint-
-// expression kinds; the last two are refinements the value-range domain
-// makes decidable: a copy whose proven bound equals the destination
-// capacity exactly (the NUL terminator lands one byte past the end),
-// and a tainted length narrowed by a one-byte store (the classic
-// truncated-length-check pattern).
+// expression kinds; off-by-one and length-truncation are refinements
+// the value-range domain makes decidable: a copy whose proven bound
+// equals the destination capacity exactly (the NUL terminator lands
+// one byte past the end), and a tainted length narrowed by a one-byte
+// store (the classic truncated-length-check pattern). Format-string
+// and path-traversal are vocabulary extensions beyond Table I: a
+// tainted format reaching the printf family, and a tainted path
+// reaching a file operation without a '.'-probe.
 const (
 	ClassBufferOverflow Class = iota + 1
 	ClassCommandInjection
 	ClassOffByOne
 	ClassLengthTruncation
+	ClassFormatString
+	ClassPathTraversal
 )
 
 // String implements fmt.Stringer.
@@ -44,26 +52,54 @@ func (c Class) String() string {
 		return "off-by-one"
 	case ClassLengthTruncation:
 		return "length-truncation"
+	case ClassFormatString:
+		return "format-string"
+	case ClassPathTraversal:
+		return "path-traversal"
 	}
 	return "class?"
 }
 
-// Sources is Table I's input-source vocabulary.
-var Sources = []string{
-	"read", "recv", "recvfrom", "recvmsg",
-	"getenv", "fgets", "websGetVar", "find_var",
+// ClassFromVocab maps a vocab sink-class string to its Class.
+func ClassFromVocab(s string) Class {
+	switch s {
+	case vocab.ClassBufferOverflow:
+		return ClassBufferOverflow
+	case vocab.ClassCommandInjection:
+		return ClassCommandInjection
+	case vocab.ClassFormatString:
+		return ClassFormatString
+	case vocab.ClassPathTraversal:
+		return ClassPathTraversal
+	}
+	return 0
 }
 
-// Sinks is Table I's sensitive-sink vocabulary ("loop" denotes loop buffer
-// copies, detected structurally rather than by name).
-var Sinks = []string{
-	"strcpy", "strncpy", "sprintf", "memcpy",
-	"strcat", "sscanf", "system", "popen", "loop",
-}
+// Sources is the default vocabulary's input-source census (Table I
+// plus the NVRAM getters).
+var Sources = DefaultVocabulary().SourceNames()
+
+// Sinks is the default vocabulary's sensitive-sink census (LoopSink
+// denotes loop buffer copies, detected structurally rather than by
+// name).
+var Sinks = DefaultVocabulary().SinkNames()
+
+// LoopSink names the structural loop-copy sink of Table I; it is not a
+// library function and never appears in a vocabulary spec.
+const LoopSink = "loop"
+
+// NarrowStoreSink names the structural 1-byte-store sink behind the
+// length-truncation class.
+const NarrowStoreSink = "narrow-store"
 
 // SemicolonByte is the command separator whose absence of checking makes a
 // system()/popen() call injectable.
 const SemicolonByte = 0x3B
+
+// DotByte is the path-traversal probe: a file-op sink whose tainted
+// path was scanned for '.' (the "..' climb marker) counts as sanitized,
+// mirroring the ';' rule for command injection.
+const DotByte = 0x2E
 
 // Step is one hop of a source-to-sink path, ordered sink-first.
 type Step struct {
@@ -191,13 +227,14 @@ type SinkSpec struct {
 type Tracker struct {
 	curFunc string
 	obs     []sinkObs
-	guards  map[string]bool // guarded content roots (strchr-style checks)
+	guards  map[guardKey]bool // guarded content roots (strchr-style checks), per separator byte
 
 	findings []Finding
 	pendings map[string][]PendingSink
 	obsSeen  map[string]bool
 	frames   []trackerFrame
 
+	vocab        *Vocabulary
 	extraSources map[string]SourceSpec
 	extraSinks   map[string]SinkSpec
 
@@ -218,6 +255,23 @@ func (t *Tracker) DisableValueRange() { t.noVRange = true }
 // models that inspect read-only data (e.g. scanf format-width bounds).
 func (t *Tracker) SetBinary(b *image.Binary) { t.bin = b }
 
+// SetVocabulary replaces the compiled vocabulary driving source/sink
+// detection, propagation models, and sanitization verdicts. Must be
+// set before analysis starts; nil restores the embedded default.
+func (t *Tracker) SetVocabulary(v *Vocabulary) {
+	if v == nil {
+		v = DefaultVocabulary()
+	}
+	t.vocab = v
+}
+
+// guardKey identifies one registered separator-byte guard: the content
+// root it covers and the byte that was scanned for.
+type guardKey struct {
+	root string
+	b    byte
+}
+
 // AddSource registers a custom input source (applies to subsequent
 // analysis).
 func (t *Tracker) AddSource(s SourceSpec) {
@@ -237,9 +291,10 @@ func (t *Tracker) AddSink(s SinkSpec) {
 
 var _ symexec.Oracle = (*Tracker)(nil)
 
-// NewTracker returns an empty tracker.
+// NewTracker returns an empty tracker with the default vocabulary.
 func NewTracker() *Tracker {
 	return &Tracker{
+		vocab:    DefaultVocabulary(),
 		pendings: make(map[string][]PendingSink),
 		obsSeen:  make(map[string]bool),
 	}
@@ -254,6 +309,7 @@ func NewTracker() *Tracker {
 func (t *Tracker) Shard() *Tracker {
 	s := NewTracker()
 	s.bin = t.bin
+	s.vocab = t.vocab
 	s.extraSources = t.extraSources
 	s.extraSinks = t.extraSinks
 	s.noVRange = t.noVRange
@@ -272,7 +328,7 @@ func VulnKey(sinkFunc, sink string, sinkAddr uint32, class string) string {
 func (t *Tracker) BeginFunction(name string) {
 	t.curFunc = name
 	t.obs = nil
-	t.guards = make(map[string]bool)
+	t.guards = make(map[guardKey]bool)
 	t.frames = nil
 }
 
@@ -280,7 +336,7 @@ func (t *Tracker) BeginFunction(name string) {
 type trackerFrame struct {
 	fn     string
 	obs    []sinkObs
-	guards map[string]bool
+	guards map[guardKey]bool
 }
 
 // PushFrame suspends the current function's observation state and begins
@@ -290,7 +346,7 @@ func (t *Tracker) PushFrame(name string) {
 	t.frames = append(t.frames, trackerFrame{fn: t.curFunc, obs: t.obs, guards: t.guards})
 	t.curFunc = name
 	t.obs = nil
-	t.guards = make(map[string]bool)
+	t.guards = make(map[guardKey]bool)
 }
 
 // PopFrame finalizes the nested function against its summary (as
@@ -312,42 +368,19 @@ func (t *Tracker) Pendings(fn string) []PendingSink { return t.pendings[fn] }
 // Findings returns every recorded (source, path, sink) tuple.
 func (t *Tracker) Findings() []Finding { return t.findings }
 
-// Prototypes returns the library type signatures (the paper's library
-// type-inference channel) for symexec.Options.
+// Prototypes returns the default vocabulary's library type signatures
+// (the paper's library type-inference channel) for symexec.Options.
 func Prototypes() map[string]symexec.Proto {
-	cp := expr.TypeCharPtr
-	i := expr.TypeInt
-	return map[string]symexec.Proto{
-		"strcpy":     {Args: []expr.Type{cp, cp}, Ret: cp},
-		"strncpy":    {Args: []expr.Type{cp, cp, i}, Ret: cp},
-		"strcat":     {Args: []expr.Type{cp, cp}, Ret: cp},
-		"sprintf":    {Args: []expr.Type{cp, cp}, Ret: i},
-		"memcpy":     {Args: []expr.Type{expr.TypePtr, expr.TypePtr, i}, Ret: expr.TypePtr},
-		"sscanf":     {Args: []expr.Type{cp, cp}, Ret: i},
-		"system":     {Args: []expr.Type{cp}, Ret: i},
-		"popen":      {Args: []expr.Type{cp, cp}, Ret: expr.TypePtr},
-		"read":       {Args: []expr.Type{i, expr.TypePtr, i}, Ret: i},
-		"recv":       {Args: []expr.Type{i, expr.TypePtr, i}, Ret: i},
-		"recvfrom":   {Args: []expr.Type{i, expr.TypePtr, i}, Ret: i},
-		"recvmsg":    {Args: []expr.Type{i, expr.TypePtr, i}, Ret: i},
-		"getenv":     {Args: []expr.Type{cp}, Ret: cp},
-		"fgets":      {Args: []expr.Type{cp, i, expr.TypePtr}, Ret: cp},
-		"websGetVar": {Args: []expr.Type{expr.TypePtr, cp, cp}, Ret: cp},
-		"find_var":   {Args: []expr.Type{cp}, Ret: cp},
-		"strlen":     {Args: []expr.Type{cp}, Ret: i},
-		"atoi":       {Args: []expr.Type{cp}, Ret: i},
-		"strchr":     {Args: []expr.Type{cp, i}, Ret: cp},
-		"strcmp":     {Args: []expr.Type{cp, cp}, Ret: i},
-		"strncmp":    {Args: []expr.Type{cp, cp, i}, Ret: i},
-		"malloc":     {Args: []expr.Type{i}, Ret: expr.TypePtr},
-		"gets":       {Args: []expr.Type{cp}, Ret: cp},
-		"snprintf":   {Args: []expr.Type{cp, i, cp}, Ret: i},
-		"strncat":    {Args: []expr.Type{cp, cp, i}, Ret: cp},
-		"strtol":     {Args: []expr.Type{cp, expr.TypePtr, i}, Ret: i},
-		"strtoul":    {Args: []expr.Type{cp, expr.TypePtr, i}, Ret: i},
-		"memset":     {Args: []expr.Type{expr.TypePtr, i, i}, Ret: expr.TypePtr},
-		"free":       {Args: []expr.Type{expr.TypePtr}},
+	return DefaultVocabulary().Prototypes()
+}
+
+// PrototypesFor returns the prototypes of a loaded vocabulary; nil
+// falls back to the default.
+func PrototypesFor(v *Vocabulary) map[string]symexec.Proto {
+	if v == nil {
+		v = DefaultVocabulary()
 	}
+	return v.Prototypes()
 }
 
 // LenSymName is the symbol naming the length of the string content with
@@ -356,65 +389,64 @@ func LenSymName(contentKey string) string { return "len_" + expr.Hash(contentKey
 
 // Call implements symexec.Oracle: model library calls.
 func (t *Tracker) Call(ctx *symexec.CallContext) symexec.CallEffect {
+	// Vocabulary entries model imported library functions. A binary-local
+	// function that happens to share a name (firmware shipping its own
+	// strcpy) is NOT the libc routine: its body is analyzed like any other
+	// local function, so modeling it here would both double-count and
+	// mis-model. Models are therefore keyed on import/PLT identity — a
+	// resolved local callee is never dispatched to the vocabulary.
+	if ctx.Kind == cfg.CallLocal {
+		return symexec.CallEffect{}
+	}
 	if s, ok := t.extraSources[ctx.Callee]; ok {
 		if s.ViaReturn {
 			return t.modelReturningSource(ctx)
 		}
 		if s.BufArg >= 0 {
-			return t.modelBufferSource(ctx, s.BufArg)
+			return t.modelBufferSource(ctx, fnModel{dest: s.BufArg, lenArg: -1})
 		}
 		return symexec.CallEffect{Handled: true}
 	}
 	if s, ok := t.extraSinks[ctx.Callee]; ok {
 		return t.modelCustomSink(ctx, s)
 	}
-	switch ctx.Callee {
-	// --- Input sources (Table I) -------------------------------------
-	case "read", "recv", "recvfrom", "recvmsg":
-		return t.modelBufferSource(ctx, 1)
-	case "fgets":
-		return t.modelBufferSource(ctx, 0)
-	case "getenv", "websGetVar", "find_var":
+	m, ok := t.vocab.models[ctx.Callee]
+	if !ok {
+		return symexec.CallEffect{}
+	}
+	switch m.kind {
+	case kindBufferSource:
+		return t.modelBufferSource(ctx, m)
+	case kindReturnSource:
 		return t.modelReturningSource(ctx)
-
-	// --- Sensitive sinks (Table I) -----------------------------------
-	case "strcpy":
-		return t.modelStrcpy(ctx, false)
-	case "strcat":
-		return t.modelStrcpy(ctx, true)
-	case "strncpy":
-		return t.modelStrncpy(ctx)
-	case "sprintf":
-		return t.modelSprintf(ctx)
-	case "memcpy":
-		return t.modelMemcpy(ctx)
-	case "sscanf":
-		return t.modelSscanf(ctx)
-	case "system", "popen":
-		return t.modelCommand(ctx)
-
-	case "gets":
-		return t.modelGets(ctx)
-	case "snprintf":
-		return t.modelSnprintf(ctx)
-	case "strncat":
-		return t.modelStrncat(ctx)
-
-	// --- Propagation-only library models -----------------------------
-	case "strtol", "strtoul":
-		return t.modelAtoi(ctx)
-	case "strlen":
-		return t.modelStrlen(ctx)
-	case "atoi":
-		return t.modelAtoi(ctx)
-	case "strchr":
-		return t.modelStrchr(ctx)
-	case "malloc":
+	case kindCopy:
+		return t.modelCopy(ctx, m)
+	case kindBoundedCopy:
+		return t.modelBoundedCopy(ctx, m)
+	case kindRawCopy:
+		return t.modelRawCopy(ctx, m)
+	case kindFormatCopy:
+		return t.modelFormatCopy(ctx, m)
+	case kindScanCopy:
+		return t.modelScanCopy(ctx, m)
+	case kindUnboundedRead:
+		return t.modelUnboundedRead(ctx, m)
+	case kindSepSink:
+		return t.modelSepSink(ctx, m)
+	case kindFormatSink:
+		return t.modelFormatSink(ctx, m)
+	case kindLenOf:
+		return t.modelLenOf(ctx, m)
+	case kindParseInt:
+		return t.modelParseInt(ctx, m)
+	case kindByteScan:
+		return t.modelByteScan(ctx, m)
+	case kindAlloc:
 		return symexec.CallEffect{
 			Handled: true,
 			Ret:     expr.Sym(expr.HeapName(fmt.Sprintf("%s@%x", ctx.Func, ctx.Site))),
 		}
-	case "memset", "free", "strcmp", "strncmp":
+	case kindNop:
 		return symexec.CallEffect{Handled: true}
 	}
 	return symexec.CallEffect{}
@@ -434,11 +466,13 @@ func content(ctx *symexec.CallContext, p *expr.Expr) *expr.Expr {
 	return ctx.ResolveDeep(ctx.Resolve(p))
 }
 
+// arg returns the i'th call argument; absent roles (index -1) and
+// calls shorter than the prototype resolve to nil.
 func arg(ctx *symexec.CallContext, i int) *expr.Expr {
-	if i < len(ctx.Args) {
-		return ctx.Args[i]
+	if i < 0 || i >= len(ctx.Args) {
+		return nil
 	}
-	return nil
+	return ctx.Args[i]
 }
 
 func taintSym(source string, site uint32) *expr.Expr {
@@ -536,7 +570,7 @@ func (t *Tracker) modelCustomSink(ctx *symexec.CallContext, s SinkSpec) symexec.
 	if s.LenArg >= 0 {
 		taintE = orCombine(data, guard)
 	}
-	if s.Class == ClassCommandInjection {
+	if s.Class == ClassCommandInjection || s.Class == ClassPathTraversal || s.Class == ClassFormatString {
 		guard = arg(ctx, s.DataArg)
 		taintE = orCombine(ctx.ResolveDeep(arg(ctx, s.DataArg)), data)
 	}
@@ -547,8 +581,8 @@ func (t *Tracker) modelCustomSink(ctx *symexec.CallContext, s SinkSpec) symexec.
 	return symexec.CallEffect{Handled: true}
 }
 
-func (t *Tracker) modelBufferSource(ctx *symexec.CallContext, bufArg int) symexec.CallEffect {
-	buf := arg(ctx, bufArg)
+func (t *Tracker) modelBufferSource(ctx *symexec.CallContext, m fnModel) symexec.CallEffect {
+	buf := arg(ctx, m.dest)
 	if buf == nil {
 		return symexec.CallEffect{Handled: true}
 	}
@@ -557,12 +591,12 @@ func (t *Tracker) modelBufferSource(ctx *symexec.CallContext, bufArg int) symexe
 		Handled: true,
 		MemDefs: []symexec.MemDef{{Addr: buf, Val: ts}},
 	}
-	// fgets(buf, n, f) reads at most n-1 characters and NUL-terminates,
-	// so the length of the attacker data it writes is provably in
-	// [0, n-1] — the libc model every later strlen/strcpy of this
-	// content inherits through the interval environment.
-	if ctx.Callee == "fgets" {
-		if nArg := ctx.ResolveDeep(arg(ctx, 1)); nArg != nil {
+	// A NUL-terminating bounded source (fgets(buf, n, f)) reads at most
+	// n-1 characters, so the length of the attacker data it writes is
+	// provably in [0, n-1] — the libc model every later strlen/strcpy of
+	// this content inherits through the interval environment.
+	if m.nul && m.lenArg >= 0 {
+		if nArg := ctx.ResolveDeep(arg(ctx, m.lenArg)); nArg != nil {
 			if n, ok := nArg.ConstVal(); ok && n > 0 {
 				eff.Ranges = map[string]vrange.Interval{
 					LenSymName(ts.Key()): vrange.Range(0, n-1),
@@ -582,17 +616,19 @@ func (t *Tracker) modelReturningSource(ctx *symexec.CallContext) symexec.CallEff
 	}
 }
 
-func (t *Tracker) modelStrcpy(ctx *symexec.CallContext, cat bool) symexec.CallEffect {
-	dst, src := arg(ctx, 0), arg(ctx, 1)
+// modelCopy is the unbounded NUL-terminating copy (strcpy, and strcat
+// with the append flag set).
+func (t *Tracker) modelCopy(ctx *symexec.CallContext, m fnModel) symexec.CallEffect {
+	dst, src := arg(ctx, m.dest), arg(ctx, m.src)
 	c := content(ctx, src)
 	t.observe(sinkObs{
-		class: ClassBufferOverflow, sink: sinkName(cat), addr: ctx.Site,
+		class: m.class, sink: ctx.Callee, addr: ctx.Site,
 		taint: c, guard: c, dstCap: stackCapacity(dst),
 	})
 	eff := symexec.CallEffect{Handled: true, Ret: dst}
 	if dst != nil && c != nil {
 		val := c
-		if cat {
+		if m.appendTo {
 			val = orCombine(content(ctx, dst), c)
 		}
 		eff.MemDefs = []symexec.MemDef{{Addr: dst, Val: val}}
@@ -600,34 +636,36 @@ func (t *Tracker) modelStrcpy(ctx *symexec.CallContext, cat bool) symexec.CallEf
 	return eff
 }
 
-func sinkName(cat bool) string {
-	if cat {
-		return "strcat"
-	}
-	return "strcpy"
-}
-
-func (t *Tracker) modelStrncpy(ctx *symexec.CallContext) symexec.CallEffect {
-	dst, src, n := arg(ctx, 0), arg(ctx, 1), arg(ctx, 2)
+// modelBoundedCopy is the explicit-length copy (strncpy, and strncat
+// with the append flag set).
+func (t *Tracker) modelBoundedCopy(ctx *symexec.CallContext, m fnModel) symexec.CallEffect {
+	dst, src, n := arg(ctx, m.dest), arg(ctx, m.src), arg(ctx, m.lenArg)
 	c := content(ctx, src)
 	nRes := ctx.ResolveDeep(n)
 	// The copy is dangerous when the copied data is tainted and the length
 	// is not a sanitizing bound (e.g. strncpy(d, s, strlen(s))).
 	t.observe(sinkObs{
-		class: ClassBufferOverflow, sink: "strncpy", addr: ctx.Site,
+		class: m.class, sink: ctx.Callee, addr: ctx.Site,
 		taint: orCombine(c, nRes), guard: nRes, dstCap: stackCapacity(dst),
 	})
 	eff := symexec.CallEffect{Handled: true, Ret: dst}
 	if dst != nil && c != nil {
-		eff.MemDefs = []symexec.MemDef{{Addr: dst, Val: c}}
+		val := c
+		if m.appendTo {
+			val = orCombine(content(ctx, dst), c)
+		}
+		eff.MemDefs = []symexec.MemDef{{Addr: dst, Val: val}}
 	}
 	return eff
 }
 
-func (t *Tracker) modelSprintf(ctx *symexec.CallContext) symexec.CallEffect {
-	dst := arg(ctx, 0)
+// modelFormatCopy is the format-driven copy into a destination buffer
+// (sprintf; snprintf when a len role bounds it). Every argument from the
+// format on — the format itself included — feeds the copy.
+func (t *Tracker) modelFormatCopy(ctx *symexec.CallContext, m fnModel) symexec.CallEffect {
+	dst := arg(ctx, m.dest)
 	var parts []*expr.Expr
-	for i := 1; i < len(ctx.Args); i++ {
+	for i := m.fmtArg; i < len(ctx.Args); i++ {
 		a := ctx.Args[i]
 		if a == nil {
 			continue
@@ -635,10 +673,23 @@ func (t *Tracker) modelSprintf(ctx *symexec.CallContext) symexec.CallEffect {
 		parts = append(parts, ctx.ResolveDeep(a), content(ctx, a))
 	}
 	combined := orCombine(parts...)
-	t.observe(sinkObs{
-		class: ClassBufferOverflow, sink: "sprintf", addr: ctx.Site,
+	obs := sinkObs{
+		class: m.class, sink: ctx.Callee, addr: ctx.Site,
 		taint: combined, guard: combined, dstCap: stackCapacity(dst),
-	})
+	}
+	// A size bound (snprintf): a constant size that fits the destination
+	// sanitizes; a tainted or oversized size does not.
+	if m.lenArg >= 0 {
+		sizeRes := ctx.ResolveDeep(arg(ctx, m.lenArg))
+		if sizeRes != nil {
+			if v, ok := sizeRes.ConstVal(); ok && v > 0 {
+				obs.boundHint = v
+			}
+		}
+		obs.taint = orCombine(combined, sizeRes)
+		obs.guard = sizeRes
+	}
+	t.observe(obs)
 	eff := symexec.CallEffect{Handled: true}
 	if dst != nil && combined != nil {
 		eff.MemDefs = []symexec.MemDef{{Addr: dst, Val: combined}}
@@ -646,27 +697,31 @@ func (t *Tracker) modelSprintf(ctx *symexec.CallContext) symexec.CallEffect {
 	return eff
 }
 
-func (t *Tracker) modelMemcpy(ctx *symexec.CallContext) symexec.CallEffect {
-	dst, src, n := arg(ctx, 0), arg(ctx, 1), arg(ctx, 2)
+// modelRawCopy is the explicit-length raw copy (memcpy), where a tainted
+// length alone is already a finding.
+func (t *Tracker) modelRawCopy(ctx *symexec.CallContext, m fnModel) symexec.CallEffect {
+	dst, src, n := arg(ctx, m.dest), arg(ctx, m.src), arg(ctx, m.lenArg)
 	c := content(ctx, src)
 	nRes := ctx.ResolveDeep(n)
 	// Two weaknesses: a tainted length (Heartbleed's payload), and tainted
 	// data copied under an unchecked length.
 	cap0 := stackCapacity(dst)
 	// A constant copy length that fits the destination is statically safe;
-	// the observation is kept (as a sanitized path) for diagnostics.
+	// the observation is kept (as a sanitized path) for diagnostics. The
+	// length is judged after resolution — a register holding a constant is
+	// as decidable as an immediate.
 	fits := false
-	if n != nil {
-		if ln, okC := n.ConstVal(); okC && cap0 > 0 && ln <= cap0 {
+	if nRes != nil {
+		if ln, okC := nRes.ConstVal(); okC && cap0 > 0 && ln <= cap0 {
 			fits = true
 		}
 	}
 	t.observe(sinkObs{
-		class: ClassBufferOverflow, sink: "memcpy", addr: ctx.Site,
+		class: m.class, sink: ctx.Callee, addr: ctx.Site,
 		taint: nRes, guard: nRes, dstCap: cap0, guarded: fits,
 	})
 	t.observe(sinkObs{
-		class: ClassBufferOverflow, sink: "memcpy", addr: ctx.Site,
+		class: m.class, sink: ctx.Callee, addr: ctx.Site,
 		taint: c, guard: nRes, dstCap: cap0, guarded: fits,
 	})
 	return propagateMemcpy(dst, c)
@@ -681,17 +736,26 @@ func propagateMemcpy(dst, c *expr.Expr) symexec.CallEffect {
 	return eff
 }
 
-func (t *Tracker) modelSscanf(ctx *symexec.CallContext) symexec.CallEffect {
-	src := arg(ctx, 0)
+// modelScanCopy is the parsing copy (sscanf): a src argument scanned
+// through a format into variadic destination buffers.
+func (t *Tracker) modelScanCopy(ctx *symexec.CallContext, m fnModel) symexec.CallEffect {
+	src := arg(ctx, m.src)
 	c := content(ctx, src)
+	// A tainted format is attacker data reaching the copy in its own
+	// right (conversion widths under attacker control); OR it into the
+	// scanned content. Constant formats resolve taint-free and leave the
+	// observation unchanged.
+	if fc := content(ctx, arg(ctx, m.fmtArg)); fc != nil && fc.ContainsTaint() {
+		c = orCombine(c, fc)
+	}
 	// A conversion width in the format bounds the copy; it sanitizes only
 	// when the width (plus NUL) fits the smallest destination buffer —
 	// the Uniview zero-day is exactly a %254s into a 180-byte buffer.
 	var width, minCap int64
-	if f, ok := t.formatString(arg(ctx, 1)); ok {
+	if f, ok := t.formatString(arg(ctx, m.fmtArg)); ok {
 		width = scanfMaxWidth(f)
 	}
-	for i := 2; i < len(ctx.Args); i++ {
+	for i := m.fmtArg + 1; i < len(ctx.Args); i++ {
 		if cp := stackCapacity(ctx.Args[i]); cp > 0 && (minCap == 0 || cp < minCap) {
 			minCap = cp
 		}
@@ -701,11 +765,11 @@ func (t *Tracker) modelSscanf(ctx *symexec.CallContext) symexec.CallEffect {
 		hint = width + 1
 	}
 	t.observe(sinkObs{
-		class: ClassBufferOverflow, sink: "sscanf", addr: ctx.Site,
+		class: m.class, sink: ctx.Callee, addr: ctx.Site,
 		taint: c, guard: c, dstCap: minCap, boundHint: hint,
 	})
 	eff := symexec.CallEffect{Handled: true}
-	for i := 2; i < len(ctx.Args); i++ {
+	for i := m.fmtArg + 1; i < len(ctx.Args); i++ {
 		if ctx.Args[i] != nil && c != nil {
 			eff.MemDefs = append(eff.MemDefs, symexec.MemDef{Addr: ctx.Args[i], Val: c})
 		}
@@ -713,31 +777,47 @@ func (t *Tracker) modelSscanf(ctx *symexec.CallContext) symexec.CallEffect {
 	return eff
 }
 
-func (t *Tracker) modelCommand(ctx *symexec.CallContext) symexec.CallEffect {
-	cmd := arg(ctx, 0)
-	c := orCombine(ctx.ResolveDeep(cmd), content(ctx, cmd))
+// modelSepSink is a data sink whose sanitizer is a separator-byte probe
+// on the tainted data: system/popen guarded by a ';' scan, open/fopen/
+// unlink guarded by a '.' scan.
+func (t *Tracker) modelSepSink(ctx *symexec.CallContext, m fnModel) symexec.CallEffect {
+	data := arg(ctx, m.dataArg)
+	c := orCombine(ctx.ResolveDeep(data), content(ctx, data))
 	guarded := false
 	if c != nil {
 		for _, root := range guardRoots(c) {
-			if t.guards[root] {
+			if t.guards[guardKey{root, m.guardByte}] {
 				guarded = true
 			}
 		}
 	}
 	t.observe(sinkObs{
-		class: ClassCommandInjection, sink: ctx.Callee, addr: ctx.Site,
-		taint: c, guard: cmd, guarded: guarded,
+		class: m.class, sink: ctx.Callee, addr: ctx.Site,
+		taint: c, guard: data, guarded: guarded,
 	})
 	return symexec.CallEffect{Handled: true}
 }
 
-// modelGets handles gets(buf): attacker input with no possible bound —
-// reachable gets() on a stack buffer is always a finding.
-func (t *Tracker) modelGets(ctx *symexec.CallContext) symexec.CallEffect {
-	buf := arg(ctx, 0)
-	ts := taintSym("gets", ctx.Site)
+// modelFormatSink is the printf family: a tainted format string is the
+// finding; the copy destination is the output stream, not a buffer.
+func (t *Tracker) modelFormatSink(ctx *symexec.CallContext, m fnModel) symexec.CallEffect {
+	f := arg(ctx, m.fmtArg)
+	c := orCombine(ctx.ResolveDeep(f), content(ctx, f))
 	t.observe(sinkObs{
-		class: ClassBufferOverflow, sink: "gets", addr: ctx.Site,
+		class: m.class, sink: ctx.Callee, addr: ctx.Site,
+		taint: c, guard: f,
+	})
+	return symexec.CallEffect{Handled: true}
+}
+
+// modelUnboundedRead handles gets-shaped sinks: attacker input with no
+// possible bound — a reachable call on a stack buffer is always a
+// finding.
+func (t *Tracker) modelUnboundedRead(ctx *symexec.CallContext, m fnModel) symexec.CallEffect {
+	buf := arg(ctx, m.dest)
+	ts := taintSym(ctx.Callee, ctx.Site)
+	t.observe(sinkObs{
+		class: m.class, sink: ctx.Callee, addr: ctx.Site,
 		taint: ts, guard: nil, dstCap: stackCapacity(buf),
 	})
 	eff := symexec.CallEffect{Handled: true, Ret: buf}
@@ -747,56 +827,8 @@ func (t *Tracker) modelGets(ctx *symexec.CallContext) symexec.CallEffect {
 	return eff
 }
 
-// modelSnprintf handles the bounded sprintf: a constant size that fits
-// the destination sanitizes; a tainted or oversized size does not.
-func (t *Tracker) modelSnprintf(ctx *symexec.CallContext) symexec.CallEffect {
-	dst, size := arg(ctx, 0), arg(ctx, 1)
-	var parts []*expr.Expr
-	for i := 2; i < len(ctx.Args); i++ {
-		a := ctx.Args[i]
-		if a == nil {
-			continue
-		}
-		parts = append(parts, ctx.ResolveDeep(a), content(ctx, a))
-	}
-	combined := orCombine(parts...)
-	cap0 := stackCapacity(dst)
-	var hint int64
-	if size != nil {
-		if v, ok := ctx.ResolveDeep(size).ConstVal(); ok && v > 0 {
-			hint = v
-		}
-	}
-	t.observe(sinkObs{
-		class: ClassBufferOverflow, sink: "snprintf", addr: ctx.Site,
-		taint: orCombine(combined, ctx.ResolveDeep(size)), guard: ctx.ResolveDeep(size),
-		dstCap: cap0, boundHint: hint,
-	})
-	eff := symexec.CallEffect{Handled: true}
-	if dst != nil && combined != nil {
-		eff.MemDefs = []symexec.MemDef{{Addr: dst, Val: combined}}
-	}
-	return eff
-}
-
-// modelStrncat handles the bounded append.
-func (t *Tracker) modelStrncat(ctx *symexec.CallContext) symexec.CallEffect {
-	dst, src, n := arg(ctx, 0), arg(ctx, 1), arg(ctx, 2)
-	c := content(ctx, src)
-	nRes := ctx.ResolveDeep(n)
-	t.observe(sinkObs{
-		class: ClassBufferOverflow, sink: "strncat", addr: ctx.Site,
-		taint: orCombine(c, nRes), guard: nRes, dstCap: stackCapacity(dst),
-	})
-	eff := symexec.CallEffect{Handled: true, Ret: dst}
-	if dst != nil && c != nil {
-		eff.MemDefs = []symexec.MemDef{{Addr: dst, Val: orCombine(content(ctx, dst), c)}}
-	}
-	return eff
-}
-
-func (t *Tracker) modelStrlen(ctx *symexec.CallContext) symexec.CallEffect {
-	c := content(ctx, arg(ctx, 0))
+func (t *Tracker) modelLenOf(ctx *symexec.CallContext, m fnModel) symexec.CallEffect {
+	c := content(ctx, arg(ctx, m.src))
 	if c == nil {
 		return symexec.CallEffect{Handled: true}
 	}
@@ -815,8 +847,8 @@ func (t *Tracker) modelStrlen(ctx *symexec.CallContext) symexec.CallEffect {
 	}
 }
 
-func (t *Tracker) modelAtoi(ctx *symexec.CallContext) symexec.CallEffect {
-	c := content(ctx, arg(ctx, 0))
+func (t *Tracker) modelParseInt(ctx *symexec.CallContext, m fnModel) symexec.CallEffect {
+	c := content(ctx, arg(ctx, m.src))
 	if c == nil {
 		return symexec.CallEffect{Handled: true}
 	}
@@ -828,11 +860,12 @@ func (t *Tracker) modelAtoi(ctx *symexec.CallContext) symexec.CallEffect {
 	eff := symexec.CallEffect{Handled: true, Ret: ret}
 	// strtol-family range model: when the input string's length is
 	// already bounded (e.g. it came from fgets) and the base is a known
-	// constant, the parsed magnitude is below base^len.
+	// constant, the parsed magnitude is below base^len. Entries without a
+	// base argument (atoi) parse decimal.
 	base := int64(10)
-	if ctx.Callee == "strtol" || ctx.Callee == "strtoul" {
+	if m.baseArg >= 0 {
 		base = 0
-		if b := arg(ctx, 2); b != nil {
+		if b := arg(ctx, m.baseArg); b != nil {
 			if v, okC := ctx.ResolveDeep(b).ConstVal(); okC && v >= 2 && v <= 36 {
 				base = v
 			}
@@ -842,7 +875,7 @@ func (t *Tracker) modelAtoi(ctx *symexec.CallContext) symexec.CallEffect {
 		if lenIv, ok := ctx.RangeOf(LenSymName(c.Key())); ok && lenIv.Bounded() && lenIv.Hi >= 0 {
 			if mag, okP := powCapped(base, lenIv.Hi); okP {
 				iv := vrange.Range(-(mag - 1), mag-1)
-				if ctx.Callee == "strtoul" {
+				if m.unsigned {
 					iv = vrange.Range(0, mag-1)
 				}
 				eff.Ranges = map[string]vrange.Interval{name: iv}
@@ -865,14 +898,17 @@ func powCapped(base, exp int64) (int64, bool) {
 	return v, true
 }
 
-// modelStrchr treats strchr(s, ';') as a command-separator guard on s.
-func (t *Tracker) modelStrchr(ctx *symexec.CallContext) symexec.CallEffect {
-	s, ch := arg(ctx, 0), arg(ctx, 1)
+// modelByteScan treats a scan for a sanitizer byte — strchr(s, ';')
+// before system, strchr(s, '.') before open — as a separator guard on
+// s, registered under the scanned byte so a ';' probe never sanitizes a
+// path sink or vice versa.
+func (t *Tracker) modelByteScan(ctx *symexec.CallContext, m fnModel) symexec.CallEffect {
+	s, ch := arg(ctx, m.src), arg(ctx, m.byteArg)
 	if ch != nil {
-		if v, ok := ch.ConstVal(); ok && v == SemicolonByte {
+		if v, ok := ch.ConstVal(); ok && v >= 0 && v < 256 && t.vocab.guardBytes[byte(v)] {
 			if c := content(ctx, s); c != nil {
 				for _, root := range guardRoots(c) {
-					t.guards[root] = true
+					t.guards[guardKey{root, byte(v)}] = true
 				}
 			}
 		}
@@ -970,7 +1006,7 @@ func (t *Tracker) EndFunction(sum *symexec.Summary) {
 			continue
 		}
 		t.observe(sinkObs{
-			class: ClassBufferOverflow, sink: "loop", addr: ls.Addr,
+			class: ClassBufferOverflow, sink: LoopSink, addr: ls.Addr,
 			taint: ls.Val, guard: ls.Val,
 		})
 	}
@@ -984,7 +1020,7 @@ func (t *Tracker) EndFunction(sum *symexec.Summary) {
 			continue
 		}
 		t.observe(sinkObs{
-			class: ClassLengthTruncation, sink: "narrow-store", addr: dp.Addr,
+			class: ClassLengthTruncation, sink: NarrowStoreSink, addr: dp.Addr,
 			taint: dp.U, guard: dp.U,
 		})
 	}
@@ -1041,15 +1077,29 @@ func sinkFuncOf(o sinkObs, cur string) string {
 // obsGuarded re-checks the guard table for observations staged before the
 // guard was registered on the same path.
 func (t *Tracker) obsGuarded(o sinkObs) bool {
-	if o.class != ClassCommandInjection {
+	if o.class != ClassCommandInjection && o.class != ClassPathTraversal {
 		return false
 	}
+	gb := t.guardByteFor(o)
 	for _, root := range guardRoots(o.taint) {
-		if t.guards[root] {
+		if t.guards[guardKey{root, gb}] {
 			return true
 		}
 	}
 	return false
+}
+
+// guardByteFor returns the separator byte whose check sanitizes this
+// observation's sink: the vocabulary entry's declared guard byte, or the
+// class default (';' for command injection, '.' for path traversal).
+func (t *Tracker) guardByteFor(o sinkObs) byte {
+	if m, ok := t.vocab.models[o.sink]; ok && m.guardByte != 0 {
+		return m.guardByte
+	}
+	if o.class == ClassPathTraversal {
+		return DotByte
+	}
+	return SemicolonByte
 }
 
 // isArgRooted reports whether e depends on a formal argument and can
@@ -1157,14 +1207,26 @@ func (t *Tracker) checkObs(o sinkObs, sum *symexec.Summary) verdict {
 	all = append(all, sum.Constraints...)
 	all = append(all, o.carried...)
 	switch {
-	case o.class == ClassCommandInjection:
+	case o.class == ClassCommandInjection || o.class == ClassPathTraversal:
 		v := verdict{class: o.class}
-		if o.guarded || commandGuarded(o, all) || t.obsGuarded(o) {
+		if o.guarded || separatorGuarded(o, all, t.guardByteFor(o)) || t.obsGuarded(o) {
 			v.sanitized = true
-			v.evidence = append(v.evidence,
-				"command separator ';' checked on the tainted data")
+			if o.class == ClassCommandInjection {
+				v.evidence = append(v.evidence,
+					"command separator ';' checked on the tainted data")
+			} else {
+				v.evidence = append(v.evidence,
+					"path climb marker '.' probed on the tainted path")
+			}
 		}
 		return v
+	case o.class == ClassFormatString:
+		// A tainted format string is the vulnerability itself: no byte
+		// probe or length bound makes attacker-controlled conversions
+		// safe, so the class has no sanitizer shape. Constant formats
+		// resolve taint-free and never reach this arm.
+		return verdict{class: o.class, evidence: []string{
+			"attacker-controlled format string reaches a printf-family sink"}}
 	case o.class == ClassLengthTruncation:
 		return t.checkTruncation(o, sum)
 	case t.noVRange:
@@ -1191,7 +1253,7 @@ func (t *Tracker) checkOverflow(o sinkObs, sum *symexec.Summary, cs []symexec.Co
 		v.evidence = append(v.evidence, "no bound can apply to this sink")
 		return v
 	}
-	nul := nulTerminating(o.sink)
+	nul := t.nulSink(o.sink)
 	// An intrinsic copy bound (scanf conversion width, snprintf size)
 	// decides directly against the destination capacity.
 	if o.boundHint > 0 && o.dstCap > 0 {
@@ -1211,7 +1273,7 @@ func (t *Tracker) checkOverflow(o sinkObs, sum *symexec.Summary, cs []symexec.Co
 		}
 		return v
 	}
-	if o.sink == "loop" {
+	if o.sink == LoopSink {
 		if loopGuarded(cs) {
 			v.sanitized = true
 			v.evidence = append(v.evidence, "loop trip count bounded by a small constant")
@@ -1390,17 +1452,14 @@ func contentLenBound(guard *expr.Expr, env vrange.Env) (int64, bool) {
 	return best, true
 }
 
-// nulTerminating lists the sinks whose copy writes strlen(content)+1
-// bytes: a proven bound equal to the capacity still overflows by the
-// NUL terminator, so these take the strict `<` comparison. Explicit-
-// length sinks (memcpy, strncpy, strncat, snprintf) write at most their
+// nulSink reports whether the sink's copy writes strlen(content)+1
+// bytes (the vocabulary entry's nul flag): a proven bound equal to the
+// capacity still overflows by the NUL terminator, so these take the
+// strict `<` comparison. Explicit-length sinks write at most their
 // length argument and keep `<=`.
-func nulTerminating(sink string) bool {
-	switch sink {
-	case "strcpy", "strcat", "sprintf", "sscanf", "gets":
-		return true
-	}
-	return false
+func (t *Tracker) nulSink(sink string) bool {
+	m, ok := t.vocab.models[sink]
+	return ok && m.nul
 }
 
 // orComps splits an OR-combined expression into components.
@@ -1474,7 +1533,7 @@ func legacyOverflowGuarded(o sinkObs, cs []symexec.Constraint) bool {
 		}
 	}
 	marks := guardMarks(o)
-	if o.sink == "loop" {
+	if o.sink == LoopSink {
 		return loopGuarded(cs)
 	}
 	for _, c := range cs {
@@ -1561,10 +1620,11 @@ func loopGuarded(cs []symexec.Constraint) bool {
 	return false
 }
 
-// commandGuarded: a command-injection path is sanitized when some byte of
-// the command is compared against ';' (EQ/NE), or a strchr-style scan was
+// separatorGuarded: a separator-sink path (command injection, path
+// traversal) is sanitized when some byte of the tainted data is compared
+// against the sink's separator byte (EQ/NE), or a strchr-style scan was
 // recorded.
-func commandGuarded(o sinkObs, cs []symexec.Constraint) bool {
+func separatorGuarded(o sinkObs, cs []symexec.Constraint, gb byte) bool {
 	taintMarks := make(map[string]bool)
 	for _, s := range o.taint.TaintSyms() {
 		taintMarks[s] = true
@@ -1582,9 +1642,9 @@ func commandGuarded(o sinkObs, cs []symexec.Constraint) bool {
 			continue
 		}
 		var deref, other *expr.Expr
-		if v, ok := c.R.ConstVal(); ok && v == SemicolonByte {
+		if v, ok := c.R.ConstVal(); ok && v == int64(gb) {
 			deref, other = c.L, c.R
-		} else if v, ok := c.L.ConstVal(); ok && v == SemicolonByte {
+		} else if v, ok := c.L.ConstVal(); ok && v == int64(gb) {
 			deref, other = c.R, c.L
 		}
 		_ = other

@@ -10,9 +10,18 @@ import (
 )
 
 func TestTableIVocabulary(t *testing.T) {
-	// The exact Table I sets.
-	wantSources := []string{"read", "recv", "recvfrom", "recvmsg", "getenv", "fgets", "websGetVar", "find_var"}
-	wantSinks := []string{"strcpy", "strncpy", "sprintf", "memcpy", "strcat", "sscanf", "system", "popen", "loop"}
+	// The exact Table I sets open the census, in paper order; the
+	// vocabulary extensions (NVRAM getters, printf family, file ops)
+	// follow, and the structural loop sink closes the sink list.
+	wantSources := []string{
+		"read", "recv", "recvfrom", "recvmsg", "getenv", "fgets", "websGetVar", "find_var",
+		"nvram_get", "nvram_safe_get", "acosNvramConfig_get",
+	}
+	wantSinks := []string{
+		"strcpy", "strncpy", "sprintf", "memcpy", "strcat", "sscanf", "system", "popen",
+		"printf", "fprintf", "syslog", "open", "fopen", "unlink",
+		"loop",
+	}
 	if len(Sources) != len(wantSources) {
 		t.Fatalf("sources = %v", Sources)
 	}
@@ -152,23 +161,28 @@ func TestCommandGuardRules(t *testing.T) {
 	ts := expr.Sym(expr.TaintName("getenv", 0x20))
 	obs := sinkObs{class: ClassCommandInjection, sink: "system", addr: 1, taint: ts, guard: expr.Sym("cmdptr")}
 
-	if commandGuarded(obs, nil) {
+	if separatorGuarded(obs, nil, SemicolonByte) {
 		t.Fatal("unchecked command guarded")
 	}
 	// EQ against ';' over the tainted data sanitizes.
 	semi := []symexec.Constraint{{L: ts, R: expr.Const(SemicolonByte), Cond: isa.CondEQ}}
-	if !commandGuarded(obs, semi) {
+	if !separatorGuarded(obs, semi, SemicolonByte) {
 		t.Fatal("';' EQ check not recognized")
 	}
 	// Reversed operand order too.
 	semiRev := []symexec.Constraint{{L: expr.Const(SemicolonByte), R: ts, Cond: isa.CondNE}}
-	if !commandGuarded(obs, semiRev) {
+	if !separatorGuarded(obs, semiRev, SemicolonByte) {
 		t.Fatal("reversed ';' check not recognized")
 	}
 	// A magnitude comparison against ';' does not count.
 	mag := []symexec.Constraint{{L: ts, R: expr.Const(SemicolonByte), Cond: isa.CondLT}}
-	if commandGuarded(obs, mag) {
+	if separatorGuarded(obs, mag, SemicolonByte) {
 		t.Fatal("magnitude ';' comparison treated as guard")
+	}
+	// A ';' check never sanitizes a path-traversal sink: the guard is
+	// keyed on the sink's own separator byte.
+	if separatorGuarded(obs, semi, DotByte) {
+		t.Fatal("';' check accepted for a '.'-guarded sink")
 	}
 	// Deref rooted at the command pointer counts.
 	cmdPtr := expr.Sym("cmdptr")
@@ -176,7 +190,7 @@ func TestCommandGuardRules(t *testing.T) {
 	byByte := []symexec.Constraint{{
 		L: expr.Deref(expr.Add(cmdPtr, 3)), R: expr.Const(SemicolonByte), Cond: isa.CondNE,
 	}}
-	if !commandGuarded(obs2, byByte) {
+	if !separatorGuarded(obs2, byByte, SemicolonByte) {
 		t.Fatal("byte-scan over cmd pointer not recognized")
 	}
 }

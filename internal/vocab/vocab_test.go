@@ -1,0 +1,268 @@
+package vocab
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultParsesAndCoversTableI(t *testing.T) {
+	s := Default()
+	if s.Version != 1 {
+		t.Fatalf("default version = %d", s.Version)
+	}
+	names := make(map[string]*Func, len(s.Functions))
+	for i := range s.Functions {
+		names[s.Functions[i].Name] = &s.Functions[i]
+	}
+	for _, want := range []string{
+		// Table I sources and sinks.
+		"read", "recv", "recvfrom", "recvmsg", "getenv", "fgets", "websGetVar", "find_var",
+		"strcpy", "strncpy", "sprintf", "memcpy", "strcat", "sscanf", "system", "popen",
+		// The PR's extensions.
+		"nvram_get", "printf", "open", "fopen", "unlink",
+	} {
+		if names[want] == nil {
+			t.Errorf("default vocabulary missing %q", want)
+		}
+	}
+	if f := names["strcpy"]; f.RoleIndex(RoleDest) != 0 || f.RoleIndex(RoleSrc) != 1 || !f.Nul {
+		t.Errorf("strcpy roles wrong: %+v", f)
+	}
+	if f := names["memcpy"]; f.RoleIndex(RoleLen) != 2 || !f.LenTaint {
+		t.Errorf("memcpy roles wrong: %+v", f)
+	}
+	if f := names["system"]; f.Class != ClassCommandInjection || f.GuardByte != ";" {
+		t.Errorf("system entry wrong: %+v", f)
+	}
+	if f := names["open"]; f.Class != ClassPathTraversal || f.GuardByte != "." {
+		t.Errorf("open entry wrong: %+v", f)
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	a := Default().Fingerprint()
+	if a == "" || a != Default().Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+	// A semantic edit changes the digest.
+	s2, err := Parse([]byte(`{"version":1,"functions":[
+		{"name":"strcpy","kind":"sink","class":"buffer-overflow","nul":true,
+		 "args":[{"type":"char*","role":"dest"},{"type":"char*","role":"src"}]}]}`), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Fingerprint() == a {
+		t.Fatal("distinct vocabularies share a fingerprint")
+	}
+}
+
+// one wraps a single function entry in a complete spec document.
+func one(entry string) string {
+	return `{"version": 1, "functions": [` + entry + `]}`
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want []string // substrings of the error message
+	}{
+		{
+			name: "unknown role",
+			doc: one(`{"name": "f", "kind": "sink", "class": "buffer-overflow",
+				"args": [{"type": "char*", "role": "destt"}]}`),
+			want: []string{`function "f"`, "args[0].role", `unknown role "destt"`},
+		},
+		{
+			name: "duplicate entry",
+			doc: `{"version": 1, "functions": [
+				{"name": "strcpy", "kind": "model", "model": "nop"},
+				{"name": "strcpy", "kind": "model", "model": "nop"}]}`,
+			want: []string{"vocab.json:3", `function "strcpy"`, "duplicate entry (first declared at line 2)"},
+		},
+		{
+			name: "len role past the arg list",
+			doc: one(`{"name": "f", "kind": "sink", "class": "buffer-overflow",
+				"args": [{"type": "char*", "role": "dest"}, {"type": "char*", "role": "src"}],
+				"roles": {"len": 7}}`),
+			want: []string{`roles["len"]`, "index 7 points past the 2-entry arg list"},
+		},
+		{
+			name: "role map contradicts inline role",
+			doc: one(`{"name": "f", "kind": "sink", "class": "buffer-overflow",
+				"args": [{"role": "dest"}, {"role": "src"}], "roles": {"len": 0}}`),
+			want: []string{`roles["len"]`, `arg 0 already carries role "dest"`},
+		},
+		{
+			name: "unknown kind",
+			doc:  one(`{"name": "f", "kind": "sinkhole"}`),
+			want: []string{"field kind", `unknown kind "sinkhole"`},
+		},
+		{
+			name: "unknown class",
+			doc:  one(`{"name": "f", "kind": "sink", "class": "overflow", "args": [{"role": "src"}]}`),
+			want: []string{"field class", `unknown sink class "overflow"`},
+		},
+		{
+			name: "class on a model",
+			doc:  one(`{"name": "f", "kind": "model", "model": "nop", "class": "buffer-overflow"}`),
+			want: []string{"only valid on sinks"},
+		},
+		{
+			name: "unknown model",
+			doc:  one(`{"name": "f", "kind": "model", "model": "identity"}`),
+			want: []string{`unknown model "identity"`},
+		},
+		{
+			name: "unknown arg type",
+			doc:  one(`{"name": "f", "kind": "model", "model": "nop", "args": [{"type": "char**"}]}`),
+			want: []string{"args[0].type", `unknown type "char**"`},
+		},
+		{
+			name: "duplicate non-src role",
+			doc: one(`{"name": "f", "kind": "sink", "class": "buffer-overflow",
+				"args": [{"role": "dest"}, {"role": "dest"}, {"role": "src"}]}`),
+			want: []string{"args[1].role", `role "dest" already assigned to arg 0`},
+		},
+		{
+			name: "variadic without a format anchor",
+			doc: one(`{"name": "f", "kind": "sink", "class": "buffer-overflow", "variadic": "src",
+				"args": [{"role": "dest"}]}`),
+			want: []string{"field variadic", "need a format-role argument"},
+		},
+		{
+			name: "bad variadic role",
+			doc: one(`{"name": "f", "kind": "sink", "class": "buffer-overflow", "variadic": "len",
+				"args": [{"role": "dest"}, {"role": "format"}]}`),
+			want: []string{`unknown variadic role "len"`},
+		},
+		{
+			name: "multi-byte guard",
+			doc: one(`{"name": "f", "kind": "sink", "class": "command-injection", "guardByte": "..",
+				"args": [{"role": "exec"}]}`),
+			want: []string{"field guardByte", "not a single byte"},
+		},
+		{
+			name: "command sink without exec role",
+			doc:  one(`{"name": "f", "kind": "sink", "class": "command-injection", "args": [{"role": "src"}]}`),
+			want: []string{"needs an exec-role argument"},
+		},
+		{
+			name: "path sink without path role",
+			doc:  one(`{"name": "f", "kind": "sink", "class": "path-traversal", "args": [{"role": "src"}]}`),
+			want: []string{"needs a path-role argument"},
+		},
+		{
+			name: "source with neither retTaint nor dest",
+			doc:  one(`{"name": "f", "kind": "source", "args": [{"type": "int"}]}`),
+			want: []string{"must either return tainted data"},
+		},
+		{
+			name: "sink with no checked argument",
+			doc:  one(`{"name": "f", "kind": "sink", "class": "buffer-overflow", "args": [{"type": "int"}]}`),
+			want: []string{"needs at least one src/format/exec/path/len-role argument"},
+		},
+		{
+			name: "unsigned outside parse-int",
+			doc:  one(`{"name": "f", "kind": "model", "model": "nop", "unsigned": true}`),
+			want: []string{"field unsigned", "only valid on parse-int models"},
+		},
+		{
+			name: "wrong version",
+			doc:  `{"version": 2, "functions": [{"name": "f", "kind": "model", "model": "nop"}]}`,
+			want: []string{"field version", "unsupported vocabulary version 2"},
+		},
+		{
+			name: "empty function list",
+			doc:  `{"version": 1, "functions": []}`,
+			want: []string{"declares no functions"},
+		},
+		{
+			name: "nameless entry",
+			doc:  one(`{"kind": "model", "model": "nop"}`),
+			want: []string{"functions[0] has no name"},
+		},
+		{
+			name: "unknown top-level field",
+			doc:  `{"version": 1, "functions": [], "sinks": []}`,
+			want: []string{"unknown field"},
+		},
+		{
+			name: "trailing garbage",
+			doc:  `{"version": 1, "functions": [{"name": "f", "kind": "model", "model": "nop"}]} {}`,
+			want: []string{"unexpected data after the vocabulary object"},
+		},
+		{
+			name: "syntax error carries a line",
+			doc:  "{\n  \"version\": 1,\n  \"functions\": [,]\n}",
+			want: []string{"vocab.json:3"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc), "vocab.json")
+			if err == nil {
+				t.Fatalf("malformed spec accepted:\n%s", tc.doc)
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(err.Error(), w) {
+					t.Errorf("error %q missing %q", err, w)
+				}
+			}
+		})
+	}
+}
+
+func TestEntryLineAttribution(t *testing.T) {
+	// The duplicate sits on line 6 of the document; the error must say so.
+	doc := `{
+  "version": 1,
+  "functions": [
+    {"name": "a", "kind": "model", "model": "nop"},
+    {"name": "b", "kind": "model", "model": "nop"},
+    {"name": "a", "kind": "model", "model": "nop"}
+  ]
+}`
+	_, err := Parse([]byte(doc), "v.json")
+	if err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if !strings.Contains(err.Error(), "v.json:6:") {
+		t.Fatalf("error not attributed to line 6: %q", err)
+	}
+	if !strings.Contains(err.Error(), "first declared at line 4") {
+		t.Fatalf("first declaration line missing: %q", err)
+	}
+}
+
+func TestMultipleErrorsAllReported(t *testing.T) {
+	doc := `{"version": 1, "functions": [
+		{"name": "f", "kind": "sink", "class": "wat", "args": [{"role": "nope"}]},
+		{"name": "g", "kind": "quux"}]}`
+	_, err := Parse([]byte(doc), "")
+	if err == nil {
+		t.Fatal("accepted")
+	}
+	msg := err.Error()
+	for _, w := range []string{`unknown sink class "wat"`, `unknown role "nope"`, `unknown kind "quux"`} {
+		if !strings.Contains(msg, w) {
+			t.Errorf("joined error missing %q: %s", w, msg)
+		}
+	}
+}
+
+func TestRoleIndexAndRolesMap(t *testing.T) {
+	s, err := Parse([]byte(one(`{"name": "wifi_set", "kind": "sink", "class": "buffer-overflow",
+		"args": [{"type": "char*"}, {"type": "char*"}, {"type": "int"}],
+		"roles": {"dest": 0, "src": 1, "len": 2}}`)), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &s.Functions[0]
+	if f.RoleIndex(RoleDest) != 0 || f.RoleIndex(RoleSrc) != 1 || f.RoleIndex(RoleLen) != 2 {
+		t.Fatalf("roles map not resolved: %+v", f)
+	}
+	if f.RoleIndex(RoleFormat) != -1 {
+		t.Fatal("absent role must resolve to -1")
+	}
+}

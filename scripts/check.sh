@@ -3,7 +3,9 @@
 #
 # Runs the tier-1 verify (build + tests) plus gofmt, go vet, the
 # repo-specific dtaintlint rules (determinism + nil-safe obs handles +
-# versioned serialization), a race-enabled test pass (so the parallel
+# versioned serialization + no hard-coded vocabulary names), the
+# vocabulary spec check (the embedded default must parse, validate,
+# compile, and cover every finding class), a race-enabled test pass (so the parallel
 # bottom-up scheduler and the fleet orchestrator are always
 # race-checked), the screening-corpus precision/recall gate, a small
 # cold-then-warm corpus pass (warm re-scan must be faster, replay its
@@ -30,6 +32,10 @@ go vet ./...
 
 echo ">> dtaintlint ."
 go run ./cmd/dtaintlint .
+
+echo ">> vocabcheck (embedded default vocabulary)"
+go run ./scripts/vocabcheck internal/vocab/default.json
+go run ./scripts/vocabcheck
 
 echo ">> go test -race ./..."
 go test -race ./...

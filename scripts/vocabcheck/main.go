@@ -1,0 +1,85 @@
+// Command vocabcheck validates vocabulary specs end to end: the JSON
+// layer (parse + schema validation with line-precise errors) and the
+// engine layer (compilation into dispatch models, which classifies
+// shapes the schema alone cannot reject). With no arguments it checks
+// the embedded default vocabulary and asserts the invariants the
+// pipeline relies on — at least one source, and every finding class
+// backed by at least one sink. scripts/check.sh runs it so a bad edit
+// to internal/vocab/default.json fails `make check` with the precise
+// error instead of panicking the first analysis.
+//
+//	vocabcheck                # validate the embedded default
+//	vocabcheck vendor.json    # validate a custom spec file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dtaint/internal/taint"
+	"dtaint/internal/vocab"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: vocabcheck [spec.json ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	ok := true
+	if flag.NArg() == 0 {
+		// The embedded default is parsed at package init; reaching this
+		// line means it decoded. Re-validate the semantic invariants and
+		// compile it.
+		ok = check("embedded default", vocab.Default(), true)
+	}
+	for _, path := range flag.Args() {
+		spec, err := vocab.Load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vocabcheck:", err)
+			ok = false
+			continue
+		}
+		ok = check(path, spec, false) && ok
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// check compiles a parsed spec and, for the default, asserts the
+// pipeline's coverage invariants.
+func check(name string, spec *vocab.Spec, isDefault bool) bool {
+	v, err := taint.CompileVocabulary(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vocabcheck: %s: %v\n", name, err)
+		return false
+	}
+	sources, sinks := v.SourceNames(), v.SinkNames()
+	if isDefault {
+		if len(sources) == 0 {
+			fmt.Fprintf(os.Stderr, "vocabcheck: %s declares no sources\n", name)
+			return false
+		}
+		classes := map[string]bool{}
+		for i := range spec.Functions {
+			if spec.Functions[i].Kind == vocab.KindSink {
+				classes[spec.Functions[i].Class] = true
+			}
+		}
+		for _, c := range []string{
+			vocab.ClassBufferOverflow, vocab.ClassCommandInjection,
+			vocab.ClassFormatString, vocab.ClassPathTraversal,
+		} {
+			if !classes[c] {
+				fmt.Fprintf(os.Stderr, "vocabcheck: %s has no %q sink\n", name, c)
+				return false
+			}
+		}
+	}
+	fmt.Printf("vocabcheck: %s ok: %d functions (%d sources, %d sinks), fingerprint %s\n",
+		name, len(spec.Functions), len(sources), len(sinks), v.Fingerprint())
+	return true
+}

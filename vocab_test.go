@@ -1,6 +1,7 @@
 package dtaint_test
 
 import (
+	"strings"
 	"testing"
 
 	"dtaint"
@@ -83,6 +84,143 @@ func TestCustomVocabulary(t *testing.T) {
 	// Custom sinks count toward the static sink census.
 	if rep.SinkCount != 2 {
 		t.Fatalf("sink count = %d, want 2", rep.SinkCount)
+	}
+}
+
+// miniVocab is a hand-written subset of the default vocabulary, large
+// enough to produce findings on the study firmware but with a distinct
+// content fingerprint.
+const miniVocab = `{"version": 1, "functions": [
+	{"name": "read", "kind": "source", "ret": "int",
+	 "args": [{"type": "int"}, {"type": "ptr", "role": "dest"}, {"type": "int", "role": "len"}]},
+	{"name": "recv", "kind": "source", "ret": "int",
+	 "args": [{"type": "int"}, {"type": "ptr", "role": "dest"}, {"type": "int", "role": "len"}]},
+	{"name": "getenv", "kind": "source", "ret": "char*", "retTaint": true,
+	 "args": [{"type": "char*"}]},
+	{"name": "strcpy", "kind": "sink", "class": "buffer-overflow", "ret": "char*", "nul": true,
+	 "args": [{"type": "char*", "role": "dest"}, {"type": "char*", "role": "src"}]},
+	{"name": "sprintf", "kind": "sink", "class": "buffer-overflow", "ret": "int", "nul": true, "variadic": "src",
+	 "args": [{"type": "char*", "role": "dest"}, {"type": "char*", "role": "format"}]},
+	{"name": "system", "kind": "sink", "class": "command-injection", "guardByte": ";",
+	 "args": [{"type": "char*", "role": "exec"}]},
+	{"name": "strlen", "kind": "model", "model": "len-of", "ret": "int",
+	 "args": [{"type": "char*", "role": "src"}]},
+	{"name": "strchr", "kind": "model", "model": "byte-scan", "ret": "char*",
+	 "args": [{"type": "char*", "role": "src"}, {"type": "int", "role": "byte"}]},
+	{"name": "atoi", "kind": "model", "model": "parse-int", "ret": "int",
+	 "args": [{"type": "char*", "role": "src"}]},
+	{"name": "malloc", "kind": "model", "model": "alloc", "ret": "ptr",
+	 "args": [{"type": "int", "role": "len"}]}
+]}`
+
+// The summary store is keyed by the vocabulary fingerprint: a rerun
+// with an independently parsed but identical spec replays warm, while
+// a semantically different spec provably misses every cached summary.
+func TestVocabularySummaryStoreKeying(t *testing.T) {
+	fw, err := dtaint.GenerateStudyFirmware("DIR-645", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := dtaint.NewSummaryStore(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parse := func(doc string) *dtaint.Vocabulary {
+		v, err := dtaint.ParseVocabulary([]byte(doc), "mini.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+
+	cold, err := dtaint.New(dtaint.WithSummaryStore(store), dtaint.WithVocabulary(parse(miniVocab))).
+		AnalyzeFirmware(fw, "/htdocs/cgibin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold.Vulnerabilities()) == 0 {
+		t.Fatal("mini vocabulary found nothing; the keying assertions below would be vacuous")
+	}
+	st := store.Stats()
+	if st.Misses == 0 || st.Entries == 0 {
+		t.Fatalf("cold run should populate the store: %+v", st)
+	}
+
+	// Identical spec, parsed and compiled independently: warm replay.
+	warm, err := dtaint.New(dtaint.WithSummaryStore(store), dtaint.WithVocabulary(parse(miniVocab))).
+		AnalyzeFirmware(fw, "/htdocs/cgibin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmSt := store.Stats()
+	if warmSt.Hits == st.Hits {
+		t.Fatal("identical vocabulary did not replay from the store")
+	}
+	if warmSt.Misses != st.Misses {
+		t.Fatalf("identical vocabulary missed the store %d times", warmSt.Misses-st.Misses)
+	}
+	cw, ww := vulnKeys(cold.Findings), vulnKeys(warm.Findings)
+	if len(cw) != len(ww) {
+		t.Fatalf("warm replay changed the findings: %d vs %d", len(ww), len(cw))
+	}
+	for i := range cw {
+		if cw[i] != ww[i] {
+			t.Fatalf("warm finding %d = %s, want %s", i, ww[i], cw[i])
+		}
+	}
+
+	// A semantically changed vocabulary (one extra sink) must not be
+	// served summaries computed under the old one: zero hits, all misses.
+	changed := strings.Replace(miniVocab,
+		`{"name": "system",`,
+		`{"name": "popen", "kind": "sink", "class": "command-injection", "guardByte": ";",
+	 "args": [{"type": "char*", "role": "exec"}, {"type": "char*"}]},
+	{"name": "system",`, 1)
+	if _, err := dtaint.New(dtaint.WithSummaryStore(store), dtaint.WithVocabulary(parse(changed))).
+		AnalyzeFirmware(fw, "/htdocs/cgibin"); err != nil {
+		t.Fatal(err)
+	}
+	chSt := store.Stats()
+	if chSt.Hits != warmSt.Hits {
+		t.Fatalf("changed vocabulary got %d hits from the old vocabulary's summaries", chSt.Hits-warmSt.Hits)
+	}
+	if chSt.Misses == warmSt.Misses {
+		t.Fatal("changed vocabulary recorded no misses — did it analyze at all?")
+	}
+}
+
+// A custom vocabulary must not perturb the engine's determinism: the
+// findings list is bit-identical at 1 and 8 workers.
+func TestVocabularyDeterministicAcrossWorkers(t *testing.T) {
+	fw, err := dtaint.GenerateStudyFirmware("DIR-645", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := make([]*dtaint.Report, 2)
+	for i, workers := range []int{1, 8} {
+		v, err := dtaint.ParseVocabulary([]byte(miniVocab), "mini.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := dtaint.New(dtaint.WithVocabulary(v), dtaint.WithParallelism(workers)).
+			AnalyzeFirmware(fw, "/htdocs/cgibin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports[i] = rep
+	}
+	a, b := reports[0], reports[1]
+	if len(a.Findings) == 0 {
+		t.Fatal("no findings to compare")
+	}
+	if len(a.Findings) != len(b.Findings) {
+		t.Fatalf("worker counts disagree: %d vs %d findings", len(a.Findings), len(b.Findings))
+	}
+	for i := range a.Findings {
+		if a.Findings[i].String() != b.Findings[i].String() {
+			t.Fatalf("finding %d differs across worker counts:\n  w1: %s\n  w8: %s",
+				i, a.Findings[i], b.Findings[i])
+		}
 	}
 }
 
