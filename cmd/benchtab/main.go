@@ -13,6 +13,7 @@
 //	benchtab -ablate            # feature ablations (alias, structsim, value ranges)
 //	benchtab -fleet             # fleet orchestrator: cold vs cached image scans
 //	benchtab -corpus            # corpus-scale scans: summary store cold vs warm
+//	benchtab -diff              # differential scan of a vendor re-release
 //	benchtab -screen            # precision/recall over the screening corpus
 //
 // -corpus builds an overlap corpus (many images cycling a few binary
@@ -23,6 +24,15 @@
 // (1.0 = 200 images; 10 = 2,000), -corpus-workers the scan pool, and
 // -min-corpus-speedup / -min-corpus-hits turn the warm-re-scan speedup
 // and the replay hit rate into CI gates.
+//
+// -diff builds a version pair (a re-release mutating a few binaries at
+// function granularity), fleet-scans the old version to warm the report
+// cache and summary store, then diffs old→new and records the skip rate
+// (analysis units replayed instead of re-analyzed) and the delta-cost
+// ratio (diff wall over full-rescan wall). The diff's re-analysis count
+// and finding classification are asserted against the generator's
+// ground truth. -diff-scale sizes the pair, -diff-workers the pool, and
+// -min-diff-skip turns the skip rate into a CI gate.
 //
 // -screen runs the 200-case screening corpus twice — full pipeline and
 // with the interval value-range domain ablated — and prints both
@@ -71,15 +81,21 @@ func main() {
 
 		corpusX = flag.Bool("corpus", false, "corpus-scale scans: summary store cold vs warm")
 		cOpts   corpusOpts
+
+		diffX = flag.Bool("diff", false, "differential scan of a vendor re-release version pair")
+		dOpts diffOpts
 	)
 	flag.Float64Var(&cOpts.scale, "corpus-scale", 0.25, "with -corpus: overlap corpus scale (1.0 = 200 images)")
 	flag.IntVar(&cOpts.workers, "corpus-workers", 0, "with -corpus: scan worker pool (0 = auto)")
 	flag.Float64Var(&cOpts.minSpeedup, "min-corpus-speedup", 0, "with -corpus: exit non-zero when the warm re-scan speedup falls below this")
 	flag.Float64Var(&cOpts.minHitRate, "min-corpus-hits", 0, "with -corpus: exit non-zero when the resummarize summary hit rate falls below this")
+	flag.Float64Var(&dOpts.scale, "diff-scale", 0.25, "with -diff: version pair scale (1.0 = 12 binaries)")
+	flag.IntVar(&dOpts.workers, "diff-workers", 0, "with -diff: analysis worker pool (0 = auto)")
+	flag.Float64Var(&dOpts.minSkip, "min-diff-skip", 0, "with -diff: exit non-zero when the replay skip rate falls below this")
 	flag.Parse()
 
 	if err := run(*all, *fig1, *table1, *table2, *table3, *table4, *table5,
-		*table6, *table7, *ablate, *fleetX, *corpusX, *screen, *minPrec, *minRec, *scale, *benchOut, cOpts); err != nil {
+		*table6, *table7, *ablate, *fleetX, *corpusX, *diffX, *screen, *minPrec, *minRec, *scale, *benchOut, cOpts, dOpts); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)
 	}
@@ -93,11 +109,18 @@ type corpusOpts struct {
 	minHitRate float64
 }
 
-func run(all, fig1, t1, t2, t3, t4, t5, t6, t7, ablate, fleetScan, corpusScan, screen bool, minPrec, minRec, scale float64, benchOut string, cOpts corpusOpts) error {
-	none := !(fig1 || t1 || t2 || t3 || t4 || t5 || t6 || t7 || ablate || fleetScan || corpusScan || screen)
+// diffOpts bundles the -diff knobs and gate.
+type diffOpts struct {
+	scale   float64
+	workers int
+	minSkip float64
+}
+
+func run(all, fig1, t1, t2, t3, t4, t5, t6, t7, ablate, fleetScan, corpusScan, diffScan, screen bool, minPrec, minRec, scale float64, benchOut string, cOpts corpusOpts, dOpts diffOpts) error {
+	none := !(fig1 || t1 || t2 || t3 || t4 || t5 || t6 || t7 || ablate || fleetScan || corpusScan || diffScan || screen)
 	if all || none {
 		fig1, t1, t2, t3, t4, t5, t6, t7 = true, true, true, true, true, true, true, true
-		ablate, fleetScan, corpusScan, screen = true, true, true, true
+		ablate, fleetScan, corpusScan, diffScan, screen = true, true, true, true, true
 	}
 	w := os.Stdout
 	rec := bench.NewRecord(scale)
@@ -177,6 +200,20 @@ func run(all, fig1, t1, t2, t3, t4, t5, t6, t7, ablate, fleetScan, corpusScan, s
 		}
 		if cr.SummaryHitRate < cOpts.minHitRate {
 			return fmt.Errorf("corpus summary hit rate %.3f below -min-corpus-hits %.3f", cr.SummaryHitRate, cOpts.minHitRate)
+		}
+	}
+	if diffScan {
+		workers := dOpts.workers
+		if workers <= 0 {
+			workers = bench.Table7Workers()
+		}
+		dr, err := bench.Diff(w, corpus.VersionPairAt(dOpts.scale), workers)
+		if err != nil {
+			return err
+		}
+		rec.Diff = dr
+		if dr.SkipRate < dOpts.minSkip {
+			return fmt.Errorf("diff skip rate %.3f below -min-diff-skip %.3f", dr.SkipRate, dOpts.minSkip)
 		}
 	}
 	if screen {

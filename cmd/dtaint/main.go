@@ -33,6 +33,20 @@
 // process exit 2 when any undeduplicated vulnerable path is found, so
 // CI pipelines can gate on scan results.
 //
+// -diff compares two firmware versions instead of scanning one:
+//
+//	dtaint -diff old.fwimg new.fwimg
+//	dtaint -diff -cache-dir .cache -summary-dir .sums old.fwimg new.fwimg
+//	dtaint -diff -exit-code old.fwimg new.fwimg   # exit 2 on NEW findings only
+//
+// Binaries are paired by rootfs path and content hash; unchanged ones
+// replay from -cache-dir, changed ones re-analyze with unchanged
+// functions replaying from -summary-dir, and every finding classifies
+// as new, fixed, or persisting across the versions. -json emits the
+// DiffReport; -report writes the Markdown rendering. With -diff,
+// -exit-code gates on *new* findings: a release that only carries
+// known, persisting findings does not fail the pipeline.
+//
 // Observability (all off by default):
 //
 //	dtaint -fw dir645.fwimg -bin /htdocs/cgibin -trace-out trace.json
@@ -83,6 +97,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker count for both analysis phases (0 = GOMAXPROCS)")
 		vocabPath = flag.String("vocab", "", "source/sink/sanitizer vocabulary spec (JSON; empty = embedded default)")
 		allBins   = flag.Bool("rootfs-all", false, "scan every FWELF executable in the firmware rootfs (requires -fw)")
+		diffMode  = flag.Bool("diff", false, "diff two firmware images given as positional arguments: dtaint -diff old.fwimg new.fwimg")
 		cacheDir  = flag.String("cache-dir", "", "with -rootfs-all: persistent report cache directory")
 		sumDir    = flag.String("summary-dir", "", "persistent function-summary store directory, shared across runs")
 		exitCode  = flag.Bool("exit-code", false, "exit 2 when undeduplicated vulnerable paths are found")
@@ -112,11 +127,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dtaint:", err)
 		os.Exit(1)
 	}
+	// vulnPaths drives -exit-code: vulnerable paths for scans, NEW
+	// findings for diffs (persisting findings don't fail a release gate).
 	var vulnPaths int
 	var err error
-	if *allBins {
+	switch {
+	case *diffMode:
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "dtaint: -diff takes exactly two image arguments: old.fwimg new.fwimg")
+			os.Exit(1)
+		}
+		vulnPaths, err = runDiff(o, flag.Arg(0), flag.Arg(1))
+	case *allBins:
 		vulnPaths, err = runFleet(o)
-	} else {
+	default:
 		vulnPaths, err = run(o)
 	}
 	if err != nil {
@@ -242,6 +266,30 @@ func analyzerOptions(module string, workers int, noAlias, noSim, noVRange bool) 
 	return opts
 }
 
+// fleetOptions translates the shared orchestration flags (-workers,
+// -cache-dir, -summary-dir) into fleet options for runFleet and runDiff.
+func (o cliOptions) fleetOptions() ([]dtaint.FleetOption, error) {
+	var fopts []dtaint.FleetOption
+	if o.workers > 0 {
+		fopts = append(fopts, dtaint.WithFleetWorkers(o.workers))
+	}
+	if o.cacheDir != "" {
+		cache, err := dtaint.NewFleetCache(0, o.cacheDir)
+		if err != nil {
+			return nil, err
+		}
+		fopts = append(fopts, dtaint.WithFleetCache(cache))
+	}
+	if o.sumDir != "" {
+		store, err := dtaint.NewSummaryStore(0, o.sumDir)
+		if err != nil {
+			return nil, err
+		}
+		fopts = append(fopts, dtaint.WithFleetSummaryStore(store))
+	}
+	return fopts, nil
+}
+
 // runFleet scans every executable of the firmware rootfs through the
 // fleet orchestrator and prints the per-image report. It returns the
 // total undeduplicated vulnerable-path count for -exit-code.
@@ -256,23 +304,9 @@ func runFleet(o cliOptions) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	var fopts []dtaint.FleetOption
-	if o.workers > 0 {
-		fopts = append(fopts, dtaint.WithFleetWorkers(o.workers))
-	}
-	if o.cacheDir != "" {
-		cache, err := dtaint.NewFleetCache(0, o.cacheDir)
-		if err != nil {
-			return 0, err
-		}
-		fopts = append(fopts, dtaint.WithFleetCache(cache))
-	}
-	if o.sumDir != "" {
-		store, err := dtaint.NewSummaryStore(0, o.sumDir)
-		if err != nil {
-			return 0, err
-		}
-		fopts = append(fopts, dtaint.WithFleetSummaryStore(store))
+	fopts, err := o.fleetOptions()
+	if err != nil {
+		return 0, err
 	}
 	aopts, flushTrace, err := o.observability()
 	if err != nil {
@@ -316,6 +350,96 @@ func runFleet(o cliOptions) (int, error) {
 			img.Cache.Hits, img.Cache.DiskHits, img.Cache.Misses, img.Cache.Evictions, img.Cache.Entries)
 	}
 	return img.VulnerablePaths, nil
+}
+
+// runDiff diffs two firmware versions and prints the cross-version
+// report. It returns the NEW finding count — not the total — so
+// -exit-code fails a pipeline only when a release introduces findings,
+// not when it merely carries known persisting ones.
+func runDiff(o cliOptions, oldPath, newPath string) (int, error) {
+	if o.workers < 0 {
+		return 0, fmt.Errorf("-workers must be >= 0 (0 uses GOMAXPROCS), got %d", o.workers)
+	}
+	oldData, err := os.ReadFile(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newData, err := os.ReadFile(newPath)
+	if err != nil {
+		return 0, err
+	}
+	fopts, err := o.fleetOptions()
+	if err != nil {
+		return 0, err
+	}
+	aopts, flushTrace, err := o.observability()
+	if err != nil {
+		return 0, err
+	}
+	vopts, err := o.vocabulary()
+	if err != nil {
+		return 0, err
+	}
+	aopts = append(aopts, vopts...)
+	aopts = append(aopts, analyzerOptions("", 0, o.noAlias, o.noSim, o.noVRange)...)
+	rep, err := dtaint.New(aopts...).ScanFirmwareDiff(context.Background(), oldData, newData, fopts...)
+	if err != nil {
+		return 0, err
+	}
+	if err := flushTrace(); err != nil {
+		return 0, err
+	}
+	if o.mdOut != "" {
+		f, err := os.Create(o.mdOut)
+		if err != nil {
+			return 0, err
+		}
+		if err := rep.WriteMarkdown(f); err != nil {
+			f.Close()
+			return 0, err
+		}
+		if err := f.Close(); err != nil {
+			return 0, err
+		}
+		fmt.Printf("wrote %s\n", o.mdOut)
+		return rep.NewFindings, nil
+	}
+	if o.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return rep.NewFindings, enc.Encode(rep)
+	}
+	fmt.Printf("diff %s %s: %s → %s\n", rep.New.Vendor, rep.New.Product,
+		rep.Old.Version, rep.New.Version)
+	fmt.Printf("binaries: %d unchanged, %d changed, %d added, %d removed, %d moved\n",
+		rep.Unchanged, rep.Changed, rep.Added, rep.Removed, rep.Moved)
+	fmt.Printf("cost: %d replayed, %d re-analyzed (summary hit rate %.0f%%); wall %v\n",
+		rep.Replayed, rep.Reanalyzed, 100*rep.SummaryHitRate, rep.Wall)
+	for _, b := range rep.Binaries {
+		if b.Status == dtaint.DiffUnchanged && b.Error == "" {
+			continue
+		}
+		name := b.Path
+		if b.OldPath != "" {
+			name = b.OldPath + " -> " + b.Path
+		}
+		if b.Error != "" {
+			fmt.Printf("  %-32s %-9s error: %s\n", name, b.Status, b.Error)
+			continue
+		}
+		fmt.Printf("  %-32s %-9s %d new, %d fixed, %d persisting\n",
+			name, b.Status, b.New, b.Fixed, b.Persisting)
+		for _, f := range b.Findings {
+			if f.Status != dtaint.FindingNew {
+				continue
+			}
+			fmt.Printf("    NEW %s: %s -> %s in %s@%#x (%d paths)\n",
+				f.Class, f.Source, f.Sink, f.SinkFunc, f.SinkAddr, f.Paths)
+		}
+	}
+	fmt.Printf("findings: %d new, %d fixed, %d persisting\n",
+		rep.NewFindings, rep.FixedFindings, rep.PersistingFindings)
+	return rep.NewFindings, nil
 }
 
 func run(o cliOptions) (int, error) {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"dtaint"
+	"dtaint/internal/corpus"
 )
 
 func writeCorpus(t *testing.T) (fwFile, exeFile string) {
@@ -160,6 +161,84 @@ func TestRunFleetMode(t *testing.T) {
 	}
 	if n2 != n {
 		t.Fatalf("cached fleet run reported %d paths, first run %d", n2, n)
+	}
+}
+
+// The diff-mode -exit-code contract: runDiff returns the NEW finding
+// count, so an image diffed against itself yields zero (no exit 2) even
+// though the image carries vulnerabilities, while a real version pair
+// with introduced findings yields a positive count.
+func TestRunDiffExitCodeOnNewFindingsOnly(t *testing.T) {
+	fw, _ := writeCorpus(t)
+	o := cliOptions{cacheDir: filepath.Join(t.TempDir(), "cache"), workers: 2}
+	n, err := runDiff(o, fw, fw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("self-diff returned %d new findings, want 0 (persisting findings must not trip -exit-code)", n)
+	}
+	// The same image scanned normally DOES report vulnerable paths —
+	// the zero above is the diff classification, not a silent miss.
+	if paths, err := runFleet(cliOptions{fwPath: fw}); err != nil || paths == 0 {
+		t.Fatalf("fleet scan paths/err = %d/%v, want > 0/nil", paths, err)
+	}
+
+	vp, err := corpus.BuildVersionPair(corpus.VersionPairSpec{
+		Binaries: 2, Mutated: 1, SharedFuncs: 8, TailFuncs: 4, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	oldFile := filepath.Join(dir, "old.fwimg")
+	newFile := filepath.Join(dir, "new.fwimg")
+	if err := os.WriteFile(oldFile, vp.Old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newFile, vp.New, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err = runDiff(o, oldFile, newFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != vp.NewVulns {
+		t.Fatalf("version-pair diff returned %d new findings, want %d", n, vp.NewVulns)
+	}
+	// JSON and Markdown renderings of the same diff.
+	jo := o
+	jo.jsonOut = true
+	if _, err := runDiff(jo, oldFile, newFile); err != nil {
+		t.Fatal(err)
+	}
+	mo := o
+	mo.mdOut = filepath.Join(dir, "diff.md")
+	if _, err := runDiff(mo, oldFile, newFile); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := os.ReadFile(mo.mdOut); err != nil || !strings.Contains(string(data), "# Firmware diff:") {
+		t.Fatalf("markdown diff report not written: %v", err)
+	}
+}
+
+func TestRunDiffErrors(t *testing.T) {
+	fw, _ := writeCorpus(t)
+	if _, err := runDiff(cliOptions{}, "/no/such/old", fw); err == nil {
+		t.Fatal("missing old image accepted")
+	}
+	if _, err := runDiff(cliOptions{}, fw, "/no/such/new"); err == nil {
+		t.Fatal("missing new image accepted")
+	}
+	if _, err := runDiff(cliOptions{workers: -1}, fw, fw); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+	junk := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(junk, []byte("not firmware"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runDiff(cliOptions{}, junk, fw); err == nil {
+		t.Fatal("junk old image accepted")
 	}
 }
 

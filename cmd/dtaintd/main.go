@@ -5,9 +5,18 @@
 //
 //	curl -X POST --data-binary @dir645.fwimg http://localhost:8214/v1/scan
 //	curl -X POST -F firmware=@dir645.fwimg -F vocab=@vendor.json http://localhost:8214/v1/scan
+//	curl -X POST -F old=@fw-1.0.0.fwimg -F new=@fw-1.0.1.fwimg http://localhost:8214/v1/diff
 //	curl http://localhost:8214/v1/jobs/job-000001
 //	curl http://localhost:8214/v1/jobs/job-000001/report
 //	curl http://localhost:8214/v1/metrics
+//
+// POST /v1/diff queues a differential scan of two firmware versions
+// (multipart, required "old" and "new" parts, optional "vocab" part).
+// It shares the scan queue, the report cache, and the function-summary
+// store: binaries unchanged since a prior scan replay from cache,
+// changed ones re-analyze with unchanged functions replaying from the
+// store, and the job's report classifies every finding as new, fixed,
+// or persisting across the two versions.
 //
 // The second upload form is multipart: the optional vocab part is a
 // JSON source/sink/sanitizer vocabulary (DESIGN.md §3.5) overriding

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"dtaint/internal/dataflow"
+	"dtaint/internal/diff"
 	"dtaint/internal/fleet"
 	"dtaint/internal/obs"
 	"dtaint/internal/sumstore"
@@ -53,27 +54,41 @@ const (
 	stateFailed  = "failed"
 )
 
-// job is one firmware scan moving through the queue.
+// Job kinds.
+const (
+	kindScan = "scan"
+	kindDiff = "diff"
+)
+
+// job is one firmware scan or diff moving through the queue. Both kinds
+// share the table, the queue, and the single runner: a diff is just a
+// job whose payload is two images and whose result is a diff report.
 type job struct {
 	id       string
+	kind     string
 	state    string
 	err      string
 	created  time.Time
 	started  time.Time
 	finished time.Time
-	done     int // binaries completed so far
-	total    int // candidate binaries
+	done     int // analysis units completed so far
+	total    int // total analysis units
 	data     []byte
+	// newData is the diff job's new-version image (nil for scans; data
+	// then holds the old version).
+	newData []byte
 	// vocab is this job's request-scoped vocabulary override (nil =
 	// server default). Carrying the compiled form means a malformed
 	// spec was already rejected with 400 at accept time.
-	vocab  *taint.Vocabulary
-	report *fleet.ImageReport
+	vocab      *taint.Vocabulary
+	report     *fleet.ImageReport
+	diffReport *diff.Report
 }
 
 // jobView is the JSON shape of a job's status.
 type jobView struct {
 	ID       string `json:"id"`
+	Kind     string `json:"kind"`
 	State    string `json:"state"`
 	Error    string `json:"error,omitempty"`
 	Created  string `json:"created"`
@@ -178,7 +193,7 @@ func (s *server) run() {
 			for {
 				select {
 				case j := <-s.queue:
-					s.finishJob(j, nil, fmt.Errorf("server shutting down"))
+					s.finishJob(j, nil, nil, fmt.Errorf("server shutting down"))
 				default:
 					return
 				}
@@ -194,11 +209,11 @@ func (s *server) runJob(j *job) {
 	j.state = stateRunning
 	j.started = time.Now()
 	s.jobsStarted++
-	data := j.data
-	j.data = nil // the scan owns the bytes now; drop the queue's copy early
+	data, newData := j.data, j.newData
+	j.data, j.newData = nil, nil // the job owns the bytes now; drop the queue's copies early
 	s.mu.Unlock()
 	if s.cfg.log != nil {
-		s.cfg.log.Info("job started", "job", j.id, "bytes", len(data))
+		s.cfg.log.Info("job started", "job", j.id, "kind", j.kind, "bytes", len(data)+len(newData))
 	}
 
 	aopts := s.cfg.analysis
@@ -212,26 +227,39 @@ func (s *server) runJob(j *job) {
 		// served results computed under a different one.
 		aopts.Vocab = j.vocab
 	}
+	progress := func(done, total int) {
+		s.mu.Lock()
+		j.done, j.total = done, total
+		s.mu.Unlock()
+	}
+	if j.kind == kindDiff {
+		drep, err := diff.Diff(s.runCtx, data, newData, diff.Options{
+			Workers:          s.cfg.workers,
+			PerBinaryTimeout: s.cfg.binaryTimeout,
+			Analysis:         aopts,
+			Cache:            s.cfg.cache,
+			SummaryStore:     s.cfg.sumStore,
+			Progress:         progress,
+		})
+		s.finishJob(j, nil, drep, err)
+		return
+	}
 	rep, err := fleet.ScanImage(s.runCtx, data, fleet.Options{
 		Workers:          s.cfg.workers,
 		PerBinaryTimeout: s.cfg.binaryTimeout,
 		Analysis:         aopts,
 		Cache:            s.cfg.cache,
 		SummaryStore:     s.cfg.sumStore,
-		Progress: func(done, total int) {
-			s.mu.Lock()
-			j.done, j.total = done, total
-			s.mu.Unlock()
-		},
+		Progress:         progress,
 	})
-	s.finishJob(j, rep, err)
+	s.finishJob(j, rep, nil, err)
 }
 
-func (s *server) finishJob(j *job, rep *fleet.ImageReport, err error) {
+func (s *server) finishJob(j *job, rep *fleet.ImageReport, drep *diff.Report, err error) {
 	s.mu.Lock()
 	j.finished = time.Now()
 	elapsed := j.finished.Sub(j.started)
-	j.data = nil
+	j.data, j.newData = nil, nil
 	if err != nil {
 		j.state = stateFailed
 		j.err = err.Error()
@@ -239,7 +267,10 @@ func (s *server) finishJob(j *job, rep *fleet.ImageReport, err error) {
 	} else {
 		j.state = stateDone
 		j.report = rep
-		j.done, j.total = rep.Candidates, rep.Candidates
+		j.diffReport = drep
+		if rep != nil {
+			j.done, j.total = rep.Candidates, rep.Candidates
+		}
 		s.jobsDone++
 	}
 	s.mu.Unlock()
@@ -248,6 +279,14 @@ func (s *server) finishJob(j *job, rep *fleet.ImageReport, err error) {
 	}
 	if err != nil {
 		s.cfg.log.Error("job failed", "job", j.id, "error", err.Error())
+		return
+	}
+	if drep != nil {
+		s.cfg.log.Info("job done", "job", j.id, "kind", kindDiff,
+			"replayed", drep.Replayed, "reanalyzed", drep.Reanalyzed,
+			"new", drep.NewFindings, "fixed", drep.FixedFindings,
+			"persisting", drep.PersistingFindings,
+			"seconds", elapsed.Seconds())
 		return
 	}
 	s.cfg.log.Info("job done", "job", j.id,
@@ -259,6 +298,7 @@ func (s *server) finishJob(j *job, rep *fleet.ImageReport, err error) {
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/scan", s.handleScan)
+	mux.HandleFunc("POST /v1/diff", s.handleDiff)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
@@ -274,16 +314,55 @@ func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "empty firmware upload")
 		return
 	}
+	s.enqueue(w, &job{kind: kindScan, data: data, vocab: voc})
+}
 
+// handleDiff accepts a differential scan: multipart/form-data with
+// required "old" and "new" image parts plus the same optional "vocab"
+// part as /v1/scan. The job flows through the same queue and runner as
+// scans; its report endpoint returns a diff.Report.
+func (s *server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.maxUpload)
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if ct != "multipart/form-data" {
+		httpError(w, http.StatusBadRequest, "diff requires multipart/form-data with \"old\" and \"new\" image parts")
+		return
+	}
+	if err := r.ParseMultipartForm(s.cfg.maxUpload); err != nil {
+		httpError(w, http.StatusBadRequest, "malformed multipart upload: "+err.Error())
+		return
+	}
+	defer func() { _ = r.MultipartForm.RemoveAll() }()
+	oldData, err := formPart(r, "old")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "diff upload needs an \"old\" part: "+err.Error())
+		return
+	}
+	newData, err := formPart(r, "new")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "diff upload needs a \"new\" part: "+err.Error())
+		return
+	}
+	if len(oldData) == 0 || len(newData) == 0 {
+		httpError(w, http.StatusBadRequest, "empty firmware upload")
+		return
+	}
+	voc, ok := s.readVocabPart(w, r)
+	if !ok {
+		return
+	}
+	s.enqueue(w, &job{kind: kindDiff, data: oldData, newData: newData, vocab: voc})
+}
+
+// enqueue registers the job and offers it to the bounded queue — the
+// shared accept path for scans and diffs. A full queue answers 429 with
+// a Retry-After hint and forgets the job.
+func (s *server) enqueue(w http.ResponseWriter, j *job) {
 	s.mu.Lock()
 	s.seq++
-	j := &job{
-		id:      fmt.Sprintf("job-%06d", s.seq),
-		state:   stateQueued,
-		created: time.Now(),
-		data:    data,
-		vocab:   voc,
-	}
+	j.id = fmt.Sprintf("job-%06d", s.seq)
+	j.state = stateQueued
+	j.created = time.Now()
 	s.jobs[j.id] = j
 	s.mu.Unlock()
 
@@ -293,7 +372,8 @@ func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
 		s.jobsAccepted++
 		s.mu.Unlock()
 		if s.cfg.log != nil {
-			s.cfg.log.Info("job accepted", "job", j.id, "bytes", len(data))
+			s.cfg.log.Info("job accepted", "job", j.id, "kind", j.kind,
+				"bytes", len(j.data)+len(j.newData))
 		}
 		writeJSONStatus(w, http.StatusAccepted, map[string]string{"id": j.id, "state": stateQueued})
 	default:
@@ -334,22 +414,33 @@ func (s *server) readScanRequest(w http.ResponseWriter, r *http.Request) (data [
 		httpError(w, http.StatusBadRequest, "multipart upload needs a \"firmware\" part: "+err.Error())
 		return nil, nil, false
 	}
+	voc, ok = s.readVocabPart(w, r)
+	if !ok {
+		return nil, nil, false
+	}
+	return data, voc, true
+}
+
+// readVocabPart compiles the optional "vocab" part of a parsed
+// multipart form. A missing part keeps the server default (nil, true);
+// a malformed spec writes 400 and returns ok=false.
+func (s *server) readVocabPart(w http.ResponseWriter, r *http.Request) (*taint.Vocabulary, bool) {
 	vdata, err := formPart(r, "vocab")
 	if err != nil {
 		// No vocab part at all: the server default applies.
-		return data, nil, true
+		return nil, true
 	}
 	spec, err := vocab.Parse(vdata, "vocab")
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "invalid vocabulary: "+err.Error())
-		return nil, nil, false
+		return nil, false
 	}
 	v, err := taint.CompileVocabulary(spec)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "invalid vocabulary: "+err.Error())
-		return nil, nil, false
+		return nil, false
 	}
-	return data, v, true
+	return v, true
 }
 
 // formPart reads one named part of a parsed multipart form, accepting
@@ -385,10 +476,14 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	state, errMsg, rep := j.state, j.err, j.report
+	state, errMsg, rep, drep := j.state, j.err, j.report, j.diffReport
 	s.mu.Unlock()
 	switch state {
 	case stateDone:
+		if drep != nil {
+			writeJSON(w, drep)
+			return
+		}
 		writeJSON(w, rep)
 	case stateFailed:
 		httpError(w, http.StatusUnprocessableEntity, "scan failed: "+errMsg)
@@ -471,6 +566,7 @@ func (s *server) view(j *job) jobView {
 	defer s.mu.Unlock()
 	v := jobView{
 		ID:            j.id,
+		Kind:          j.kind,
 		State:         j.state,
 		Error:         j.err,
 		Created:       j.created.UTC().Format(time.RFC3339Nano),

@@ -11,7 +11,10 @@ import (
 	"time"
 
 	"dtaint"
+	"dtaint/internal/corpus"
+	"dtaint/internal/diff"
 	"dtaint/internal/fleet"
+	"dtaint/internal/sumstore"
 )
 
 func testFirmware(t *testing.T) []byte {
@@ -283,6 +286,165 @@ func TestScanVocabRejection(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("firmware-less multipart POST = %d, want 400", resp.StatusCode)
+	}
+}
+
+// postDiff POSTs /v1/diff as multipart/form-data with old and new image
+// parts and returns the raw response.
+func postDiff(t *testing.T, ts *httptest.Server, oldFw, newFw []byte) *http.Response {
+	t.Helper()
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	for _, part := range []struct {
+		name string
+		data []byte
+	}{{"old", oldFw}, {"new", newFw}} {
+		fp, err := mw.CreateFormFile(part.name, part.name+".fwimg")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fp.Write(part.data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/diff", mw.FormDataContentType(), &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestDiffEndToEnd: scan the old version to warm the shared cache, then
+// diff old→new over the wire and check that only the delta was
+// re-analyzed and the findings classified.
+func TestDiffEndToEnd(t *testing.T) {
+	vp, err := corpus.BuildVersionPair(corpus.VersionPairSpec{
+		Binaries: 3, Mutated: 1, SharedFuncs: 10, TailFuncs: 5, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := fleet.NewCache(256, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := sumstore.NewStore(4096, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := startTestServer(t, config{cache: cache, sumStore: store})
+
+	// Nightly scan of the old version through the same server.
+	waitDone(t, ts, postScan(t, ts, vp.Old))
+
+	resp := postDiff(t, ts, vp.Old, vp.New)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/diff = %d, want 202", resp.StatusCode)
+	}
+	var ack struct{ ID string }
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	v := waitDone(t, ts, ack.ID)
+	if v.Kind != kindDiff {
+		t.Fatalf("job kind = %q, want %q", v.Kind, kindDiff)
+	}
+
+	rresp, err := http.Get(ts.URL + "/v1/jobs/" + ack.ID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET diff report = %d, want 200", rresp.StatusCode)
+	}
+	var rep diff.Report
+	if err := json.NewDecoder(rresp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if want := vp.Spec.Mutated + 1; rep.Reanalyzed != want {
+		t.Fatalf("Reanalyzed = %d, want %d (mutated + added only)", rep.Reanalyzed, want)
+	}
+	if rep.NewFindings != vp.NewVulns || rep.FixedFindings != vp.FixedVulns ||
+		rep.PersistingFindings != vp.PersistingVulns {
+		t.Fatalf("findings new/fixed/persisting = %d/%d/%d, want %d/%d/%d",
+			rep.NewFindings, rep.FixedFindings, rep.PersistingFindings,
+			vp.NewVulns, vp.FixedVulns, vp.PersistingVulns)
+	}
+	if rep.SummaryHitRate == 0 {
+		t.Fatal("diff job did not replay old-version function summaries")
+	}
+}
+
+// Malformed diff uploads are rejected at accept time.
+func TestDiffBadRequests(t *testing.T) {
+	_, ts := startTestServer(t, config{})
+
+	// Non-multipart body.
+	resp, err := http.Post(ts.URL+"/v1/diff", "application/octet-stream", bytes.NewReader([]byte("x")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("raw-body diff POST = %d, want 400", resp.StatusCode)
+	}
+
+	// Missing "new" part.
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	fp, err := mw.CreateFormFile("old", "old.fwimg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fp.Write(testFirmware(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/v1/diff", mw.FormDataContentType(), &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("one-part diff POST = %d, want 400", resp.StatusCode)
+	}
+	var e struct{ Error string }
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Error, `"new"`) {
+		t.Fatalf("error = %q, want it to name the missing part", e.Error)
+	}
+}
+
+// Queue-full shedding is shared between /v1/scan and /v1/diff: both
+// answer 429 with a Retry-After hint.
+func TestDiffQueueSaturation(t *testing.T) {
+	// No runner: jobs stay queued, so the second POST must shed.
+	s := newServer(config{queueCap: 1})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	fw := testFirmware(t)
+
+	first := postDiff(t, ts, fw, fw)
+	first.Body.Close()
+	if first.StatusCode != http.StatusAccepted {
+		t.Fatalf("first diff POST = %d, want 202", first.StatusCode)
+	}
+	resp := postDiff(t, ts, fw, fw)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated diff POST = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
 	}
 }
 

@@ -612,8 +612,9 @@ func rangeLocals(s *ast.RangeStmt) map[string]bool {
 
 // orderInsensitiveBody reports whether every statement in the loop body
 // commutes across iterations: keyed writes, commutative accumulation,
-// rebinding of loop-local variables, deletes, per-entry sorts, and
-// early-exit returns of constants. locals holds names bound fresh each
+// rebinding of loop-local variables, deletes, per-entry sorts,
+// early-exit returns of constants, and switches whose case bodies all
+// commute. locals holds names bound fresh each
 // iteration (the range variables and := definitions inside the body).
 func orderInsensitiveBody(b *ast.BlockStmt, locals map[string]bool) bool {
 	for _, st := range b.List {
@@ -704,6 +705,20 @@ func orderInsensitiveStmt(st ast.Stmt, locals map[string]bool) bool {
 		return orderInsensitiveBody(s.Body, locals)
 	case *ast.BlockStmt:
 		return orderInsensitiveBody(s, locals)
+	case *ast.SwitchStmt:
+		// A switch commutes when every case body does; the tag and
+		// case expressions are only read.
+		if s.Init != nil && !orderInsensitiveStmt(s.Init, locals) {
+			return false
+		}
+		for _, cl := range s.Body.List {
+			for _, st := range cl.(*ast.CaseClause).Body {
+				if !orderInsensitiveStmt(st, locals) {
+					return false
+				}
+			}
+		}
+		return true
 	}
 	return false
 }

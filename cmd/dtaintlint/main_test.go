@@ -88,8 +88,31 @@ func merge(dst, src map[string]int) {
 		dst[k] = v
 	}
 }
+
+func tally(m map[string]string) (hit, miss int) {
+	for _, v := range m {
+		switch v {
+		case "hit":
+			hit++
+		case "miss":
+			miss++
+		}
+	}
+	return hit, miss
+}
+
+func leakThroughSwitch(m map[string]string) []string {
+	var out []string
+	for k, v := range m {
+		switch v {
+		case "keep":
+			out = append(out, k)
+		}
+	}
+	return out
+}
 `)
-	wantRule(t, findings, "unordered-map-range", 0)
+	wantRule(t, findings, "unordered-map-range", 1)
 }
 
 func TestMakeAndLiteralMapsTracked(t *testing.T) {

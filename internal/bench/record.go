@@ -25,6 +25,7 @@ type Record struct {
 	Table7      []Table7Record `json:"table7,omitempty"`
 	Fleet       *FleetRecord   `json:"fleet,omitempty"`
 	Corpus      *CorpusRecord  `json:"corpus,omitempty"`
+	Diff        *DiffRecord    `json:"diff,omitempty"`
 }
 
 // EnvRecord pins the toolchain and host shape a record was measured on.
@@ -180,11 +181,33 @@ type CorpusPass struct {
 	BinariesPerSec  float64 `json:"binariesPerSecond"`
 }
 
+// DiffRecord is the differential-scanning measurement over a version
+// pair: the full-rescan baseline, the prior (nightly) scan that warms
+// the tiers, and the diff itself, with its cost attribution. SkipRate is
+// the fraction of analysis units replayed instead of re-analyzed;
+// DeltaCostRatio is diff wall over full-rescan wall.
+type DiffRecord struct {
+	Binaries          int     `json:"binaries"`
+	Mutated           int     `json:"mutated"`
+	Workers           int     `json:"workers"`
+	FullRescanSeconds float64 `json:"fullRescanSeconds"`
+	PriorScanSeconds  float64 `json:"priorScanSeconds"`
+	DiffSeconds       float64 `json:"diffSeconds"`
+	DeltaCostRatio    float64 `json:"deltaCostRatio"`
+	SkipRate          float64 `json:"skipRate"`
+	Replayed          int     `json:"replayed"`
+	Reanalyzed        int     `json:"reanalyzed"`
+	SummaryHitRate    float64 `json:"summaryHitRate"`
+	New               int     `json:"new"`
+	Fixed             int     `json:"fixed"`
+	Persisting        int     `json:"persisting"`
+}
+
 // Empty reports whether the record has no measured sections; benchtab
 // skips writing a file for table-only invocations.
 func (rec *Record) Empty() bool {
 	return len(rec.Study) == 0 && len(rec.Table7) == 0 && rec.Fleet == nil &&
-		rec.Corpus == nil
+		rec.Corpus == nil && rec.Diff == nil
 }
 
 // Write writes the record as indented JSON.

@@ -1,0 +1,307 @@
+// versionpair.go generates vendor re-release pairs: two firmware images
+// of the same product where most binaries are byte-identical, a few are
+// mutated at function granularity, one binary is added, and one removed.
+// This is the workload the differential scanner (internal/diff) is built
+// for, and the generator controls the ground truth precisely:
+//
+//   - every binary starts with a stable module (a persisting planted
+//     vulnerability plus a filler family seeded from the binary index
+//     alone) whose bytes and addresses are identical in both versions, so
+//     its functions replay from the summary store;
+//   - mutated binaries append a renamed module — byte-identical code and
+//     data at identical addresses whose symbol names carry the version —
+//     exercising the exact-bytes function pairing (the findings inside it
+//     must classify as persisting despite the rename);
+//   - mutated binaries end with a version tail: version-seeded filler plus
+//     a version-specific planted vulnerability with a *different*
+//     source→sink pair per version, so the old tail's finding is fixed and
+//     the new tail's finding is new;
+//   - the added binary exists only in the new image (all findings new) and
+//     the removed binary only in the old one (all findings fixed).
+//
+// The stable module comes first because the summary store keys fold in
+// function names and addresses: only a byte-identical prefix replays.
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"dtaint/internal/asm"
+	"dtaint/internal/firmware"
+	"dtaint/internal/isa"
+)
+
+// VersionPairSpec describes a vendor re-release pair.
+type VersionPairSpec struct {
+	// Binaries is the number of binaries present in both versions.
+	Binaries int
+	// Mutated is how many of those binaries differ between versions
+	// (mutated binaries are indices 0..Mutated-1).
+	Mutated int
+	// SharedFuncs sizes each binary's stable filler family (identical in
+	// both versions).
+	SharedFuncs int
+	// TailFuncs sizes the version-private filler family of each mutated
+	// binary.
+	TailFuncs int
+	Arch      isa.Arch
+	Seed      uint64
+}
+
+// VersionPairAt is the scale knob for version-pair workloads: 1.0 yields
+// a dozen-binary image with a quarter of the binaries mutated — the
+// "nightly vendor build" shape where the delta is a small fraction of the
+// image.
+func VersionPairAt(scale float64) VersionPairSpec {
+	if scale <= 0 {
+		scale = 1
+	}
+	return VersionPairSpec{
+		Binaries:    scaleInt(12, scale, 4),
+		Mutated:     scaleInt(3, scale, 1),
+		SharedFuncs: 32,
+		TailFuncs:   12,
+		Arch:        isa.ArchARM,
+		Seed:        11,
+	}
+}
+
+// normalized clamps a spec to buildable values.
+func (s VersionPairSpec) normalized() VersionPairSpec {
+	if s.Binaries < 2 {
+		s.Binaries = 2
+	}
+	if s.Mutated < 1 {
+		s.Mutated = 1
+	}
+	if s.Mutated > s.Binaries {
+		s.Mutated = s.Binaries
+	}
+	if s.SharedFuncs < 8 {
+		s.SharedFuncs = 8
+	}
+	if s.TailFuncs < 4 {
+		s.TailFuncs = 4
+	}
+	if s.Arch != isa.ArchMIPS {
+		s.Arch = isa.ArchARM
+	}
+	return s
+}
+
+// Rootfs paths of the pair's binaries.
+const (
+	versionPairBinaryPathFmt = "/usr/sbin/vsvc%02d"
+	// VersionPairAddedPath is the binary present only in the new image.
+	VersionPairAddedPath = "/usr/sbin/vnew"
+	// VersionPairRemovedPath is the binary present only in the old image.
+	VersionPairRemovedPath = "/usr/sbin/vold"
+)
+
+// VersionPairBinaryPath returns the rootfs path of shared binary idx.
+func VersionPairBinaryPath(idx int) string {
+	return fmt.Sprintf(versionPairBinaryPathFmt, idx)
+}
+
+// VersionPair is a built re-release pair with its diff ground truth.
+type VersionPair struct {
+	Spec VersionPairSpec
+	// Old and New are the packed FWIMG containers (versions 1.0.0 and
+	// 1.0.1 of the same product).
+	Old []byte
+	New []byte
+	// UnchangedPaths and MutatedPaths partition the shared binaries.
+	UnchangedPaths []string
+	MutatedPaths   []string
+	AddedPath      string
+	RemovedPath    string
+	// Ground-truth deduplicated vulnerability counts by diff status:
+	// persisting = Binaries + Mutated (one stable plant per binary plus
+	// one renamed plant per mutated binary), new = Mutated + 1 (each new
+	// tail plus the added binary), fixed = Mutated + 1 (each old tail
+	// plus the removed binary).
+	PersistingVulns int
+	NewVulns        int
+	FixedVulns      int
+}
+
+// BuildVersionPair builds the pair described by spec; generation is
+// deterministic for a given spec.
+func BuildVersionPair(spec VersionPairSpec) (*VersionPair, error) {
+	spec = spec.normalized()
+	vp := &VersionPair{
+		Spec:            spec,
+		AddedPath:       VersionPairAddedPath,
+		RemovedPath:     VersionPairRemovedPath,
+		PersistingVulns: spec.Binaries + spec.Mutated,
+		NewVulns:        spec.Mutated + 1,
+		FixedVulns:      spec.Mutated + 1,
+	}
+
+	type entry struct {
+		path string
+		raw  []byte
+	}
+	var oldFiles, newFiles []entry
+	for idx := 0; idx < spec.Binaries; idx++ {
+		path := VersionPairBinaryPath(idx)
+		mutated := idx < spec.Mutated
+		if mutated {
+			vp.MutatedPaths = append(vp.MutatedPaths, path)
+		} else {
+			vp.UnchangedPaths = append(vp.UnchangedPaths, path)
+		}
+		oldRaw, err := assembleVersionBinary(fmt.Sprintf("vsvc%02d", idx), versionBinarySource(spec, idx, 1, mutated))
+		if err != nil {
+			return nil, fmt.Errorf("corpus: version pair binary %d v1: %w", idx, err)
+		}
+		oldFiles = append(oldFiles, entry{path, oldRaw})
+		if !mutated {
+			// Unchanged binaries ship the same bytes in both versions.
+			newFiles = append(newFiles, entry{path, oldRaw})
+			continue
+		}
+		newRaw, err := assembleVersionBinary(fmt.Sprintf("vsvc%02d", idx), versionBinarySource(spec, idx, 2, mutated))
+		if err != nil {
+			return nil, fmt.Errorf("corpus: version pair binary %d v2: %w", idx, err)
+		}
+		newFiles = append(newFiles, entry{path, newRaw})
+	}
+
+	removedRaw, err := assembleVersionBinary("vold", sideBinarySource(spec, "brem", "VP-REMOVED", 101))
+	if err != nil {
+		return nil, fmt.Errorf("corpus: version pair removed binary: %w", err)
+	}
+	oldFiles = append(oldFiles, entry{VersionPairRemovedPath, removedRaw})
+	addedRaw, err := assembleVersionBinary("vnew", sideBinarySource(spec, "badd", "VP-ADDED", 102))
+	if err != nil {
+		return nil, fmt.Errorf("corpus: version pair added binary: %w", err)
+	}
+	newFiles = append(newFiles, entry{VersionPairAddedPath, addedRaw})
+
+	pack := func(version string, files []entry) ([]byte, error) {
+		fs := &firmware.FS{}
+		stubs := []firmware.File{
+			{Path: "/bin/busybox", Mode: 0o755, Data: []byte("busybox-stub")},
+			{Path: "/etc/passwd", Mode: 0o644, Data: []byte("root::0:0::/:/bin/sh\n")},
+			{Path: "/etc/version", Mode: 0o644, Data: []byte(version)},
+		}
+		for _, f := range stubs {
+			if err := fs.Add(f); err != nil {
+				return nil, err
+			}
+		}
+		for _, f := range files {
+			if err := fs.Add(firmware.File{Path: f.path, Mode: 0o755, Data: f.raw}); err != nil {
+				return nil, err
+			}
+		}
+		payload, err := firmware.MarshalFS(fs)
+		if err != nil {
+			return nil, err
+		}
+		return firmware.Pack(&firmware.Image{
+			Header: firmware.Header{
+				Vendor:  "DiffCo",
+				Product: "VPAIR",
+				Version: version,
+				Year:    2026,
+				Arch:    spec.Arch,
+				Boot: firmware.BootRequirements{
+					Peripherals: []string{"nvram", "flash"},
+				},
+			},
+			Parts: []firmware.Part{
+				{Type: firmware.PartKernel, Data: []byte("kernel-stub")},
+				{Type: firmware.PartRootFS, Data: payload},
+			},
+		})
+	}
+	if vp.Old, err = pack("1.0.0", oldFiles); err != nil {
+		return nil, fmt.Errorf("corpus: version pair old image: %w", err)
+	}
+	if vp.New, err = pack("1.0.1", newFiles); err != nil {
+		return nil, fmt.Errorf("corpus: version pair new image: %w", err)
+	}
+	return vp, nil
+}
+
+func assembleVersionBinary(name, src string) ([]byte, error) {
+	bin, err := asm.Assemble(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return bin.Marshal()
+}
+
+// versionBinarySource emits shared binary idx for version v (1 or 2).
+// Emission order is load-bearing: the stable module must occupy an
+// identical prefix at identical addresses in both versions (summary-store
+// keys fold in names and addresses), the renamed module must keep its
+// bytes and addresses while its names change (exact-bytes function
+// pairing), and only the tail may shift.
+func versionBinarySource(spec VersionPairSpec, idx, v int, mutated bool) string {
+	var b strings.Builder
+	b.Grow(1 << 17)
+	fmt.Fprintf(&b, "; version pair binary %02d v%d\n", idx, v)
+	fmt.Fprintf(&b, ".arch %s\n", strings.ToLower(spec.Arch.String()))
+	emitImports(&b)
+
+	em := emitter{b: &b, cv: regmap(spec.Arch)}
+	// Stable module: identical in both versions.
+	emitGetenvStrcpy(em, fmt.Sprintf("b%02dp", idx), fmt.Sprintf("VP-KEEP-%02d", idx), 2, true, "")
+	emitFiller(em, shape{
+		Funcs:            spec.SharedFuncs,
+		BlocksPerFunc:    9,
+		CallsPerFunc:     3,
+		SinkRatePermille: 200,
+		Prefix:           fmt.Sprintf("b%02ds", idx),
+	}, newLCG(spec.Seed*2654435761+uint64(idx+1)*1013))
+	if !mutated {
+		return b.String()
+	}
+
+	// Renamed module: the version lives only in the symbol names; code
+	// and data bytes — and, because the prefix above is identical, the
+	// addresses — match exactly across versions.
+	emitCmdInjection(em, fmt.Sprintf("b%02dr%d", idx, v), fmt.Sprintf("VP-REN-%02d", idx), "getenv", "system", 1, true, "")
+
+	// Version tail: version-seeded filler shifts the tail's addresses,
+	// and the planted vulnerability differs per version (the vendor fixed
+	// the sprintf overflow and introduced a strncpy one).
+	emitFiller(em, shape{
+		Funcs:            spec.TailFuncs,
+		BlocksPerFunc:    9,
+		CallsPerFunc:     3,
+		SinkRatePermille: 200,
+		Prefix:           fmt.Sprintf("b%02dv%d", idx, v),
+	}, newLCG(spec.Seed*6364136223846793005+uint64(idx+1)*31+uint64(v)*7919))
+	if v == 1 {
+		emitGetenvSprintf(em, fmt.Sprintf("b%02do", idx), fmt.Sprintf("VP-OLDTAIL-%02d", idx), 1, false, "unpatched")
+	} else {
+		emitReadStrncpy(em, fmt.Sprintf("b%02dn", idx), fmt.Sprintf("VP-NEWTAIL-%02d", idx), 1, false, "unpatched")
+	}
+	return b.String()
+}
+
+// sideBinarySource emits a binary present in only one version (the added
+// or removed one).
+func sideBinarySource(spec VersionPairSpec, tag, id string, salt uint64) string {
+	var b strings.Builder
+	b.Grow(1 << 16)
+	fmt.Fprintf(&b, "; version pair side binary %s\n", tag)
+	fmt.Fprintf(&b, ".arch %s\n", strings.ToLower(spec.Arch.String()))
+	emitImports(&b)
+
+	em := emitter{b: &b, cv: regmap(spec.Arch)}
+	emitGetenvStrcpy(em, tag, id, 2, true, "")
+	emitFiller(em, shape{
+		Funcs:            spec.TailFuncs,
+		BlocksPerFunc:    9,
+		CallsPerFunc:     3,
+		SinkRatePermille: 200,
+		Prefix:           tag + "f",
+	}, newLCG(spec.Seed*2862933555777941757+salt*104729))
+	return b.String()
+}

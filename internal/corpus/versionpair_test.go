@@ -1,0 +1,131 @@
+package corpus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dtaint/internal/cfg"
+	"dtaint/internal/firmware"
+	"dtaint/internal/image"
+)
+
+func unpackBinaries(t *testing.T, img []byte) map[string][]byte {
+	t.Helper()
+	_, fs, err := firmware.Unpack(img)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	out := make(map[string][]byte)
+	for _, f := range fs.Files {
+		if bytes.HasPrefix(f.Data, image.Magic[:]) {
+			out[f.Path] = f.Data
+		}
+	}
+	return out
+}
+
+func TestBuildVersionPairShape(t *testing.T) {
+	spec := VersionPairSpec{Binaries: 4, Mutated: 2, SharedFuncs: 10, TailFuncs: 5, Seed: 3}
+	vp, err := BuildVersionPair(spec)
+	if err != nil {
+		t.Fatalf("BuildVersionPair: %v", err)
+	}
+	oldBins := unpackBinaries(t, vp.Old)
+	newBins := unpackBinaries(t, vp.New)
+
+	if len(oldBins) != spec.Binaries+1 || len(newBins) != spec.Binaries+1 {
+		t.Fatalf("binary counts: old %d new %d, want %d each", len(oldBins), len(newBins), spec.Binaries+1)
+	}
+	if _, ok := oldBins[vp.RemovedPath]; !ok {
+		t.Errorf("old image missing removed binary %s", vp.RemovedPath)
+	}
+	if _, ok := newBins[vp.RemovedPath]; ok {
+		t.Errorf("new image still has removed binary %s", vp.RemovedPath)
+	}
+	if _, ok := newBins[vp.AddedPath]; !ok {
+		t.Errorf("new image missing added binary %s", vp.AddedPath)
+	}
+	if _, ok := oldBins[vp.AddedPath]; ok {
+		t.Errorf("old image already has added binary %s", vp.AddedPath)
+	}
+	for _, p := range vp.UnchangedPaths {
+		if !bytes.Equal(oldBins[p], newBins[p]) {
+			t.Errorf("unchanged binary %s differs across versions", p)
+		}
+	}
+	for _, p := range vp.MutatedPaths {
+		if bytes.Equal(oldBins[p], newBins[p]) {
+			t.Errorf("mutated binary %s is byte-identical across versions", p)
+		}
+	}
+	if got, want := len(vp.MutatedPaths), spec.Mutated; got != want {
+		t.Errorf("MutatedPaths = %d, want %d", got, want)
+	}
+	if vp.PersistingVulns != spec.Binaries+spec.Mutated ||
+		vp.NewVulns != spec.Mutated+1 || vp.FixedVulns != spec.Mutated+1 {
+		t.Errorf("ground truth counts = %d/%d/%d", vp.PersistingVulns, vp.NewVulns, vp.FixedVulns)
+	}
+}
+
+// TestVersionPairStablePrefix proves the property the differential
+// scanner's incremental mode depends on: inside a mutated binary, the
+// stable module's functions keep their names, addresses, and bytes
+// across versions, while the renamed module keeps addresses and bytes
+// but not names.
+func TestVersionPairStablePrefix(t *testing.T) {
+	spec := VersionPairSpec{Binaries: 2, Mutated: 1, SharedFuncs: 10, TailFuncs: 5, Seed: 3}
+	vp, err := BuildVersionPair(spec)
+	if err != nil {
+		t.Fatalf("BuildVersionPair: %v", err)
+	}
+	oldBins := unpackBinaries(t, vp.Old)
+	newBins := unpackBinaries(t, vp.New)
+	path := vp.MutatedPaths[0]
+
+	progOf := func(raw []byte) *cfg.Program {
+		bin, err := image.Parse(raw)
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		prog, err := cfg.Build(bin)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		return prog
+	}
+	oldProg, newProg := progOf(oldBins[path]), progOf(newBins[path])
+
+	stable := 0
+	for name, oldFn := range oldProg.ByName {
+		if !strings.HasPrefix(name, "b00p") && !strings.HasPrefix(name, "b00s") {
+			continue
+		}
+		stable++
+		newFn, ok := newProg.ByName[name]
+		if !ok {
+			t.Errorf("stable function %s missing from new version", name)
+			continue
+		}
+		if oldFn.Addr != newFn.Addr || oldFn.Size != newFn.Size {
+			t.Errorf("stable function %s moved: old %#x+%d new %#x+%d",
+				name, oldFn.Addr, oldFn.Size, newFn.Addr, newFn.Size)
+		}
+	}
+	if stable < spec.SharedFuncs {
+		t.Errorf("found %d stable functions, want >= %d", stable, spec.SharedFuncs)
+	}
+
+	// The renamed module: same addresses, version-suffixed names.
+	oldRen, okOld := oldProg.ByName["b00r1_exec"]
+	newRen, okNew := newProg.ByName["b00r2_exec"]
+	if !okOld || !okNew {
+		t.Fatalf("renamed module helpers missing: old %v new %v", okOld, okNew)
+	}
+	if oldRen.Addr != newRen.Addr {
+		t.Errorf("renamed helper moved: old %#x new %#x", oldRen.Addr, newRen.Addr)
+	}
+	if _, ok := newProg.ByName["b00r1_exec"]; ok {
+		t.Errorf("old renamed-module name survived into new version")
+	}
+}

@@ -315,6 +315,14 @@ func scanOne(ctx context.Context, f firmware.File, opts Options) BinaryScan {
 // binaries that break the real engine.
 var analyze = analyzeBinary
 
+// AnalyzeBinary runs the full single-binary pipeline on one rootfs file
+// — the same entry the scan pool uses (including any test substitute).
+// It is the building block the differential scanner drives directly
+// when it plans its own analysis schedule.
+func AnalyzeBinary(f firmware.File, aopts dataflow.Options) (*BinaryAnalysis, error) {
+	return analyze(f, aopts)
+}
+
 // analyzeBinary runs the full single-binary pipeline and packages the
 // result into the serializable wire form.
 func analyzeBinary(f firmware.File, aopts dataflow.Options) (*BinaryAnalysis, error) {
@@ -353,6 +361,8 @@ func analyzeBinary(f firmware.File, aopts dataflow.Options) (*BinaryAnalysis, er
 		DDGWorkers:        res.Parallel.Workers,
 		SCCComponents:     res.Parallel.Components,
 		CriticalPath:      res.Parallel.CriticalPath,
+		SummaryHits:       res.SumStore.Hits,
+		SummaryMisses:     res.SumStore.Misses,
 	}
 	for _, tf := range res.Findings {
 		wf := Finding{

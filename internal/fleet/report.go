@@ -89,7 +89,13 @@ type BinaryAnalysis struct {
 	DDGWorkers        int           `json:"ddgWorkers"`
 	SCCComponents     int           `json:"sccComponents"`
 	CriticalPath      int           `json:"criticalPath"`
-	Findings          []Finding     `json:"findings"`
+	// SummaryHits/SummaryMisses count the producing run's function-summary
+	// store lookups (both zero when the run had no store). Like the
+	// timings, cached entries keep the values of the run that produced
+	// them — they are cost attribution, not part of the analysis result.
+	SummaryHits   int       `json:"summaryHits,omitempty"`
+	SummaryMisses int       `json:"summaryMisses,omitempty"`
+	Findings      []Finding `json:"findings"`
 }
 
 // VulnerablePaths counts the unsanitized findings.

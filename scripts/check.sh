@@ -11,7 +11,9 @@
 # cold-then-warm corpus pass (warm re-scan must be faster, replay its
 # summaries entirely from the store, and report identical findings), and
 # the dtaintd smoke test. Invoked by `make check`; keep CI and local
-# runs on this single path.
+# runs on this single path. The diff gate re-scans a vendor re-release
+# differentially and fails when the replay skip rate drops (the counters
+# are exact for the generated pair, so the threshold is deterministic).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -45,6 +47,9 @@ go run ./cmd/benchtab -screen -min-precision 1 -min-recall 1 -bench-out off
 
 echo ">> benchtab -corpus (cold/warm summary-store gate)"
 go run ./cmd/benchtab -corpus -corpus-scale 0.05 -min-corpus-speedup 2 -min-corpus-hits 1 -bench-out off
+
+echo ">> benchtab -diff (differential re-scan skip-rate gate)"
+go run ./cmd/benchtab -diff -diff-scale 0.25 -min-diff-skip 0.6 -bench-out off
 
 echo ">> scripts/smoke.sh"
 ./scripts/smoke.sh

@@ -6,8 +6,11 @@
 # image to /v1/scan, polls the job until it is done, and asserts the
 # report finds at least one vulnerability, /v1/metrics speaks
 # Prometheus text to a text/plain client, and the log stream contains a
-# valid JSON line for every pipeline stage (scripts/logcheck). Invoked
-# by `make smoke` and by scripts/check.sh.
+# valid JSON line for every pipeline stage (scripts/logcheck). It then
+# POSTs the image against itself to /v1/diff: with the cache warmed by
+# the scan, the self-diff must replay everything (zero re-analyses) and
+# report zero new findings. Invoked by `make smoke` and by
+# scripts/check.sh.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -65,12 +68,36 @@ vulns=$(printf '%s' "$report" | sed -n 's/.*"vulnerabilities": *\([0-9]*\).*/\1/
 [ -n "$vulns" ] || { echo "smoke: no vulnerability count in report"; exit 1; }
 [ "$vulns" -ge 1 ] || { echo "smoke: expected >=1 vulnerability, got $vulns"; exit 1; }
 
+echo ">> smoke: POST /v1/diff (image against itself, warmed cache)"
+dresp=$(curl -sf -X POST -F old=@"$tmp/corpus/DIR-645.fwimg" -F new=@"$tmp/corpus/DIR-645.fwimg" "$base/v1/diff")
+did=$(printf '%s' "$dresp" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[ -n "$did" ] || { echo "smoke: no diff job id in response: $dresp"; exit 1; }
+
+echo ">> smoke: poll diff job $did"
+state=""
+for _ in $(seq 1 100); do
+	state=$(curl -sf "$base/v1/jobs/$did" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')
+	case "$state" in
+	done | failed) break ;;
+	esac
+	sleep 0.1
+done
+[ "$state" = "done" ] || { echo "smoke: diff job ended in state '$state'"; exit 1; }
+
+dreport=$(curl -sf "$base/v1/jobs/$did/report")
+reanalyzed=$(printf '%s' "$dreport" | sed -n 's/.*"reanalyzed": *\([0-9]*\).*/\1/p')
+newfound=$(printf '%s' "$dreport" | sed -n 's/.*"newFindings": *\([0-9]*\).*/\1/p')
+[ "$reanalyzed" = "0" ] || { echo "smoke: self-diff re-analyzed $reanalyzed binaries, want 0"; exit 1; }
+[ "$newfound" = "0" ] || { echo "smoke: self-diff reported $newfound new findings, want 0"; exit 1; }
+
 curl -sf "$base/v1/metrics" >/dev/null
 
 echo ">> smoke: /v1/metrics speaks Prometheus text"
 promtext=$(curl -sf -H 'Accept: text/plain' "$base/v1/metrics")
 printf '%s' "$promtext" | grep -q '^# TYPE dtaintd_jobs_done_total counter' ||
 	{ echo "smoke: no Prometheus exposition:"; printf '%s\n' "$promtext" | head -5; exit 1; }
+printf '%s' "$promtext" | grep -q '^dtaint_diff_binaries_replayed_total' ||
+	{ echo "smoke: no diff counters in Prometheus exposition"; exit 1; }
 
 echo ">> smoke: one JSON log line per pipeline stage"
 "$tmp/logcheck" <"$tmp/dtaintd.log"
