@@ -31,7 +31,15 @@
 // store, so re-runs and binaries sharing code replay per-function
 // analysis instead of repeating it. -exit-code makes the
 // process exit 2 when any undeduplicated vulnerable path is found, so
-// CI pipelines can gate on scan results.
+// CI pipelines can gate on scan results; it exits 3 when the stall
+// watchdog abandoned any binary and nothing vulnerable was found — an
+// incomplete scan must never look like a clean one.
+//
+// -stall-timeout (with -rootfs-all) arms a watchdog over the scan's
+// telemetry stream: a binary whose analysis emits no event for that
+// long is abandoned and reported as "stalled", and with -debug-dir a
+// diagnostic bundle (goroutine dump, trace, metrics, event journal,
+// partial report) is written per stall.
 //
 // -diff compares two firmware versions instead of scanning one:
 //
@@ -56,9 +64,10 @@
 // -trace-out records every pipeline stage (and each analyzed function)
 // as a span and writes Chrome trace_event JSON loadable in Perfetto or
 // chrome://tracing. -progress prints per-stage progress lines to
-// stderr, with percentages for the two per-function phases. -log-level
-// enables structured logging (log/slog) to stderr; -log-format picks
-// text or json lines.
+// stderr — percentages and ETA for the two per-function phases —
+// rendered from the same live event bus dtaintd streams over SSE.
+// -log-level enables structured logging (log/slog) to stderr;
+// -log-format picks text or json lines.
 package main
 
 import (
@@ -68,6 +77,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"dtaint"
 	"dtaint/internal/asm"
@@ -103,6 +113,8 @@ func main() {
 		exitCode  = flag.Bool("exit-code", false, "exit 2 when undeduplicated vulnerable paths are found")
 		traceOut  = flag.String("trace-out", "", "write a Chrome trace_event JSON of the pipeline stages to this file")
 		progress  = flag.Bool("progress", false, "print per-stage progress lines to stderr")
+		stallWait = flag.Duration("stall-timeout", 0, "with -rootfs-all: abandon binaries when no telemetry event flows for this long (0 = off)")
+		debugDir  = flag.String("debug-dir", "", "with -stall-timeout: write one diagnostic bundle directory per stall here")
 		logLevel  = flag.String("log-level", "", "enable structured logging at this level: debug, info, warn, error")
 		logFormat = flag.String("log-format", "text", "structured log format: text or json")
 	)
@@ -121,6 +133,7 @@ func main() {
 		noAlias: *noAlias, noSim: *noSim,
 		paths: *paths, showAll: *showAll, dis: *dis, jsonOut: *jsonOut,
 		cacheDir: *cacheDir, sumDir: *sumDir, traceOut: *traceOut, progress: *progress,
+		stallWait: *stallWait, debugDir: *debugDir,
 		logLevel: *logLevel, logFormat: *logFormat, vocabPath: *vocabPath,
 	}
 	if err := o.applyAblations(*ablate); err != nil {
@@ -129,7 +142,9 @@ func main() {
 	}
 	// vulnPaths drives -exit-code: vulnerable paths for scans, NEW
 	// findings for diffs (persisting findings don't fail a release gate).
-	var vulnPaths int
+	// stalledBins counts watchdog-abandoned binaries: those analyses
+	// never finished, so a clean exit would be a false all-clear.
+	var vulnPaths, stalledBins int
 	var err error
 	switch {
 	case *diffMode:
@@ -139,7 +154,7 @@ func main() {
 		}
 		vulnPaths, err = runDiff(o, flag.Arg(0), flag.Arg(1))
 	case *allBins:
-		vulnPaths, err = runFleet(o)
+		vulnPaths, stalledBins, err = runFleet(o)
 	default:
 		vulnPaths, err = run(o)
 	}
@@ -147,8 +162,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dtaint:", err)
 		os.Exit(1)
 	}
-	if *exitCode && vulnPaths > 0 {
-		os.Exit(2)
+	if *exitCode {
+		if vulnPaths > 0 {
+			os.Exit(2)
+		}
+		if stalledBins > 0 {
+			// Distinct from both "clean" (0) and "found" (2): the scan is
+			// incomplete, not vulnerability-free.
+			os.Exit(3)
+		}
 	}
 }
 
@@ -163,6 +185,8 @@ type cliOptions struct {
 	cacheDir, sumDir         string
 	traceOut                 string
 	progress                 bool
+	stallWait                time.Duration
+	debugDir                 string
 	logLevel, logFormat      string
 	vocabPath                string
 }
@@ -212,7 +236,12 @@ func (o cliOptions) observability() (opts []dtaint.Option, flush func() error, e
 		opts = append(opts, dtaint.WithTracer(tracer))
 	}
 	if o.progress {
-		attachProgress(tracer, os.Stderr)
+		// -progress rides the event bus: the tracer's spans are bridged
+		// into a journal (by dtaint.New) and the printer renders the
+		// events — the same stream dtaintd serves over SSE.
+		j := dtaint.NewEventJournal(0)
+		attachProgress(j, os.Stderr)
+		opts = append(opts, dtaint.WithEventJournal(j))
 	}
 	if o.logLevel != "" {
 		logger, err := obs.NewLogger(os.Stderr, o.logLevel, o.logFormat)
@@ -287,49 +316,56 @@ func (o cliOptions) fleetOptions() ([]dtaint.FleetOption, error) {
 		}
 		fopts = append(fopts, dtaint.WithFleetSummaryStore(store))
 	}
+	if o.stallWait > 0 {
+		fopts = append(fopts, dtaint.WithFleetStallTimeout(o.stallWait))
+	}
+	if o.debugDir != "" {
+		fopts = append(fopts, dtaint.WithFleetDebugDir(o.debugDir))
+	}
 	return fopts, nil
 }
 
 // runFleet scans every executable of the firmware rootfs through the
 // fleet orchestrator and prints the per-image report. It returns the
-// total undeduplicated vulnerable-path count for -exit-code.
-func runFleet(o cliOptions) (int, error) {
+// total undeduplicated vulnerable-path count and the watchdog-stalled
+// binary count for -exit-code.
+func runFleet(o cliOptions) (int, int, error) {
 	if o.workers < 0 {
-		return 0, fmt.Errorf("-workers must be >= 0 (0 uses GOMAXPROCS), got %d", o.workers)
+		return 0, 0, fmt.Errorf("-workers must be >= 0 (0 uses GOMAXPROCS), got %d", o.workers)
 	}
 	if o.fwPath == "" {
-		return 0, fmt.Errorf("-rootfs-all requires -fw")
+		return 0, 0, fmt.Errorf("-rootfs-all requires -fw")
 	}
 	data, err := os.ReadFile(o.fwPath)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	fopts, err := o.fleetOptions()
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	aopts, flushTrace, err := o.observability()
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	vopts, err := o.vocabulary()
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	aopts = append(aopts, vopts...)
 	aopts = append(aopts, analyzerOptions("", 0, o.noAlias, o.noSim, o.noVRange)...)
 	a := dtaint.New(aopts...)
 	img, err := a.ScanFirmwareFleet(context.Background(), data, fopts...)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if err := flushTrace(); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if o.jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return img.VulnerablePaths, enc.Encode(img)
+		return img.VulnerablePaths, img.Stalled, enc.Encode(img)
 	}
 	fmt.Printf("image %s %s %s (%d): %d candidate binaries\n",
 		img.Vendor, img.Product, img.Version, img.Year, img.Candidates)
@@ -342,14 +378,14 @@ func runFleet(o cliOptions) (int, error) {
 			fmt.Printf("  %-32s %-7s %s\n", b.Path, b.Status, b.Error)
 		}
 	}
-	fmt.Printf("totals: %d scanned, %d cached, %d failed, %d skipped; %d vulnerabilities over %d paths; wall %v\n",
-		img.Scanned, img.Cached, img.Failed, img.Skipped,
+	fmt.Printf("totals: %d scanned, %d cached, %d failed, %d stalled, %d skipped; %d vulnerabilities over %d paths; wall %v\n",
+		img.Scanned, img.Cached, img.Failed, img.Stalled, img.Skipped,
 		img.Vulnerabilities, img.VulnerablePaths, img.Wall)
 	if img.Cache != (dtaint.CacheStats{}) {
 		fmt.Printf("cache: %d hits (%d disk), %d misses, %d evictions, %d entries\n",
 			img.Cache.Hits, img.Cache.DiskHits, img.Cache.Misses, img.Cache.Evictions, img.Cache.Entries)
 	}
-	return img.VulnerablePaths, nil
+	return img.VulnerablePaths, img.Stalled, nil
 }
 
 // runDiff diffs two firmware versions and prints the cross-version

@@ -146,7 +146,7 @@ func TestRunReturnsVulnerablePathCount(t *testing.T) {
 func TestRunFleetMode(t *testing.T) {
 	fw, _ := writeCorpus(t)
 	o := cliOptions{fwPath: fw, cacheDir: filepath.Join(t.TempDir(), "cache"), workers: 2}
-	n, err := runFleet(o)
+	n, _, err := runFleet(o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestRunFleetMode(t *testing.T) {
 	}
 	// Same cache dir again: served from disk, same totals.
 	o.jsonOut = true
-	n2, err := runFleet(o)
+	n2, _, err := runFleet(o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestRunDiffExitCodeOnNewFindingsOnly(t *testing.T) {
 	}
 	// The same image scanned normally DOES report vulnerable paths —
 	// the zero above is the diff classification, not a silent miss.
-	if paths, err := runFleet(cliOptions{fwPath: fw}); err != nil || paths == 0 {
+	if paths, _, err := runFleet(cliOptions{fwPath: fw}); err != nil || paths == 0 {
 		t.Fatalf("fleet scan paths/err = %d/%v, want > 0/nil", paths, err)
 	}
 
@@ -243,13 +243,13 @@ func TestRunDiffErrors(t *testing.T) {
 }
 
 func TestRunFleetErrors(t *testing.T) {
-	if _, err := runFleet(cliOptions{}); err == nil {
+	if _, _, err := runFleet(cliOptions{}); err == nil {
 		t.Fatal("missing -fw accepted")
 	}
-	if _, err := runFleet(cliOptions{fwPath: "x", workers: -1}); err == nil {
+	if _, _, err := runFleet(cliOptions{fwPath: "x", workers: -1}); err == nil {
 		t.Fatal("negative workers accepted")
 	}
-	if _, err := runFleet(cliOptions{fwPath: "/no/such/file"}); err == nil {
+	if _, _, err := runFleet(cliOptions{fwPath: "/no/such/file"}); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }
@@ -300,7 +300,7 @@ func TestRunVocabFlag(t *testing.T) {
 		t.Fatalf("malformed vocab error = %v", err)
 	}
 	// Same rejection on the fleet path.
-	if _, err := runFleet(cliOptions{fwPath: fw, vocabPath: bad}); err == nil {
+	if _, _, err := runFleet(cliOptions{fwPath: fw, vocabPath: bad}); err == nil {
 		t.Fatal("fleet mode accepted a malformed vocabulary")
 	}
 	// Missing file.
@@ -372,9 +372,11 @@ func TestProgressWriter(t *testing.T) {
 		t.Fatal(err)
 	}
 	tracer := dtaint.NewTracer()
+	journal := dtaint.NewEventJournal(0)
 	var buf strings.Builder
-	attachProgress(tracer, &buf)
-	if _, err := dtaint.New(dtaint.WithTracer(tracer)).AnalyzeExecutable(raw); err != nil {
+	attachProgress(journal, &buf)
+	a := dtaint.New(dtaint.WithTracer(tracer), dtaint.WithEventJournal(journal))
+	if _, err := a.AnalyzeExecutable(raw); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

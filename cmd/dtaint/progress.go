@@ -1,112 +1,16 @@
 package main
 
 import (
-	"fmt"
 	"io"
-	"sync"
 
 	"dtaint"
 )
 
-// progressWriter turns tracer span events into per-stage progress
-// lines on stderr: one line when a stage starts, a percentage line for
-// every 10% of per-function work completed, and a completion line with
-// the stage duration. Span handlers run on analysis worker goroutines,
-// so all state is guarded by one mutex and each line is written with a
-// single Fprintf.
-type progressWriter struct {
-	mu     sync.Mutex
-	w      io.Writer
-	totals map[string]int // stage -> function denominator
-	counts map[string]int // stage -> per-function spans finished
-	decile map[string]int // stage -> last tenth printed
-}
-
-// perFunction maps per-function span names to the enclosing stage
-// whose "functions" attr is the progress denominator.
-var perFunction = map[string]string{
-	"ssa-function": "function-analysis",
-	"ddg-function": "interproc-dataflow",
-}
-
-// progressStages are the span names reported as stages; per-function,
-// per-component, and per-binary spans are handled separately.
-var progressStages = map[string]bool{
-	"unpack-firmware":    true,
-	"parse-image":        true,
-	"build-cfg":          true,
-	"function-analysis":  true,
-	"structsim":          true,
-	"interproc-dataflow": true,
-	"count-sinks":        true,
-	"scan-image":         true,
-}
-
-// attachProgress registers the progress reporter on the tracer. It
-// must run before the analysis starts.
-func attachProgress(t *dtaint.Tracer, w io.Writer) *progressWriter {
-	p := &progressWriter{
-		w:      w,
-		totals: make(map[string]int),
-		counts: make(map[string]int),
-		decile: make(map[string]int),
-	}
-	t.OnSpanStart(p.spanStart)
-	t.OnSpanEnd(p.spanEnd)
-	return p
-}
-
-func (p *progressWriter) spanStart(ev dtaint.SpanEvent) {
-	if !progressStages[ev.Name] {
-		return
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if n, ok := attrInt(ev.Attrs["functions"]); ok && n > 0 {
-		p.totals[ev.Name] = n
-		fmt.Fprintf(p.w, "dtaint: %s: %d functions\n", ev.Name, n)
-		return
-	}
-	fmt.Fprintf(p.w, "dtaint: %s...\n", ev.Name)
-}
-
-func (p *progressWriter) spanEnd(ev dtaint.SpanEvent) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	switch {
-	case perFunction[ev.Name] != "":
-		stage := perFunction[ev.Name]
-		p.counts[stage]++
-		total := p.totals[stage]
-		if total == 0 {
-			return
-		}
-		if tenth := p.counts[stage] * 10 / total; tenth > p.decile[stage] {
-			p.decile[stage] = tenth
-			fmt.Fprintf(p.w, "dtaint: %s: %d/%d functions (%d%%)\n",
-				stage, p.counts[stage], total, tenth*10)
-		}
-	case ev.Name == "scan-binary":
-		status, _ := ev.Attrs["status"].(string)
-		path, _ := ev.Attrs["path"].(string)
-		fmt.Fprintf(p.w, "dtaint: scanned %s (%s) in %.2fs\n",
-			path, status, ev.Duration.Seconds())
-	case progressStages[ev.Name]:
-		fmt.Fprintf(p.w, "dtaint: %s done in %.2fs\n", ev.Name, ev.Duration.Seconds())
-	}
-}
-
-// attrInt widens whichever integer type a span attr carries.
-func attrInt(v any) (int, bool) {
-	switch n := v.(type) {
-	case int:
-		return n, true
-	case int64:
-		return int(n), true
-	case uint64:
-		return int(n), true
-	case float64:
-		return int(n), true
-	}
-	return 0, false
+// attachProgress subscribes the shared event-bus progress renderer to
+// the journal: stage lines, decile percentages with ETA, per-binary
+// completion lines. The CLI and dtaintd's SSE stream consume the same
+// events, so -progress output and server telemetry can never drift
+// apart. It returns a function removing the subscription.
+func attachProgress(j *dtaint.EventJournal, w io.Writer) func() {
+	return j.AttachProgressPrinter(w)
 }

@@ -40,6 +40,21 @@
 // shuts down gracefully: the listener stops, the running job drains,
 // queued jobs are failed with a shutdown error.
 //
+// Live telemetry: every job appends typed, sequence-numbered events
+// (stage/binary lifecycle, decile progress with ETA, findings, stalls)
+// to a bounded in-memory journal (-journal sets the ring size).
+// GET /v1/jobs/{id}/events streams one job as Server-Sent Events —
+// buffered history first, then live — closing after the job's terminal
+// event; a reconnecting client resumes exactly where it left off by
+// sending the standard Last-Event-ID header. GET /v1/events is the
+// all-jobs firehose. -stall-timeout arms a per-job watchdog: a job
+// journaling no events for that long has its in-flight binaries
+// abandoned (reported as status "stalled", never an empty success) and,
+// with -debug-dir, a diagnostic bundle written to disk. GET /healthz is
+// the liveness probe; GET /readyz answers 503 once graceful drain
+// begins (-drain-notice holds the listener open so balancers see the
+// flip) or when the job queue is saturated.
+//
 // Observability: /v1/metrics serves the service counters plus the
 // analysis registry as JSON, or as Prometheus text exposition when the
 // client sends "Accept: text/plain" (what Prometheus scrapers do).
@@ -67,6 +82,7 @@ import (
 
 	"dtaint/internal/fleet"
 	"dtaint/internal/obs"
+	"dtaint/internal/obs/events"
 	"dtaint/internal/sumstore"
 	"dtaint/internal/taint"
 	"dtaint/internal/vocab"
@@ -74,29 +90,34 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:8214", "listen address (port 0 picks an ephemeral port)")
-		workers    = flag.Int("workers", 0, "binaries analyzed concurrently per job (0 = GOMAXPROCS)")
-		queueCap   = flag.Int("queue", 16, "maximum queued scan jobs before 429")
-		jobTimeout = flag.Duration("binary-timeout", 10*time.Minute, "per-binary analysis timeout (0 = none)")
-		cacheSize  = flag.Int("cache-size", 1024, "in-memory report cache entries")
-		cacheDir   = flag.String("cache-dir", "", "persistent report cache directory (empty = memory only)")
-		sumSize    = flag.Int("summary-size", 4096, "in-memory function-summary store entries")
-		sumDir     = flag.String("summary-dir", "", "persistent function-summary store directory (empty = memory only)")
-		maxUpload  = flag.Int64("max-upload", 256<<20, "maximum firmware upload bytes")
-		noAlias    = flag.Bool("no-alias", false, "disable pointer-alias recognition (Algorithm 1)")
-		noSim      = flag.Bool("no-structsim", false, "disable data-structure similarity resolution")
-		vocabPath  = flag.String("vocab", "", "default source/sink/sanitizer vocabulary spec (JSON; empty = embedded default)")
-		drainWait  = flag.Duration("drain", 5*time.Minute, "shutdown grace for the running job")
-		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
-		logFormat  = flag.String("log-format", "text", "log format: text or json")
-		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
+		addr        = flag.String("addr", "127.0.0.1:8214", "listen address (port 0 picks an ephemeral port)")
+		workers     = flag.Int("workers", 0, "binaries analyzed concurrently per job (0 = GOMAXPROCS)")
+		queueCap    = flag.Int("queue", 16, "maximum queued scan jobs before 429")
+		jobTimeout  = flag.Duration("binary-timeout", 10*time.Minute, "per-binary analysis timeout (0 = none)")
+		cacheSize   = flag.Int("cache-size", 1024, "in-memory report cache entries")
+		cacheDir    = flag.String("cache-dir", "", "persistent report cache directory (empty = memory only)")
+		sumSize     = flag.Int("summary-size", 4096, "in-memory function-summary store entries")
+		sumDir      = flag.String("summary-dir", "", "persistent function-summary store directory (empty = memory only)")
+		maxUpload   = flag.Int64("max-upload", 256<<20, "maximum firmware upload bytes")
+		noAlias     = flag.Bool("no-alias", false, "disable pointer-alias recognition (Algorithm 1)")
+		noSim       = flag.Bool("no-structsim", false, "disable data-structure similarity resolution")
+		vocabPath   = flag.String("vocab", "", "default source/sink/sanitizer vocabulary spec (JSON; empty = embedded default)")
+		drainWait   = flag.Duration("drain", 5*time.Minute, "shutdown grace for the running job")
+		drainNotice = flag.Duration("drain-notice", 0, "delay between flipping /readyz to 503 and stopping the listener")
+		journalSize = flag.Int("journal", events.DefaultJournalSize, "event journal ring size for SSE streaming (0 = telemetry off)")
+		stallWait   = flag.Duration("stall-timeout", 0, "per-job stall watchdog deadline: no telemetry events for this long abandons the binary (0 = off)")
+		debugDir    = flag.String("debug-dir", "", "directory receiving one diagnostic bundle per watchdog stall (empty = off)")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat   = flag.String("log-format", "text", "log format: text or json")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 	opts := serveOptions{
 		addr: *addr, workers: *workers, queueCap: *queueCap,
 		cacheSize: *cacheSize, cacheDir: *cacheDir, maxUpload: *maxUpload,
 		sumSize: *sumSize, sumDir: *sumDir,
-		jobTimeout: *jobTimeout, drainWait: *drainWait,
+		jobTimeout: *jobTimeout, drainWait: *drainWait, drainNotice: *drainNotice,
+		journalSize: *journalSize, stallWait: *stallWait, debugDir: *debugDir,
 		noAlias: *noAlias, noSim: *noSim, vocabPath: *vocabPath,
 		logLevel: *logLevel, logFormat: *logFormat, pprofAddr: *pprofAddr,
 	}
@@ -108,22 +129,26 @@ func main() {
 
 // serveOptions carries the parsed flags into run.
 type serveOptions struct {
-	addr       string
-	workers    int
-	queueCap   int
-	cacheSize  int
-	cacheDir   string
-	sumSize    int
-	sumDir     string
-	maxUpload  int64
-	jobTimeout time.Duration
-	drainWait  time.Duration
-	noAlias    bool
-	noSim      bool
-	vocabPath  string
-	logLevel   string
-	logFormat  string
-	pprofAddr  string
+	addr        string
+	workers     int
+	queueCap    int
+	cacheSize   int
+	cacheDir    string
+	sumSize     int
+	sumDir      string
+	maxUpload   int64
+	jobTimeout  time.Duration
+	drainWait   time.Duration
+	drainNotice time.Duration
+	journalSize int
+	stallWait   time.Duration
+	debugDir    string
+	noAlias     bool
+	noSim       bool
+	vocabPath   string
+	logLevel    string
+	logFormat   string
+	pprofAddr   string
 }
 
 func run(o serveOptions) error {
@@ -151,6 +176,11 @@ func run(o serveOptions) error {
 		sumStore:      store,
 		metrics:       obs.NewRegistry(),
 		log:           logger,
+		stallTimeout:  o.stallWait,
+		debugDir:      o.debugDir,
+	}
+	if o.journalSize > 0 {
+		cfg.journal = events.NewJournal(o.journalSize)
 	}
 	cfg.analysis.DisableAlias = o.noAlias
 	cfg.analysis.DisableStructSim = o.noSim
@@ -200,6 +230,13 @@ func run(o serveOptions) error {
 	select {
 	case sig := <-sigc:
 		fmt.Printf("dtaintd: %v, draining\n", sig)
+		// Flip /readyz to 503 first, then hold the listener open for the
+		// notice window so load balancers (and the smoke test) observe
+		// the not-ready answer before connections start being refused.
+		s.setDraining()
+		if o.drainNotice > 0 {
+			time.Sleep(o.drainNotice)
+		}
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err
@@ -208,6 +245,9 @@ func run(o serveOptions) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	_ = srv.Shutdown(ctx)
 	cancel()
+	// Shutdown waits for idle connections but not for open SSE streams;
+	// close them outright so drain cannot hang on a watching client.
+	_ = srv.Close()
 	s.shutdown(o.drainWait)
 	fmt.Println("dtaintd: stopped")
 	return nil

@@ -8,14 +8,17 @@ import (
 	"log/slog"
 	"mime"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dtaint/internal/dataflow"
 	"dtaint/internal/diff"
 	"dtaint/internal/fleet"
 	"dtaint/internal/obs"
+	"dtaint/internal/obs/events"
 	"dtaint/internal/sumstore"
 	"dtaint/internal/taint"
 	"dtaint/internal/vocab"
@@ -44,6 +47,13 @@ type config struct {
 	metrics *obs.Registry
 	// log receives job lifecycle lines (nil = logging off).
 	log *slog.Logger
+	// journal is the live-telemetry event ring every job appends to and
+	// the SSE endpoints stream from (nil = telemetry off).
+	journal *events.Journal
+	// stallTimeout arms a per-job stall watchdog over the journal
+	// (0 = off); debugDir receives one diagnostic bundle per stall.
+	stallTimeout time.Duration
+	debugDir     string
 }
 
 // Job states.
@@ -52,6 +62,10 @@ const (
 	stateRunning = "running"
 	stateDone    = "done"
 	stateFailed  = "failed"
+	// stateStalled: the scan finished but the stall watchdog abandoned
+	// one or more binaries — a distinct terminal state so a killed
+	// analysis never reads as a clean, empty success.
+	stateStalled = "stalled"
 )
 
 // Job kinds.
@@ -73,6 +87,7 @@ type job struct {
 	finished time.Time
 	done     int // analysis units completed so far
 	total    int // total analysis units
+	stalled  int // binaries the stall watchdog abandoned
 	data     []byte
 	// newData is the diff job's new-version image (nil for scans; data
 	// then holds the old version).
@@ -97,6 +112,8 @@ type jobView struct {
 	// BinariesDone/BinariesTotal report scan progress while running.
 	BinariesDone  int `json:"binariesDone"`
 	BinariesTotal int `json:"binariesTotal"`
+	// BinariesStalled counts binaries the stall watchdog abandoned.
+	BinariesStalled int `json:"binariesStalled,omitempty"`
 }
 
 // metricsView is the JSON shape of /v1/metrics. The jobs/queueDepth/
@@ -141,6 +158,10 @@ type server struct {
 	stop       chan struct{}
 	runnerDone chan struct{}
 
+	// draining flips when graceful shutdown begins; /readyz answers 503
+	// from then on so load balancers stop routing new work here.
+	draining atomic.Bool
+
 	runCtx    context.Context
 	runCancel context.CancelFunc
 }
@@ -169,11 +190,16 @@ func (s *server) start() {
 	go s.run()
 }
 
+// setDraining flips /readyz to 503 ahead of the actual listener
+// shutdown, giving load balancers a window to stop routing here.
+func (s *server) setDraining() { s.draining.Store(true) }
+
 // shutdown drains gracefully: the in-flight job finishes, queued jobs
 // are failed with a shutdown error, and the runner exits. If the runner
 // does not drain within wait, the run context is cancelled so the
 // current job's remaining binaries are skipped.
 func (s *server) shutdown(wait time.Duration) {
+	s.setDraining()
 	close(s.stop)
 	select {
 	case <-s.runnerDone:
@@ -220,6 +246,19 @@ func (s *server) runJob(j *job) {
 	if aopts.Log != nil {
 		aopts.Log = aopts.Log.With("job", j.id)
 	}
+	// Every job gets its own tracer bridged into the shared journal, so
+	// pipeline spans become job-scoped telemetry events without two
+	// jobs' spans ever mixing. Nil journal → nil emitter → every emit
+	// and the bridge registration below are no-ops.
+	em := s.cfg.journal.Emitter(j.id)
+	if em != nil {
+		tr := obs.NewTracer()
+		events.Bridge(tr, em)
+		aopts.Tracer = tr
+		aopts.Events = em
+	}
+	em.Emit(events.ScanEvent{Type: events.TypeJobStarted,
+		Attrs: map[string]any{"kind": j.kind}})
 	if j.vocab != nil {
 		// Per-request override beats the server default. The vocabulary
 		// digest is part of the report-cache and summary-store
@@ -251,11 +290,34 @@ func (s *server) runJob(j *job) {
 		Cache:            s.cfg.cache,
 		SummaryStore:     s.cfg.sumStore,
 		Progress:         progress,
+		StallTimeout:     s.cfg.stallTimeout,
+		DebugDir:         s.cfg.debugDir,
 	})
 	s.finishJob(j, rep, nil, err)
 }
 
 func (s *server) finishJob(j *job, rep *fleet.ImageReport, drep *diff.Report, err error) {
+	// The terminal event is journaled BEFORE the job state flips: an SSE
+	// handler that subscribes and then sees a terminal state is thereby
+	// guaranteed the job.done/job.failed event is already in (or before)
+	// its subscription window — never still in flight.
+	em := s.cfg.journal.Emitter(j.id)
+	switch {
+	case err != nil:
+		em.Emit(events.ScanEvent{Type: events.TypeJobFailed,
+			Attrs: map[string]any{"error": err.Error()}})
+	case rep != nil:
+		em.Emit(events.ScanEvent{Type: events.TypeJobDone, Attrs: map[string]any{
+			"candidates": rep.Candidates, "vulnerabilities": rep.Vulnerabilities,
+			"stalled": rep.Stalled}})
+	case drep != nil:
+		em.Emit(events.ScanEvent{Type: events.TypeJobDone, Attrs: map[string]any{
+			"new": drep.NewFindings, "fixed": drep.FixedFindings,
+			"persisting": drep.PersistingFindings}})
+	default:
+		em.Emit(events.ScanEvent{Type: events.TypeJobDone})
+	}
+
 	s.mu.Lock()
 	j.finished = time.Now()
 	elapsed := j.finished.Sub(j.started)
@@ -270,6 +332,9 @@ func (s *server) finishJob(j *job, rep *fleet.ImageReport, drep *diff.Report, er
 		j.diffReport = drep
 		if rep != nil {
 			j.done, j.total = rep.Candidates, rep.Candidates
+			if j.stalled = rep.Stalled; j.stalled > 0 {
+				j.state = stateStalled
+			}
 		}
 		s.jobsDone++
 	}
@@ -301,8 +366,144 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/diff", s.handleDiff)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
+}
+
+// handleHealthz is the liveness probe: the process is up and serving.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 200 while the server should
+// receive traffic, 503 once graceful drain has begun or the job queue
+// is saturated (new scans would bounce with 429 anyway).
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSONStatus(w, http.StatusServiceUnavailable,
+			map[string]any{"ready": false, "reason": "draining"})
+		return
+	}
+	depth, capacity := len(s.queue), cap(s.queue)
+	if depth >= capacity {
+		writeJSONStatus(w, http.StatusServiceUnavailable,
+			map[string]any{"ready": false, "reason": "queue saturated",
+				"queueDepth": depth, "queueCap": capacity})
+		return
+	}
+	writeJSON(w, map[string]any{"ready": true, "queueDepth": depth, "queueCap": capacity})
+}
+
+// handleJobEvents streams one job's telemetry as Server-Sent Events:
+// buffered journal history first (from Last-Event-ID when the client is
+// resuming a dropped connection), then live events until the job's
+// terminal event (job.done/job.failed) or the client disconnects.
+func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.lookup(id); !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if s.cfg.journal == nil {
+		httpError(w, http.StatusNotImplemented, "event journal disabled (-journal 0)")
+		return
+	}
+	s.streamEvents(w, r, id)
+}
+
+// handleEvents is the firehose: every job's events, no terminal close.
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.journal == nil {
+		httpError(w, http.StatusNotImplemented, "event journal disabled (-journal 0)")
+		return
+	}
+	s.streamEvents(w, r, "")
+}
+
+// streamEvents writes the SSE stream. job filters to one job and closes
+// after its terminal event; empty streams everything until disconnect.
+// Each frame is "id: <seq>\nevent: <type>\ndata: <json>\n\n", so a
+// reconnecting client's Last-Event-ID resumes exactly after the last
+// frame it saw; events that aged out of the ring in the meantime are
+// reported in a "dropped" frame rather than silently skipped.
+func (s *server) streamEvents(w http.ResponseWriter, r *http.Request, job string) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	var after uint64
+	if lid := r.Header.Get("Last-Event-ID"); lid != "" {
+		v, err := strconv.ParseUint(lid, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "malformed Last-Event-ID: "+lid)
+			return
+		}
+		after = v
+	}
+	sub := s.cfg.journal.Subscribe(after)
+	defer sub.Close()
+	// Subscribe-then-check: terminal events are journaled before the job
+	// state flips, so a terminal state observed *after* subscribing means
+	// the terminal event is already inside (or before) this subscription
+	// window — the stream below can never miss it and block forever.
+	terminalAlready := false
+	if job != "" {
+		if j, ok := s.lookup(job); ok {
+			s.mu.Lock()
+			st := j.state
+			s.mu.Unlock()
+			terminalAlready = st == stateDone || st == stateFailed || st == stateStalled
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	write := func(evs []events.ScanEvent, dropped uint64) (terminal bool) {
+		if dropped > 0 {
+			fmt.Fprintf(w, "event: dropped\ndata: {\"dropped\":%d}\n\n", dropped)
+		}
+		for _, ev := range evs {
+			if job != "" && ev.Job != job {
+				continue
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+			if job != "" && ev.Job == job && ev.Terminal() {
+				terminal = true
+			}
+		}
+		fl.Flush()
+		return terminal
+	}
+
+	if terminalAlready {
+		// Drain what the ring still holds and close; never block on a
+		// job that will emit nothing more.
+		evs, dropped := sub.Poll()
+		write(evs, dropped)
+		return
+	}
+	for {
+		evs, dropped, err := sub.Next(r.Context())
+		if err != nil {
+			return // client went away
+		}
+		if write(evs, dropped) {
+			return
+		}
+	}
 }
 
 func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
@@ -366,14 +567,20 @@ func (s *server) enqueue(w http.ResponseWriter, j *job) {
 	s.jobs[j.id] = j
 	s.mu.Unlock()
 
+	// Sized before the send: the runner nils the payload fields as soon
+	// as it picks the job up.
+	bytes := len(j.data) + len(j.newData)
 	select {
 	case s.queue <- j:
 		s.mu.Lock()
 		s.jobsAccepted++
 		s.mu.Unlock()
+		s.cfg.journal.Emitter(j.id).Emit(events.ScanEvent{
+			Type:  events.TypeJobQueued,
+			Attrs: map[string]any{"kind": j.kind, "bytes": bytes},
+		})
 		if s.cfg.log != nil {
-			s.cfg.log.Info("job accepted", "job", j.id, "kind", j.kind,
-				"bytes", len(j.data)+len(j.newData))
+			s.cfg.log.Info("job accepted", "job", j.id, "kind", j.kind, "bytes", bytes)
 		}
 		writeJSONStatus(w, http.StatusAccepted, map[string]string{"id": j.id, "state": stateQueued})
 	default:
@@ -479,7 +686,7 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 	state, errMsg, rep, drep := j.state, j.err, j.report, j.diffReport
 	s.mu.Unlock()
 	switch state {
-	case stateDone:
+	case stateDone, stateStalled:
 		if drep != nil {
 			writeJSON(w, drep)
 			return
@@ -499,7 +706,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// critical section, so a response can never show jobsDone ahead of
 	// jobsStarted or a queue depth from a different instant.
 	s.mu.Lock()
-	byState := map[string]int{stateQueued: 0, stateRunning: 0, stateDone: 0, stateFailed: 0}
+	byState := map[string]int{stateQueued: 0, stateRunning: 0, stateDone: 0, stateFailed: 0, stateStalled: 0}
 	for _, j := range s.jobs {
 		byState[j.state]++
 	}
@@ -565,13 +772,14 @@ func (s *server) view(j *job) jobView {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	v := jobView{
-		ID:            j.id,
-		Kind:          j.kind,
-		State:         j.state,
-		Error:         j.err,
-		Created:       j.created.UTC().Format(time.RFC3339Nano),
-		BinariesDone:  j.done,
-		BinariesTotal: j.total,
+		ID:              j.id,
+		Kind:            j.kind,
+		State:           j.state,
+		Error:           j.err,
+		Created:         j.created.UTC().Format(time.RFC3339Nano),
+		BinariesDone:    j.done,
+		BinariesTotal:   j.total,
+		BinariesStalled: j.stalled,
 	}
 	if !j.started.IsZero() {
 		v.Started = j.started.UTC().Format(time.RFC3339Nano)

@@ -11,11 +11,14 @@
 //
 //  2. guarded-obs-call — the nil-safe-handle contract. Every handle in
 //     internal/obs (Registry, Tracer, Span, Counter, Gauge, Histogram)
-//     is nil-safe by design: a nil registry hands out live throwaway
-//     instruments and a nil tracer produces no-op spans. Wrapping an
-//     instrumentation call in `if h != nil { h.Observe(...) }` is
-//     therefore dead weight that rots into inconsistently-guarded
-//     telemetry; the guard must go.
+//     and internal/obs/events (Journal, Emitter, Watchdog, Sub) is
+//     nil-safe by design: a nil registry hands out live throwaway
+//     instruments, a nil tracer produces no-op spans, and a nil emitter
+//     swallows events. Wrapping an instrumentation call in
+//     `if h != nil { h.Observe(...) }` — or guarding a whole recording
+//     function with `if h == nil { return }` — is therefore dead weight
+//     that rots into inconsistently-guarded telemetry; the guard must
+//     go.
 //
 //  3. unversioned-serialization — the wire-format contract. Analysis
 //     values (internal/symexec, taint, expr, vrange) are persisted only
@@ -148,7 +151,7 @@ type varInfo struct {
 type pkgInfo struct {
 	name     string             // declared package name
 	mapTypes map[string]bool    // named types whose underlying type is a map
-	obsPkg   bool               // this IS internal/obs
+	obsPkg   bool               // this IS internal/obs or internal/obs/events
 	structs  map[string]fields  // struct name -> field types
 	globals  map[string]varInfo // package-level vars
 	results  map[string]varInfo // single-result function name -> result
@@ -175,7 +178,7 @@ func (w *world) addPackage(dir string, files []*ast.File) {
 	for _, f := range files {
 		p.name = f.Name.Name
 	}
-	p.obsPkg = p.name == "obs"
+	p.obsPkg = p.name == "obs" || p.name == "events"
 	w.pkgs[dir] = p
 	w.byPkgName[p.name] = p
 
@@ -240,7 +243,7 @@ func (w *world) typeKind(p *pkgInfo, t ast.Expr) varInfo {
 	case *ast.ParenExpr:
 		return w.typeKind(p, x.X)
 	case *ast.Ident:
-		vi := varInfo{isMap: p.mapTypes[x.Name], isObs: p.obsPkg && isObsHandle(x.Name)}
+		vi := varInfo{isMap: p.mapTypes[x.Name], isObs: p.obsPkg && (isObsHandle(x.Name) || isEventsHandle(x.Name))}
 		if _, ok := p.structs[x.Name]; ok {
 			vi.structName = p.name + "." + x.Name
 		}
@@ -252,6 +255,9 @@ func (w *world) typeKind(p *pkgInfo, t ast.Expr) varInfo {
 		}
 		if pkgName.Name == "obs" && isObsHandle(x.Sel.Name) {
 			return varInfo{isObs: true, isMap: x.Sel.Name == "Labels"}
+		}
+		if pkgName.Name == "events" && isEventsHandle(x.Sel.Name) {
+			return varInfo{isObs: true}
 		}
 		if other, ok := w.byPkgName[pkgName.Name]; ok {
 			vi := varInfo{isMap: other.mapTypes[x.Sel.Name]}
@@ -274,6 +280,16 @@ func isObsHandle(name string) bool {
 	return false
 }
 
+// isEventsHandle reports whether the named internal/obs/events type is
+// one of the nil-safe telemetry handles.
+func isEventsHandle(name string) bool {
+	switch name {
+	case "Journal", "Emitter", "Watchdog", "Sub":
+		return true
+	}
+	return false
+}
+
 // obsMethods are the instrumentation entry points of the nil-safe
 // handles; a nil-guard around a call to one of these is rule 2's target
 // even when the receiver's type cannot be resolved syntactically.
@@ -282,6 +298,8 @@ var obsMethods = map[string]bool{
 	"Counter": true, "Gauge": true, "Histogram": true, "Snapshot": true,
 	"WriteJSON": true, "WritePrometheus": true, "WriteChromeTrace": true,
 	"StartSpan": true, "SetAttr": true, "OnSpanStart": true, "OnSpanEnd": true,
+	"Emit": true, "Progress": true, "ProgressDecile": true, "WithPath": true,
+	"Emitter": true,
 }
 
 // ---------------------------------------------------------------------------
@@ -461,6 +479,14 @@ func (l *linter) exprInfo(e ast.Expr, env map[string]varInfo) varInfo {
 			if _, shadowed := env[id.Name]; !shadowed {
 				if id.Name == "obs" && strings.HasPrefix(x.Sel.Name, "New") {
 					return varInfo{isObs: isObsHandle(strings.TrimPrefix(x.Sel.Name, "New"))}
+				}
+				if id.Name == "events" {
+					if x.Sel.Name == "StartWatchdog" {
+						return varInfo{isObs: true}
+					}
+					if strings.HasPrefix(x.Sel.Name, "New") {
+						return varInfo{isObs: isEventsHandle(strings.TrimPrefix(x.Sel.Name, "New"))}
+					}
 				}
 				if other, ok := l.w.byPkgName[id.Name]; ok {
 					if vi, ok := other.globals[x.Sel.Name]; ok {
@@ -741,11 +767,13 @@ func constantExpr(e ast.Expr) bool {
 // Rule 2: nil-guarded obs calls.
 
 // lintGuardedObs flags `if h != nil { h.M(...) }` where h is (or looks
-// like) a nil-safe internal/obs handle.
+// like) a nil-safe internal/obs handle, and the early-return variant
+// `if h == nil { return }` that guards a whole recording function.
 func (l *linter) lintGuardedObs(s *ast.IfStmt, env map[string]varInfo) {
 	if l.p.obsPkg {
 		return // the obs package implements the nil-safety it promises
 	}
+	l.lintEarlyReturnObsGuard(s, env)
 	// The guard's init statement can bind the handle (if reg := x; reg != nil).
 	if s.Init != nil {
 		if as, ok := s.Init.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
@@ -796,6 +824,42 @@ func (l *linter) lintGuardedObs(s *ast.IfStmt, env map[string]varInfo) {
 		}
 		return true
 	})
+}
+
+// lintEarlyReturnObsGuard flags `if h == nil { return }` where h is a
+// nil-safe obs handle and the body is a single bare return: the only
+// purpose of such a guard is protecting subsequent instrumentation
+// calls, which are nil-safe by contract. Guards that return a value or
+// do other work are left alone (they may be skipping real computation);
+// a deliberate skip of expensive attribute construction is waived with
+// the usual //dtaintlint:ignore directive.
+func (l *linter) lintEarlyReturnObsGuard(s *ast.IfStmt, env map[string]varInfo) {
+	be, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok || be.Op != token.EQL {
+		return
+	}
+	var handle ast.Expr
+	switch {
+	case isNil(be.Y):
+		handle = be.X
+	case isNil(be.X):
+		handle = be.Y
+	default:
+		return
+	}
+	if len(s.Body.List) != 1 {
+		return
+	}
+	ret, ok := s.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 0 {
+		return
+	}
+	if !l.exprInfo(handle, env).isObs {
+		return
+	}
+	name := types.ExprString(handle)
+	l.report(s.If, "guarded-obs-call",
+		fmt.Sprintf("early return when %s is nil, but obs handles are nil-safe by contract; drop the guard", name))
 }
 
 // ---------------------------------------------------------------------------

@@ -221,6 +221,89 @@ func record(o opts, n int) {
 	wantRule(t, findings, "guarded-obs-call", 0)
 }
 
+func TestGuardedEventsCallFlagged(t *testing.T) {
+	findings := lintSource(t, `package p
+
+import "dtaint/internal/obs/events"
+
+type opts struct {
+	Events *events.Emitter
+}
+
+func record(o opts, done, total int) {
+	if o.Events != nil {
+		o.Events.Progress("binaries", done, total)
+	}
+	em := events.NewJournal(0).Emitter("job")
+	if em != nil {
+		em.Emit(events.ScanEvent{})
+	}
+}
+`)
+	wantRule(t, findings, "guarded-obs-call", 2)
+}
+
+func TestEarlyReturnObsGuardFlagged(t *testing.T) {
+	findings := lintSource(t, `package p
+
+import (
+	"dtaint/internal/obs"
+	"dtaint/internal/obs/events"
+)
+
+func record(reg *obs.Registry, n int) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("n", "help", nil).Add(uint64(n))
+}
+
+func emit(em *events.Emitter) {
+	if em == nil {
+		return
+	}
+	em.Emit(events.ScanEvent{})
+}
+`)
+	wantRule(t, findings, "guarded-obs-call", 2)
+}
+
+func TestEarlyReturnObsGuardExemptions(t *testing.T) {
+	// Guards returning a value, doing more than returning, or guarding
+	// non-obs values are all legitimate; so are waived lines.
+	findings := lintSource(t, `package p
+
+import "dtaint/internal/obs"
+
+func snapshot(reg *obs.Registry) []obs.MetricSnapshot {
+	if reg == nil {
+		return nil
+	}
+	return reg.Snapshot()
+}
+
+func record(reg *obs.Registry, expensive func() uint64) {
+	//dtaintlint:ignore skips expensive attribute construction
+	if reg == nil {
+		return
+	}
+	reg.Counter("n", "help", nil).Add(expensive())
+}
+
+type cache struct{}
+
+func (c *cache) warm() {}
+
+func f(c *cache) {
+	if c == nil {
+		return
+	}
+	c.warm()
+}
+`)
+	wantRule(t, findings, "guarded-obs-call", 0)
+}
+
 func TestNonObsNilGuardClean(t *testing.T) {
 	findings := lintSource(t, `package p
 

@@ -41,6 +41,7 @@ import (
 	"dtaint/internal/firmware"
 	"dtaint/internal/image"
 	"dtaint/internal/obs"
+	"dtaint/internal/obs/events"
 	"dtaint/internal/symexec"
 	"dtaint/internal/taint"
 	"dtaint/internal/vocab"
@@ -378,6 +379,9 @@ func WithVocabulary(v *Vocabulary) Option {
 // New.
 type Analyzer struct {
 	opts dataflow.Options
+	// journal is the live-telemetry event ring attached with
+	// WithEventJournal; New wires it into the analysis options.
+	journal *events.Journal
 }
 
 // New returns an Analyzer with the paper's default configuration.
@@ -386,6 +390,15 @@ func New(opts ...Option) *Analyzer {
 	a.opts.Symexec.LoopOnce = true
 	for _, o := range opts {
 		o(a)
+	}
+	// Wire telemetry after all options have applied, so the result does
+	// not depend on the order of WithTracer and WithEventJournal: the
+	// journal gets an emitter the analysis emits progress and finding
+	// events through, and — when a tracer is attached too — every span
+	// start/end is bridged into the journal as a typed event.
+	a.opts.Events = a.journal.Emitter("")
+	if a.opts.Events != nil {
+		events.Bridge(a.opts.Tracer, a.opts.Events)
 	}
 	return a
 }

@@ -26,6 +26,10 @@ const (
 	BinaryFailed BinaryStatus = "failed"
 	// BinaryTimeout: the per-binary deadline elapsed.
 	BinaryTimeout BinaryStatus = "timeout"
+	// BinaryStalled: the stall watchdog (WithFleetStallTimeout) fired and
+	// the in-flight analysis was abandoned — reported distinctly so a
+	// killed analysis never reads as an empty success.
+	BinaryStalled BinaryStatus = "stalled"
 	// BinarySkipped: the scan was cancelled before this binary started.
 	BinarySkipped BinaryStatus = "skipped"
 )
@@ -73,11 +77,12 @@ type ImageReport struct {
 	Arch    string
 
 	// Candidates is how many rootfs files looked like executables;
-	// Scanned/Cached/Failed/Skipped partition them by outcome.
+	// Scanned/Cached/Failed/Stalled/Skipped partition them by outcome.
 	Candidates int
 	Scanned    int
 	Cached     int
 	Failed     int
+	Stalled    int
 	Skipped    int
 
 	// Vulnerabilities and VulnerablePaths are totals over all analyzed
@@ -189,13 +194,15 @@ func (s *SummaryStore) Stats() SummaryStoreStats {
 type FleetOption func(*fleetConfig)
 
 type fleetConfig struct {
-	workers    int
-	timeout    time.Duration
-	cache      *FleetCache
-	sumStore   *SummaryStore
-	pathFilter func(string) bool
-	filterTag  string
-	progress   func(done, total int)
+	workers      int
+	timeout      time.Duration
+	cache        *FleetCache
+	sumStore     *SummaryStore
+	pathFilter   func(string) bool
+	filterTag    string
+	progress     func(done, total int)
+	stallTimeout time.Duration
+	debugDir     string
 }
 
 // WithFleetWorkers bounds how many binaries are analyzed concurrently
@@ -246,6 +253,24 @@ func WithFleetProgress(fn func(done, total int)) FleetOption {
 	return func(c *fleetConfig) { c.progress = fn }
 }
 
+// WithFleetStallTimeout arms a stall watchdog over the scan's event
+// stream: when no telemetry event is journaled for d, the watchdog
+// emits a stall event, captures a diagnostic bundle (WithFleetDebugDir)
+// and abandons the in-flight binaries — they report BinaryStalled,
+// never an empty success. Pick d well above the slowest single
+// function's analysis time; 0 (the default) disables the watchdog.
+func WithFleetStallTimeout(d time.Duration) FleetOption {
+	return func(c *fleetConfig) { c.stallTimeout = d }
+}
+
+// WithFleetDebugDir names the directory that receives one diagnostic
+// bundle per watchdog stall: goroutine dump, Chrome trace, metrics
+// snapshot, options fingerprint, event journal, and the partial report
+// of the binaries completed so far.
+func WithFleetDebugDir(dir string) FleetOption {
+	return func(c *fleetConfig) { c.debugDir = dir }
+}
+
 // ScanFirmwareFleet unpacks a firmware image and analyzes every
 // executable in its root filesystem across a bounded worker pool — the
 // whole-image counterpart of AnalyzeFirmware. One corrupt binary cannot
@@ -265,6 +290,8 @@ func (a *Analyzer) ScanFirmwareFleet(ctx context.Context, data []byte, opts ...F
 		FilterTag:        cfg.filterTag,
 		PathFilter:       cfg.pathFilter,
 		Progress:         cfg.progress,
+		StallTimeout:     cfg.stallTimeout,
+		DebugDir:         cfg.debugDir,
 	}
 	if cfg.cache != nil {
 		fopts.Cache = cfg.cache.c
@@ -318,6 +345,8 @@ func (a *Analyzer) ScanFirmwareCorpus(ctx context.Context, images [][]byte, opts
 		FilterTag:        cfg.filterTag,
 		PathFilter:       cfg.pathFilter,
 		Progress:         cfg.progress,
+		StallTimeout:     cfg.stallTimeout,
+		DebugDir:         cfg.debugDir,
 	}
 	if cfg.cache != nil {
 		fopts.Cache = cfg.cache.c
@@ -365,6 +394,7 @@ func publicImageReport(r *fleet.ImageReport) *ImageReport {
 		Scanned:         r.Scanned,
 		Cached:          r.Cached,
 		Failed:          r.Failed,
+		Stalled:         r.Stalled,
 		Skipped:         r.Skipped,
 		Vulnerabilities: r.Vulnerabilities,
 		VulnerablePaths: r.VulnerablePaths,

@@ -9,6 +9,7 @@ import (
 	"dtaint/internal/corpus"
 	"dtaint/internal/fleet"
 	"dtaint/internal/obs"
+	"dtaint/internal/obs/events"
 )
 
 // Fleet measures the fleet orchestrator over the six study firmware
@@ -41,6 +42,11 @@ func Fleet(w io.Writer, scale float64) (*FleetRecord, error) {
 	fmt.Fprintln(w, "Pass    Firmware      Binaries  Scanned  Cached  Vulns  Paths  Wall(s)")
 	for _, name := range []string{"cold", "warm"} {
 		tracer := obs.NewTracer()
+		// Each pass carries a live event journal so the record captures
+		// telemetry throughput alongside the scan timings.
+		journal := events.NewJournal(0)
+		em := journal.Emitter(name)
+		events.Bridge(tracer, em)
 		var reports []*fleet.ImageReport
 		t0 := time.Now()
 		for i, spec := range specs {
@@ -49,6 +55,7 @@ func Fleet(w io.Writer, scale float64) (*FleetRecord, error) {
 				Cache:   cache,
 			}
 			opts.Analysis.Tracer = tracer
+			opts.Analysis.Events = em
 			rep, err := fleet.ScanImage(context.Background(), images[i], opts)
 			if err != nil {
 				return nil, err
@@ -67,19 +74,28 @@ func Fleet(w io.Writer, scale float64) (*FleetRecord, error) {
 		for _, s := range tracer.Spans() {
 			stages[s.Name] += s.Duration.Seconds()
 		}
-		rec.Passes = append(rec.Passes, FleetPass{
-			Name:            name,
-			Images:          len(specs),
-			Candidates:      totals.Candidates,
-			Scanned:         totals.Scanned,
-			Cached:          totals.Cached,
-			Failed:          totals.Failed,
-			Skipped:         totals.Skipped,
-			Vulnerabilities: totals.Vulnerabilities,
-			VulnerablePaths: totals.VulnerablePaths,
-			WallSeconds:     wall.Seconds(),
-			StageSeconds:    stages,
-		})
+		js := journal.Stats()
+		pass := FleetPass{
+			Name:             name,
+			Images:           len(specs),
+			Candidates:       totals.Candidates,
+			Scanned:          totals.Scanned,
+			Cached:           totals.Cached,
+			Failed:           totals.Failed,
+			Skipped:          totals.Skipped,
+			Vulnerabilities:  totals.Vulnerabilities,
+			VulnerablePaths:  totals.VulnerablePaths,
+			WallSeconds:      wall.Seconds(),
+			StageSeconds:     stages,
+			Events:           js.Appended,
+			JournalHighWater: js.HighWater,
+		}
+		if s := wall.Seconds(); s > 0 {
+			pass.EventsPerSec = float64(js.Appended) / s
+		}
+		fmt.Fprintf(w, "%-6s  telemetry: %d events (%.0f/s), journal high-water %d/%d\n",
+			name, js.Appended, pass.EventsPerSec, js.HighWater, js.Capacity)
+		rec.Passes = append(rec.Passes, pass)
 	}
 	st := cache.Stats()
 	fmt.Fprintf(w, "cache: %d entries, %d hits, %d misses, %d evictions\n\n",

@@ -137,6 +137,13 @@ type FleetPass struct {
 	VulnerablePaths int                `json:"vulnerablePaths"`
 	WallSeconds     float64            `json:"wallSeconds"`
 	StageSeconds    map[string]float64 `json:"stageSeconds"`
+	// Telemetry throughput: the pass runs with a live event journal
+	// attached (span bridge included), so the record captures how many
+	// events the scan produced, the publish rate, and the journal ring's
+	// peak occupancy.
+	Events           uint64  `json:"events"`
+	EventsPerSec     float64 `json:"eventsPerSec"`
+	JournalHighWater int     `json:"journalHighWater"`
 }
 
 // FleetCacheRecord is the cache shape after both passes.

@@ -47,6 +47,7 @@ import (
 	"dtaint/internal/expr"
 	"dtaint/internal/image"
 	"dtaint/internal/obs"
+	"dtaint/internal/obs/events"
 	"dtaint/internal/structsim"
 	"dtaint/internal/sumstore"
 	"dtaint/internal/symexec"
@@ -112,6 +113,14 @@ type Options struct {
 	Metrics *obs.Registry
 	// Log receives structured per-stage logs (nil = logging off).
 	Log *slog.Logger
+	// Events receives first-class telemetry events: per-stage progress
+	// at decile granularity, one event per finding after the
+	// deterministic merge, and a summary-store stats event. Stage
+	// start/end events come from the span→event bridge over Tracer, not
+	// from here. Nil disables emission; like the other observability
+	// handles, Events never influences results and is excluded from
+	// cache fingerprints.
+	Events *events.Emitter
 }
 
 // Stage couples one pipeline stage's span and log lines. Other pipeline
@@ -305,6 +314,25 @@ func Analyze(prog *cfg.Program, opts Options) (*Result, error) {
 	res.SinkCount = countSinks(prog, names, res.Summaries, opts)
 	st.End("sinks", res.SinkCount)
 
+	// Findings are emitted after the deterministic per-component merge,
+	// so their multiset (and even their order) is worker-count-independent.
+	for _, f := range res.Findings {
+		opts.Events.Emit(events.ScanEvent{Type: events.TypeFinding, Attrs: map[string]any{
+			"class":     f.Class.String(),
+			"sink":      f.Sink,
+			"sinkFunc":  f.SinkFunc,
+			"sinkAddr":  f.SinkAddr,
+			"source":    f.Source,
+			"sanitized": f.Sanitized,
+		}})
+	}
+	if opts.SummaryStore != nil {
+		opts.Events.Emit(events.ScanEvent{Type: events.TypeSumStore, Attrs: map[string]any{
+			"hits":   res.SumStore.Hits,
+			"misses": res.SumStore.Misses,
+		}})
+	}
+
 	opts.Metrics.Counter("dtaint_functions_analyzed_total",
 		"Functions analyzed by the interprocedural pass.", nil).Add(uint64(res.FunctionsAnalyzed))
 	opts.Metrics.Counter("dtaint_defpairs_total",
@@ -349,7 +377,14 @@ func runPhase1(prog *cfg.Program, names []string, opts Options, fp *sumstore.Fin
 	fnStates := opts.Metrics.Histogram("dtaint_fn_states_explored",
 		"Symbolic states explored per function.", obs.ExpBuckets(1, 4, 8), nil)
 	var hits, misses atomic.Int64
+	var completed atomic.Int64
 	analyzeOne := func(scratch *taint.Tracker, i int, name string) *symexec.Summary {
+		defer func() {
+			// The atomic counter hands every unit a unique done value, so
+			// the decile-crossing progress events are deterministic for
+			// any worker interleaving.
+			opts.Events.ProgressDecile("function-analysis", int(completed.Add(1)), len(names))
+		}()
 		if store != nil {
 			if sum, ok := store.GetSummary(keys[i]); ok {
 				hits.Add(1)

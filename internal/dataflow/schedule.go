@@ -125,6 +125,7 @@ func runBottomUp(prog *cfg.Program, names []string, opts Options, fp *sumstore.F
 
 				mu.Lock()
 				remaining--
+				completed := len(cond.Comps) - remaining
 				for _, caller := range cond.Callers[i] {
 					deps[caller]--
 					if deps[caller] == 0 {
@@ -133,6 +134,10 @@ func runBottomUp(prog *cfg.Program, names []string, opts Options, fp *sumstore.F
 				}
 				cv.Broadcast()
 				mu.Unlock()
+				// completed is mutex-ordered and therefore unique per
+				// component, keeping the decile progress events
+				// deterministic for any worker count.
+				opts.Events.ProgressDecile("interproc-dataflow", completed, len(cond.Comps))
 			}
 		}()
 	}

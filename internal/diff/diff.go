@@ -32,6 +32,7 @@ import (
 	"dtaint/internal/fleet"
 	"dtaint/internal/image"
 	"dtaint/internal/obs"
+	"dtaint/internal/obs/events"
 	"dtaint/internal/sumstore"
 	"dtaint/internal/taint"
 )
@@ -117,19 +118,29 @@ func Diff(ctx context.Context, oldData, newData []byte, opts Options) (*Report, 
 	opts.Analysis.ParentSpan = diffSpan
 	defer diffSpan.End()
 
+	st := opts.Analysis.StartStage("unpack-images",
+		obs.KV("oldBytes", len(oldData)), obs.KV("newBytes", len(newData)))
 	oldImg, oldBins, err := unpackCandidates(oldData, opts)
 	if err != nil {
+		st.End()
 		return nil, fmt.Errorf("diff: old image: %w", err)
 	}
 	newImg, newBins, err := unpackCandidates(newData, opts)
 	if err != nil {
+		st.End()
 		return nil, fmt.Errorf("diff: new image: %w", err)
 	}
+	st.End("oldCandidates", len(oldBins), "newCandidates", len(newBins))
 	diffSpan.SetAttr("product", newImg.Header.Product)
 
+	st = opts.Analysis.StartStage("pair-binaries")
 	pairs := pairBinaries(oldBins, newBins)
 	units, order := planUnits(pairs)
+	st.End("pairs", len(pairs), "units", len(units))
+
+	st = opts.Analysis.StartStage("analyze-units", obs.KV("units", len(units)))
 	results := executeUnits(ctx, units, order, opts)
+	st.End()
 
 	rep := &Report{
 		Old: identityOf(oldImg.Header.Vendor, oldImg.Header.Product,
@@ -336,10 +347,14 @@ func executeUnits(ctx context.Context, units map[string]*unit, order []string, o
 					mu.Lock()
 					results[u.sha] = res
 					done++
+					n := done
 					if opts.Progress != nil {
-						opts.Progress(done, total)
+						opts.Progress(n, total)
 					}
 					mu.Unlock()
+					// n is mutex-ordered (unique per unit), keeping the
+					// progress event multiset worker-count independent.
+					opts.Analysis.Events.Progress("units", n, total)
 				}
 			}()
 		}
@@ -355,15 +370,30 @@ func executeUnits(ctx context.Context, units map[string]*unit, order []string, o
 // analyzeUnit produces one distinct binary's analysis: report-cache
 // lookup first, then a fresh analysis under panic isolation and the
 // per-binary deadline — the same discipline as fleet.ScanImage.
-func analyzeUnit(ctx context.Context, f firmware.File, opts Options) unitResult {
+func analyzeUnit(ctx context.Context, f firmware.File, opts Options) (ur unitResult) {
 	if err := ctx.Err(); err != nil {
 		return unitResult{src: SourceNone, err: errors.New("diff cancelled before analysis")}
 	}
+	// A scan-binary span per unit gives diff jobs the same binary.start/
+	// binary.done event stream as fleet scans; the per-unit emitter scope
+	// stamps the path on every event the analysis emits.
+	span := opts.Analysis.Tracer.Start(opts.Analysis.ParentSpan, "scan-binary",
+		obs.KV("path", f.Path))
+	opts.Analysis.ParentSpan = span
+	opts.Analysis.Events = opts.Analysis.Events.WithPath(f.Path)
+	defer func() {
+		span.SetAttr("status", string(ur.src))
+		span.End()
+	}()
 	cacheable := opts.Cache != nil && (opts.Analysis.Filter == nil || opts.FilterTag != "")
 	var key string
 	if cacheable {
 		key = fleet.Key(f.Data, fleet.Fingerprint(opts.Analysis, opts.FilterTag))
 		if an, ok := opts.Cache.Get(key); ok {
+			opts.Analysis.Events.Emit(events.ScanEvent{
+				Type:  events.TypeCacheHit,
+				Attrs: map[string]any{"sha256": fmt.Sprintf("%x", sha256.Sum256(f.Data))},
+			})
 			return unitResult{an: an, src: SourceCache}
 		}
 	}
@@ -613,12 +643,9 @@ func joinWith(parts []string, sep string) string {
 	return out
 }
 
-// recordDiffMetrics publishes one finished diff's counters. Nil-safe on
-// reg.
+// recordDiffMetrics publishes one finished diff's counters. Every
+// registry call is nil-safe on reg.
 func recordDiffMetrics(reg *obs.Registry, rep *Report) {
-	if reg == nil {
-		return
-	}
 	reg.Counter("dtaint_diff_images_total",
 		"Firmware image pairs diffed.", nil).Inc()
 	reg.Counter("dtaint_diff_binaries_replayed_total",

@@ -5,8 +5,10 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"time"
@@ -16,6 +18,7 @@ import (
 	"dtaint/internal/firmware"
 	"dtaint/internal/image"
 	"dtaint/internal/obs"
+	"dtaint/internal/obs/events"
 	"dtaint/internal/sumstore"
 )
 
@@ -56,6 +59,26 @@ type Options struct {
 	// the number done so far and the total candidate count. Calls are
 	// serialized.
 	Progress func(done, total int)
+	// StallTimeout arms a stall watchdog over the scan's event stream:
+	// when the scan journals no telemetry event for this long, the
+	// watchdog emits a stall event, captures a diagnostic bundle (see
+	// DebugDir), and abandons the in-flight binaries — they report
+	// StatusStalled, never an empty success. 0 disables the watchdog.
+	// When Analysis.Events is nil, ScanImage attaches a private journal
+	// so the watchdog has a stream to watch. Pick a deadline well above
+	// the slowest single function's analysis time: progress events flow
+	// per completed function, so one monstrous function is the finest
+	// silence a healthy scan produces.
+	StallTimeout time.Duration
+	// DebugDir receives one diagnostic bundle directory per stall:
+	// goroutine dump, Chrome trace, metrics snapshot, options
+	// fingerprint, the job's event journal, and the partial report of
+	// the binaries completed so far. Empty skips bundle capture.
+	DebugDir string
+
+	// watchdog is the armed stall watchdog ScanImage shares with its
+	// workers (nil when StallTimeout is 0).
+	watchdog *events.Watchdog
 
 	// inflight deduplicates concurrent analyses of identical binaries
 	// within one scan (set by ScanImage when a cache is configured):
@@ -136,6 +159,34 @@ func ScanImage(ctx context.Context, data []byte, opts Options) (*ImageReport, er
 		Binaries:   make([]BinaryScan, len(candidates)),
 	}
 
+	// completed collects finished binaries in completion order for the
+	// watchdog's partial report (rep.Binaries has holes mid-scan).
+	var (
+		completedMu sync.Mutex
+		completed   []BinaryScan
+	)
+
+	// The stall watchdog needs an event stream to watch; a scan armed
+	// without a caller-supplied journal gets a private one.
+	if opts.StallTimeout > 0 {
+		if opts.Analysis.Events == nil {
+			opts.Analysis.Events = events.NewJournal(0).Emitter("")
+		}
+		em := opts.Analysis.Events
+		opts.watchdog = events.StartWatchdog(events.WatchdogConfig{
+			Journal:     em.Journal(),
+			Job:         em.Job(),
+			Deadline:    opts.StallTimeout,
+			DebugDir:    opts.DebugDir,
+			Fingerprint: dataflow.OptionsFingerprint(opts.Analysis, opts.FilterTag),
+			Tracer:      opts.Analysis.Tracer,
+			Metrics:     opts.Analysis.Metrics,
+			Partial:     partialReportWriter(rep, &completedMu, &completed),
+		})
+		defer opts.watchdog.Stop()
+	}
+	em := opts.Analysis.Events
+
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	var progressMu sync.Mutex
@@ -149,13 +200,21 @@ func ScanImage(ctx context.Context, data []byte, opts Options) (*ImageReport, er
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				rep.Binaries[i] = scanOne(ctx, candidates[i], opts)
+				bs := scanOne(ctx, candidates[i], opts)
+				rep.Binaries[i] = bs
+				completedMu.Lock()
+				completed = append(completed, bs)
+				completedMu.Unlock()
+				progressMu.Lock()
+				done++
+				n := done
 				if opts.Progress != nil {
-					progressMu.Lock()
-					done++
-					opts.Progress(done, len(candidates))
-					progressMu.Unlock()
+					opts.Progress(n, len(candidates))
 				}
+				progressMu.Unlock()
+				// n is mutex-ordered (unique per binary), so the progress
+				// event multiset is deterministic for any worker count.
+				em.Progress("binaries", n, len(candidates))
 			}
 		}()
 	}
@@ -184,18 +243,38 @@ func ScanImage(ctx context.Context, data []byte, opts Options) (*ImageReport, er
 	return rep, nil
 }
 
-// recordScanMetrics publishes one finished image scan's outcome counters
-// and the cache hit ratio. Nil-safe on reg.
-func recordScanMetrics(reg *obs.Registry, rep *ImageReport) {
-	if reg == nil {
-		return
+// partialReportWriter returns the watchdog's partial-report callback: a
+// JSON snapshot of the binaries completed so far, flagged partial so a
+// bundle's report.json is never mistaken for a finished scan's.
+func partialReportWriter(rep *ImageReport, mu *sync.Mutex, completed *[]BinaryScan) func(io.Writer) error {
+	return func(w io.Writer) error {
+		mu.Lock()
+		snap := append([]BinaryScan(nil), (*completed)...)
+		mu.Unlock()
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Partial    bool         `json:"partial"`
+			Vendor     string       `json:"vendor"`
+			Product    string       `json:"product"`
+			Version    string       `json:"version"`
+			Candidates int          `json:"candidates"`
+			Completed  int          `json:"completed"`
+			Binaries   []BinaryScan `json:"binaries"`
+		}{true, rep.Vendor, rep.Product, rep.Version, rep.Candidates, len(snap), snap})
 	}
+}
+
+// recordScanMetrics publishes one finished image scan's outcome counters
+// and the cache hit ratio. Every registry call is nil-safe on reg.
+func recordScanMetrics(reg *obs.Registry, rep *ImageReport) {
 	for _, oc := range []struct {
 		status string
 		n      int
 	}{
 		{"ok", rep.Scanned}, {"cached", rep.Cached},
-		{"failed", rep.Failed}, {"skipped", rep.Skipped},
+		{"failed", rep.Failed}, {"stalled", rep.Stalled},
+		{"skipped", rep.Skipped},
 	} {
 		if oc.n > 0 {
 			reg.Counter("dtaint_fleet_binaries_total",
@@ -223,6 +302,10 @@ func scanOne(ctx context.Context, f firmware.File, opts Options) BinaryScan {
 	span := opts.Analysis.Tracer.Start(opts.Analysis.ParentSpan, "scan-binary",
 		obs.KV("path", f.Path))
 	opts.Analysis.ParentSpan = span
+	// Scope this worker's events to the binary; derived emitters keep
+	// their own progress meters, so concurrent binaries never share an
+	// ETA window (opts is a copy — the caller's emitter is untouched).
+	opts.Analysis.Events = opts.Analysis.Events.WithPath(f.Path)
 	if opts.Analysis.Log != nil {
 		opts.Analysis.Log = opts.Analysis.Log.With("binary", f.Path, "sha", bs.SHA256[:12])
 	}
@@ -249,6 +332,10 @@ func scanOne(ctx context.Context, f firmware.File, opts Options) BinaryScan {
 			if v, ok := opts.Cache.Get(key); ok {
 				bs.Status = StatusCached
 				bs.Analysis = v
+				opts.Analysis.Events.Emit(events.ScanEvent{
+					Type:  events.TypeCacheHit,
+					Attrs: map[string]any{"sha256": bs.SHA256},
+				})
 				return bs
 			}
 			if opts.inflight.begin(key) {
@@ -285,6 +372,10 @@ func scanOne(ctx context.Context, f firmware.File, opts Options) BinaryScan {
 		defer t.Stop()
 		timeout = t.C
 	}
+	// A nil watchdog yields a nil channel — the case never fires. The
+	// channel is captured once: a stall mid-analysis kills this binary,
+	// while binaries started after the watchdog re-arms get a fresh one.
+	stalled := opts.watchdog.Stalled()
 	select {
 	case out := <-ch:
 		bs.Duration = time.Since(t0)
@@ -302,6 +393,10 @@ func scanOne(ctx context.Context, f firmware.File, opts Options) BinaryScan {
 		bs.Duration = time.Since(t0)
 		bs.Status = StatusTimeout
 		bs.Error = fmt.Sprintf("analysis exceeded %v", opts.PerBinaryTimeout)
+	case <-stalled:
+		bs.Duration = time.Since(t0)
+		bs.Status = StatusStalled
+		bs.Error = fmt.Sprintf("watchdog: no events for %v; analysis abandoned", opts.StallTimeout)
 	case <-ctx.Done():
 		bs.Duration = time.Since(t0)
 		bs.Status = StatusFailed

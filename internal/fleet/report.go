@@ -46,6 +46,11 @@ const (
 	// StatusTimeout: the per-binary deadline elapsed before the analysis
 	// finished.
 	StatusTimeout Status = "timeout"
+	// StatusStalled: the stall watchdog fired (no telemetry events for
+	// the configured deadline) and the in-flight analysis was abandoned.
+	// Distinct from StatusTimeout so a watchdog kill never masquerades
+	// as an empty success or an ordinary deadline.
+	StatusStalled Status = "stalled"
 	// StatusSkipped: the scan was cancelled before this binary started.
 	StatusSkipped Status = "skipped"
 )
@@ -152,11 +157,13 @@ type ImageReport struct {
 	// Candidates is how many rootfs files carried the FWELF magic (after
 	// the optional path filter).
 	Candidates int `json:"candidates"`
-	// Scanned/Cached/Failed/Skipped partition the candidates: analyzed
-	// fresh, served from cache, failed or timed out, never started.
+	// Scanned/Cached/Failed/Stalled/Skipped partition the candidates:
+	// analyzed fresh, served from cache, failed or timed out, abandoned
+	// by the stall watchdog, never started.
 	Scanned int `json:"scanned"`
 	Cached  int `json:"cached"`
 	Failed  int `json:"failed"`
+	Stalled int `json:"stalled,omitempty"`
 	Skipped int `json:"skipped"`
 
 	// Vulnerabilities and VulnerablePaths are totals over all analyzed
@@ -198,6 +205,8 @@ func (r *ImageReport) aggregate() {
 			r.Cached++
 		case StatusFailed, StatusTimeout:
 			r.Failed++
+		case StatusStalled:
+			r.Stalled++
 		case StatusSkipped:
 			r.Skipped++
 		}
@@ -227,6 +236,7 @@ type FleetTotals struct {
 	Scanned         int            `json:"scanned"`
 	Cached          int            `json:"cached"`
 	Failed          int            `json:"failed"`
+	Stalled         int            `json:"stalled,omitempty"`
 	Skipped         int            `json:"skipped"`
 	Vulnerabilities int            `json:"vulnerabilities"`
 	VulnerablePaths int            `json:"vulnerablePaths"`
@@ -246,6 +256,7 @@ func MergeReports(reports []*ImageReport) FleetTotals {
 		t.Scanned += r.Scanned
 		t.Cached += r.Cached
 		t.Failed += r.Failed
+		t.Stalled += r.Stalled
 		t.Skipped += r.Skipped
 		t.Vulnerabilities += r.Vulnerabilities
 		t.VulnerablePaths += r.VulnerablePaths

@@ -1,0 +1,107 @@
+package events
+
+import (
+	"sync"
+
+	"dtaint/internal/obs"
+)
+
+// Per-function spans are too fine-grained to journal one event each —
+// the progress events emitted by the analysis phases aggregate them.
+var perFunctionSpans = map[string]bool{
+	"ssa-function": true,
+	"ddg-function": true,
+}
+
+// Bridge registers span handlers on the tracer that republish every
+// span as a typed ScanEvent on the emitter: stage spans become
+// stage.start/stage.end, per-binary scan spans become
+// binary.start/binary.done, and SCC-DAG component spans become
+// scc.done waves. Binary paths propagate from a span's "path" attr
+// down to its child stage spans, so stage events are attributable to
+// the binary they ran for even in concurrent fleet scans.
+//
+// Register before any spans are created (the tracer contract). A nil
+// tracer registers nothing; a nil emitter makes the handlers no-ops.
+func Bridge(t *obs.Tracer, em *Emitter) {
+	b := &spanBridge{em: em, pathOf: make(map[uint64]string)}
+	t.OnSpanStart(b.spanStart)
+	t.OnSpanEnd(b.spanEnd)
+}
+
+type spanBridge struct {
+	em *Emitter
+
+	mu     sync.Mutex
+	pathOf map[uint64]string // open span ID -> binary path it belongs to
+}
+
+func (b *spanBridge) spanStart(rec obs.SpanRecord) {
+	if perFunctionSpans[rec.Name] || rec.Name == "scc-component" {
+		return
+	}
+	path, _ := rec.Attr("path").(string)
+	b.mu.Lock()
+	if path == "" {
+		path = b.pathOf[rec.Parent]
+	}
+	b.pathOf[rec.ID] = path
+	b.mu.Unlock()
+
+	if rec.Name == "scan-binary" {
+		b.em.Emit(ScanEvent{Type: TypeBinaryStart, Path: path, Attrs: attrMap(rec.Attrs, "path")})
+		return
+	}
+	b.em.Emit(ScanEvent{Type: TypeStageStart, Stage: rec.Name, Path: path, Attrs: attrMap(rec.Attrs)})
+}
+
+func (b *spanBridge) spanEnd(rec obs.SpanRecord) {
+	if perFunctionSpans[rec.Name] {
+		return
+	}
+	if rec.Name == "scc-component" {
+		b.mu.Lock()
+		path := b.pathOf[rec.Parent]
+		b.mu.Unlock()
+		b.em.Emit(ScanEvent{Type: TypeComponentDone, Stage: "interproc-dataflow",
+			Path: path, Duration: rec.Duration, Attrs: attrMap(rec.Attrs)})
+		return
+	}
+	b.mu.Lock()
+	path := b.pathOf[rec.ID]
+	delete(b.pathOf, rec.ID)
+	b.mu.Unlock()
+	if p, _ := rec.Attr("path").(string); p != "" {
+		path = p
+	}
+
+	if rec.Name == "scan-binary" {
+		b.em.Emit(ScanEvent{Type: TypeBinaryDone, Path: path,
+			Duration: rec.Duration, Attrs: attrMap(rec.Attrs, "path")})
+		return
+	}
+	b.em.Emit(ScanEvent{Type: TypeStageEnd, Stage: rec.Name, Path: path,
+		Duration: rec.Duration, Attrs: attrMap(rec.Attrs)})
+}
+
+// attrMap converts span attrs to an event attr map, dropping the
+// listed keys (already lifted into dedicated event fields).
+func attrMap(attrs []obs.Attr, drop ...string) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+outer:
+	for _, a := range attrs {
+		for _, d := range drop {
+			if a.Key == d {
+				continue outer
+			}
+		}
+		m[a.Key] = a.Value
+	}
+	if len(m) == 0 {
+		return nil
+	}
+	return m
+}

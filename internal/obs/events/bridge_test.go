@@ -1,0 +1,188 @@
+package events
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dtaint/internal/obs"
+)
+
+func TestBridgeSpanMapping(t *testing.T) {
+	j := NewJournal(64)
+	tr := obs.NewTracer()
+	Bridge(tr, j.Emitter("job-9"))
+
+	img := tr.StartSpan("scan-image")
+	bin := img.StartChild("scan-binary", obs.KV("path", "/bin/httpd"))
+	stage := bin.StartChild("function-analysis", obs.KV("functions", 7))
+	fn := stage.StartChild("ssa-function", obs.KV("fn", "main"))
+	fn.End()
+	stage.End()
+	inter := bin.StartChild("interproc-dataflow")
+	comp := inter.StartChild("scc-component", obs.KV("index", 0), obs.KV("functions", 3))
+	comp.End()
+	inter.End()
+	bin.SetAttr("status", "ok")
+	bin.End()
+	img.End()
+
+	evs := j.Snapshot()
+	var keys []string
+	for _, ev := range evs {
+		keys = append(keys, ev.Type+" "+ev.Stage+" "+ev.Path)
+		if ev.Job != "job-9" {
+			t.Errorf("event %s missing job scope: %q", ev.Type, ev.Job)
+		}
+	}
+	want := []string{
+		"stage.start scan-image ",
+		"binary.start  /bin/httpd",
+		"stage.start function-analysis /bin/httpd", // path inherited from scan-binary
+		"stage.end function-analysis /bin/httpd",
+		"stage.start interproc-dataflow /bin/httpd",
+		"scc.done interproc-dataflow /bin/httpd",
+		"stage.end interproc-dataflow /bin/httpd",
+		"binary.done  /bin/httpd",
+		"stage.end scan-image ",
+	}
+	if strings.Join(keys, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("bridged events:\n%s\nwant:\n%s", strings.Join(keys, "\n"), strings.Join(want, "\n"))
+	}
+
+	// Per-function spans must not journal events of their own.
+	for _, ev := range evs {
+		if ev.Stage == "ssa-function" || ev.Stage == "ddg-function" {
+			t.Fatalf("per-function span leaked into journal: %+v", ev)
+		}
+	}
+	// The binary.done event lifts "path" into the Path field and keeps
+	// the status attr; stage attrs survive.
+	last := evs[7]
+	if last.Type != TypeBinaryDone || last.Attrs["status"] != "ok" || last.Attrs["path"] != nil {
+		t.Fatalf("binary.done = %+v", last)
+	}
+	if evs[2].Attrs["functions"] != 7 {
+		t.Fatalf("stage attrs dropped: %+v", evs[2])
+	}
+	if evs[5].Attrs["index"] != 0 || evs[5].Attrs["functions"] != 3 {
+		t.Fatalf("scc.done attrs = %+v", evs[5])
+	}
+}
+
+func TestWatchdogStallAndRearm(t *testing.T) {
+	dir := t.TempDir()
+	j := NewJournal(64)
+	tr := obs.NewTracer()
+	reg := obs.NewRegistry()
+	reg.Counter("dtaint_test_total", "test", nil).Inc()
+
+	fired := make(chan string, 4)
+	w := StartWatchdog(WatchdogConfig{
+		Journal:     j,
+		Job:         "job-1",
+		Deadline:    50 * time.Millisecond,
+		DebugDir:    dir,
+		Fingerprint: "v3|test",
+		Tracer:      tr,
+		Metrics:     reg,
+		Partial: func(f io.Writer) error {
+			_, err := f.Write([]byte(`{"partial":true}`))
+			return err
+		},
+		OnStall: func(bundle string) { fired <- bundle },
+	})
+	defer w.Stop()
+
+	em := j.Emitter("job-1")
+	em.Emit(ScanEvent{Type: TypeBinaryStart, Path: "/bin/wedged"})
+	stalled := w.Stalled()
+
+	var bundle string
+	select {
+	case bundle = <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog did not fire")
+	}
+	select {
+	case <-stalled:
+	case <-time.After(time.Second):
+		t.Fatal("Stalled channel not closed")
+	}
+	if w.Fired() != 1 {
+		t.Fatalf("Fired = %d", w.Fired())
+	}
+
+	// The stall event is journaled with the bundle path.
+	var stall *ScanEvent
+	for _, ev := range j.Snapshot() {
+		if ev.Type == TypeStall {
+			ev := ev
+			stall = &ev
+		}
+	}
+	if stall == nil {
+		t.Fatal("no stall event journaled")
+	}
+	if stall.Job != "job-1" || stall.Attrs["bundle"] != bundle || stall.Attrs["lastType"] != TypeBinaryStart {
+		t.Fatalf("stall event = %+v", stall)
+	}
+
+	// The bundle holds the full diagnostic set.
+	for name, needle := range map[string]string{
+		"goroutines.txt": "goroutine",
+		"trace.json":     "traceEvents",
+		"metrics.json":   "dtaint_test_total",
+		"options.txt":    "fingerprint: v3|test",
+		"events.jsonl":   `"type":"binary.start"`,
+		"report.json":    `"partial":true`,
+	} {
+		data, err := os.ReadFile(filepath.Join(bundle, name))
+		if err != nil {
+			t.Errorf("bundle member %s: %v", name, err)
+			continue
+		}
+		if !strings.Contains(string(data), needle) {
+			t.Errorf("bundle %s does not contain %q", name, needle)
+		}
+	}
+
+	// A new event re-arms the watchdog; a fresh Stalled channel closes
+	// on the second fire, and the second bundle is a distinct directory.
+	em.Emit(ScanEvent{Type: TypeBinaryStart, Path: "/bin/wedged2"})
+	stalled2 := w.Stalled()
+	var bundle2 string
+	select {
+	case bundle2 = <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog did not re-fire after re-arm")
+	}
+	select {
+	case <-stalled2:
+	case <-time.After(time.Second):
+		t.Fatal("second Stalled channel not closed")
+	}
+	if bundle2 == bundle {
+		t.Fatalf("second stall reused bundle dir %s", bundle)
+	}
+
+	// Events from other jobs neither re-arm nor count.
+	other := j.Emitter("job-2")
+	other.Emit(ScanEvent{Type: TypeBinaryStart})
+	time.Sleep(120 * time.Millisecond)
+	if w.Fired() != 2 {
+		t.Fatalf("foreign-job event re-armed the watchdog: fired = %d", w.Fired())
+	}
+}
+
+func TestStartWatchdogDisabled(t *testing.T) {
+	if w := StartWatchdog(WatchdogConfig{Journal: nil, Deadline: time.Second}); w != nil {
+		t.Fatal("watchdog without journal")
+	}
+	if w := StartWatchdog(WatchdogConfig{Journal: NewJournal(4)}); w != nil {
+		t.Fatal("watchdog without deadline")
+	}
+}

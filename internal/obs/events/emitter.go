@@ -1,0 +1,141 @@
+package events
+
+import (
+	"sync"
+	"time"
+)
+
+// Emitter is the handle instrumented code emits through: a journal
+// scoped to one job (and optionally one binary path), stamping every
+// event with that scope. A nil *Emitter no-ops on every method, so
+// analysis code emits unconditionally — the same contract as the other
+// obs handles (and enforced by dtaintlint rule 2).
+type Emitter struct {
+	j    *Journal
+	job  string
+	path string
+
+	mu     sync.Mutex
+	meters map[string]*rateMeter // stage -> moving-rate ETA meter
+}
+
+// Emitter returns an emitter appending to the journal with Job stamped
+// to job. On a nil journal it returns nil.
+func (j *Journal) Emitter(job string) *Emitter {
+	if j == nil {
+		return nil
+	}
+	return &Emitter{j: j, job: job, meters: make(map[string]*rateMeter)}
+}
+
+// WithPath returns an emitter for the same journal and job that stamps
+// Path on every event — the per-binary scope fleet workers hand to the
+// analysis pipeline. The derived emitter has its own progress meters.
+func (e *Emitter) WithPath(path string) *Emitter {
+	if e == nil {
+		return nil
+	}
+	return &Emitter{j: e.j, job: e.job, path: path, meters: make(map[string]*rateMeter)}
+}
+
+// Journal returns the underlying journal (nil on a nil emitter).
+func (e *Emitter) Journal() *Journal {
+	if e == nil {
+		return nil
+	}
+	return e.j
+}
+
+// Job returns the job id the emitter stamps on events.
+func (e *Emitter) Job() string {
+	if e == nil {
+		return ""
+	}
+	return e.job
+}
+
+// Emit stamps the emitter's scope onto ev (without overwriting fields
+// already set) and appends it to the journal.
+func (e *Emitter) Emit(ev ScanEvent) {
+	if e == nil {
+		return
+	}
+	if ev.Job == "" {
+		ev.Job = e.job
+	}
+	if ev.Path == "" {
+		ev.Path = e.path
+	}
+	e.j.Append(ev)
+}
+
+// Progress emits a progress event for stage with the moving-rate ETA
+// computed from this emitter's recent Progress calls on the same stage.
+// Done/Total are the deterministic payload; Rate and ETA are wall-clock
+// estimates excluded from DetKey.
+func (e *Emitter) Progress(stage string, done, total int) {
+	if e == nil {
+		return
+	}
+	ev := ScanEvent{Type: TypeProgress, Stage: stage, Done: done, Total: total}
+	e.mu.Lock()
+	m := e.meters[stage]
+	if m == nil {
+		m = newRateMeter()
+		e.meters[stage] = m
+	}
+	ev.Rate, ev.ETA = m.observe(now(), done, total)
+	e.mu.Unlock()
+	e.Emit(ev)
+}
+
+// ProgressDecile emits Progress only when done crosses a 10% boundary,
+// bounding per-stage progress volume at ~10 events regardless of unit
+// count. Callers must pass unique done values (from an atomic or
+// mutex-ordered counter): crossings are then a pure function of done
+// and total, so the emitted multiset is identical for any worker
+// interleaving — the event determinism contract.
+func (e *Emitter) ProgressDecile(stage string, done, total int) {
+	if e == nil || total <= 0 {
+		return
+	}
+	if done*10/total > (done-1)*10/total {
+		e.Progress(stage, done, total)
+	}
+}
+
+// rateMeter estimates throughput from a short window of (time, done)
+// samples: rate is the slope across the window, ETA the remaining work
+// divided by it. A window (rather than since-start averaging) tracks
+// phase changes — e.g. a run whose large functions cluster at the end.
+type rateMeter struct {
+	samples []rateSample // ring, oldest first, at most meterWindow
+}
+
+type rateSample struct {
+	t    time.Time
+	done int
+}
+
+const meterWindow = 8
+
+func newRateMeter() *rateMeter { return &rateMeter{} }
+
+// observe records a sample and returns the current rate (units/sec,
+// 0 when unknown) and ETA (0 when unknown or finished).
+func (m *rateMeter) observe(t time.Time, done, total int) (rate float64, eta time.Duration) {
+	m.samples = append(m.samples, rateSample{t: t, done: done})
+	if len(m.samples) > meterWindow {
+		m.samples = m.samples[len(m.samples)-meterWindow:]
+	}
+	first, last := m.samples[0], m.samples[len(m.samples)-1]
+	dt := last.t.Sub(first.t).Seconds()
+	if dt <= 0 || last.done <= first.done {
+		return 0, 0
+	}
+	rate = float64(last.done-first.done) / dt
+	if remaining := total - done; remaining > 0 && rate > 0 {
+		eta = time.Duration(float64(remaining) / rate * float64(time.Second))
+	}
+	return rate, eta
+}

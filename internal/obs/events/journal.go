@@ -1,0 +1,246 @@
+package events
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// now is time.Now, a variable so tests can pin the clock.
+var now = time.Now
+
+// DefaultJournalSize is the ring capacity NewJournal uses for size <= 0.
+const DefaultJournalSize = 4096
+
+// Journal is a bounded ring buffer of ScanEvents with lock-free reads:
+// writers serialize on a mutex (assigning strictly increasing sequence
+// numbers), while readers load the published head atomically and copy
+// slots without taking any lock, validating each slot's Seq to detect
+// being lapped. When the ring wraps, the oldest events are dropped —
+// consumers that fall more than Capacity events behind observe a
+// dropped count, never a blocked writer.
+//
+// A nil *Journal is a valid no-op journal, matching the obs handle
+// contract.
+type Journal struct {
+	size  uint64
+	slots []atomic.Pointer[ScanEvent]
+	head  atomic.Uint64 // last published seq; 0 = empty
+
+	mu   sync.Mutex
+	taps []*tap
+	subs map[*Sub]struct{}
+}
+
+type tap struct{ fn func(ScanEvent) }
+
+// NewJournal returns an empty journal holding the last size events
+// (DefaultJournalSize when size <= 0).
+func NewJournal(size int) *Journal {
+	if size <= 0 {
+		size = DefaultJournalSize
+	}
+	return &Journal{
+		size:  uint64(size),
+		slots: make([]atomic.Pointer[ScanEvent], size),
+		subs:  make(map[*Sub]struct{}),
+	}
+}
+
+// Append stamps ev with the next sequence number (and the current time,
+// when ev.Time is zero), publishes it, runs the taps, and wakes the
+// subscribers. It returns the assigned sequence number (0 on a nil
+// journal).
+func (j *Journal) Append(ev ScanEvent) uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	seq := j.head.Load() + 1
+	ev.Seq = seq
+	if ev.Time.IsZero() {
+		ev.Time = now()
+	}
+	e := ev
+	j.slots[seq%j.size].Store(&e)
+	j.head.Store(seq)
+	// Taps run synchronously under the append lock so they observe
+	// events in sequence order; they must be fast and must not call
+	// back into the journal.
+	for _, t := range j.taps {
+		t.fn(e)
+	}
+	//dtaintlint:ignore wake signals are idempotent; notification order cannot escape
+	for s := range j.subs {
+		select {
+		case s.notify <- struct{}{}:
+		default: // already signalled; the subscriber will catch up
+		}
+	}
+	j.mu.Unlock()
+	return seq
+}
+
+// Head returns the sequence number of the newest event (0 when empty).
+func (j *Journal) Head() uint64 {
+	if j == nil {
+		return 0
+	}
+	return j.head.Load()
+}
+
+// Since returns a copy of every buffered event with Seq > after, in
+// sequence order, plus the number of requested events that were already
+// overwritten (dropped > 0 means the consumer fell behind the ring).
+// The read is lock-free: concurrent appends may overwrite slots while
+// we copy, which is detected per slot and counted as dropped.
+func (j *Journal) Since(after uint64) (evs []ScanEvent, dropped uint64) {
+	if j == nil {
+		return nil, 0
+	}
+	head := j.head.Load()
+	if head <= after {
+		return nil, 0
+	}
+	lo := after + 1
+	if head > j.size && lo <= head-j.size {
+		dropped = head - j.size - lo + 1
+		lo = head - j.size + 1
+	}
+	evs = make([]ScanEvent, 0, head-lo+1)
+	for seq := lo; seq <= head; seq++ {
+		p := j.slots[seq%j.size].Load()
+		if p == nil || p.Seq != seq {
+			dropped++ // lapped by a concurrent writer mid-read
+			continue
+		}
+		evs = append(evs, *p)
+	}
+	return evs, dropped
+}
+
+// Snapshot returns every buffered event in sequence order.
+func (j *Journal) Snapshot() []ScanEvent {
+	evs, _ := j.Since(0)
+	return evs
+}
+
+// OnEvent registers fn to run synchronously for every appended event,
+// in sequence order. It returns a function removing the registration.
+// fn must be fast, must not block, and must not call back into the
+// journal. A nil journal returns a no-op remover.
+func (j *Journal) OnEvent(fn func(ScanEvent)) (remove func()) {
+	if j == nil {
+		return func() {}
+	}
+	t := &tap{fn: fn}
+	j.mu.Lock()
+	j.taps = append(j.taps, t)
+	j.mu.Unlock()
+	return func() {
+		j.mu.Lock()
+		for i, x := range j.taps {
+			if x == t {
+				j.taps = append(j.taps[:i], j.taps[i+1:]...)
+				break
+			}
+		}
+		j.mu.Unlock()
+	}
+}
+
+// JournalStats summarizes ring usage for bench records and /v1/metrics.
+type JournalStats struct {
+	// Appended is the total events ever published (== newest Seq).
+	Appended uint64 `json:"appended"`
+	// Dropped counts events already overwritten by the wrapping ring.
+	Dropped uint64 `json:"dropped"`
+	// Capacity is the ring size; HighWater the peak occupancy reached.
+	Capacity  int `json:"capacity"`
+	HighWater int `json:"highWater"`
+}
+
+// Stats returns the current usage counters.
+func (j *Journal) Stats() JournalStats {
+	if j == nil {
+		return JournalStats{}
+	}
+	head := j.head.Load()
+	st := JournalStats{Appended: head, Capacity: int(j.size)}
+	if head > j.size {
+		st.Dropped = head - j.size
+		st.HighWater = int(j.size)
+	} else {
+		st.HighWater = int(head)
+	}
+	return st
+}
+
+// Sub is one subscriber's cursor into the journal, created by
+// Subscribe. Not safe for concurrent use by multiple goroutines.
+type Sub struct {
+	j      *Journal
+	next   uint64 // first sequence number not yet delivered
+	notify chan struct{}
+}
+
+// Subscribe returns a cursor delivering every event with Seq > after —
+// buffered history first, then live appends. Close the subscription
+// when done. On a nil journal it returns nil; a nil *Sub delivers
+// nothing and Next blocks until the context ends.
+func (j *Journal) Subscribe(after uint64) *Sub {
+	if j == nil {
+		return nil
+	}
+	s := &Sub{j: j, next: after + 1, notify: make(chan struct{}, 1)}
+	j.mu.Lock()
+	j.subs[s] = struct{}{}
+	j.mu.Unlock()
+	return s
+}
+
+// Close removes the subscription from the journal.
+func (s *Sub) Close() {
+	if s == nil {
+		return
+	}
+	s.j.mu.Lock()
+	delete(s.j.subs, s)
+	s.j.mu.Unlock()
+}
+
+// Poll returns the events available right now (possibly none) and the
+// count of events lost to ring wraparound since the last call, then
+// advances the cursor.
+func (s *Sub) Poll() (evs []ScanEvent, dropped uint64) {
+	if s == nil {
+		return nil, 0
+	}
+	evs, dropped = s.j.Since(s.next - 1)
+	if n := len(evs); n > 0 {
+		s.next = evs[n-1].Seq + 1
+	} else if dropped > 0 {
+		s.next += dropped
+	}
+	return evs, dropped
+}
+
+// Next blocks until at least one event past the cursor is available
+// (returning it and any wraparound drop count) or the context ends.
+func (s *Sub) Next(ctx context.Context) (evs []ScanEvent, dropped uint64, err error) {
+	if s == nil {
+		<-ctx.Done()
+		return nil, 0, ctx.Err()
+	}
+	for {
+		if evs, dropped = s.Poll(); len(evs) > 0 {
+			return evs, dropped, nil
+		}
+		select {
+		case <-s.notify:
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package events
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Printer renders ScanEvents as human progress lines — the single
+// progress implementation behind both `dtaint -progress` and any
+// consumer of the dtaintd SSE stream. All state rides in the events
+// themselves, so the printer is a stateless line formatter; a mutex
+// keeps concurrent Handle calls from interleaving lines.
+type Printer struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewPrinter returns a printer writing "dtaint: ..." lines to w.
+func NewPrinter(w io.Writer) *Printer { return &Printer{w: w} }
+
+// AttachPrinter registers a printer on the journal and returns the
+// tap remover. Events already buffered are not replayed.
+func AttachPrinter(j *Journal, w io.Writer) (remove func()) {
+	p := NewPrinter(w)
+	return j.OnEvent(p.Handle)
+}
+
+// unitOf names the progress unit per stage; stages absent here print
+// unitless "done/total" counts.
+var unitOf = map[string]string{
+	"function-analysis":  "functions",
+	"interproc-dataflow": "functions",
+	"binaries":           "binaries",
+}
+
+// Handle renders one event (safe for concurrent use).
+func (p *Printer) Handle(ev ScanEvent) {
+	line := renderLine(ev)
+	if line == "" {
+		return
+	}
+	p.mu.Lock()
+	fmt.Fprintln(p.w, line)
+	p.mu.Unlock()
+}
+
+// renderLine formats one event as a progress line ("" to skip it).
+func renderLine(ev ScanEvent) string {
+	switch ev.Type {
+	case TypeStageStart:
+		if n, ok := attrInt(ev.Attrs["functions"]); ok && n > 0 {
+			return fmt.Sprintf("dtaint: %s: %d functions", ev.Stage, n)
+		}
+		return fmt.Sprintf("dtaint: %s...", ev.Stage)
+	case TypeStageEnd:
+		return fmt.Sprintf("dtaint: %s done in %.2fs", ev.Stage, ev.Duration.Seconds())
+	case TypeProgress:
+		if ev.Total <= 0 {
+			return ""
+		}
+		line := fmt.Sprintf("dtaint: %s: %d/%d", ev.Stage, ev.Done, ev.Total)
+		if unit := unitOf[ev.Stage]; unit != "" {
+			line += " " + unit
+		}
+		line += fmt.Sprintf(" (%d%%)", ev.Done*100/ev.Total)
+		if ev.ETA > 0 {
+			line += fmt.Sprintf(" eta %.0fs", ev.ETA.Seconds())
+		}
+		return line
+	case TypeBinaryDone:
+		status, _ := ev.Attrs["status"].(string)
+		return fmt.Sprintf("dtaint: scanned %s (%s) in %.2fs", ev.Path, status, ev.Duration.Seconds())
+	case TypeStall:
+		line := fmt.Sprintf("dtaint: STALL: no events for %v", ev.Duration)
+		if b, _ := ev.Attrs["bundle"].(string); b != "" {
+			line += ", diagnostic bundle at " + b
+		}
+		return line
+	case TypeJobDone:
+		return fmt.Sprintf("dtaint: job %s done", ev.Job)
+	case TypeJobFailed:
+		return fmt.Sprintf("dtaint: job %s failed", ev.Job)
+	}
+	return ""
+}
+
+// attrInt widens whichever integer type an event attr carries (span
+// attrs arrive as int/int64; JSON round-trips arrive as float64).
+func attrInt(v any) (int, bool) {
+	switch n := v.(type) {
+	case int:
+		return n, true
+	case int64:
+		return int(n), true
+	case uint64:
+		return int(n), true
+	case float64:
+		return int(n), true
+	}
+	return 0, false
+}

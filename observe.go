@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dtaint/internal/obs"
+	"dtaint/internal/obs/events"
 )
 
 // Tracer records spans for every pipeline stage an Analyzer (or fleet
@@ -122,6 +123,68 @@ func publicRuntimeStats(s obs.RuntimeStats) RuntimeStats {
 		Goroutines:      s.Goroutines,
 		NumGC:           s.NumGC,
 		GCPauseTotal:    s.GCPauseTotal,
+	}
+}
+
+// EventJournal is a bounded in-memory ring of live telemetry events:
+// typed, sequence-numbered records of everything an analysis does —
+// stages entered and left, binaries started and finished, per-stage
+// progress with moving-rate ETA, findings as they are merged, cache and
+// summary-store activity, stalls. Attach one with WithEventJournal;
+// when a Tracer is attached too, every span start/end is bridged into
+// the journal as an event. Event content (wall-clock fields excluded)
+// is deterministic for any worker count. Safe for concurrent use.
+type EventJournal struct{ j *events.Journal }
+
+// NewEventJournal returns a journal keeping the last size events
+// (<= 0 selects the default of 4096).
+func NewEventJournal(size int) *EventJournal {
+	return &EventJournal{j: events.NewJournal(size)}
+}
+
+// AttachProgressPrinter subscribes the standard progress renderer: one
+// "dtaint: ..." line per stage transition, decile progress with
+// percentages and ETA, per-binary completion lines — the exact output
+// of dtaint -progress. It returns a function removing the subscription.
+func (j *EventJournal) AttachProgressPrinter(w io.Writer) (remove func()) {
+	if j == nil {
+		return func() {}
+	}
+	return events.AttachPrinter(j.j, w)
+}
+
+// EventJournalStats snapshots a journal's ring usage.
+type EventJournalStats struct {
+	// Appended is the total events ever published; Dropped the subset
+	// already overwritten by the wrapping ring.
+	Appended uint64
+	Dropped  uint64
+	// Capacity is the ring size; HighWater the peak occupancy reached.
+	Capacity  int
+	HighWater int
+}
+
+// Stats returns the journal's usage counters.
+func (j *EventJournal) Stats() EventJournalStats {
+	if j == nil {
+		return EventJournalStats{}
+	}
+	st := j.j.Stats()
+	return EventJournalStats{
+		Appended:  st.Appended,
+		Dropped:   st.Dropped,
+		Capacity:  st.Capacity,
+		HighWater: st.HighWater,
+	}
+}
+
+// WithEventJournal attaches a live-telemetry journal: the analysis
+// appends progress, finding, and stage events to it as it runs.
+func WithEventJournal(j *EventJournal) Option {
+	return func(a *Analyzer) {
+		if j != nil {
+			a.journal = j.j
+		}
 	}
 }
 

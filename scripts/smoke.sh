@@ -9,8 +9,11 @@
 # valid JSON line for every pipeline stage (scripts/logcheck). It then
 # POSTs the image against itself to /v1/diff: with the cache warmed by
 # the scan, the self-diff must replay everything (zero re-analyses) and
-# report zero new findings. Invoked by `make smoke` and by
-# scripts/check.sh.
+# report zero new findings. Along the way it watches the scan live over
+# the SSE event stream (ordered ids, progress events, a terminal
+# job.done), probes /healthz and /readyz, and finally SIGTERMs the
+# server and asserts /readyz flips to 503 during the drain window.
+# Invoked by `make smoke` and by scripts/check.sh.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -32,6 +35,7 @@ go run ./cmd/fwgen -out "$tmp/corpus" -product DIR-645 -scale 0.05 >/dev/null
 
 echo ">> smoke: start dtaintd on an ephemeral port"
 "$tmp/dtaintd" -addr 127.0.0.1:0 -cache-dir "$tmp/cache" \
+	-drain-notice 3s \
 	-log-format json -log-level debug >"$tmp/dtaintd.log" 2>&1 &
 pid=$!
 
@@ -46,10 +50,22 @@ for _ in $(seq 1 50); do
 done
 [ -n "$base" ] || { cat "$tmp/dtaintd.log"; echo "smoke: server never came up"; exit 1; }
 
+echo ">> smoke: /healthz and /readyz answer 200"
+[ "$(curl -s -o /dev/null -w '%{http_code}' "$base/healthz")" = "200" ] ||
+	{ echo "smoke: /healthz not 200"; exit 1; }
+[ "$(curl -s -o /dev/null -w '%{http_code}' "$base/readyz")" = "200" ] ||
+	{ echo "smoke: /readyz not 200"; exit 1; }
+
 echo ">> smoke: POST /v1/scan ($base)"
 resp=$(curl -sf -X POST --data-binary @"$tmp/corpus/DIR-645.fwimg" "$base/v1/scan")
 id=$(printf '%s' "$resp" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
 [ -n "$id" ] || { echo "smoke: no job id in response: $resp"; exit 1; }
+
+# Watch the scan live: the per-job SSE stream closes itself after the
+# terminal event, so this curl exits with the job.
+echo ">> smoke: open SSE stream for $id"
+curl -sN --max-time 60 "$base/v1/jobs/$id/events" >"$tmp/events.sse" &
+ssepid=$!
 
 echo ">> smoke: poll job $id"
 state=""
@@ -61,6 +77,18 @@ for _ in $(seq 1 100); do
 	sleep 0.1
 done
 [ "$state" = "done" ] || { echo "smoke: job ended in state '$state'"; exit 1; }
+
+echo ">> smoke: SSE stream carries ordered progress and a terminal job.done"
+wait "$ssepid" || { echo "smoke: SSE curl failed"; exit 1; }
+ids=$(sed -n 's/^id: \([0-9]*\).*/\1/p' "$tmp/events.sse")
+[ -n "$ids" ] || { echo "smoke: SSE stream carried no event ids"; exit 1; }
+printf '%s\n' "$ids" | sort -n -c 2>/dev/null ||
+	{ echo "smoke: SSE event ids out of order"; exit 1; }
+grep -q '^event: progress$' "$tmp/events.sse" ||
+	{ echo "smoke: no progress event in SSE stream"; exit 1; }
+last_event=$(sed -n 's/^event: \(.*\)$/\1/p' "$tmp/events.sse" | tail -1)
+[ "$last_event" = "job.done" ] ||
+	{ echo "smoke: SSE stream ended with '$last_event', want job.done"; exit 1; }
 
 echo ">> smoke: fetch report"
 report=$(curl -sf "$base/v1/jobs/$id/report")
@@ -98,6 +126,18 @@ printf '%s' "$promtext" | grep -q '^# TYPE dtaintd_jobs_done_total counter' ||
 	{ echo "smoke: no Prometheus exposition:"; printf '%s\n' "$promtext" | head -5; exit 1; }
 printf '%s' "$promtext" | grep -q '^dtaint_diff_binaries_replayed_total' ||
 	{ echo "smoke: no diff counters in Prometheus exposition"; exit 1; }
+
+echo ">> smoke: SIGTERM flips /readyz to 503 during the drain window"
+kill -TERM "$pid"
+drain=""
+for _ in $(seq 1 20); do
+	drain=$(curl -s -o /dev/null -w '%{http_code}' "$base/readyz" || true)
+	[ "$drain" = "503" ] && break
+	sleep 0.1
+done
+[ "$drain" = "503" ] || { echo "smoke: draining /readyz answered '$drain', want 503"; exit 1; }
+wait "$pid" || true
+pid=""
 
 echo ">> smoke: one JSON log line per pipeline stage"
 "$tmp/logcheck" <"$tmp/dtaintd.log"
