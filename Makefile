@@ -12,8 +12,10 @@ test: build
 	go test ./...
 
 # lint runs the repo-specific rules: unordered map iteration in
-# determinism-critical code and nil-guarded calls on nil-safe obs
-# handles. gofmt and vet run under `make check`.
+# determinism-critical code, nil-guarded calls on nil-safe obs handles,
+# unversioned serialization, hard-coded vocabulary names, and
+# string-keyed identity over interned SSE nodes. gofmt and vet run
+# under `make check`.
 lint:
 	go run ./cmd/dtaintlint .
 

@@ -10,7 +10,8 @@
 //	benchtab -table5            # Table V: zero-days
 //	benchtab -table6            # Table VI: CPU/memory usage
 //	benchtab -table7            # Table VII: DTaint (parallel + sequential DDG) vs top-down baseline
-//	benchtab -ablate            # feature ablations (alias, structsim, value ranges)
+//	benchtab -ablate            # feature ablations (alias, sse, structsim, value ranges)
+//	benchtab -alias             # alias phase: Algorithm 1 (pairwise) vs SSE classes
 //	benchtab -fleet             # fleet orchestrator: cold vs cached image scans
 //	benchtab -corpus            # corpus-scale scans: summary store cold vs warm
 //	benchtab -diff              # differential scan of a vendor re-release
@@ -34,11 +35,18 @@
 // ground truth. -diff-scale sizes the pair, -diff-workers the pool, and
 // -min-diff-skip turns the skip rate into a CI gate.
 //
-// -screen runs the 200-case screening corpus twice — full pipeline and
-// with the interval value-range domain ablated — and prints both
-// confusion rows. -min-precision/-min-recall make it a CI gate: the
-// process exits non-zero when the full pipeline falls below either
-// threshold (`make check` runs it with both set to 1).
+// -screen runs the 200-case screening corpus three times — full
+// pipeline, with the interval value-range domain ablated, and with the
+// SSE indirect-call resolver ablated — and prints the confusion rows.
+// -min-precision/-min-recall make it a CI gate: the process exits
+// non-zero when the full pipeline falls below either threshold
+// (`make check` runs it with both set to 1).
+//
+// -alias benchmarks the alias-rewriting phase in isolation: the same
+// raw definition pairs through Algorithm 1's pairwise scan and through
+// the SSE class engine, on the study image and on a dense synthetic
+// alias web, with the hash-cons table's size and hit rate recorded in
+// the benchmark archive.
 //
 // -scale (default 0.25) shrinks the filler code of the synthetic binaries;
 // detection results are scale-invariant, runtimes and size columns scale.
@@ -72,6 +80,7 @@ func main() {
 		table6   = flag.Bool("table6", false, "Table VI: resource usage")
 		table7   = flag.Bool("table7", false, "Table VII: time cost vs the top-down baseline")
 		ablate   = flag.Bool("ablate", false, "feature ablations")
+		aliasX   = flag.Bool("alias", false, "alias phase: Algorithm 1 (pairwise) vs SSE classes")
 		fleetX   = flag.Bool("fleet", false, "fleet orchestrator: cold vs cached image scans")
 		screen   = flag.Bool("screen", false, "precision/recall over a randomized screening corpus")
 		minPrec  = flag.Float64("min-precision", 0, "with -screen: exit non-zero when full-pipeline precision falls below this")
@@ -95,7 +104,7 @@ func main() {
 	flag.Parse()
 
 	if err := run(*all, *fig1, *table1, *table2, *table3, *table4, *table5,
-		*table6, *table7, *ablate, *fleetX, *corpusX, *diffX, *screen, *minPrec, *minRec, *scale, *benchOut, cOpts, dOpts); err != nil {
+		*table6, *table7, *ablate, *aliasX, *fleetX, *corpusX, *diffX, *screen, *minPrec, *minRec, *scale, *benchOut, cOpts, dOpts); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)
 	}
@@ -116,11 +125,11 @@ type diffOpts struct {
 	minSkip float64
 }
 
-func run(all, fig1, t1, t2, t3, t4, t5, t6, t7, ablate, fleetScan, corpusScan, diffScan, screen bool, minPrec, minRec, scale float64, benchOut string, cOpts corpusOpts, dOpts diffOpts) error {
-	none := !(fig1 || t1 || t2 || t3 || t4 || t5 || t6 || t7 || ablate || fleetScan || corpusScan || diffScan || screen)
+func run(all, fig1, t1, t2, t3, t4, t5, t6, t7, ablate, aliasBench, fleetScan, corpusScan, diffScan, screen bool, minPrec, minRec, scale float64, benchOut string, cOpts corpusOpts, dOpts diffOpts) error {
+	none := !(fig1 || t1 || t2 || t3 || t4 || t5 || t6 || t7 || ablate || aliasBench || fleetScan || corpusScan || diffScan || screen)
 	if all || none {
 		fig1, t1, t2, t3, t4, t5, t6, t7 = true, true, true, true, true, true, true, true
-		ablate, fleetScan, corpusScan, diffScan, screen = true, true, true, true, true
+		ablate, aliasBench, fleetScan, corpusScan, diffScan, screen = true, true, true, true, true, true
 	}
 	w := os.Stdout
 	rec := bench.NewRecord(scale)
@@ -177,6 +186,13 @@ func run(all, fig1, t1, t2, t3, t4, t5, t6, t7, ablate, fleetScan, corpusScan, d
 		if err := bench.Ablations(w, scale); err != nil {
 			return err
 		}
+	}
+	if aliasBench {
+		rows, err := bench.AliasBench(w, scale)
+		if err != nil {
+			return err
+		}
+		rec.Alias = rows
 	}
 	if fleetScan {
 		fr, err := bench.Fleet(w, scale)

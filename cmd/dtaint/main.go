@@ -8,9 +8,12 @@
 //	dtaint -exe prog.fwelf -workers 8    # analysis worker count
 //	dtaint -fw camera.fwimg -rootfs-all  # scan every executable in the image
 //
-// -ablate takes a comma-separated feature list (alias, structsim,
+// -ablate takes a comma-separated feature list (alias, sse, structsim,
 // vrange) and disables those analyses; -no-alias and -no-structsim are
-// the older spellings of the first two. Ablating vrange turns off the
+// the older spellings of two of them. Ablating sse turns off structured
+// symbolic expressions: alias rewriting falls back to the paper's
+// pairwise Algorithm 1 and indirect calls are resolved by layout
+// similarity alone. Ablating vrange turns off the
 // interval value-range domain: verdicts fall back to structural bounds
 // and the off-by-one/length-truncation classes disappear. -paths prints
 // every vulnerable path rather than the deduplicated vulnerability
@@ -97,7 +100,7 @@ func main() {
 		module    = flag.String("module", "", "restrict analysis to a study product's network module")
 		noAlias   = flag.Bool("no-alias", false, "disable pointer-alias recognition (Algorithm 1)")
 		noSim     = flag.Bool("no-structsim", false, "disable data-structure similarity resolution")
-		ablate    = flag.String("ablate", "", "comma-separated analysis features to disable: alias, structsim, vrange")
+		ablate    = flag.String("ablate", "", "comma-separated analysis features to disable: alias, sse, structsim, vrange")
 		paths     = flag.Bool("paths", false, "print every vulnerable path, not just deduplicated vulnerabilities")
 		showAll   = flag.Bool("all", false, "also print sanitized paths")
 		dis       = flag.Bool("dis", false, "disassemble the executable instead of analyzing")
@@ -179,7 +182,8 @@ type cliOptions struct {
 	fwPath, exePath, binPath string
 	module, mdOut            string
 	workers                  int
-	noAlias, noSim, noVRange bool
+	noAlias, noSSE           bool
+	noSim, noVRange          bool
 	paths, showAll           bool
 	dis, jsonOut             bool
 	cacheDir, sumDir         string
@@ -214,13 +218,15 @@ func (o *cliOptions) applyAblations(list string) error {
 		switch strings.TrimSpace(name) {
 		case "alias":
 			o.noAlias = true
+		case "sse":
+			o.noSSE = true
 		case "structsim":
 			o.noSim = true
 		case "vrange":
 			o.noVRange = true
 		case "":
 		default:
-			return fmt.Errorf("unknown -ablate feature %q (want alias, structsim, or vrange)", name)
+			return fmt.Errorf("unknown -ablate feature %q (want alias, sse, structsim, or vrange)", name)
 		}
 	}
 	return nil
@@ -272,10 +278,13 @@ func (o cliOptions) observability() (opts []dtaint.Option, flush func() error, e
 }
 
 // analyzerOptions translates the shared flags into library options.
-func analyzerOptions(module string, workers int, noAlias, noSim, noVRange bool) []dtaint.Option {
+func analyzerOptions(module string, workers int, noAlias, noSSE, noSim, noVRange bool) []dtaint.Option {
 	var opts []dtaint.Option
 	if noAlias {
 		opts = append(opts, dtaint.WithoutAliasAnalysis())
+	}
+	if noSSE {
+		opts = append(opts, dtaint.WithoutSSE())
 	}
 	if noSim {
 		opts = append(opts, dtaint.WithoutStructSimilarity())
@@ -353,7 +362,7 @@ func runFleet(o cliOptions) (int, int, error) {
 		return 0, 0, err
 	}
 	aopts = append(aopts, vopts...)
-	aopts = append(aopts, analyzerOptions("", 0, o.noAlias, o.noSim, o.noVRange)...)
+	aopts = append(aopts, analyzerOptions("", 0, o.noAlias, o.noSSE, o.noSim, o.noVRange)...)
 	a := dtaint.New(aopts...)
 	img, err := a.ScanFirmwareFleet(context.Background(), data, fopts...)
 	if err != nil {
@@ -417,7 +426,7 @@ func runDiff(o cliOptions, oldPath, newPath string) (int, error) {
 		return 0, err
 	}
 	aopts = append(aopts, vopts...)
-	aopts = append(aopts, analyzerOptions("", 0, o.noAlias, o.noSim, o.noVRange)...)
+	aopts = append(aopts, analyzerOptions("", 0, o.noAlias, o.noSSE, o.noSim, o.noVRange)...)
 	rep, err := dtaint.New(aopts...).ScanFirmwareDiff(context.Background(), oldData, newData, fopts...)
 	if err != nil {
 		return 0, err
@@ -508,7 +517,7 @@ func run(o cliOptions) (int, error) {
 		return 0, err
 	}
 	aopts = append(aopts, vopts...)
-	aopts = append(aopts, analyzerOptions(o.module, o.workers, o.noAlias, o.noSim, o.noVRange)...)
+	aopts = append(aopts, analyzerOptions(o.module, o.workers, o.noAlias, o.noSSE, o.noSim, o.noVRange)...)
 	if o.sumDir != "" {
 		store, err := dtaint.NewSummaryStore(0, o.sumDir)
 		if err != nil {

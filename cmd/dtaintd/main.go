@@ -100,6 +100,7 @@ func main() {
 		sumDir      = flag.String("summary-dir", "", "persistent function-summary store directory (empty = memory only)")
 		maxUpload   = flag.Int64("max-upload", 256<<20, "maximum firmware upload bytes")
 		noAlias     = flag.Bool("no-alias", false, "disable pointer-alias recognition (Algorithm 1)")
+		noSSE       = flag.Bool("no-sse", false, "disable structured-symbolic-expression alias classes (fall back to Algorithm 1 + pure structsim)")
 		noSim       = flag.Bool("no-structsim", false, "disable data-structure similarity resolution")
 		vocabPath   = flag.String("vocab", "", "default source/sink/sanitizer vocabulary spec (JSON; empty = embedded default)")
 		drainWait   = flag.Duration("drain", 5*time.Minute, "shutdown grace for the running job")
@@ -118,7 +119,7 @@ func main() {
 		sumSize: *sumSize, sumDir: *sumDir,
 		jobTimeout: *jobTimeout, drainWait: *drainWait, drainNotice: *drainNotice,
 		journalSize: *journalSize, stallWait: *stallWait, debugDir: *debugDir,
-		noAlias: *noAlias, noSim: *noSim, vocabPath: *vocabPath,
+		noAlias: *noAlias, noSSE: *noSSE, noSim: *noSim, vocabPath: *vocabPath,
 		logLevel: *logLevel, logFormat: *logFormat, pprofAddr: *pprofAddr,
 	}
 	if err := run(opts); err != nil {
@@ -144,6 +145,7 @@ type serveOptions struct {
 	stallWait   time.Duration
 	debugDir    string
 	noAlias     bool
+	noSSE       bool
 	noSim       bool
 	vocabPath   string
 	logLevel    string
@@ -183,6 +185,7 @@ func run(o serveOptions) error {
 		cfg.journal = events.NewJournal(o.journalSize)
 	}
 	cfg.analysis.DisableAlias = o.noAlias
+	cfg.analysis.DisableSSE = o.noSSE
 	cfg.analysis.DisableStructSim = o.noSim
 	if o.vocabPath != "" {
 		spec, err := vocab.Load(o.vocabPath)

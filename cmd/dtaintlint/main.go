@@ -1,4 +1,4 @@
-// Command dtaintlint enforces four repository-specific contracts that
+// Command dtaintlint enforces five repository-specific contracts that
 // go vet cannot check:
 //
 //  1. unordered-map-range — the determinism contract. Findings, reports,
@@ -36,6 +36,17 @@
 //     ("strcpy", "system", ...) in engine code is a hard-coded special
 //     case that a custom -vocab spec cannot override. Declare the
 //     behavior in the vocabulary spec instead.
+//
+//  5. sse-key-identity — the interned-identity contract. Inside
+//     internal/sse, canonical equality IS pointer equality: two
+//     canonically-equal access paths intern to the same *sse.Node. Code
+//     in that package or importing it that rebuilds identity out of key
+//     strings — comparing two .Key() results with ==/!=, declaring a
+//     map[string] that holds interned nodes or paths, or indexing a map
+//     by a .Key() result — defeats the hash-cons table (string
+//     comparisons where a pointer compare suffices) and can silently
+//     diverge from the union-find's view. Intern both sides and compare
+//     or key by the node pointer instead.
 //
 // Usage:
 //
@@ -343,6 +354,9 @@ func (w *world) lintPackage(fset *token.FileSet, dir string, files []*ast.File) 
 		}
 		if taintPkg {
 			lf.lintVocabLiterals(f)
+		}
+		if sseScope(f) {
+			lf.lintSSEIdentity(f)
 		}
 		out = append(out, lf.findings...)
 	}
@@ -905,6 +919,103 @@ func (l *linter) lintVocabLiterals(f *ast.File) {
 			return true
 		})
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: string-keyed identity over interned SSE nodes.
+
+// sseScope reports whether rule 5 applies to a file: the sse package
+// itself and every file importing it carry the identity contract.
+func sseScope(f *ast.File) bool {
+	if f.Name.Name == "sse" {
+		return true
+	}
+	for _, imp := range f.Imports {
+		if imp.Path.Value == `"dtaint/internal/sse"` {
+			return true
+		}
+	}
+	return false
+}
+
+// lintSSEIdentity flags code that rebuilds canonical-expression identity
+// out of key strings where internal/sse's pointer identity is the
+// contract: comparing two .Key() results, declaring a string-keyed map
+// that holds interned nodes or paths, and indexing a map by a .Key()
+// result.
+func (l *linter) lintSSEIdentity(f *ast.File) {
+	inSSE := f.Name.Name == "sse"
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			if (x.Op == token.EQL || x.Op == token.NEQ) && isKeyCall(x.X) && isKeyCall(x.Y) {
+				l.report(x.OpPos, "sse-key-identity",
+					"canonical expressions compared through .Key() strings; intern both sides and compare node pointers with == (//dtaintlint:ignore <reason> to waive)")
+			}
+		case *ast.MapType:
+			if isStringType(x.Key) && mentionsSSENode(x.Value, inSSE) {
+				l.report(x.Pos(), "sse-key-identity",
+					"string-keyed map holds interned sse nodes; key by the node pointer — canonical equality is pointer identity (//dtaintlint:ignore <reason> to waive)")
+			}
+		case *ast.IndexExpr:
+			if keyCallInside(x.Index) {
+				l.report(x.Index.Pos(), "sse-key-identity",
+					"map indexed by a .Key() string; intern the expression and key by the node pointer (//dtaintlint:ignore <reason> to waive)")
+			}
+		}
+		return true
+	})
+}
+
+// isKeyCall reports whether e is a zero-argument .Key() call.
+func isKeyCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Key"
+}
+
+// keyCallInside reports whether a .Key() call appears anywhere in the
+// expression (covers concatenations like a.Key()+"="+b.Key()).
+func keyCallInside(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if x, ok := n.(ast.Expr); ok && isKeyCall(x) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isStringType(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "string"
+}
+
+// mentionsSSENode reports whether a type expression names sse.Node or
+// sse.Path (Node/Path inside package sse), looking through pointers,
+// slices, arrays, and nested maps.
+func mentionsSSENode(t ast.Expr, inSSE bool) bool {
+	switch x := t.(type) {
+	case *ast.StarExpr:
+		return mentionsSSENode(x.X, inSSE)
+	case *ast.ParenExpr:
+		return mentionsSSENode(x.X, inSSE)
+	case *ast.ArrayType:
+		return mentionsSSENode(x.Elt, inSSE)
+	case *ast.MapType:
+		return mentionsSSENode(x.Key, inSSE) || mentionsSSENode(x.Value, inSSE)
+	case *ast.Ident:
+		return inSSE && (x.Name == "Node" || x.Name == "Path")
+	case *ast.SelectorExpr:
+		if id, ok := x.X.(*ast.Ident); ok && id.Name == "sse" {
+			return x.Sel.Name == "Node" || x.Sel.Name == "Path"
+		}
+	}
+	return false
 }
 
 func isNil(e ast.Expr) bool {

@@ -465,3 +465,58 @@ func f(s string) bool {
 `)
 	wantRule(t, findings, "hardcoded-vocab-name", 0)
 }
+
+func TestSSEKeyIdentityFlagged(t *testing.T) {
+	src := `package p
+
+import "dtaint/internal/sse"
+
+type index struct {
+	byKey map[string]*sse.Node
+}
+
+func same(a, b interface{ Key() string }) bool {
+	return a.Key() == b.Key()
+}
+
+func lookup(m map[string]bool, e interface{ Key() string }) bool {
+	return m[e.Key()]
+}
+`
+	findings := lintSource(t, src)
+	wantRule(t, findings, "sse-key-identity", 3)
+}
+
+func TestSSEKeyIdentityScopedToImporters(t *testing.T) {
+	// The same patterns without the sse import carry no identity
+	// contract: expr keys are the normal currency elsewhere.
+	findings := lintSource(t, `package p
+
+func same(a, b interface{ Key() string }) bool {
+	return a.Key() == b.Key()
+}
+
+func lookup(m map[string]bool, e interface{ Key() string }) bool {
+	return m[e.Key()]
+}
+`)
+	wantRule(t, findings, "sse-key-identity", 0)
+}
+
+func TestSSEKeyIdentityInSSEPackage(t *testing.T) {
+	// Inside package sse the bare Node/Path names are in scope, and the
+	// waiver directive clears a deliberate exception.
+	findings := lintSource(t, `package sse
+
+type Node struct{}
+
+type table struct {
+	slots map[string]*Node //dtaintlint:ignore sse-key-identity exercising the waiver path
+}
+
+type index struct {
+	bad map[string][]*Node
+}
+`)
+	wantRule(t, findings, "sse-key-identity", 1)
+}

@@ -221,6 +221,14 @@ func WithoutStructSimilarity() Option {
 	return func(a *Analyzer) { a.opts.DisableStructSim = true }
 }
 
+// WithoutSSE disables structured symbolic expressions — an ablation
+// switch. Pointer-alias rewriting falls back to the paper's pairwise
+// Algorithm 1 and indirect calls are resolved by data-structure layout
+// similarity alone instead of from SSE equivalence classes.
+func WithoutSSE() Option {
+	return func(a *Analyzer) { a.opts.DisableSSE = true }
+}
+
 // WithoutValueRange disables the interval value-range domain — an
 // ablation switch. Sink verdicts fall back to the purely structural
 // constraint checks: off-by-one and length-truncation findings disappear

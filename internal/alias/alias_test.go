@@ -1,6 +1,7 @@
 package alias
 
 import (
+	"fmt"
 	"testing"
 
 	"dtaint/internal/expr"
@@ -30,7 +31,7 @@ func TestStoredPointerAlias(t *testing.T) {
 		dp(expr.Deref(expr.Add(q, 4)), p), // *(q+4) = p
 		dp(expr.Deref(p), v),              // *p = 7
 	}
-	out := Rewrite(in, types)
+	out, _ := Rewrite(in, types)
 	want := expr.Deref(expr.Deref(expr.Add(q, 4))).Key()
 	if !hasPair(out, want, v.Key()) {
 		t.Fatalf("alias variant %s = %s missing; got %d pairs", want, v, len(out))
@@ -49,7 +50,7 @@ func TestAliasWithOffsets(t *testing.T) {
 		dp(expr.Deref(expr.Add(q, 4)), expr.Add(p, 8)),
 		dp(expr.Deref(expr.Add(p, 12)), v),
 	}
-	out := Rewrite(in, types)
+	out, _ := Rewrite(in, types)
 	want := expr.Deref(expr.Add(expr.Deref(expr.Add(q, 4)), 4)).Key()
 	if !hasPair(out, want, v.Key()) {
 		keys := make([]string, 0, len(out))
@@ -75,7 +76,7 @@ func TestMultiBasePointers(t *testing.T) {
 		dp(expr.Deref(g), inner), // *g = deref(arg0+0x58): alias of the inner base
 		dp(outer, v),
 	}
-	out := Rewrite(in, types)
+	out, _ := Rewrite(in, types)
 	// mem[g] holds the inner pointer value, so the field is reachable as
 	// deref(deref(g) + 0xEC).
 	want := expr.Deref(expr.Add(expr.Deref(g), 0xEC)).Key()
@@ -95,7 +96,7 @@ func TestNonPointerValueIgnored(t *testing.T) {
 		dp(expr.Deref(expr.Add(q, 4)), n),
 		dp(expr.Deref(n), expr.Const(1)),
 	}
-	out := Rewrite(in, nil)
+	out, _ := Rewrite(in, nil)
 	if len(out) != len(in) {
 		t.Fatalf("non-pointer store produced aliases: %d pairs", len(out))
 	}
@@ -110,7 +111,7 @@ func TestHeapPointerIsStructurallyPointer(t *testing.T) {
 		dp(expr.Deref(q), h),
 		dp(expr.Deref(h), v),
 	}
-	out := Rewrite(in, nil)
+	out, _ := Rewrite(in, nil)
 	want := expr.Deref(expr.Deref(q)).Key()
 	if !hasPair(out, want, v.Key()) {
 		t.Fatal("heap pointer alias not recognized")
@@ -125,8 +126,8 @@ func TestIdempotentOnRewrittenSet(t *testing.T) {
 		dp(expr.Deref(expr.Add(q, 4)), p),
 		dp(expr.Deref(p), expr.Const(7)),
 	}
-	once := Rewrite(in, types)
-	twice := Rewrite(once, types)
+	once, _ := Rewrite(in, types)
+	twice, _ := Rewrite(once, types)
 	// A second pass may add derived pairs but must not duplicate existing
 	// ones.
 	seen := map[string]int{}
@@ -148,7 +149,7 @@ func TestInputNotMutated(t *testing.T) {
 		dp(expr.Deref(expr.Add(q, 4)), p),
 		dp(expr.Deref(p), expr.Const(7)),
 	}
-	out := Rewrite(in, types)
+	out, _ := Rewrite(in, types)
 	if len(in) != 2 {
 		t.Fatal("input length changed")
 	}
@@ -170,7 +171,7 @@ func TestBlowupBounded(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		in = append(in, dp(expr.Deref(expr.Add(p, int64(i*4))), expr.Const(int64(i))))
 	}
-	out := Rewrite(in, types)
+	out, _ := Rewrite(in, types)
 	if len(out) > len(in)+MaxNewPairs {
 		t.Fatalf("alias blowup: %d pairs", len(out))
 	}
@@ -182,8 +183,131 @@ func TestConstantBaseIgnored(t *testing.T) {
 	in := []symexec.DefPair{
 		dp(expr.Deref(q), expr.Const(0x670B0)),
 	}
-	out := Rewrite(in, map[string]expr.Type{expr.Const(0x670B0).Key(): expr.TypeIntPtr})
+	out, _ := Rewrite(in, map[string]expr.Type{expr.Const(0x670B0).Key(): expr.TypeIntPtr})
 	if len(out) != 1 {
 		t.Fatalf("constant alias created: %d pairs", len(out))
+	}
+}
+
+func TestRewriteSSEMatchesAlgorithm1Shapes(t *testing.T) {
+	// Every Algorithm 1 shape must still fall out of the class engine.
+	p := expr.Sym("p")
+	q := expr.Sym("q")
+	v := expr.Const(7)
+	types := map[string]expr.Type{p.Key(): expr.TypeIntPtr}
+	in := []symexec.DefPair{
+		dp(expr.Deref(expr.Add(q, 4)), p),
+		dp(expr.Deref(p), v),
+	}
+	out, st := RewriteSSE(in, types)
+	want := expr.Deref(expr.Deref(expr.Add(q, 4))).Key()
+	if !hasPair(out, want, v.Key()) {
+		t.Fatalf("alias variant %s missing; got %d pairs", want, len(out))
+	}
+	if st.Added == 0 || st.Classes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRewriteSSEOffsets(t *testing.T) {
+	p := expr.Sym("p")
+	q := expr.Sym("q")
+	v := expr.Sym("val")
+	types := map[string]expr.Type{p.Key(): expr.TypeIntPtr}
+	in := []symexec.DefPair{
+		dp(expr.Deref(expr.Add(q, 4)), expr.Add(p, 8)),
+		dp(expr.Deref(expr.Add(p, 12)), v),
+	}
+	out, _ := RewriteSSE(in, types)
+	want := expr.Deref(expr.Add(expr.Deref(expr.Add(q, 4)), 4)).Key()
+	if !hasPair(out, want, v.Key()) {
+		keys := make([]string, 0, len(out))
+		for _, o := range out {
+			keys = append(keys, o.D.Key()+"="+o.U.Key())
+		}
+		t.Fatalf("offset alias missing %s; got %v", want, keys)
+	}
+}
+
+func TestRewriteSSETransitiveChain(t *testing.T) {
+	// The chained-handoff shape Algorithm 1 cannot reach: its synthesized
+	// pairs are never re-examined, so with facts
+	//
+	//	deref(a+8) = b   and   deref(b+4) = s
+	//
+	// a write through s is rewritten only to deref(b+4) — never to the
+	// a-rooted deref(deref(a+8)+4). The class engine closes the chain.
+	a := expr.Arg(0)
+	b := expr.Arg(1)
+	s := expr.Sym(expr.StackSym)
+	v := expr.Sym("taint")
+	types := map[string]expr.Type{b.Key(): expr.TypePtr}
+	in := []symexec.DefPair{
+		dp(expr.Deref(expr.Add(a, 8)), b),
+		dp(expr.Deref(expr.Add(b, 4)), s),
+		dp(expr.Deref(s), v),
+	}
+	chained := expr.Deref(expr.Deref(expr.Add(expr.Deref(expr.Add(a, 8)), 4))).Key()
+
+	old, _ := Rewrite(in, types)
+	if hasPair(old, chained, v.Key()) {
+		t.Fatal("Algorithm 1 unexpectedly found the chained variant — SSE ablation would be vacuous")
+	}
+	out, st := RewriteSSE(in, types)
+	if !hasPair(out, chained, v.Key()) {
+		keys := make([]string, 0, len(out))
+		for _, o := range out {
+			keys = append(keys, o.D.Key())
+		}
+		t.Fatalf("chained variant %s missing; destinations: %v", chained, keys)
+	}
+	if st.Classes == 0 {
+		t.Fatalf("no classes recorded: %+v", st)
+	}
+}
+
+func TestRewriteSSEDeterministic(t *testing.T) {
+	p := expr.Sym("p")
+	q := expr.Sym("q")
+	types := map[string]expr.Type{p.Key(): expr.TypeIntPtr}
+	var in []symexec.DefPair
+	for i := 0; i < 40; i++ {
+		in = append(in, dp(expr.Deref(expr.Add(q, int64(i*4))), p))
+		in = append(in, dp(expr.Deref(expr.Add(p, int64(i*8))), expr.Const(int64(i))))
+	}
+	a, _ := RewriteSSE(in, types)
+	b, _ := RewriteSSE(in, types)
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic pair count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].D.Equal(b[i].D) || !a[i].U.Equal(b[i].U) {
+			t.Fatalf("pair %d differs: %s vs %s", i, a[i].D, b[i].D)
+		}
+	}
+}
+
+func TestRewriteDroppedCounted(t *testing.T) {
+	// Overflow the Algorithm 1 cap: the overflow must be counted, and
+	// the emitted pairs must match the historical capped output.
+	p := expr.Sym("p")
+	types := map[string]expr.Type{p.Key(): expr.TypeIntPtr}
+	var in []symexec.DefPair
+	for i := 0; i < 40; i++ {
+		q := expr.Sym(fmt.Sprintf("q%02d", i))
+		in = append(in, dp(expr.Deref(q), p))
+	}
+	for i := 0; i < 40; i++ {
+		in = append(in, dp(expr.Deref(expr.Add(p, int64(i*4))), expr.Const(int64(i))))
+	}
+	out, st := Rewrite(in, types)
+	if st.Added != MaxNewPairs {
+		t.Fatalf("added = %d, want cap %d", st.Added, MaxNewPairs)
+	}
+	if st.Dropped != 40*40-MaxNewPairs {
+		t.Fatalf("dropped = %d, want %d", st.Dropped, 40*40-MaxNewPairs)
+	}
+	if len(out) != len(in)+MaxNewPairs {
+		t.Fatalf("output pairs = %d", len(out))
 	}
 }

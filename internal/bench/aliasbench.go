@@ -1,0 +1,202 @@
+// aliasbench.go measures the alias-rewriting phase in isolation: the
+// same raw (pre-alias) definition pairs are rewritten by Algorithm 1's
+// sequential pairwise scan and by the SSE class engine, on two
+// workloads — the alias-dependent study image (realistic web density)
+// and a dense synthetic alias web where the pairwise scan's quadratic
+// cost shows. The SSE rows also report the hash-cons table's shape and
+// hit rate, so BENCH_*.json records track interner behavior across
+// commits.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"dtaint/internal/alias"
+	"dtaint/internal/asm"
+	"dtaint/internal/cfg"
+	"dtaint/internal/corpus"
+	"dtaint/internal/dataflow"
+	"dtaint/internal/expr"
+	"dtaint/internal/symexec"
+)
+
+// aliasFn is one function's raw material for the alias phase.
+type aliasFn struct {
+	dps   []symexec.DefPair
+	types map[string]expr.Type
+}
+
+// aliasWorkload is a named set of functions to rewrite.
+type aliasWorkload struct {
+	name string
+	fns  []aliasFn
+}
+
+// AliasBench runs the alias-phase microbenchmark and returns one record
+// per workload.
+func AliasBench(w io.Writer, scale float64) ([]AliasRecord, error) {
+	fmt.Fprintln(w, "== Alias phase: Algorithm 1 (pairwise) vs SSE classes ==")
+	study, err := aliasStudyWorkload(scale)
+	if err != nil {
+		return nil, err
+	}
+	web, err := aliasWebWorkload(256, 64)
+	if err != nil {
+		return nil, err
+	}
+	var out []AliasRecord
+	for _, wl := range []aliasWorkload{study, web} {
+		rec := measureAlias(wl)
+		out = append(out, rec)
+		fmt.Fprintf(w, "%-18s fns %4d  pairs %6d  alg1 %9.3fms  sse %9.3fms  speedup %5.2fx\n",
+			rec.Workload, rec.Functions, rec.PairsIn,
+			1000*rec.SeqSeconds/float64(rec.Iterations),
+			1000*rec.SSESeconds/float64(rec.Iterations), rec.Speedup)
+		fmt.Fprintf(w, "%-18s alg1 +%d/-%d  sse +%d/-%d  classes %d  intern %d nodes  hit rate %.3f\n",
+			"", rec.SeqAdded, rec.SeqDropped, rec.SSEAdded, rec.SSEDropped,
+			rec.Classes, rec.InternNodes, rec.InternHitRate)
+	}
+	fmt.Fprintln(w)
+	return out, nil
+}
+
+// aliasStudyWorkload extracts raw definition pairs from the
+// alias-dependent Hikvision study image by analyzing it with the alias
+// phase disabled.
+func aliasStudyWorkload(scale float64) (aliasWorkload, error) {
+	spec, ok := corpus.SpecByProduct("DS-2CD6233F")
+	if !ok {
+		return aliasWorkload{}, fmt.Errorf("aliasbench: study spec missing")
+	}
+	bin, _, err := corpus.BuildBinary(spec, scale)
+	if err != nil {
+		return aliasWorkload{}, err
+	}
+	prog, err := cfg.Build(bin)
+	if err != nil {
+		return aliasWorkload{}, err
+	}
+	res, err := dataflow.Analyze(prog, dataflow.Options{
+		DisableAlias: true,
+		Filter:       corpus.ModuleFilter(spec),
+	})
+	if err != nil {
+		return aliasWorkload{}, err
+	}
+	return aliasWorkload{name: spec.Product, fns: workloadFns(res.Summaries)}, nil
+}
+
+// aliasWebWorkload assembles one function with a dense alias web: k
+// stores publish the same pointer into k object fields, then d stores
+// write through that pointer. Algorithm 1 scans all k×d (alias, dop)
+// combinations; the class engine enumerates a capped variant set per
+// pointer.
+func aliasWebWorkload(k, d int) (aliasWorkload, error) {
+	var b strings.Builder
+	b.WriteString(".arch arm\n.func web\n")
+	for i := 0; i < k; i++ {
+		fmt.Fprintf(&b, "  STR R1, [R0, #%d]\n", 8*i)
+	}
+	b.WriteString("  MOV R4, #1\n")
+	for j := 0; j < d; j++ {
+		fmt.Fprintf(&b, "  STR R4, [R1, #%d]\n", 8*j)
+	}
+	b.WriteString("  BX LR\n.endfunc\n")
+	bin, err := asm.Assemble("aliasweb", b.String())
+	if err != nil {
+		return aliasWorkload{}, err
+	}
+	prog, err := cfg.Build(bin)
+	if err != nil {
+		return aliasWorkload{}, err
+	}
+	res, err := dataflow.Analyze(prog, dataflow.Options{DisableAlias: true})
+	if err != nil {
+		return aliasWorkload{}, err
+	}
+	return aliasWorkload{name: fmt.Sprintf("dense-web-%dx%d", k, d), fns: workloadFns(res.Summaries)}, nil
+}
+
+// workloadFns flattens summaries into rewrite inputs in name order.
+func workloadFns(sums map[string]*symexec.Summary) []aliasFn {
+	names := make([]string, 0, len(sums))
+	for name := range sums {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fns := make([]aliasFn, 0, len(names))
+	for _, name := range names {
+		sum := sums[name]
+		if len(sum.DefPairs) == 0 {
+			continue
+		}
+		fns = append(fns, aliasFn{dps: sum.DefPairs, types: sum.Types})
+	}
+	return fns
+}
+
+// measureAlias times both engines over the workload. The iteration
+// count is sized from a single Algorithm 1 pass so each measured side
+// runs long enough to dominate timer noise.
+func measureAlias(wl aliasWorkload) AliasRecord {
+	rec := AliasRecord{Workload: wl.name, Functions: len(wl.fns)}
+	for _, fn := range wl.fns {
+		rec.PairsIn += len(fn.dps)
+	}
+
+	probe := time.Now()
+	for _, fn := range wl.fns {
+		alias.Rewrite(fn.dps, fn.types)
+	}
+	onePass := time.Since(probe)
+	iters := 5
+	if onePass > 0 {
+		if n := int(100*time.Millisecond/onePass) + 1; n > iters {
+			iters = n
+		}
+	}
+	if iters > 1000 {
+		iters = 1000
+	}
+	rec.Iterations = iters
+
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		for _, fn := range wl.fns {
+			_, st := alias.Rewrite(fn.dps, fn.types)
+			if i == 0 {
+				rec.SeqAdded += st.Added
+				rec.SeqDropped += st.Dropped
+			}
+		}
+	}
+	rec.SeqSeconds = time.Since(t0).Seconds()
+
+	t1 := time.Now()
+	for i := 0; i < iters; i++ {
+		for _, fn := range wl.fns {
+			_, st := alias.RewriteSSE(fn.dps, fn.types)
+			if i == 0 {
+				rec.SSEAdded += st.Added
+				rec.SSEDropped += st.Dropped
+				rec.Classes += st.Classes
+				rec.InternNodes += st.Intern.Nodes
+				rec.InternHits += st.Intern.Hits
+				rec.InternMisses += st.Intern.Misses
+			}
+		}
+	}
+	rec.SSESeconds = time.Since(t1).Seconds()
+
+	if rec.SSESeconds > 0 {
+		rec.Speedup = rec.SeqSeconds / rec.SSESeconds
+	}
+	if total := rec.InternHits + rec.InternMisses; total > 0 {
+		rec.InternHitRate = float64(rec.InternHits) / float64(total)
+	}
+	return rec
+}

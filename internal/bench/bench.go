@@ -445,6 +445,7 @@ func Ablations(w io.Writer, scale float64) error {
 	}{
 		{"full pipeline", dataflow.Options{}},
 		{"no pointer aliasing", dataflow.Options{DisableAlias: true}},
+		{"no sse resolution", dataflow.Options{DisableSSE: true}},
 		{"no struct similarity", dataflow.Options{DisableStructSim: true}},
 		{"no value ranges", dataflow.Options{DisableVRange: true}},
 	}
@@ -515,9 +516,12 @@ type ScreeningStats struct {
 // Screening runs the detector over a randomized corpus of vulnerable and
 // sanitized binaries with known ground truth and reports precision and
 // recall — the quantitative form of the paper's "more vulnerabilities,
-// fewer false alarms" claim. It runs twice, with the interval value-range
-// domain on and ablated, so the domain's precision contribution is
-// visible; the full-pipeline stats are returned for gating.
+// fewer false alarms" claim. It runs three times — the full pipeline,
+// with the interval value-range domain ablated, and with the SSE-based
+// indirect-call resolver ablated — so each subsystem's precision/recall
+// contribution is visible (the SSE ablation loses the indirect-dispatch
+// shapes: recall drops while precision holds); the full-pipeline stats
+// are returned for gating.
 func Screening(w io.Writer, n int) (ScreeningStats, error) {
 	fmt.Fprintf(w, "== Screening: precision/recall over %d randomized binaries ==\n", n)
 	cases, err := corpus.ScreeningCorpus(n, 20180625)
@@ -532,10 +536,14 @@ func Screening(w io.Writer, n int) (ScreeningStats, error) {
 	if err != nil {
 		return ScreeningStats{}, err
 	}
+	noSSE, err := screeningRun(cases, dataflow.Options{DisableSSE: true})
+	if err != nil {
+		return ScreeningStats{}, err
+	}
 	for _, r := range []struct {
 		name string
 		s    ScreeningStats
-	}{{"full pipeline", full}, {"ablated (-ablate vrange)", ablated}} {
+	}{{"full pipeline", full}, {"ablated (-ablate vrange)", ablated}, {"ablated (-ablate sse)", noSSE}} {
 		fmt.Fprintf(w, "%-26s tp %3d  fp %3d  fn %3d  tn %3d  precision %.3f  recall %.3f\n",
 			r.name, r.s.TP, r.s.FP, r.s.FN, r.s.TN, r.s.Precision, r.s.Recall)
 	}

@@ -162,8 +162,9 @@ func TestScreeningOutput(t *testing.T) {
 			stats.Precision, stats.Recall, buf.String())
 	}
 	out := buf.String()
-	if !strings.Contains(out, "full pipeline") || !strings.Contains(out, "ablated (-ablate vrange)") {
-		t.Fatalf("screening must print both configurations:\n%s", out)
+	if !strings.Contains(out, "full pipeline") || !strings.Contains(out, "ablated (-ablate vrange)") ||
+		!strings.Contains(out, "ablated (-ablate sse)") {
+		t.Fatalf("screening must print all three configurations:\n%s", out)
 	}
 	// The ablated line must show degraded precision: some fp > 0.
 	ablated, err := screeningRun(mustScreeningCases(t, 60), dtaintAblated())
@@ -172,6 +173,50 @@ func TestScreeningOutput(t *testing.T) {
 	}
 	if ablated.Precision >= 1.0 {
 		t.Fatalf("vrange ablation did not degrade precision: %+v", ablated)
+	}
+	// Ablating the SSE resolver must cost recall (the indirect-dispatch
+	// templates become unreachable) while keeping precision perfect: the
+	// resolver only adds true paths, never false ones.
+	noSSE, err := screeningRun(mustScreeningCases(t, 60), dataflow.Options{DisableSSE: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noSSE.Recall >= 1.0 {
+		t.Fatalf("sse ablation did not degrade recall: %+v", noSSE)
+	}
+	if noSSE.Precision != 1.0 {
+		t.Fatalf("sse ablation cost precision, want only recall: %+v", noSSE)
+	}
+}
+
+// TestAliasBenchRecords checks the alias-phase microbenchmark's
+// deterministic columns: Algorithm 1 must overflow its synthesis budget
+// on the dense web (the drops the SSE engine exists to avoid) while the
+// class engine stays within budget with a populated intern table. Wall
+// columns are load-dependent and deliberately unasserted.
+func TestAliasBenchRecords(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := AliasBench(&buf, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 workloads, got %d:\n%s", len(rows), buf.String())
+	}
+	web := rows[1]
+	if web.SeqDropped == 0 {
+		t.Fatalf("dense web did not overflow Algorithm 1's budget: %+v", web)
+	}
+	if web.SSEDropped != 0 {
+		t.Fatalf("class engine overflowed its budget on the dense web: %+v", web)
+	}
+	for _, r := range rows {
+		if r.PairsIn == 0 || r.Iterations == 0 || r.InternNodes == 0 {
+			t.Fatalf("empty microbenchmark row: %+v", r)
+		}
+		if r.InternHitRate <= 0 || r.InternHitRate >= 1 {
+			t.Fatalf("degenerate intern hit rate: %+v", r)
+		}
 	}
 }
 

@@ -26,6 +26,7 @@ type Record struct {
 	Fleet       *FleetRecord   `json:"fleet,omitempty"`
 	Corpus      *CorpusRecord  `json:"corpus,omitempty"`
 	Diff        *DiffRecord    `json:"diff,omitempty"`
+	Alias       []AliasRecord  `json:"alias,omitempty"`
 }
 
 // EnvRecord pins the toolchain and host shape a record was measured on.
@@ -210,11 +211,34 @@ type DiffRecord struct {
 	Persisting        int     `json:"persisting"`
 }
 
+// AliasRecord is one alias-phase microbenchmark workload: the same raw
+// definition pairs rewritten by Algorithm 1 (sequential pairwise scan)
+// and by the SSE class engine, with the hash-cons table's shape. Wall
+// columns are totals over Iterations passes; Speedup is seq over SSE.
+type AliasRecord struct {
+	Workload      string  `json:"workload"`
+	Functions     int     `json:"functions"`
+	PairsIn       int     `json:"pairsIn"`
+	Iterations    int     `json:"iterations"`
+	SeqSeconds    float64 `json:"seqSeconds"`
+	SSESeconds    float64 `json:"sseSeconds"`
+	Speedup       float64 `json:"speedup"`
+	SeqAdded      int     `json:"seqAdded"`
+	SeqDropped    int     `json:"seqDropped"`
+	SSEAdded      int     `json:"sseAdded"`
+	SSEDropped    int     `json:"sseDropped"`
+	Classes       int     `json:"classes"`
+	InternNodes   int     `json:"internNodes"`
+	InternHits    uint64  `json:"internHits"`
+	InternMisses  uint64  `json:"internMisses"`
+	InternHitRate float64 `json:"internHitRate"`
+}
+
 // Empty reports whether the record has no measured sections; benchtab
 // skips writing a file for table-only invocations.
 func (rec *Record) Empty() bool {
 	return len(rec.Study) == 0 && len(rec.Table7) == 0 && rec.Fleet == nil &&
-		rec.Corpus == nil && rec.Diff == nil
+		rec.Corpus == nil && rec.Diff == nil && len(rec.Alias) == 0
 }
 
 // Write writes the record as indented JSON.

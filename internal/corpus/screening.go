@@ -231,6 +231,83 @@ handler_lp:
 		},
 	},
 	{
+		// The ops-struct idiom: a function pointer registered into a
+		// dispatch table field and invoked through two loads and BLX.
+		// Struct-layout similarity alone cannot resolve the callsite — the
+		// table pointer is itself loaded from the object, so the site's
+		// access path only matches the registration through the SSE alias
+		// class built from register's stored-pointer fact. The handler is
+		// only reachable through the indirect call, so detection requires
+		// the resolution.
+		name:  "fnptr-table-dispatch",
+		class: taint.ClassBufferOverflow,
+		emit: func(e emitter, vulnerable bool) {
+			e.writef(".func handler\n  SUB SP, SP, #0x40\n  LDR %%t0%%, [%%a0%%, #0]\n")
+			if !vulnerable {
+				e.writef("  MOV %%a0%%, %%t0%%\n  BL strlen\n  CMP %%rt%%, #0x20\n  BGE handler_rej\n")
+			}
+			e.writef("  MOV %%a1%%, %%t0%%\n  ADD %%a0%%, SP, #8\n  BL strcpy\nhandler_rej:\n  BX LR\n.endfunc\n")
+			e.writef(`.func register
+  STR %%a1%%, [%%a0%%, #8]
+  MOV %%t0%%, &handler
+  STR %%t0%%, [%%a1%%, #4]
+  MOV %%t1%%, #0
+  STR %%t1%%, [%%a0%%, #0]
+  BX LR
+.endfunc
+.func dispatch
+  MOV %%t0%%, %%a0%%
+  LDR %%a1%%, [%%t0%%, #0]
+  MOV %%a0%%, #0
+  MOV %%a2%%, #0x100
+  BL recv
+  MOV %%a0%%, %%t0%%
+  LDR %%t1%%, [%%t0%%, #8]
+  LDR %%t2%%, [%%t1%%, #4]
+  BLX %%t2%%
+  BX LR
+.endfunc
+`)
+		},
+	},
+	{
+		// A nested-struct pointer handoff: the handler address sits three
+		// loads deep (obj → mid → ops → fn), with each link stored by a
+		// separate fact in register. Resolving the BLX needs the chained
+		// substitution through the alias classes — exactly the transitive
+		// reach Algorithm 1's one-shot pairwise rewriting lacks.
+		name:  "nested-struct-handoff",
+		class: taint.ClassBufferOverflow,
+		emit: func(e emitter, vulnerable bool) {
+			e.writef(".func handler\n  SUB SP, SP, #0x40\n  LDR %%t0%%, [%%a0%%, #0]\n")
+			if !vulnerable {
+				e.writef("  MOV %%a0%%, %%t0%%\n  BL strlen\n  CMP %%rt%%, #0x20\n  BGE handler_rej\n")
+			}
+			e.writef("  MOV %%a1%%, %%t0%%\n  ADD %%a0%%, SP, #8\n  BL strcpy\nhandler_rej:\n  BX LR\n.endfunc\n")
+			e.writef(`.func register
+  STR %%a1%%, [%%a0%%, #16]
+  STR %%a2%%, [%%a1%%, #8]
+  MOV %%t0%%, &handler
+  STR %%t0%%, [%%a2%%, #4]
+  BX LR
+.endfunc
+.func dispatch
+  MOV %%t0%%, %%a0%%
+  LDR %%a1%%, [%%t0%%, #0]
+  MOV %%a0%%, #0
+  MOV %%a2%%, #0x100
+  BL recv
+  MOV %%a0%%, %%t0%%
+  LDR %%t1%%, [%%t0%%, #16]
+  LDR %%t2%%, [%%t1%%, #8]
+  LDR %%t3%%, [%%t2%%, #4]
+  BLX %%t3%%
+  BX LR
+.endfunc
+`)
+		},
+	},
+	{
 		name:  "masked-memcpy",
 		class: taint.ClassBufferOverflow,
 		emit: func(e emitter, vulnerable bool) {

@@ -174,6 +174,44 @@ func TestScreeningDeterministic(t *testing.T) {
 	}
 }
 
+// TestScreeningDispatchShapesNeedSSE pins the SSE dependence of the two
+// indirect-dispatch templates: their vulnerable cases are found by the
+// full pipeline (the precision/recall test above) but must be missed
+// with the SSE resolver ablated — struct-layout similarity alone cannot
+// match a callsite whose table pointer is itself loaded from the object.
+func TestScreeningDispatchShapesNeedSSE(t *testing.T) {
+	cases, err := ScreeningCorpus(120, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, c := range cases {
+		if c.Shape != "fnptr-table-dispatch" && c.Shape != "nested-struct-handoff" {
+			continue
+		}
+		if !c.HasVuln {
+			continue
+		}
+		checked++
+		prog, err := cfg.Build(c.Binary)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		res, err := dataflow.Analyze(prog, dataflow.Options{DisableSSE: true})
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		for _, v := range res.Vulnerabilities() {
+			if v.SinkFunc == "handler" {
+				t.Fatalf("%s (%s): found without SSE — the template does not require the resolver", c.Name, c.Shape)
+			}
+		}
+	}
+	if checked < 4 {
+		t.Fatalf("only %d vulnerable dispatch-shape cases drawn; corpus too thin to pin the ablation", checked)
+	}
+}
+
 func TestScreeningCoversAllTemplates(t *testing.T) {
 	cases, err := ScreeningCorpus(120, 7)
 	if err != nil {

@@ -5,8 +5,10 @@
 //  1. Function analysis — every function is symbolically analyzed once
 //     (package symexec), yielding definition pairs, types, and
 //     data-structure field observations.
-//  2. Indirect-call resolution through data-structure layout similarity
-//     (package structsim), which augments the call graph.
+//  2. Indirect-call resolution (sseresolve.go): callsites are matched to
+//     function-pointer registrations through SSE equivalence classes
+//     (package sse) with data-structure layout similarity (package
+//     structsim) as tie-breaker and fallback, augmenting the call graph.
 //  3. Bottom-up interprocedural pass — the call graph is condensed into
 //     its SCC DAG (cfg.Condense) and traversed callees-before-callers,
 //     each function again analyzed exactly once; at every callsite the
@@ -15,8 +17,10 @@
 //     ret_callsite symbols with the caller's actual expressions
 //     (Algorithm 2's ReplaceFormalArgs / ReplaceRetVariable), with heap
 //     identities re-hashed per callsite chain.
-//  4. Pointer-alias rewriting (package alias, Algorithm 1) extends each
-//     function's definition pairs before they are exported.
+//  4. Pointer-alias rewriting (package alias) extends each function's
+//     definition pairs before they are exported — by default from SSE
+//     equivalence classes (alias.RewriteSSE), under -ablate sse via the
+//     paper's pairwise Algorithm 1.
 //
 // Both analysis phases are parallel. Phase 1's units are fully
 // independent and fan out over a flat worker pool. Phases 3+4 run under a
@@ -48,6 +52,7 @@ import (
 	"dtaint/internal/image"
 	"dtaint/internal/obs"
 	"dtaint/internal/obs/events"
+	"dtaint/internal/sse"
 	"dtaint/internal/structsim"
 	"dtaint/internal/sumstore"
 	"dtaint/internal/symexec"
@@ -63,6 +68,13 @@ type Options struct {
 	DisableAlias bool
 	// DisableStructSim skips indirect-call resolution (ablation).
 	DisableStructSim bool
+	// DisableSSE turns off structured symbolic expressions (ablation):
+	// pointer-alias rewriting falls back to Algorithm 1's pairwise pass
+	// and indirect calls are resolved by layout similarity alone instead
+	// of from SSE equivalence classes. The feature bit is folded into
+	// OptionsFingerprint, so cached summaries from either configuration
+	// never cross.
+	DisableSSE bool
 	// DisableVRange turns off the interval value-range domain (ablation):
 	// sink verdicts fall back to the purely structural/constraint checks,
 	// and callee range facts are not imported at callsites. Path discovery
@@ -192,6 +204,17 @@ type Result struct {
 	// Parallel reports how the bottom-up scheduler executed (phase 3+4).
 	Parallel ParallelStats
 
+	// Resolve reports how phase 2 bound indirect callsites (zero when
+	// structsim is disabled or the run ablated SSE).
+	Resolve ResolveStats
+	// Alias aggregates the alias-rewrite statistics over live-analyzed
+	// functions: pairs synthesized, pairs dropped past the budget, class
+	// counts, and intern-table shape. Components replayed from a summary
+	// store contribute zero — the field is run telemetry, deliberately
+	// kept out of stored entries so the deterministic result (findings,
+	// summaries, counters) stays byte-identical with and without a store.
+	Alias AliasStats
+
 	// SumStore counts this run's summary-store lookups across both
 	// phases (zero when Options.SummaryStore is nil).
 	SumStore StoreStats
@@ -205,6 +228,32 @@ type StoreStats struct {
 	// Misses is the number of units that had to be symbolically
 	// executed (and were then written back).
 	Misses int
+}
+
+// AliasStats aggregates the alias-rewrite pass's statistics across the
+// functions analyzed live in one run.
+type AliasStats struct {
+	// Added counts synthesized alias pairs appended to definition pairs.
+	Added int
+	// Dropped counts synthesized pairs discarded past the engine budget
+	// (MaxNewPairs / MaxNewPairsSSE) — previously lost silently.
+	Dropped int
+	// Classes counts alias classes with two or more members (SSE only).
+	Classes int
+	// Intern sums the per-function intern-table statistics (SSE only).
+	Intern sse.Stats
+}
+
+// Merge adds b's counts into a.
+func (a *AliasStats) Merge(b AliasStats) {
+	a.Added += b.Added
+	a.Dropped += b.Dropped
+	a.Classes += b.Classes
+	a.Intern.Nodes += b.Intern.Nodes
+	a.Intern.Hits += b.Intern.Hits
+	a.Intern.Misses += b.Intern.Misses
+	a.Intern.Unions += b.Intern.Unions
+	a.Intern.Conflicts += b.Intern.Conflicts
 }
 
 // ParallelStats describes one parallel bottom-up interprocedural pass.
@@ -290,10 +339,21 @@ func Analyze(prog *cfg.Program, opts Options) (*Result, error) {
 	res.SSATime = time.Since(t0)
 	st.End("functions", len(names))
 
-	// Phase 2: indirect-call resolution by data-structure similarity.
+	// Phase 2: indirect-call resolution. By default each callsite is
+	// resolved from SSE equivalence classes (registration and dispatch
+	// paths expanded through per-function alias classes, matched by
+	// interned-path identity) with layout similarity demoted to a
+	// tie-breaker; ablating SSE falls back to pure layout-similarity
+	// resolution, and ablating structsim skips the phase entirely.
 	if !opts.DisableStructSim {
 		st = opts.StartStage("structsim")
-		res.Resolutions = structsim.ResolveIndirect(phase1)
+		if opts.DisableSSE {
+			res.Resolutions = structsim.ResolveIndirect(phase1)
+		} else {
+			res.Resolutions, res.Resolve = resolveIndirectSSE(phase1)
+			st.span.SetAttr("by_sse", res.Resolve.BySSE)
+			st.span.SetAttr("by_structsim", res.Resolve.ByStructSim)
+		}
 		for _, r := range res.Resolutions {
 			prog.AddCallEdge(r.Caller, r.Site, r.Callee)
 		}

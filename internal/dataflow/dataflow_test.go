@@ -482,6 +482,74 @@ func TestStructSimilarityRequiredForDetection(t *testing.T) {
 	}
 }
 
+// SSE ablation: the ops-struct dispatch idiom. register stores the ops
+// table into obj (deref(obj+8) = ops) and the handler address into the
+// table through the ops argument itself ([ops+4]); dispatch loads the
+// function pointer through obj (deref(deref(obj+8)+4)). The registration
+// is observed under root arg1 while the callsite's path is rooted at
+// arg0, so layout similarity cannot align their base keys — only the
+// alias fact deref(arg0+8) = arg1 connects the two spellings, which is
+// exactly what the SSE equivalence classes propagate.
+const sseSrc = `
+.arch arm
+.import recv
+.import strcpy
+
+.func handler
+  SUB SP, SP, #0x40
+  LDR R1, [R0, #0]
+  ADD R0, SP, #8
+  BL strcpy
+  BX LR
+.endfunc
+
+.func register
+  STR R1, [R0, #8]
+  MOV R4, &handler
+  STR R4, [R1, #4]
+  MOV R5, #0
+  STR R5, [R0, #0]
+  BX LR
+.endfunc
+
+.func dispatch
+  MOV R6, R0
+  LDR R1, [R6, #0]
+  MOV R0, #0
+  MOV R2, #0x100
+  BL recv
+  MOV R0, R6
+  LDR R2, [R6, #8]
+  LDR R9, [R2, #4]
+  BLX R9
+  BX LR
+.endfunc
+`
+
+func TestSSERequiredForDetection(t *testing.T) {
+	res := run(t, sseSrc, Options{})
+	if len(res.Resolutions) != 1 || res.Resolutions[0].Callee != "handler" {
+		t.Fatalf("resolutions = %+v", res.Resolutions)
+	}
+	if res.Resolve.BySSE != 1 || res.Resolve.ByStructSim != 0 {
+		t.Fatalf("resolve stats = %+v", res.Resolve)
+	}
+	if findVuln(res, "strcpy", "recv") == nil {
+		for _, g := range res.Findings {
+			t.Logf("finding: %s", g.String())
+		}
+		t.Fatal("ops-struct path not found with SSE enabled")
+	}
+	ablated := run(t, sseSrc, Options{DisableSSE: true})
+	if len(ablated.Resolutions) != 0 {
+		t.Fatalf("structsim alone resolved the ops-struct site — ablation is vacuous: %+v",
+			ablated.Resolutions)
+	}
+	if f := findVuln(ablated, "strcpy", "recv"); f != nil {
+		t.Fatalf("path found without SSE — ablation is vacuous: %s", f.String())
+	}
+}
+
 func TestHeapIdentityPerCallsiteChain(t *testing.T) {
 	// Listing 1: x = B(); y = B() must be distinct heap objects.
 	src := `

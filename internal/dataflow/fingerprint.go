@@ -30,7 +30,11 @@ import (
 // digests.
 func OptionsFingerprint(o Options, filterTag string) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "v3;alias=%t;structsim=%t;vrange=%t", !o.DisableAlias, !o.DisableStructSim, !o.DisableVRange)
+	// v4: SSE alias classes landed (alias.RewriteSSE + SSE-driven
+	// indirect-call resolution), changing rewritten definition pairs and
+	// resolutions for identical inputs — v3 caches must all miss.
+	fmt.Fprintf(&b, "v4;alias=%t;sse=%t;structsim=%t;vrange=%t",
+		!o.DisableAlias, !o.DisableSSE, !o.DisableStructSim, !o.DisableVRange)
 	// The vocabulary defines what the analysis looks for; its content
 	// digest isolates caches per vocabulary (the default's digest keeps
 	// default-vocab runs shareable across releases with the same spec).

@@ -31,8 +31,12 @@ const tinyVocab = `{"version": 1, "functions": [
 // stay shareable), while any other vocabulary must change the digest.
 func TestOptionsFingerprintVocabulary(t *testing.T) {
 	base := OptionsFingerprint(Options{}, "")
-	if !strings.HasPrefix(base, "v3;") {
+	if !strings.HasPrefix(base, "v4;") {
 		t.Fatalf("fingerprint version tag wrong: %q", base)
+	}
+	// The bumped tag makes every pre-SSE (v3) cache entry miss.
+	if strings.HasPrefix(base, "v3;") {
+		t.Fatalf("stale v3 fingerprint: %q", base)
 	}
 	if !strings.Contains(base, ";vocab="+taint.DefaultVocabulary().Fingerprint()) {
 		t.Fatalf("fingerprint lacks the default vocabulary digest: %q", base)
@@ -66,5 +70,12 @@ func TestOptionsFingerprintIsolation(t *testing.T) {
 	c := OptionsFingerprint(Options{Vocab: v}, "module-tag")
 	if c == a {
 		t.Fatal("filter tag lost under a custom vocabulary")
+	}
+	d := OptionsFingerprint(Options{Vocab: v, DisableSSE: true}, "")
+	if d == a {
+		t.Fatal("sse ablation lost under a custom vocabulary")
+	}
+	if d == b {
+		t.Fatal("sse and alias ablations collide")
 	}
 }

@@ -63,6 +63,10 @@ func runBottomUp(prog *cfg.Program, names []string, opts Options, fp *sumstore.F
 			"Per-function interprocedural data-flow time (phase 3+4).", obs.DefTimeBuckets, nil),
 		fnStates: opts.Metrics.Histogram("dtaint_fn_states_explored",
 			"Symbolic states explored per function.", obs.ExpBuckets(1, 4, 8), nil),
+		aliasAdded: opts.Metrics.Counter("dtaint_alias_pairs_added_total",
+			"Alias pairs synthesized by the rewrite pass.", nil),
+		aliasDropped: opts.Metrics.Counter("dtaint_alias_pairs_dropped_total",
+			"Synthesized alias pairs discarded past the rewrite budget.", nil),
 	}
 
 	base := newTracker(opts, prog.Binary)
@@ -153,6 +157,7 @@ func runBottomUp(prog *cfg.Program, names []string, opts Options, fp *sumstore.F
 		res.FunctionsAnalyzed += len(cond.Comps[i])
 		res.DefPairCount += done[i].defPairs
 		res.Truncated += done[i].truncated
+		res.Alias.Merge(done[i].alias)
 	}
 }
 
@@ -192,12 +197,17 @@ func (s *bottomUpState) publish(r compResult) {
 }
 
 // compResult is one component's contribution, stashed until the merge.
+// alias is live-run telemetry only: it is NOT round-tripped through the
+// summary store (compToEntry/entryToComp drop it), so replayed
+// components contribute zero and the deterministic result fields stay
+// byte-identical with and without a store.
 type compResult struct {
 	summaries map[string]*symexec.Summary
 	pendings  map[string][]taint.PendingSink
 	findings  []taint.Finding
 	defPairs  int
 	truncated int
+	alias     AliasStats
 }
 
 // compToEntry packages a component's contribution for the summary
@@ -237,12 +247,14 @@ func entryToComp(ent *sumstore.Entry) compResult {
 }
 
 // bottomUpObs carries the bottom-up pass's observability handles into
-// component workers: the stage span to nest under and the per-function
-// histograms. All fields are nil-safe.
+// component workers: the stage span to nest under, the per-function
+// histograms, and the alias-rewrite counters. All fields are nil-safe.
 type bottomUpObs struct {
-	stage    *obs.Span
-	fnSec    *obs.Histogram
-	fnStates *obs.Histogram
+	stage        *obs.Span
+	fnSec        *obs.Histogram
+	fnStates     *obs.Histogram
+	aliasAdded   *obs.Counter
+	aliasDropped *obs.Counter
 }
 
 // analyzeComponent runs Algorithm 2 over one SCC component with a private
@@ -280,7 +292,20 @@ func analyzeComponent(prog *cfg.Program, opts Options, base *taint.Tracker, shar
 		shard.BeginFunction(name)
 		sum := symexec.Analyze(prog.ByName[name], prog.Binary, oracle, opts.Symexec)
 		if !opts.DisableAlias {
-			sum.DefPairs = alias.Rewrite(sum.DefPairs, sum.Types)
+			var ast alias.Stats
+			if opts.DisableSSE {
+				sum.DefPairs, ast = alias.Rewrite(sum.DefPairs, sum.Types)
+			} else {
+				sum.DefPairs, ast = alias.RewriteSSE(sum.DefPairs, sum.Types)
+			}
+			fnSpan.SetAttr("alias_added", ast.Added)
+			fnSpan.SetAttr("alias_dropped", ast.Dropped)
+			bo.aliasAdded.Add(uint64(ast.Added))
+			bo.aliasDropped.Add(uint64(ast.Dropped))
+			out.alias.Merge(AliasStats{
+				Added: ast.Added, Dropped: ast.Dropped,
+				Classes: ast.Classes, Intern: ast.Intern,
+			})
 		}
 		shard.EndFunction(sum)
 		bo.fnSec.Observe(time.Since(t0).Seconds())

@@ -3,7 +3,8 @@
 #
 # Runs the tier-1 verify (build + tests) plus gofmt, go vet, the
 # repo-specific dtaintlint rules (determinism + nil-safe obs handles +
-# versioned serialization + no hard-coded vocabulary names), the
+# versioned serialization + no hard-coded vocabulary names + no
+# string-keyed identity over interned SSE nodes), the
 # vocabulary spec check (the embedded default must parse, validate,
 # compile, and cover every finding class), a race-enabled test pass (so the parallel
 # bottom-up scheduler and the fleet orchestrator are always
